@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Every benchmark regenerates one of the paper's tables or figures (see
+DESIGN.md's per-experiment index) at a scaled-down iteration count, and
+writes its quantitative output to ``benchmarks/results/<name>.txt`` so
+EXPERIMENTS.md can cite concrete numbers.  Set ``REPRO_FULL_SCALE=1`` to
+run at the paper's full iteration counts (minutes instead of seconds).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def full_scale() -> bool:
+    """Whether the harness should run at the paper's full iteration counts."""
+    return os.environ.get("REPRO_FULL_SCALE", "0") == "1"
+
+
+def scale_factor(default: float) -> float:
+    """Iteration scale: 1.0 at full scale, ``default`` otherwise."""
+    return 1.0 if full_scale() else default
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a benchmark's quantitative output for EXPERIMENTS.md."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n=== {name} ===\n{text}")

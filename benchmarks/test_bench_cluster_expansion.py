@@ -1,0 +1,129 @@
+"""E7 — the cluster expansion machinery (Theorems 10-11, Lemma 12).
+
+Numerically exercises the paper's statistical-physics toolkit with the
+natural surrogate loop weights w(ξ) = γ^{-|ξ|}:
+
+* the Kotecký–Preiss condition: satisfiable constants c(γ) shrink as γ
+  grows, and no constant exists for small γ;
+* convergence of the truncated cluster expansion to exact ln Ξ;
+* the Theorem 11 volume/surface sandwich on concrete regions.
+"""
+
+from conftest import full_scale, write_result
+
+from repro.analysis.cluster_expansion import (
+    PolymerModel,
+    find_kp_constant,
+    log_partition_function,
+    psi_per_edge,
+    truncated_cluster_expansion,
+    volume_surface_split,
+)
+from repro.analysis.polymers import (
+    REFERENCE_EDGE,
+    all_polymers_in_region,
+    enumerate_loops_through_edge,
+    loop_closure_size,
+    triangle_edges,
+)
+from repro.lattice.geometry import disk
+from repro.lattice.triangular import edge_key, neighbors
+
+GAMMAS = (3.0, 4.0, 5.66, 8.0, 12.0, 20.0)
+
+
+def _boundary_size(region_edges):
+    boundary = 0
+    for a, b in region_edges:
+        for vertex in (a, b):
+            if any(
+                edge_key(vertex, nbr) not in region_edges
+                for nbr in neighbors(vertex)
+            ):
+                boundary += 1
+                break
+    return boundary
+
+
+def _run():
+    max_loop = 10 if full_scale() else 8
+    loops = enumerate_loops_through_edge(max_loop)
+
+    kp_constants = {
+        gamma: find_kp_constant(
+            loops, lambda p, g=gamma: g ** (-len(p)), loop_closure_size
+        )
+        for gamma in GAMMAS
+    }
+
+    # Truncation convergence and the Theorem 11 sandwich at γ = 8.
+    gamma = 8.0
+
+    def weight(p):
+        return gamma ** (-len(p))
+
+    region = triangle_edges(set(disk((0, 0), 2)))
+    polymers = all_polymers_in_region(region, 6, kind="loop")
+    model = PolymerModel(polymers, weight, lambda a, b: a.isdisjoint(b))
+    exact = log_partition_function(model)
+    truncations = {
+        m: truncated_cluster_expansion(model, m) for m in (1, 2, 3)
+    }
+
+    psi = psi_per_edge(
+        model,
+        element_of=lambda p: p,
+        reference_element=REFERENCE_EDGE,
+        max_cluster_size=3,
+    )
+    c = kp_constants[gamma]
+    sandwiches = {}
+    for radius in (1, 2):
+        sub_region = triangle_edges(set(disk((0, 0), radius)))
+        sub_polymers = all_polymers_in_region(sub_region, 6, kind="loop")
+        sub_model = PolymerModel(
+            sub_polymers, weight, lambda a, b: a.isdisjoint(b)
+        )
+        log_xi = log_partition_function(sub_model)
+        sandwiches[radius] = volume_surface_split(
+            log_xi,
+            psi,
+            volume=len(sub_region),
+            boundary=_boundary_size(sub_region),
+            c=c,
+        ) + (log_xi,)
+    return kp_constants, exact, truncations, psi, c, sandwiches
+
+
+def test_cluster_expansion_suite(benchmark):
+    kp_constants, exact, truncations, psi, c, sandwiches = benchmark.pedantic(
+        _run, rounds=1, iterations=1
+    )
+
+    lines = ["Kotecky-Preiss constants for loop weights gamma^-|xi|:"]
+    for gamma, constant in kp_constants.items():
+        lines.append(f"  gamma={gamma:<6} c={constant}")
+    lines.append("")
+    lines.append(f"ln Xi exact (disk r=2, gamma=8): {exact:.6f}")
+    for m, value in truncations.items():
+        lines.append(f"  truncated at cluster size {m}: {value:.6f}")
+    lines.append(f"psi per edge: {psi:.6f} (|psi| <= c = {c})")
+    for radius, (lower, upper, holds, log_xi) in sandwiches.items():
+        lines.append(
+            f"Theorem 11 sandwich r={radius}: "
+            f"{lower:.4f} <= {log_xi:.4f} <= {upper:.4f} -> {holds}"
+        )
+    write_result("cluster_expansion", "\n".join(lines))
+
+    # Shape claims: KP constants exist for large γ, shrink as γ grows,
+    # and disappear for γ <= 3 (heavy weights).
+    assert kp_constants[3.0] is None
+    assert kp_constants[8.0] is not None
+    assert kp_constants[20.0] < kp_constants[8.0]
+    # Truncation error decreases and is tiny by cluster size 3.
+    errors = [abs(truncations[m] - exact) for m in (1, 2, 3)]
+    assert errors[2] < errors[0]
+    assert errors[2] < 1e-4
+    # Theorem 11 sandwich holds on every region tested.
+    assert all(holds for (_, _, holds, _) in sandwiches.values())
+    assert abs(psi) <= c

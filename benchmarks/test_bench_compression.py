@@ -1,0 +1,60 @@
+"""E4 — the PODC '16 compression baseline.
+
+Sweeps λ for the homogeneous compression chain from a line start and
+reports the final compression factor α.  Shape claims from
+[CannonDRR16]: compression for λ > 2+√2 ≈ 3.41, expansion for λ < 2.17,
+with α decreasing in λ.  Also verifies the separation chain at γ = 1
+degenerates to the compression chain step-for-step.
+"""
+
+from conftest import full_scale, write_result
+
+from repro.analysis.compression_metric import alpha_of
+from repro.core.compression_chain import CompressionChain
+from repro.core.separation_chain import SeparationChain
+from repro.system.initializers import hexagon_system
+
+LAMBDAS = (1.0, 1.5, 2.17, 3.41, 4.0, 6.0)
+
+
+def _run():
+    iterations = 3_000_000 if full_scale() else 500_000
+    n = 100 if full_scale() else 50
+    alphas = {}
+    for lam in LAMBDAS:
+        chain = CompressionChain.from_line(n, lam=lam, seed=7)
+        chain.run(iterations)
+        alphas[lam] = alpha_of(chain.system)
+    return iterations, n, alphas
+
+
+def test_compression_lambda_sweep(benchmark):
+    iterations, n, alphas = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    lines = [f"compression from a line of n={n} after {iterations} iterations"]
+    lines.append(f"{'lambda':>8}  {'alpha':>7}")
+    for lam, alpha in alphas.items():
+        lines.append(f"{lam:>8.2f}  {alpha:>7.2f}")
+    write_result("compression_baseline", "\n".join(lines))
+
+    # Shape claims: strongly biased runs compress, unbiased ones do not,
+    # and α at λ=6 beats α at λ=1.5 by a wide margin.  (A line start
+    # converges slowly, so thresholds allow residual relaxation.)
+    assert alphas[6.0] < 2.2
+    assert alphas[4.0] < 2.8
+    assert alphas[1.0] > 3.0
+    assert alphas[6.0] < alphas[1.5] - 0.8
+
+
+def test_gamma_one_equivalence(benchmark):
+    """The separation chain at γ=1 IS the compression chain."""
+
+    def run_pair():
+        a = hexagon_system(30, counts=[30, 0], seed=5, shuffle=False)
+        b = a.copy()
+        CompressionChain(a, lam=4.0, seed=123).run(50_000)
+        SeparationChain(b, lam=4.0, gamma=1.0, swaps=False, seed=123).run(50_000)
+        return a, b
+
+    a, b = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    assert sorted(a.colors) == sorted(b.colors)

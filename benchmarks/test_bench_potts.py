@@ -1,0 +1,59 @@
+"""E11 — the k-color extension (Section 5).
+
+"Our algorithm performs well in practice for larger values of k."
+Runs balanced k = 2, 3, 4 systems at λ = γ = 4 and reports the dominant
+cluster fractions and interface density; each color should gather into
+one near-complete cluster.
+"""
+
+from conftest import full_scale, write_result
+
+from repro.core.potts import (
+    PottsSeparationChain,
+    dominant_cluster_fractions,
+    interface_density,
+)
+
+KS = (2, 3, 4)
+
+
+def _run():
+    iterations = 5_000_000 if full_scale() else 600_000
+    n = 120 if full_scale() else 72
+    rows = {}
+    for k in KS:
+        chain = PottsSeparationChain.balanced(
+            n, k=k, lam=4.0, gamma=4.0, seed=61
+        )
+        start_interface = interface_density(chain.system)
+        chain.run(iterations)
+        rows[k] = (
+            start_interface,
+            interface_density(chain.system),
+            dominant_cluster_fractions(chain.system),
+        )
+        assert chain.system.is_connected()
+        assert not chain.system.has_holes()
+    return n, iterations, rows
+
+
+def test_potts_separation(benchmark):
+    n, iterations, rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    lines = [
+        f"n={n}, {iterations} iterations, lam=gamma=4",
+        f"{'k':>2}  {'interface start':>15}  {'interface end':>13}  dominant fractions",
+    ]
+    for k, (start, end, fractions) in rows.items():
+        fraction_text = ", ".join(f"{f:.2f}" for f in fractions)
+        lines.append(f"{k:>2}  {start:>15.3f}  {end:>13.3f}  [{fraction_text}]")
+    write_result("potts_kcolor", "\n".join(lines))
+
+    for k, (start, end, fractions) in rows.items():
+        # Interfaces shrink substantially for every k...
+        assert end < 0.6 * start, (k, start, end)
+        # ...and colors gather into large clusters.  A color may
+        # transiently sit in two equal domains mid-coarsening, so the
+        # minimum allows one split color while the average must be high.
+        assert min(fractions) >= 0.45, (k, fractions)
+        assert sum(fractions) / k > 0.7, (k, fractions)

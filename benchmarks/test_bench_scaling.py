@@ -1,0 +1,54 @@
+"""E15 — finite-size scaling of separation.
+
+The paper's guarantees are w.h.p. statements with failure probability
+:math:`\\zeta^{\\sqrt n}`.  This benchmark measures the finite-n face:
+α concentrates near 1 at every size, every replica separates within a
+per-particle budget, and the fitted interface exponent lands in the
+coarsening band (≈1 rather than the equilibrium 0.5 — the measured
+footprint of the slow interface merging discussed in Section 5).
+"""
+
+from conftest import full_scale, write_result
+
+from repro.experiments.scaling import (
+    interface_scaling_exponent,
+    scaling_study,
+    scaling_table,
+)
+
+
+def _run():
+    if full_scale():
+        sizes = (50, 100, 200, 400)
+        steps_per_particle = 20_000
+    else:
+        sizes = (30, 60, 120)
+        steps_per_particle = 2_000
+    return scaling_study(
+        sizes=sizes,
+        lam=4.0,
+        gamma=4.0,
+        steps_per_particle=steps_per_particle,
+        replicas=3,
+        seed=5,
+    )
+
+
+def test_finite_size_scaling(benchmark):
+    study = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    exponent = interface_scaling_exponent(study)
+    write_result(
+        "finite_size_scaling",
+        scaling_table(study)
+        + f"\nfitted interface exponent b (h ~ n^b): {exponent:.2f}"
+        + "\n(equilibrium b=0.5; fixed-budget coarsening keeps b near 1)",
+    )
+
+    assert all(p.fraction_separated_in_budget == 1.0 for p in study)
+    assert all(p.mean_alpha < 2.0 for p in study)
+    assert 0.4 <= exponent <= 1.35
+    # Time to separation grows with n but stays within the budget.
+    times = [p.mean_time_to_separation for p in study]
+    assert all(t is not None for t in times)
+    assert times[-1] > times[0]

@@ -1,0 +1,67 @@
+"""E13 — spectral gaps across the phase diagram (§5 mixing discussion).
+
+The paper cannot bound M's mixing time rigorously; on exactly
+enumerable systems the spectrum is computable.  Shape claims: the gap
+shrinks as γ grows (separation creates bottlenecks between mirror-image
+sorted states), swaps never hurt the gap, and the Cheeger bound from the
+"sorted-left vs sorted-right" cut explains the slowdown.
+"""
+
+from conftest import full_scale, write_result
+
+from repro.markov.exact import ExactChainAnalysis
+from repro.markov.spectral import (
+    bottleneck_ratio,
+    gap_versus_parameters,
+    spectral_summary,
+)
+
+LAMBDAS = (1.5, 3.0)
+GAMMAS = (1.0, 3.0, 8.0)
+
+
+def _run():
+    n = 5 if full_scale() else 4
+    counts = [3, 2] if full_scale() else [2, 2]
+    grid = gap_versus_parameters(n, counts, LAMBDAS, GAMMAS)
+    no_swap = gap_versus_parameters(
+        n, counts, [3.0], [8.0], swaps=False
+    )[(3.0, 8.0)]
+
+    analysis = ExactChainAnalysis(n, counts, lam=3.0, gamma=8.0)
+    phi = bottleneck_ratio(
+        analysis,
+        in_cut=lambda s: s.hetero_total <= 1,
+    )
+    return n, counts, grid, no_swap, phi
+
+
+def test_spectral_gaps(benchmark):
+    n, counts, grid, no_swap, phi = benchmark.pedantic(
+        _run, rounds=1, iterations=1
+    )
+
+    lines = [f"exact spectrum on n={n}, counts={tuple(counts)}"]
+    lines.append(f"{'lambda':>7}  {'gamma':>6}  {'gap':>9}  {'t_rel':>8}")
+    for (lam, gamma), summary in sorted(grid.items()):
+        lines.append(
+            f"{lam:>7.2f}  {gamma:>6.2f}  {summary.spectral_gap:>9.6f}  "
+            f"{summary.relaxation_time:>8.1f}"
+        )
+    lines.append(
+        f"no-swap gap at (3, 8): {no_swap.spectral_gap:.6f} "
+        f"(with swaps: {grid[(3.0, 8.0)].spectral_gap:.6f})"
+    )
+    lines.append(
+        f"Cheeger: gap <= 2*phi(sorted cut) = {2 * phi:.6f} at (3, 8)"
+    )
+    write_result("spectral_gaps", "\n".join(lines))
+
+    # Gap shrinks with gamma at both lambdas.
+    for lam in LAMBDAS:
+        gaps = [grid[(lam, gamma)].spectral_gap for gamma in GAMMAS]
+        assert gaps[0] > gaps[-1], (lam, gaps)
+    # Swaps never hurt.
+    assert grid[(3.0, 8.0)].spectral_gap >= no_swap.spectral_gap - 1e-12
+    # Cheeger bound is respected.
+    assert grid[(3.0, 8.0)].spectral_gap <= 2 * phi + 1e-12

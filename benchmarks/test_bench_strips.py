@@ -1,0 +1,55 @@
+"""E14 — strip decomposition: the Theorem 16 dichotomy, measured.
+
+Runs the chain at an integrating γ (≈1) and a separating γ, decomposes
+the endpoints into lattice-axis strips, and compares the maximum color
+surplus against the Chernoff envelope for random colorings.  Shape
+claim: the integrated endpoint stays within the envelope (its coloring
+is statistically indistinguishable from random — how Theorem 16 rules
+out separation), while the separated endpoint blows past it.
+"""
+
+from conftest import full_scale, write_result
+
+from repro.analysis.strips import max_surplus_summary
+from repro.core.separation_chain import SeparationChain
+from repro.system.initializers import random_blob_system
+
+CASES = (
+    ("integrating", 4.0, 1.0),
+    ("window edge", 4.0, 81 / 79.0),
+    ("separating", 4.0, 6.0),
+)
+
+
+def _run():
+    iterations = 5_000_000 if full_scale() else 400_000
+    n = 100 if full_scale() else 80
+    width = 3
+    rows = []
+    for label, lam, gamma in CASES:
+        system = random_blob_system(n, seed=23)
+        SeparationChain(system, lam=lam, gamma=gamma, seed=23).run(iterations)
+        summary = max_surplus_summary(system, width=width)
+        rows.append((label, lam, gamma, summary))
+    return n, iterations, rows
+
+
+def test_strip_surplus_dichotomy(benchmark):
+    n, iterations, rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    lines = [
+        f"n={n}, {iterations} iterations, width-3 strips, best of 3 axes",
+        f"{'case':<12} {'gamma':>7}  {'max surplus':>11}  "
+        f"{'envelope':>9}  exceeds?",
+    ]
+    for label, lam, gamma, summary in rows:
+        lines.append(
+            f"{label:<12} {gamma:>7.3f}  {summary.max_surplus:>11.2f}  "
+            f"{summary.chernoff_envelope:>9.2f}  {summary.exceeds_envelope}"
+        )
+    write_result("strip_dichotomy", "\n".join(lines))
+
+    by_label = {label: summary for label, _, _, summary in rows}
+    assert not by_label["integrating"].exceeds_envelope
+    assert not by_label["window edge"].exceeds_envelope
+    assert by_label["separating"].exceeds_envelope

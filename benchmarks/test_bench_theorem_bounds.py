@@ -1,0 +1,82 @@
+"""E8 — Theorems 13-16: proven parameter regions versus simulation.
+
+Evaluates the paper's closed-form conditions and runs the chain at
+representative points of each proven region, checking the predicted
+behavior materializes.  Also quantifies the paper's own observation that
+the proven bounds "are likely not tight": the Figure 2 point (4, 4) is
+unproven yet clearly separates.
+"""
+
+from conftest import full_scale, write_result
+
+from repro.analysis.bounds import (
+    predicted_regime,
+    theorem13_min_alpha,
+    theorem14_min_gamma,
+    theorem15_min_alpha,
+    theorem16_condition,
+)
+from repro.core.separation_chain import SeparationChain
+from repro.experiments.phases import classify_phase
+from repro.system.initializers import random_blob_system
+
+POINTS = (
+    (1.3, 6.0),   # proven separation (Thm 13+14): γ>4^{5/4}, λγ>6.83
+    (4.0, 8.0),   # deep in the proven separation region
+    (7.0, 1.0),   # proven integration (Thm 15+16)
+    (10.0, 81 / 80.0),  # proven integration, γ slightly above one
+    (4.0, 4.0),   # Figure 2's setting: unproven, separates in practice
+    (2.0, 1.0),   # unproven, integrates in practice
+)
+
+
+def _run():
+    iterations = 10_000_000 if full_scale() else 350_000
+    n = 100 if full_scale() else 70
+    rows = []
+    for lam, gamma in POINTS:
+        system = random_blob_system(n, seed=13)
+        SeparationChain(system, lam=lam, gamma=gamma, seed=13).run(iterations)
+        rows.append(
+            (lam, gamma, predicted_regime(lam, gamma), classify_phase(system))
+        )
+    return rows
+
+
+def test_theorem_bounds_vs_simulation(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    lines = [
+        f"{'lambda':>7}  {'gamma':>7}  {'proven':>11}  simulated phase",
+    ]
+    for lam, gamma, proven, phase in rows:
+        lines.append(f"{lam:>7.2f}  {gamma:>7.3f}  {proven:>11}  {phase}")
+    lines.append("")
+    lines.append(
+        f"Thm 13 min alpha at (1.3, 6.0): {theorem13_min_alpha(1.3, 6.0):.2f}"
+    )
+    lines.append(
+        f"Thm 14 min gamma at (alpha=1.1, beta=8, delta=0.1): "
+        f"{theorem14_min_gamma(1.1, 8.0, 0.1):.1f}"
+    )
+    lines.append(
+        f"Thm 15 min alpha at (7.0, 1.0): {theorem15_min_alpha(7.0, 1.0):.2f}"
+    )
+    lines.append(
+        f"Thm 16 holds at (delta=0.1, gamma=1.0): "
+        f"{theorem16_condition(0.1, 1.0)}"
+    )
+    write_result("theorem_bounds", "\n".join(lines))
+
+    by_point = {(lam, gamma): (proven, phase) for lam, gamma, proven, phase in rows}
+    # Proven separation points separate.
+    for point in ((1.3, 6.0), (4.0, 8.0)):
+        proven, phase = by_point[point]
+        assert proven == "separates" and phase == "compressed-separated", rows
+    # Proven integration points integrate.
+    for point in ((7.0, 1.0), (10.0, 81 / 80.0)):
+        proven, phase = by_point[point]
+        assert proven == "integrates" and phase == "compressed-integrated", rows
+    # The bounds are not tight: (4, 4) is unproven yet separates.
+    proven, phase = by_point[(4.0, 4.0)]
+    assert proven == "unproven" and phase == "compressed-separated", rows

@@ -1,0 +1,51 @@
+"""E12 — engineering throughput of the simulation engines.
+
+Measures steps/second of the optimized centralized chain, the
+locality-enforcing distributed runner, and a concurrent round, plus the
+incremental-counter advantage over recomputation.  These are classic
+pytest-benchmark microbenchmarks (multiple rounds, statistics reported
+in the benchmark table).
+"""
+
+from repro.core.separation_chain import SeparationChain
+from repro.distributed import ConcurrentRunner, DistributedRunner
+from repro.system.initializers import hexagon_system
+
+STEPS = 20_000
+
+
+def test_separation_chain_throughput(benchmark):
+    system = hexagon_system(100, seed=1)
+    chain = SeparationChain(system, lam=4.0, gamma=4.0, seed=1)
+    benchmark(chain.run, STEPS)
+    assert system.is_connected()
+
+
+def test_separation_chain_no_swaps_throughput(benchmark):
+    system = hexagon_system(100, seed=1)
+    chain = SeparationChain(system, lam=4.0, gamma=4.0, swaps=False, seed=1)
+    benchmark(chain.run, STEPS)
+
+
+def test_distributed_runner_throughput(benchmark):
+    system = hexagon_system(100, seed=1)
+    runner = DistributedRunner(system, lam=4.0, gamma=4.0, seed=1)
+    benchmark(runner.run, STEPS // 10)
+
+
+def test_concurrent_round_throughput(benchmark):
+    system = hexagon_system(100, seed=1)
+    runner = ConcurrentRunner(system, lam=4.0, gamma=4.0, round_size=25, seed=1)
+    benchmark(runner.run, 40)
+
+
+def test_counter_recompute_cost(benchmark):
+    """The O(n) recount the incremental counters avoid paying per step."""
+    system = hexagon_system(100, seed=1)
+    benchmark(system.recompute_counters)
+
+
+def test_exact_perimeter_walk_cost(benchmark):
+    """Boundary-walk perimeter vs the O(1) identity used in the loop."""
+    system = hexagon_system(100, seed=1)
+    benchmark(system.perimeter, True)

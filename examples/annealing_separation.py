@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Annealing the bias parameters: does ramping (λ, γ) help?
+
+The paper runs the chain at fixed parameters.  Since the proven bounds
+are not tight and convergence slows as biases grow (moves out of dense
+regions become rare), a natural engineering question is whether ramping
+the biases from weak to strong reaches separated states faster than
+running cold from the start.  This example compares three strategies
+over the same step budget.
+
+Usage::
+
+    python examples/annealing_separation.py [budget]
+"""
+
+import sys
+
+from repro.core.schedule import (
+    ConstantSchedule,
+    GeometricSchedule,
+    LinearSchedule,
+    run_annealed,
+)
+from repro.core.separation_chain import SeparationChain
+from repro.system.initializers import random_blob_system
+
+STRATEGIES = {
+    "fixed (4, 4)": ConstantSchedule(4.0, 4.0),
+    "linear 1->4": LinearSchedule(1.0, 4.0, 1.0, 4.0),
+    "geometric 1.2->4": GeometricSchedule(1.2, 4.0, 1.2, 4.0),
+}
+
+
+def main() -> None:
+    budget = int(sys.argv[1]) if len(sys.argv) > 1 else 400_000
+
+    print(f"step budget {budget:,}, n=100, three replicas per strategy\n")
+    print(f"{'strategy':<18} {'final h/e':>10}  {'final alpha':>11}")
+    for name, schedule in STRATEGIES.items():
+        hetero_densities = []
+        alphas = []
+        for seed in (1, 2, 3):
+            system = random_blob_system(100, seed=seed)
+            chain = SeparationChain(system, lam=1.0, gamma=1.0, seed=seed)
+            run_annealed(chain, schedule, total_steps=budget, updates=50)
+            hetero_densities.append(system.hetero_total / system.edge_total)
+            from repro.analysis.compression_metric import alpha_of
+
+            alphas.append(alpha_of(system))
+        print(
+            f"{name:<18} "
+            f"{sum(hetero_densities) / 3:>10.3f}  "
+            f"{sum(alphas) / 3:>11.2f}"
+        )
+
+    print(
+        "\nLower h/e is more separated; lower alpha is more compressed."
+        "\nAt this scale fixed strong biases usually win — the chain"
+        " at (4,4) separates quickly from random starts, so annealing"
+        " mainly helps when biases are near the phase boundary."
+    )
+
+
+if __name__ == "__main__":
+    main()

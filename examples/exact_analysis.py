@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Exact small-system tour: the paper's math, computed to the last digit.
+
+For systems small enough to enumerate every configuration, everything
+the paper proves asymptotically can be computed exactly: the state
+space, the stationary distribution of Lemma 9, detailed balance,
+spectral gaps, and the probability of (β, δ)-separation as a function
+of γ.  This example walks through all of it on n = 4 and n = 5.
+
+Usage::
+
+    python examples/exact_analysis.py
+"""
+
+import numpy as np
+
+from repro.markov.enumerate_configs import count_animals
+from repro.markov.exact import ExactChainAnalysis
+from repro.markov.spectral import bottleneck_ratio, spectral_summary
+
+
+def state_space_tour() -> None:
+    print("=== state spaces ===")
+    print("connected node sets per size (OEIS A001334):")
+    print(" ", [count_animals(n) for n in range(1, 8)])
+    analysis = ExactChainAnalysis(4, [2, 2], lam=2.0, gamma=3.0)
+    print(
+        f"n=4 with 2+2 colors: {len(analysis.states)} configurations "
+        "(44 shapes x 6 colorings)"
+    )
+
+
+def stationary_tour() -> None:
+    print("\n=== Lemma 9, exactly ===")
+    analysis = ExactChainAnalysis(5, [3, 2], lam=2.0, gamma=3.0)
+    print(f"states: {len(analysis.states)}")
+    print(f"detailed balance max error: {analysis.detailed_balance_error():.2e}")
+    pi_eig = analysis.stationary_by_eigenvector()
+    print(
+        "closed form vs eigenvector max difference: "
+        f"{np.abs(pi_eig - analysis.pi).max():.2e}"
+    )
+    perimeters = np.array([s.perimeter() for s in analysis.states])
+    heteros = np.array([float(s.hetero_total) for s in analysis.states])
+    print(f"E[perimeter] = {analysis.pi @ perimeters:.4f}")
+    print(f"E[hetero edges] = {analysis.pi @ heteros:.4f}")
+
+
+def separation_curve() -> None:
+    print("\n=== P(separated) as a function of gamma (n=4, beta=0.75, delta=0.2) ===")
+    for gamma in (0.5, 1.0, 2.0, 4.0, 8.0, 16.0):
+        analysis = ExactChainAnalysis(4, [2, 2], lam=2.0, gamma=gamma)
+        probability = analysis.separation_probability(0.75, 0.2)
+        bar = "#" * int(40 * probability)
+        print(f"  gamma={gamma:>5.1f}  {probability:.4f}  {bar}")
+
+
+def spectral_tour() -> None:
+    print("\n=== spectra and bottlenecks ===")
+    for gamma in (1.0, 4.0, 8.0):
+        analysis = ExactChainAnalysis(4, [2, 2], lam=3.0, gamma=gamma)
+        summary = spectral_summary(analysis)
+        phi = bottleneck_ratio(analysis, in_cut=lambda s: s.hetero_total <= 1)
+        print(
+            f"  gamma={gamma:>4.1f}  gap={summary.spectral_gap:.5f}  "
+            f"t_rel={summary.relaxation_time:7.1f}  "
+            f"2*phi(sorted cut)={2 * phi:.5f}"
+        )
+    print(
+        "  (the gap closes as gamma grows: separated states form wells"
+        " separated by the low-conductance sorted cut)"
+    )
+
+
+def main() -> None:
+    state_space_tour()
+    stationary_tour()
+    separation_curve()
+    spectral_tour()
+
+
+if __name__ == "__main__":
+    main()

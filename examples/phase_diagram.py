@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Regenerate Figure 3: the (λ, γ) phase diagram.
+
+Runs the chain from a shared initial configuration for every cell of a
+bias-parameter grid and prints the resulting phase table, optionally
+saving an SVG picture of each endpoint.
+
+Usage::
+
+    python examples/phase_diagram.py [iterations] [--svg OUTDIR]
+"""
+
+import sys
+from pathlib import Path
+
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.render import render_svg
+
+
+def main() -> None:
+    args = sys.argv[1:]
+    svg_dir = None
+    if "--svg" in args:
+        index = args.index("--svg")
+        svg_dir = Path(args[index + 1])
+        svg_dir.mkdir(parents=True, exist_ok=True)
+        del args[index : index + 2]
+    iterations = int(args[0]) if args else 400_000
+
+    print(f"sweeping the (lambda, gamma) grid, {iterations:,} iterations/cell...")
+    result = run_figure3(n=100, iterations=iterations, seed=2018)
+    print()
+    print(result.grid_table())
+
+    print("\nper-cell metrics:")
+    for lam in result.lambdas:
+        for gamma in result.gammas:
+            metrics = result.metrics[(lam, gamma)]
+            print(
+                f"  lam={lam:<4} gamma={gamma:<4} "
+                f"alpha={metrics['alpha']:5.2f}  "
+                f"h/e={metrics['hetero_density']:5.3f}  "
+                f"best beta={metrics['best_beta']:5.2f}"
+            )
+
+    if svg_dir is not None:
+        # Re-run each corner cell to render its endpoint (run_figure3
+        # does not retain per-cell systems to bound memory).
+        from repro.core.separation_chain import SeparationChain
+        from repro.system.initializers import random_blob_system
+
+        for lam, gamma in (
+            (0.5, 6.0), (1.0, 1.0), (6.0, 1.0), (6.0, 6.0), (4.0, 4.0),
+        ):
+            system = random_blob_system(100, seed=2018)
+            SeparationChain(system, lam=lam, gamma=gamma, seed=2018).run(
+                iterations
+            )
+            path = svg_dir / f"phase_lam{lam}_gamma{gamma}.svg"
+            render_svg(system, path)
+            print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""A Schelling-style segregation study on mobile particles.
+
+The paper's introduction motivates separation with the Schelling model
+of residential segregation: individuals with mild same-type preferences
+induce macro-level segregation.  Here γ plays the role of individual
+bias.  This example sweeps γ and reports sociological order parameters —
+mean same-color neighbor fraction ("local homophily") and the size of
+the largest monochromatic district — exposing the sharp onset of
+segregation, including the paper's counterintuitive result that a mild
+preference for like neighbors (γ slightly above 1) still provably fails
+to segregate.
+
+Usage::
+
+    python examples/schelling_segregation.py [iterations]
+"""
+
+import sys
+
+from repro.analysis.bounds import predicted_regime
+from repro.core.separation_chain import SeparationChain
+from repro.system.initializers import random_blob_system
+from repro.system.observables import (
+    largest_cluster_fraction,
+    mean_same_color_neighbor_fraction,
+)
+
+GAMMAS = (0.8, 1.0, 1.02, 1.2, 1.5, 2.0, 3.0, 4.0, 6.0)
+
+
+def main() -> None:
+    iterations = int(sys.argv[1]) if len(sys.argv) > 1 else 300_000
+    lam = 4.0  # residents prefer dense neighborhoods throughout
+    n = 100
+
+    print(
+        f"Schelling sweep: n={n}, lam={lam}, {iterations:,} steps per gamma\n"
+    )
+    print(
+        f"{'gamma':>6}  {'homophily':>9}  {'largest district':>16}  "
+        f"{'hetero edges':>12}  proven"
+    )
+    for gamma in GAMMAS:
+        system = random_blob_system(n, seed=17)
+        SeparationChain(system, lam=lam, gamma=gamma, seed=17).run(iterations)
+        homophily = mean_same_color_neighbor_fraction(system)
+        district = largest_cluster_fraction(system)
+        print(
+            f"{gamma:>6.2f}  {homophily:>9.3f}  {district:>16.2f}  "
+            f"{system.hetero_total:>12}  {predicted_regime(lam, gamma)}"
+        )
+
+    print(
+        "\nReading the table: a balanced integrated city has homophily"
+        " near 0.5 and small districts; segregation drives both toward 1."
+        "\nNote gamma = 1.02 (mild pro-similarity bias) still behaves"
+        " integrated — Theorem 16's counterintuitive regime."
+    )
+
+
+if __name__ == "__main__":
+    main()

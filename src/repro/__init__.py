@@ -1,0 +1,63 @@
+"""repro — stochastic separation in self-organizing particle systems.
+
+A complete reproduction of Cannon, Daymude, Gökmen, Randall, and Richa,
+"A Local Stochastic Algorithm for Separation in Heterogeneous
+Self-Organizing Particle Systems" (announced at PODC 2018; full version
+APPROX/RANDOM 2019, arXiv:1805.04599).
+
+Quickstart::
+
+    from repro import SeparationChain, hexagon_system
+
+    system = hexagon_system(100, seed=1)          # 50 blue + 50 red
+    chain = SeparationChain(system, lam=4.0, gamma=4.0, seed=1)
+    chain.run(1_000_000)
+    print(system.perimeter(), system.hetero_total)
+
+Packages:
+
+* :mod:`repro.core` — Algorithm 1 (the separation chain), compression
+  baseline, k-color extension, annealing.
+* :mod:`repro.lattice` — triangular-lattice substrate.
+* :mod:`repro.system` — colored particle-system state and observables.
+* :mod:`repro.markov` — generic Markov-chain machinery, exact small-state
+  analysis, diagnostics.
+* :mod:`repro.analysis` — separation/compression metrics, polymer models
+  and the cluster expansion, Ising cross-checks, theorem bounds.
+* :mod:`repro.distributed` — the asynchronous distributed algorithm
+  :math:`\\mathcal{A}` and schedulers.
+* :mod:`repro.experiments` — regenerators for the paper's figures.
+"""
+
+from repro.core import (
+    CompressionChain,
+    PottsSeparationChain,
+    SeparationChain,
+    compression_ratio,
+    is_compressed,
+)
+from repro.system import (
+    ParticleSystem,
+    checkerboard_system,
+    hexagon_system,
+    line_system,
+    random_blob_system,
+    separated_system,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SeparationChain",
+    "CompressionChain",
+    "PottsSeparationChain",
+    "ParticleSystem",
+    "hexagon_system",
+    "line_system",
+    "random_blob_system",
+    "separated_system",
+    "checkerboard_system",
+    "compression_ratio",
+    "is_compressed",
+    "__version__",
+]

@@ -1,0 +1,119 @@
+"""Statistical-physics analysis: metrics, polymer models, theorem bounds.
+
+* :mod:`repro.analysis.compression_metric` — minimum perimeter and
+  α-compression (Lemma 2, Theorems 13/15).
+* :mod:`repro.analysis.separation_metric` — (β, δ)-separation
+  certification (Definition 3).
+* :mod:`repro.analysis.polymers` — enumeration of loop and even polymers
+  on the triangular lattice.
+* :mod:`repro.analysis.cluster_expansion` — abstract polymer models,
+  the Kotecký–Preiss condition, truncated cluster expansions, and the
+  volume/surface decomposition of Theorem 11.
+* :mod:`repro.analysis.ising` — the Ising model and its high-temperature
+  expansion (the machinery behind Theorem 15).
+* :mod:`repro.analysis.bounds` — executable forms of the parameter
+  conditions in Theorems 13-16.
+* :mod:`repro.analysis.estimators` — time-series estimation utilities.
+"""
+
+from repro.analysis.compression_metric import (
+    alpha_of,
+    is_alpha_compressed,
+    lemma2_upper_bound,
+    minimum_perimeter,
+)
+from repro.analysis.separation_metric import (
+    SeparationCertificate,
+    best_certificate,
+    is_separated_exact,
+    verify_certificate,
+)
+from repro.analysis.polymers import (
+    enumerate_even_polymers_through_edge,
+    enumerate_loops_through_edge,
+)
+from repro.analysis.cluster_expansion import (
+    PolymerModel,
+    kotecky_preiss_margin,
+    log_partition_function,
+    truncated_cluster_expansion,
+    volume_surface_split,
+)
+from repro.analysis.ising import (
+    ising_partition_function,
+    ising_partition_function_high_temperature,
+    gamma_to_coupling,
+)
+from repro.analysis.bounds import (
+    SEPARATION_LAMBDA_GAMMA_THRESHOLD,
+    predicted_regime,
+    theorem13_condition,
+    theorem13_min_alpha,
+    theorem14_condition,
+    theorem14_min_gamma,
+    theorem15_condition,
+    theorem16_condition,
+)
+from repro.analysis.estimators import (
+    autocorrelation_time,
+    batch_means_error,
+    time_to_threshold,
+)
+from repro.analysis.interfaces import (
+    centroid_separation,
+    demixing_index,
+    interface_component_count,
+    interface_summary,
+)
+from repro.analysis.strips import (
+    max_surplus_summary,
+    strip_decomposition,
+    surplus_profile,
+)
+from repro.analysis.inference import (
+    estimate_gamma_from_shape,
+    estimate_gamma_pseudolikelihood,
+    estimate_parameters,
+)
+
+__all__ = [
+    "minimum_perimeter",
+    "lemma2_upper_bound",
+    "alpha_of",
+    "is_alpha_compressed",
+    "SeparationCertificate",
+    "best_certificate",
+    "is_separated_exact",
+    "verify_certificate",
+    "enumerate_loops_through_edge",
+    "enumerate_even_polymers_through_edge",
+    "PolymerModel",
+    "log_partition_function",
+    "truncated_cluster_expansion",
+    "kotecky_preiss_margin",
+    "volume_surface_split",
+    "ising_partition_function",
+    "ising_partition_function_high_temperature",
+    "gamma_to_coupling",
+    "SEPARATION_LAMBDA_GAMMA_THRESHOLD",
+    "theorem13_condition",
+    "theorem13_min_alpha",
+    "theorem14_condition",
+    "theorem14_min_gamma",
+    "theorem15_condition",
+    "theorem16_condition",
+    "predicted_regime",
+    "autocorrelation_time",
+    "batch_means_error",
+    "time_to_threshold",
+    "interface_summary",
+    "interface_component_count",
+    "centroid_separation",
+    "demixing_index",
+    "strip_decomposition",
+    "max_surplus_summary",
+    "surplus_profile",
+    "estimate_parameters",
+    "estimate_gamma_from_shape",
+    "estimate_gamma_pseudolikelihood",
+]

@@ -1,0 +1,213 @@
+"""Executable forms of the paper's parameter conditions (Theorems 13-16).
+
+Each theorem states a condition on the bias parameters under which a
+behavior (α-compression, (β, δ)-separation, integration) occurs with high
+probability.  These functions evaluate the conditions exactly as printed,
+plus searches for the extremal parameters they admit — used by the
+theorem-bound benchmark (E8) to compare proven regions against simulated
+behavior.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+#: The constant :math:`2(2+\sqrt{2})` of the Peierls arguments.
+PEIERLS_CONSTANT = 2.0 * (2.0 + math.sqrt(2.0))
+
+#: γ threshold of Theorem 13: :math:`4^{5/4} \approx 5.66`.
+GAMMA_THRESHOLD_LARGE = 4.0 ** (5.0 / 4.0)
+
+#: λγ threshold of the separation corollary:
+#: :math:`2(2+\sqrt 2)e^{0.0003} \approx 6.83`.
+SEPARATION_LAMBDA_GAMMA_THRESHOLD = PEIERLS_CONSTANT * math.exp(0.0003)
+
+#: The γ window of Theorems 15/16, :math:`(79/81, 81/79)`.
+GAMMA_WINDOW_SMALL = (79.0 / 81.0, 81.0 / 79.0)
+
+
+def theorem13_condition(
+    alpha: float, lam: float, gamma: float, c: float = 0.0001
+) -> bool:
+    """Compression condition for large γ (Theorem 13).
+
+    :math:`\\gamma > 4^{5/4}` and
+    :math:`\\frac{2(2+\\sqrt2)e^{3c}}{\\lambda\\gamma}
+    (e^{3c} \\lambda \\gamma^{3/2})^{1/\\alpha} < 1`.
+    """
+    if alpha <= 1 or lam <= 0 or gamma <= 0:
+        return False
+    if gamma <= GAMMA_THRESHOLD_LARGE:
+        return False
+    lhs = (PEIERLS_CONSTANT * math.exp(3 * c) / (lam * gamma)) * (
+        math.exp(3 * c) * lam * gamma**1.5
+    ) ** (1.0 / alpha)
+    return lhs < 1.0
+
+
+def theorem13_min_alpha(
+    lam: float, gamma: float, c: float = 0.0001
+) -> Optional[float]:
+    """Smallest α for which Theorem 13 proves α-compression.
+
+    The condition's left side decreases in α toward
+    :math:`2(2+\\sqrt2)e^{3c}/(\\lambda\\gamma)`, so a solution exists iff
+    that limit is below 1 (the λγ > ~6.83 corollary).  Found by binary
+    search; ``None`` when no α works.
+    """
+    if gamma <= GAMMA_THRESHOLD_LARGE:
+        return None
+    if PEIERLS_CONSTANT * math.exp(3 * c) / (lam * gamma) >= 1.0:
+        return None
+    low, high = 1.0, 2.0
+    while not theorem13_condition(high, lam, gamma, c):
+        high *= 2.0
+        if high > 1e9:
+            return None
+    for _ in range(80):
+        mid = 0.5 * (low + high)
+        if theorem13_condition(mid, lam, gamma, c):
+            high = mid
+        else:
+            low = mid
+    return high
+
+
+def theorem14_condition(
+    alpha: float, beta: float, delta: float, gamma: float
+) -> bool:
+    """Separation condition among compressed configurations (Theorem 14).
+
+    Requires :math:`\\beta > 2\\sqrt{3}\\alpha`, :math:`\\delta < 1/2`, and
+    :math:`3^{2\\alpha\\sqrt3/\\beta} \\, 4^{(1+3\\delta)/(4\\delta)} \\,
+    \\gamma^{-1 + 2\\alpha\\sqrt3/\\beta} < 1`.
+    """
+    if alpha < 1 or gamma <= 0:
+        return False
+    if beta <= 2.0 * math.sqrt(3.0) * alpha or not 0 < delta < 0.5:
+        return False
+    exponent = 2.0 * alpha * math.sqrt(3.0) / beta
+    lhs = (
+        3.0**exponent
+        * 4.0 ** ((1.0 + 3.0 * delta) / (4.0 * delta))
+        * gamma ** (-1.0 + exponent)
+    )
+    return lhs < 1.0
+
+
+def theorem14_min_gamma(
+    alpha: float, beta: float, delta: float
+) -> Optional[float]:
+    """Smallest γ for which Theorem 14 applies (``None`` if impossible).
+
+    For :math:`\\beta > 2\\sqrt3\\alpha` the γ exponent
+    :math:`-1 + 2\\alpha\\sqrt3/\\beta` is negative, so the condition
+    holds for all sufficiently large γ; solve for the threshold in closed
+    form.
+    """
+    if beta <= 2.0 * math.sqrt(3.0) * alpha or not 0 < delta < 0.5:
+        return None
+    exponent = 2.0 * alpha * math.sqrt(3.0) / beta
+    # 3^exponent * 4^((1+3δ)/(4δ)) * γ^(exponent - 1) < 1
+    # γ^(1 - exponent) > 3^exponent * 4^((1+3δ)/(4δ))
+    log_rhs = exponent * math.log(3.0) + ((1.0 + 3.0 * delta) / (4.0 * delta)) * math.log(4.0)
+    return math.exp(log_rhs / (1.0 - exponent))
+
+
+def theorem15_condition(
+    alpha: float, lam: float, gamma: float, a: float = 1e-5
+) -> bool:
+    """Compression condition for γ near one (Theorem 15).
+
+    :math:`\\gamma \\in (79/81, 81/79)` and
+    :math:`\\frac{2(2+\\sqrt2)e^{3a}}{\\lambda(\\gamma+1)}
+    \\left(\\frac{\\lambda(\\gamma+1)}{2e^{-3a}(79/81)}\\right)^{1/\\alpha}
+    < 1`.
+    """
+    if alpha <= 1 or lam <= 0:
+        return False
+    low, high = GAMMA_WINDOW_SMALL
+    if not low < gamma < high:
+        return False
+    lhs = (PEIERLS_CONSTANT * math.exp(3 * a) / (lam * (gamma + 1.0))) * (
+        lam * (gamma + 1.0) / (2.0 * math.exp(-3 * a) * (79.0 / 81.0))
+    ) ** (1.0 / alpha)
+    return lhs < 1.0
+
+
+def theorem15_min_alpha(
+    lam: float, gamma: float, a: float = 1e-5
+) -> Optional[float]:
+    """Smallest α for which Theorem 15 proves α-compression."""
+    low, high_gamma = GAMMA_WINDOW_SMALL
+    if not low < gamma < high_gamma:
+        return None
+    if PEIERLS_CONSTANT * math.exp(3 * a) / (lam * (gamma + 1.0)) >= 1.0:
+        return None
+    low_a, high_a = 1.0, 2.0
+    while not theorem15_condition(high_a, lam, gamma, a):
+        high_a *= 2.0
+        if high_a > 1e9:
+            return None
+    for _ in range(80):
+        mid = 0.5 * (low_a + high_a)
+        if theorem15_condition(mid, lam, gamma, a):
+            high_a = mid
+        else:
+            low_a = mid
+    return high_a
+
+
+def theorem16_condition(delta: float, gamma: float, grid: int = 2000) -> bool:
+    """Integration condition (Theorem 16).
+
+    Holds when :math:`\\delta < 1/4` and there exists
+    :math:`\\mu \\in (\\delta/(1-2\\delta), 1/2)` with
+
+    .. math::
+       \\left(\\frac{\\mu}{1-\\mu}\\right)^{(\\mu - \\delta/(1-2\\delta))/11}
+       < \\gamma <
+       \\left(\\frac{1-\\mu}{\\mu}\\right)^{(\\mu - \\delta/(1-2\\delta))/11}.
+
+    Searched over a μ grid.
+    """
+    if not 0 < delta < 0.25 or gamma <= 0:
+        return False
+    mu_low = delta / (1.0 - 2.0 * delta)
+    if mu_low >= 0.5:
+        return False
+    for i in range(1, grid):
+        mu = mu_low + (0.5 - mu_low) * i / grid
+        exponent = (mu - mu_low) / 11.0
+        ratio = mu / (1.0 - mu)
+        lower = ratio**exponent
+        upper = (1.0 / ratio) ** exponent
+        if lower < gamma < upper:
+            return True
+    return False
+
+
+def predicted_regime(lam: float, gamma: float) -> str:
+    """What the paper's corollaries prove about (λ, γ), if anything.
+
+    Returns one of:
+
+    * ``"separates"`` — Theorems 13+14 apply: compressed and separated
+      w.h.p. (:math:`\\gamma > 4^{5/4}`, :math:`\\lambda\\gamma > 6.83`);
+    * ``"integrates"`` — Theorems 15+16 apply: compressed but not
+      separated w.h.p. (:math:`\\gamma \\in (79/81, 81/79)`,
+      :math:`\\lambda(\\gamma+1) > 6.83`);
+    * ``"unproven"`` — outside both proven regions (the simulations of
+      Figure 3 explore this much larger territory).
+    """
+    if lam > 1 and gamma > GAMMA_THRESHOLD_LARGE and (
+        lam * gamma > SEPARATION_LAMBDA_GAMMA_THRESHOLD
+    ):
+        return "separates"
+    low, high = GAMMA_WINDOW_SMALL
+    if lam > 1 and low < gamma < high and (
+        lam * (gamma + 1.0) > SEPARATION_LAMBDA_GAMMA_THRESHOLD
+    ):
+        return "integrates"
+    return "unproven"

@@ -1,0 +1,308 @@
+"""Abstract polymer models and the cluster expansion (Theorems 10 and 11).
+
+A polymer model is a finite set of polymers with real weights and a
+symmetric compatibility relation.  Its partition function
+
+.. math::
+   \\Xi = \\sum_{\\Gamma' \\text{ compatible}} \\prod_{\\xi \\in \\Gamma'} w(\\xi)
+
+is the weighted independent-set polynomial of the incompatibility graph.
+This module computes:
+
+* :func:`log_partition_function` — exact Ξ by branch recursion;
+* :func:`truncated_cluster_expansion` — the power series
+  :math:`\\ln \\Xi = \\sum_X \\Psi(X)` truncated at a cluster size, with
+  Ursell functions computed by inclusion-exclusion over connected
+  spanning subgraphs (Equation 2 of the paper);
+* :func:`kotecky_preiss_margin` — the convergence condition of
+  Theorem 10 / Equation 3, evaluated numerically;
+* :func:`psi_per_edge` and :func:`volume_surface_split` — the
+  volume/surface decomposition of Theorem 11, with numerical bounds
+  :math:`e^{\\psi|\\Lambda| - c|\\partial\\Lambda|} \\le \\Xi_\\Lambda \\le
+  e^{\\psi|\\Lambda| + c|\\partial\\Lambda|}`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import combinations, combinations_with_replacement
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+Polymer = object
+Weight = Callable[[Polymer], float]
+Compatible = Callable[[Polymer, Polymer], bool]
+
+
+@dataclass
+class PolymerModel:
+    """A finite polymer model: polymers, weights, pairwise compatibility."""
+
+    polymers: Sequence[Polymer]
+    weight: Weight
+    compatible: Compatible
+
+    def incompatibility_matrix(self) -> List[List[bool]]:
+        """``m[i][j]`` — whether polymers i and j are incompatible.
+
+        By convention a polymer is incompatible with itself (a cluster may
+        repeat a polymer; repeats always touch).
+        """
+        size = len(self.polymers)
+        matrix = [[False] * size for _ in range(size)]
+        for i in range(size):
+            matrix[i][i] = True
+            for j in range(i + 1, size):
+                if not self.compatible(self.polymers[i], self.polymers[j]):
+                    matrix[i][j] = True
+                    matrix[j][i] = True
+        return matrix
+
+    def weights(self) -> List[float]:
+        """Weight of each polymer, in order."""
+        return [self.weight(p) for p in self.polymers]
+
+
+def partition_function(model: PolymerModel) -> float:
+    """Exact Ξ by branching on polymer inclusion.
+
+    Recurrence: pick a polymer p; Ξ(S) = Ξ(S − p) + w(p)·Ξ(S − N[p]),
+    where N[p] is p plus everything incompatible with it.  Exponential in
+    the worst case but fast for the moderately sized models used in tests
+    and benchmarks.
+    """
+    incompatible = model.incompatibility_matrix()
+    weights = model.weights()
+    size = len(weights)
+
+    def recurse(available: Tuple[int, ...]) -> float:
+        if not available:
+            return 1.0
+        head, rest = available[0], available[1:]
+        without = recurse(rest)
+        reduced = tuple(i for i in rest if not incompatible[head][i])
+        with_head = weights[head] * recurse(reduced)
+        return without + with_head
+
+    return recurse(tuple(range(size)))
+
+
+def log_partition_function(model: PolymerModel) -> float:
+    """:math:`\\ln \\Xi`; raises if Ξ is non-positive.
+
+    Ξ can be non-positive for wildly negative weights, in which case the
+    cluster expansion is meaningless anyway.
+    """
+    xi = partition_function(model)
+    if xi <= 0:
+        raise ValueError(f"partition function is non-positive: {xi}")
+    return math.log(xi)
+
+
+def ursell_factor(
+    indices: Tuple[int, ...], incompatible: List[List[bool]]
+) -> float:
+    """The combinatorial factor of a cluster in Equation 2.
+
+    For the multiset of polymer ``indices`` (with repetition), computes
+    :math:`\\sum_{G \\subseteq H_X \\text{ conn. spanning}} (-1)^{|E(G)|}`
+    divided by the product of multiplicities' factorials — i.e. exactly
+    the coefficient multiplying :math:`\\prod w` after grouping the
+    ordered multisets of Equation 2 into unordered ones.  Returns 0 for
+    disconnected incompatibility graphs (not clusters).
+    """
+    m = len(indices)
+    # Incompatibility graph H_X on positions 0..m-1.
+    h_edges = [
+        (a, b)
+        for a, b in combinations(range(m), 2)
+        if incompatible[indices[a]][indices[b]]
+    ]
+    adjacency = {i: set() for i in range(m)}
+    for a, b in h_edges:
+        adjacency[a].add(b)
+        adjacency[b].add(a)
+    if not _connected(adjacency, m):
+        return 0.0
+    # Inclusion-exclusion over connected spanning subgraphs of H_X.
+    total = 0
+    for k in range(m - 1, len(h_edges) + 1):
+        for subset in combinations(h_edges, k):
+            sub_adj = {i: set() for i in range(m)}
+            for a, b in subset:
+                sub_adj[a].add(b)
+                sub_adj[b].add(a)
+            if _connected(sub_adj, m):
+                total += (-1) ** k
+    multiplicity_product = 1
+    for index in set(indices):
+        multiplicity_product *= math.factorial(indices.count(index))
+    return total / multiplicity_product
+
+
+def _connected(adjacency: Dict[int, set], size: int) -> bool:
+    if size == 0:
+        return True
+    seen = {0}
+    stack = [0]
+    while stack:
+        node = stack.pop()
+        for nxt in adjacency[node]:
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append(nxt)
+    return len(seen) == size
+
+
+def truncated_cluster_expansion(
+    model: PolymerModel, max_cluster_size: int
+) -> float:
+    """:math:`\\ln \\Xi` approximated by clusters of at most the given size.
+
+    Under the Kotecký–Preiss condition the truncation error decays
+    geometrically in the cluster size; the tests compare this against the
+    exact :func:`log_partition_function` on small models.
+    """
+    if max_cluster_size < 1:
+        raise ValueError(
+            f"max_cluster_size must be positive, got {max_cluster_size}"
+        )
+    incompatible = model.incompatibility_matrix()
+    weights = model.weights()
+    total = 0.0
+    size = len(weights)
+    for m in range(1, max_cluster_size + 1):
+        for indices in combinations_with_replacement(range(size), m):
+            factor = ursell_factor(indices, incompatible)
+            if factor == 0.0:
+                continue
+            product = 1.0
+            for index in indices:
+                product *= weights[index]
+            total += factor * product
+    return total
+
+
+def kotecky_preiss_margin(
+    polymers_through_element: Sequence[Polymer],
+    weight: Weight,
+    closure_size: Callable[[Polymer], int],
+    c: float,
+) -> float:
+    """Slack in Theorem 11's condition (Equation 3) for one lattice edge.
+
+    Returns :math:`c - \\sum_{\\xi \\ni e} |w(\\xi)| e^{c|[\\xi]|}` over the
+    supplied (truncated) enumeration of polymers through a fixed edge.
+    Positive slack means the truncated sum satisfies the condition; the
+    caller must separately bound the enumeration tail (e.g. with the
+    :math:`\\nu^k` counting bound of Lemma 1).
+    """
+    if c <= 0:
+        raise ValueError(f"c must be positive, got {c}")
+    total = sum(
+        abs(weight(p)) * math.exp(c * closure_size(p))
+        for p in polymers_through_element
+    )
+    return c - total
+
+
+def find_kp_constant(
+    polymers_through_element: Sequence[Polymer],
+    weight: Weight,
+    closure_size: Callable[[Polymer], int],
+    c_max: float = 1.0,
+    steps: int = 200,
+) -> Optional[float]:
+    """Smallest ``c`` (on a grid) satisfying the Kotecký–Preiss condition.
+
+    Scans ``c`` over ``(0, c_max]`` and returns the first value whose
+    margin is non-negative for the supplied truncated enumeration, or
+    ``None``.  The weighted sum increases with ``c`` while the bound is
+    ``c`` itself, so once the weight total at ``c -> 0`` exceeds ``c_max``
+    no grid value will work.
+    """
+    for i in range(1, steps + 1):
+        c = c_max * i / steps
+        if kotecky_preiss_margin(
+            polymers_through_element, weight, closure_size, c
+        ) >= 0:
+            return c
+    return None
+
+
+def psi_per_edge(
+    model: PolymerModel,
+    element_of: Callable[[Polymer], Sequence[object]],
+    reference_element: object,
+    max_cluster_size: int,
+) -> float:
+    """The volume constant ψ of Theorem 11, truncated.
+
+    :math:`\\psi = \\sum_{X: e \\in \\bar X} \\Psi(X) / |\\bar X|` over
+    clusters whose support contains the reference element, where the
+    support :math:`\\bar X` is the union of the polymers' elements.
+    ``model.polymers`` must contain every polymer that could participate
+    in such a cluster (e.g. all polymers through or near the reference
+    edge).  Irrelevant polymers are pruned automatically: a cluster is
+    connected through incompatibility, so only polymers within
+    ``max_cluster_size - 1`` incompatibility hops of one containing the
+    reference element can contribute.
+    """
+    incompatible = model.incompatibility_matrix()
+    elements = [frozenset(element_of(p)) for p in model.polymers]
+
+    # Prune to polymers reachable from the reference element's polymers.
+    seeds = [i for i, els in enumerate(elements) if reference_element in els]
+    reachable = set(seeds)
+    frontier = set(seeds)
+    for _ in range(max_cluster_size - 1):
+        nxt = {
+            j
+            for i in frontier
+            for j in range(len(elements))
+            if j not in reachable and incompatible[i][j]
+        }
+        reachable |= nxt
+        frontier = nxt
+    keep = sorted(reachable)
+    incompatible = [
+        [incompatible[i][j] for j in keep] for i in keep
+    ]
+    elements = [elements[i] for i in keep]
+    weights = [model.weight(model.polymers[i]) for i in keep]
+
+    total = 0.0
+    size = len(weights)
+    for m in range(1, max_cluster_size + 1):
+        for indices in combinations_with_replacement(range(size), m):
+            support = frozenset().union(*(elements[i] for i in indices))
+            if reference_element not in support:
+                continue
+            factor = ursell_factor(indices, incompatible)
+            if factor == 0.0:
+                continue
+            product = 1.0
+            for index in indices:
+                product *= weights[index]
+            total += factor * product / len(support)
+    return total
+
+
+def volume_surface_split(
+    log_xi: float,
+    psi: float,
+    volume: int,
+    boundary: int,
+    c: float,
+) -> Tuple[float, float, bool]:
+    """Check Theorem 11's sandwich for a concrete region.
+
+    Given :math:`\\ln \\Xi_\\Lambda`, the volume constant ψ,
+    :math:`|\\Lambda|`, :math:`|\\partial\\Lambda|`, and ``c``, returns
+    ``(lower, upper, holds)`` where the bounds are
+    :math:`\\psi|\\Lambda| \\mp c|\\partial\\Lambda|` and ``holds`` is
+    whether :math:`\\ln \\Xi_\\Lambda` lies between them.
+    """
+    lower = psi * volume - c * boundary
+    upper = psi * volume + c * boundary
+    return lower, upper, lower <= log_xi <= upper

@@ -1,0 +1,92 @@
+"""Minimum perimeter and α-compression (Section 2.2, Lemma 2).
+
+A configuration of ``n`` particles is α-compressed when its perimeter is
+at most :math:`\\alpha \\cdot p_{min}(n)`.  The minimum perimeter is
+achieved by hexagonal spirals; :func:`minimum_perimeter` implements the
+closed form that follows from the construction in the proof of Lemma 2
+(hexagon of side :math:`\\ell` plus a partial outer layer), which the
+test suite verifies against brute-force enumeration for small ``n``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.system.configuration import ParticleSystem
+
+
+def minimum_perimeter(n: int) -> int:
+    """Exact minimum perimeter :math:`p_{min}(n)` over ``n``-particle configs.
+
+    Derivation (Appendix A.1): the regular hexagon of side :math:`\\ell`
+    holds :math:`3\\ell^2 + 3\\ell + 1` particles with perimeter
+    :math:`6\\ell`; each of the six sides of the next layer adds one to
+    the perimeter when first started.  For ``n = 1`` the perimeter is 0,
+    and the small cases ``n <= 6`` follow the same pattern with
+    :math:`\\ell = 0`.
+    """
+    if n < 1:
+        raise ValueError(f"n must be positive, got {n}")
+    if n == 1:
+        return 0
+    ell = int((math.isqrt(12 * n - 3) - 3) // 6)
+    # Guard against floating/isqrt boundary effects.
+    while 3 * (ell + 1) ** 2 + 3 * (ell + 1) + 1 <= n:
+        ell += 1
+    while 3 * ell**2 + 3 * ell + 1 > n:
+        ell -= 1
+    k = n - (3 * ell**2 + 3 * ell + 1)
+    if k == 0:
+        return 6 * ell
+    # k extra particles in the next layer: perimeter 6*ell + i where i is
+    # the number of sides of the new layer that have been started,
+    # i.e. the smallest i in 1..6 with k <= i*ell + (i - 1).
+    for i in range(1, 7):
+        if k <= i * ell + (i - 1):
+            return 6 * ell + i
+    raise AssertionError(f"unreachable: n={n}, ell={ell}, k={k}")
+
+
+def lemma2_upper_bound(n: int) -> float:
+    """The bound :math:`p_{min}(n) \\le 2\\sqrt{3}\\sqrt{n}` of Lemma 2."""
+    if n < 1:
+        raise ValueError(f"n must be positive, got {n}")
+    return 2.0 * math.sqrt(3.0) * math.sqrt(n)
+
+
+def alpha_of(system: ParticleSystem) -> float:
+    """Compression factor :math:`p(\\sigma) / p_{min}(n)` of a configuration.
+
+    Defined as 1.0 for the single-particle system (whose perimeter is 0).
+    """
+    p_min = minimum_perimeter(system.n)
+    if p_min == 0:
+        return 1.0
+    return system.perimeter() / p_min
+
+
+def is_alpha_compressed(system: ParticleSystem, alpha: float) -> bool:
+    """Whether :math:`p(\\sigma) \\le \\alpha \\cdot p_{min}(n)`."""
+    if alpha < 1:
+        raise ValueError(f"alpha must be at least 1, got {alpha}")
+    return system.perimeter() <= alpha * minimum_perimeter(system.n)
+
+
+def maximum_perimeter(n: int) -> int:
+    """Perimeter of the worst (line) configuration: :math:`2(n-1)`."""
+    if n < 1:
+        raise ValueError(f"n must be positive, got {n}")
+    return 2 * (n - 1)
+
+
+def normalized_perimeter(system: ParticleSystem) -> float:
+    """Perimeter rescaled to [0, 1] between minimum and maximum.
+
+    0 for a perfect hexagon, 1 for a line; a convenient bounded order
+    parameter for phase diagrams.
+    """
+    p_min = minimum_perimeter(system.n)
+    p_max = maximum_perimeter(system.n)
+    if p_max == p_min:
+        return 0.0
+    return (system.perimeter() - p_min) / (p_max - p_min)

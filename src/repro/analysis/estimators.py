@@ -1,0 +1,123 @@
+"""Time-series estimation utilities for chain observables.
+
+Standard MCMC output analysis: integrated autocorrelation times, batch
+means error bars, and convergence/threshold detection for the
+time-to-separation measurements of the swap-move ablation (E3).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def autocorrelation_time(
+    series: Sequence[float], max_lag: Optional[int] = None
+) -> float:
+    """Integrated autocorrelation time with adaptive windowing.
+
+    :math:`\\tau = 1 + 2\\sum_{t \\ge 1} \\rho_t`, truncated at the first
+    lag where the window exceeds ``5 * tau`` (Sokal's heuristic).
+    Returns 1.0 for i.i.d.-like or constant series.
+    """
+    data = np.asarray(series, dtype=float)
+    n = len(data)
+    if n < 4:
+        raise ValueError(f"need at least 4 samples, got {n}")
+    data = data - data.mean()
+    variance = float(np.dot(data, data)) / n
+    if variance == 0:
+        return 1.0
+    if max_lag is None:
+        max_lag = n // 3
+    tau = 1.0
+    for lag in range(1, max_lag + 1):
+        rho = float(np.dot(data[:-lag], data[lag:])) / ((n - lag) * variance)
+        tau += 2.0 * rho
+        if lag >= 5.0 * tau:
+            break
+    return max(tau, 1.0)
+
+
+def effective_sample_size(series: Sequence[float]) -> float:
+    """Number of samples divided by the autocorrelation time."""
+    return len(series) / autocorrelation_time(series)
+
+
+def batch_means_error(
+    series: Sequence[float], num_batches: int = 20
+) -> Tuple[float, float]:
+    """Mean and standard error via the method of batch means.
+
+    Splits the series into ``num_batches`` contiguous batches; the
+    standard error of the overall mean is estimated from the spread of
+    batch means, which absorbs autocorrelation for batches longer than
+    the correlation time.
+    """
+    data = np.asarray(series, dtype=float)
+    if num_batches < 2:
+        raise ValueError(f"need at least 2 batches, got {num_batches}")
+    if len(data) < 2 * num_batches:
+        raise ValueError(
+            f"need at least {2 * num_batches} samples, got {len(data)}"
+        )
+    usable = (len(data) // num_batches) * num_batches
+    batches = data[:usable].reshape(num_batches, -1)
+    means = batches.mean(axis=1)
+    overall = float(means.mean())
+    error = float(means.std(ddof=1) / math.sqrt(num_batches))
+    return overall, error
+
+
+def time_to_threshold(
+    times: Sequence[int],
+    values: Sequence[float],
+    threshold: float,
+    direction: str = "below",
+    patience: int = 1,
+) -> Optional[int]:
+    """First time the series crosses a threshold and stays there.
+
+    ``direction`` is ``"below"`` or ``"above"``; ``patience`` is the
+    number of consecutive qualifying samples required (guards against a
+    single fluctuation through the threshold).  Returns the time of the
+    first sample of the qualifying run, or ``None``.
+    """
+    if len(times) != len(values):
+        raise ValueError(
+            f"times and values length mismatch: {len(times)} vs {len(values)}"
+        )
+    if direction not in ("below", "above"):
+        raise ValueError(f"direction must be 'below' or 'above', got {direction!r}")
+    if patience < 1:
+        raise ValueError(f"patience must be positive, got {patience}")
+    run_start: Optional[int] = None
+    run_length = 0
+    for t, value in zip(times, values):
+        qualifies = value <= threshold if direction == "below" else value >= threshold
+        if qualifies:
+            if run_length == 0:
+                run_start = t
+            run_length += 1
+            if run_length >= patience:
+                return run_start
+        else:
+            run_length = 0
+            run_start = None
+    return None
+
+
+def running_mean(series: Sequence[float], window: int) -> np.ndarray:
+    """Centered-window running mean (shorter windows at the edges)."""
+    if window < 1:
+        raise ValueError(f"window must be positive, got {window}")
+    data = np.asarray(series, dtype=float)
+    result = np.empty_like(data)
+    half = window // 2
+    for i in range(len(data)):
+        lo = max(0, i - half)
+        hi = min(len(data), i + half + 1)
+        result[i] = data[lo:hi].mean()
+    return result

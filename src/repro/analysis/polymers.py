@@ -1,0 +1,244 @@
+"""Enumeration of polymers on the triangular lattice.
+
+The paper's two polymer models (Section 4) use:
+
+* **loop polymers** — minimal cut sets, geometrically closed loops of
+  lattice edges; compatible when they share no edges.  We realize them as
+  self-avoiding cycles.
+* **even polymers** — connected edge sets with even degree at every
+  vertex (the high-temperature expansion's terms); compatible when they
+  share no vertices.
+
+Both enumerations are parameterized by a maximum size so that truncated
+Kotecký–Preiss sums and cluster expansions can be computed numerically,
+with tails bounded by the :math:`\\nu^k` counting bound of Lemma 1.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.lattice.triangular import Node, edge_key, neighbors
+
+Edge = Tuple[Node, Node]
+EdgeSet = FrozenSet[Edge]
+EdgeFilter = Optional[Callable[[Edge], bool]]
+
+#: The canonical reference edge used by translation-invariant sums.
+REFERENCE_EDGE: Edge = edge_key((0, 0), (1, 0))
+
+
+def _loops_through(
+    edge: Edge, max_length: int, allowed: EdgeFilter = None
+) -> List[EdgeSet]:
+    """Self-avoiding cycles through ``edge`` using only ``allowed`` edges."""
+    if max_length < 3:
+        return []
+    u, v = edge
+    loops: List[EdgeSet] = []
+    path_edges: List[Edge] = [edge]
+    visited: Set[Node] = {u, v}
+
+    def extend(current: Node) -> None:
+        for nxt in neighbors(current):
+            step = edge_key(current, nxt)
+            if allowed is not None and not allowed(step):
+                continue
+            if nxt == u and len(path_edges) >= 2:
+                loops.append(frozenset(path_edges + [step]))
+                continue
+            if nxt in visited or len(path_edges) + 2 > max_length:
+                continue
+            visited.add(nxt)
+            path_edges.append(step)
+            extend(nxt)
+            path_edges.pop()
+            visited.discard(nxt)
+
+    extend(v)
+    return loops
+
+
+@lru_cache(maxsize=8)
+def enumerate_loops_through_edge(
+    max_length: int, edge: Edge = REFERENCE_EDGE
+) -> List[EdgeSet]:
+    """All self-avoiding cycles through ``edge`` with at most ``max_length`` edges.
+
+    A cycle is returned as a frozen set of canonical edge keys; each
+    undirected cycle appears exactly once.  The shortest loops on the
+    triangular lattice are the two unit triangles through the edge.
+    """
+    return _loops_through(edge, max_length)
+
+
+def loop_counts_by_length(max_length: int) -> Dict[int, int]:
+    """Number of loops through the reference edge, by length.
+
+    Used to estimate the loop growth constant and bound Kotecký–Preiss
+    tails; on the triangular lattice the counts begin 2 (triangles),
+    3 (rhombi), ...
+    """
+    counts: Dict[int, int] = {}
+    for loop in enumerate_loops_through_edge(max_length):
+        counts[len(loop)] = counts.get(len(loop), 0) + 1
+    return counts
+
+
+def _edges_touching(edge_set: FrozenSet[Edge], allowed: EdgeFilter) -> Set[Edge]:
+    """Allowed lattice edges sharing a vertex with ``edge_set``, not in it."""
+    vertices: Set[Node] = set()
+    for a, b in edge_set:
+        vertices.add(a)
+        vertices.add(b)
+    adjacent: Set[Edge] = set()
+    for vertex in vertices:
+        for nbr in neighbors(vertex):
+            candidate = edge_key(vertex, nbr)
+            if candidate in edge_set:
+                continue
+            if allowed is not None and not allowed(candidate):
+                continue
+            adjacent.add(candidate)
+    return adjacent
+
+
+def _connected_edge_sets_through(
+    edge: Edge, max_edges: int, allowed: EdgeFilter = None
+) -> List[EdgeSet]:
+    """Connected edge sets containing ``edge``, grown breadth-first."""
+    if max_edges < 1:
+        return []
+    start: EdgeSet = frozenset([edge])
+    level: Set[EdgeSet] = {start}
+    all_sets: List[EdgeSet] = [start]
+    for _ in range(2, max_edges + 1):
+        next_level: Set[EdgeSet] = set()
+        for edge_set in level:
+            for extra in _edges_touching(edge_set, allowed):
+                next_level.add(edge_set | {extra})
+        all_sets.extend(next_level)
+        level = next_level
+    return all_sets
+
+
+@lru_cache(maxsize=8)
+def enumerate_connected_edge_sets_through_edge(
+    max_edges: int, edge: Edge = REFERENCE_EDGE
+) -> List[EdgeSet]:
+    """All connected edge sets containing ``edge`` with at most ``max_edges``
+    edges.  Exponential in ``max_edges`` — keep it at 7 or below.
+    """
+    return _connected_edge_sets_through(edge, max_edges)
+
+
+def is_even_subgraph(edge_set: FrozenSet[Edge]) -> bool:
+    """Whether every vertex of the edge set has even degree."""
+    degree: Dict[Node, int] = {}
+    for a, b in edge_set:
+        degree[a] = degree.get(a, 0) + 1
+        degree[b] = degree.get(b, 0) + 1
+    return all(d % 2 == 0 for d in degree.values())
+
+
+@lru_cache(maxsize=8)
+def enumerate_even_polymers_through_edge(
+    max_edges: int, edge: Edge = REFERENCE_EDGE
+) -> List[EdgeSet]:
+    """Connected even-degree edge sets through ``edge``, up to ``max_edges``.
+
+    These are the polymers of the high-temperature expansion (Theorem 15
+    machinery).  The smallest are the two triangles through the edge; at
+    six edges, pairs of triangles sharing a vertex appear (degree 4 at
+    the shared vertex is even).
+    """
+    return [
+        edge_set
+        for edge_set in enumerate_connected_edge_sets_through_edge(max_edges, edge)
+        if is_even_subgraph(edge_set)
+    ]
+
+
+def polymer_vertices(edge_set: FrozenSet[Edge]) -> Set[Node]:
+    """All vertices incident to the polymer's edges."""
+    vertices: Set[Node] = set()
+    for a, b in edge_set:
+        vertices.add(a)
+        vertices.add(b)
+    return vertices
+
+
+def loops_share_edge(a: FrozenSet[Edge], b: FrozenSet[Edge]) -> bool:
+    """Incompatibility for loop polymers: sharing at least one edge."""
+    return not a.isdisjoint(b)
+
+
+def polymers_share_vertex(a: FrozenSet[Edge], b: FrozenSet[Edge]) -> bool:
+    """Incompatibility for even polymers: sharing at least one vertex."""
+    return not polymer_vertices(a).isdisjoint(polymer_vertices(b))
+
+
+def loop_closure_size(edge_set: FrozenSet[Edge]) -> int:
+    """:math:`|[\\xi]|` for loop polymers: the loop's own edges."""
+    return len(edge_set)
+
+
+def even_closure_size(edge_set: FrozenSet[Edge]) -> int:
+    """:math:`|[\\xi]|` for even polymers: edges sharing a vertex with ξ.
+
+    Per Section 4, the closure of an even polymer is the set of edges with
+    an endpoint among the polymer's vertices (including its own edges).
+    """
+    closure: Set[Edge] = set(edge_set)
+    for vertex in polymer_vertices(edge_set):
+        for nbr in neighbors(vertex):
+            closure.add(edge_key(vertex, nbr))
+    return len(closure)
+
+
+def all_polymers_in_region(
+    region_edges: Set[Edge],
+    max_size: int,
+    kind: str = "loop",
+) -> List[EdgeSet]:
+    """Every polymer of the given kind fully inside a finite region Λ.
+
+    Enumerated directly within the region: for each region edge ``e`` (in
+    canonical order), polymers through ``e`` whose minimum edge is ``e``
+    — so each polymer appears exactly once.  ``kind`` is ``"loop"`` or
+    ``"even"``.
+    """
+    if kind not in ("loop", "even"):
+        raise ValueError(f"unknown polymer kind: {kind!r}")
+    region = set(region_edges)
+    found: List[EdgeSet] = []
+    for base_edge in sorted(region):
+        remaining = {e for e in region if e >= base_edge}
+        allowed = remaining.__contains__
+        if kind == "loop":
+            candidates = _loops_through(base_edge, max_size, allowed)
+        else:
+            candidates = [
+                edge_set
+                for edge_set in _connected_edge_sets_through(
+                    base_edge, max_size, allowed
+                )
+                if is_even_subgraph(edge_set)
+            ]
+        found.extend(c for c in candidates if min(c) == base_edge)
+    return sorted(found, key=lambda p: (len(p), sorted(p)))
+
+
+def triangle_edges(region_nodes: Set[Node]) -> Set[Edge]:
+    """All lattice edges with both endpoints in a node region.
+
+    Convenience for building the finite regions Λ used by
+    :func:`all_polymers_in_region` and the Theorem 11 verification.
+    """
+    edges: Set[Edge] = set()
+    for node in region_nodes:
+        for nbr in neighbors(node):
+            if nbr in region_nodes:
+                edges.add(edge_key(node, nbr))
+    return edges

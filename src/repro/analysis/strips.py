@@ -1,0 +1,205 @@
+"""Strip decomposition and concentration checks (Theorem 16 machinery).
+
+Theorem 16's proof "uses a probabilistic argument, a Chernoff-type
+bound, and a decomposition of configurations into different regions":
+if a compressed configuration were separated, some region would have to
+carry a large color surplus, but for γ near 1 the colors behave like a
+near-uniform random assignment, making large per-region surpluses
+exponentially unlikely.
+
+This module makes that argument executable:
+
+* :func:`strip_decomposition` — cut a configuration into vertical strips
+  of a given width (regions in the proof's sense);
+* :func:`strip_color_surpluses` — the per-strip deviation of the color
+  balance from the global balance;
+* :func:`chernoff_surplus_bound` — the Chernoff/Hoeffding tail bound on
+  a strip's surplus under uniformly random coloring;
+* :func:`max_surplus_summary` — observed maximum surplus vs. the union
+  bound over strips, the quantity whose smallness certifies integration
+  (and whose largeness accompanies separation).
+
+The integration benchmark (E14) shows: at γ ≈ 1 the observed maxima sit
+inside the Chernoff envelope (integration), while at large γ they blow
+past it (separation), reproducing the dichotomy the theorems establish.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.system.configuration import ParticleSystem
+
+
+@dataclass(frozen=True)
+class Strip:
+    """One vertical strip of a configuration."""
+
+    index: int
+    x_min: int
+    x_max: int  # inclusive
+    size: int
+    count_color1: int
+
+    @property
+    def fraction_color1(self) -> float:
+        """Fraction of this strip's particles with color 1."""
+        return self.count_color1 / self.size if self.size else 0.0
+
+
+#: The three lattice axes: coordinate functions whose level sets are the
+#: three families of lattice lines (cube coordinates q, r, s).
+AXIS_COORDINATES = (
+    lambda x, y: x,
+    lambda x, y: y,
+    lambda x, y: -x - y,
+)
+
+
+def strip_decomposition(
+    system: ParticleSystem, width: int, color: int = 1, axis: int = 0
+) -> List[Strip]:
+    """Partition particles into strips of ``width`` lattice lines.
+
+    ``axis`` selects one of the three lattice-line families (cube
+    coordinates q, r, s) to band by; the proof's "regions" correspond to
+    such bands.  Empty strips are omitted.
+    """
+    if width < 1:
+        raise ValueError(f"width must be positive, got {width}")
+    if axis not in (0, 1, 2):
+        raise ValueError(f"axis must be 0, 1, or 2, got {axis}")
+    coordinate = AXIS_COORDINATES[axis]
+    entries: Dict[int, List[int]] = {}
+    for (x, y), c in system.colors.items():
+        column = coordinate(x, y) // width
+        entries.setdefault(column, []).append(c)
+    strips: List[Strip] = []
+    for index, column in enumerate(sorted(entries)):
+        colors = entries[column]
+        strips.append(
+            Strip(
+                index=index,
+                x_min=column * width,
+                x_max=(column + 1) * width - 1,
+                size=len(colors),
+                count_color1=sum(1 for c in colors if c == color),
+            )
+        )
+    return strips
+
+
+def strip_color_surpluses(
+    system: ParticleSystem, width: int, color: int = 1, axis: int = 0
+) -> List[float]:
+    """Per-strip surplus: |strip count - fair share| along one axis.
+
+    In the proof's terms, the number of excess particles of the
+    reference color a region holds beyond its fair share.
+    """
+    global_count = sum(1 for c in system.colors.values() if c == color)
+    global_fraction = global_count / system.n
+    return [
+        abs(strip.count_color1 - global_fraction * strip.size)
+        for strip in strip_decomposition(system, width, color, axis)
+    ]
+
+
+def chernoff_surplus_bound(
+    strip_size: int, n: int, count_color1: int, probability: float
+) -> float:
+    """Hoeffding tail: P(|surplus| >= t) <= 2 exp(-2 t² / m).
+
+    For a strip of ``m`` particles whose colors were assigned by
+    uniformly sampling ``count_color1`` of ``n`` positions (sampling
+    without replacement only sharpens Hoeffding), the probability the
+    surplus reaches ``t = probability-quantile`` is bounded; this
+    function returns the smallest ``t`` with tail below ``probability``.
+    """
+    if strip_size < 1:
+        raise ValueError(f"strip_size must be positive, got {strip_size}")
+    if not 0 < probability < 1:
+        raise ValueError(f"probability must be in (0,1), got {probability}")
+    if not 0 <= count_color1 <= n:
+        raise ValueError("count_color1 out of range")
+    return math.sqrt(strip_size * math.log(2.0 / probability) / 2.0)
+
+
+@dataclass(frozen=True)
+class SurplusSummary:
+    """Observed vs. bound for the maximum strip surplus."""
+
+    width: int
+    axis: int
+    num_strips: int
+    max_surplus: float
+    chernoff_envelope: float
+
+    @property
+    def exceeds_envelope(self) -> bool:
+        """Whether the observed maximum breaks the random-coloring bound.
+
+        True is evidence of genuine color segregation (Theorem 14
+        regime); False is consistent with integration (Theorem 16).
+        """
+        return self.max_surplus > self.chernoff_envelope
+
+
+def max_surplus_summary(
+    system: ParticleSystem,
+    width: int,
+    color: int = 1,
+    confidence: float = 0.99,
+    axis: int = None,
+) -> SurplusSummary:
+    """Maximum observed strip surplus vs. the union-bounded envelope.
+
+    The envelope is the Chernoff quantile at failure probability
+    ``(1 - confidence) / num_strips`` applied to the largest strip —
+    i.e. with probability ``confidence`` a uniformly random coloring
+    keeps *every* strip inside it.  With ``axis=None`` all three lattice
+    axes are scanned and the most segregated one is reported (a
+    separated system shows its surplus only perpendicular to its
+    interface).
+    """
+    axes = (0, 1, 2) if axis is None else (axis,)
+    best: SurplusSummary = None
+    count_color1 = sum(1 for c in system.colors.values() if c == color)
+    for candidate_axis in axes:
+        strips = strip_decomposition(system, width, color, candidate_axis)
+        if not strips:
+            raise ValueError("configuration produced no strips")
+        surpluses = strip_color_surpluses(
+            system, width, color, candidate_axis
+        )
+        per_strip_probability = (1.0 - confidence) / len(strips)
+        envelope = max(
+            chernoff_surplus_bound(
+                strip.size, system.n, count_color1, per_strip_probability
+            )
+            for strip in strips
+        )
+        summary = SurplusSummary(
+            width=width,
+            axis=candidate_axis,
+            num_strips=len(strips),
+            max_surplus=max(surpluses),
+            chernoff_envelope=envelope,
+        )
+        if best is None or (
+            summary.max_surplus - summary.chernoff_envelope
+            > best.max_surplus - best.chernoff_envelope
+        ):
+            best = summary
+    return best
+
+
+def surplus_profile(
+    system: ParticleSystem, widths: Sequence[int], color: int = 1
+) -> Dict[int, SurplusSummary]:
+    """Surplus summaries across strip widths (the proof sweeps scales)."""
+    return {
+        width: max_surplus_summary(system, width, color) for width in widths
+    }

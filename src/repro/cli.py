@@ -1,0 +1,258 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``simulate``
+    Run the separation chain and report observables (optionally saving
+    the final configuration and rendering it).
+``figure2`` / ``figure3``
+    Regenerate the paper's figures from the terminal.
+``stationary``
+    Exact small-system analysis: detailed balance, spectral gap, mixing
+    bounds.
+``sweep``
+    Endpoint metrics over a (λ, γ) grid.
+``render``
+    Draw a saved configuration as ASCII or SVG.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.compression_metric import alpha_of
+from repro.core.separation_chain import SeparationChain
+from repro.experiments.phases import classify_phase
+from repro.experiments.render import render_ascii, render_svg
+from repro.system.configuration import ParticleSystem
+from repro.system.initializers import (
+    checkerboard_system,
+    hexagon_system,
+    line_system,
+    random_blob_system,
+    separated_system,
+)
+from repro.util.serialization import load_configuration, save_configuration
+
+INITIALIZERS = {
+    "hexagon": hexagon_system,
+    "blob": random_blob_system,
+    "line": line_system,
+    "separated": lambda n, seed=None: separated_system(n),
+    "checkerboard": lambda n, seed=None: checkerboard_system(n),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Stochastic separation in self-organizing particle systems "
+            "(Cannon et al.)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    simulate = commands.add_parser(
+        "simulate", help="run the separation chain"
+    )
+    simulate.add_argument("-n", type=int, default=100, help="particles")
+    simulate.add_argument("--lam", type=float, default=4.0, help="lambda bias")
+    simulate.add_argument("--gamma", type=float, default=4.0, help="gamma bias")
+    simulate.add_argument("--steps", type=int, default=1_000_000)
+    simulate.add_argument("--seed", type=int, default=None)
+    simulate.add_argument(
+        "--init", choices=sorted(INITIALIZERS), default="blob"
+    )
+    simulate.add_argument(
+        "--no-swaps", action="store_true", help="disable swap moves"
+    )
+    simulate.add_argument(
+        "--checkpoints", type=int, default=5, help="progress rows to print"
+    )
+    simulate.add_argument("--save", metavar="FILE", help="save final state JSON")
+    simulate.add_argument(
+        "--ascii", action="store_true", help="print the final configuration"
+    )
+
+    figure2 = commands.add_parser("figure2", help="regenerate Figure 2")
+    figure2.add_argument("--scale", type=float, default=0.02)
+    figure2.add_argument("-n", type=int, default=100)
+    figure2.add_argument("--seed", type=int, default=2018)
+
+    figure3 = commands.add_parser("figure3", help="regenerate Figure 3")
+    figure3.add_argument("--iterations", type=int, default=400_000)
+    figure3.add_argument("-n", type=int, default=100)
+    figure3.add_argument("--seed", type=int, default=2018)
+
+    stationary = commands.add_parser(
+        "stationary", help="exact small-system analysis"
+    )
+    stationary.add_argument("-n", type=int, default=4)
+    stationary.add_argument("--counts", type=int, nargs=2, default=(2, 2))
+    stationary.add_argument("--lam", type=float, default=2.0)
+    stationary.add_argument("--gamma", type=float, default=3.0)
+
+    sweep = commands.add_parser("sweep", help="metrics over a (λ, γ) grid")
+    sweep.add_argument(
+        "--lambdas", type=float, nargs="+", default=[1.0, 2.0, 4.0]
+    )
+    sweep.add_argument(
+        "--gammas", type=float, nargs="+", default=[1.0, 2.0, 4.0]
+    )
+    sweep.add_argument("--iterations", type=int, default=200_000)
+    sweep.add_argument("-n", type=int, default=100)
+    sweep.add_argument("--seed", type=int, default=0)
+
+    render = commands.add_parser("render", help="draw a saved configuration")
+    render.add_argument("input", help="configuration JSON file")
+    render.add_argument("--svg", metavar="FILE", help="write SVG here")
+
+    illustrations = commands.add_parser(
+        "illustrations", help="write the Figure 1/4 illustration SVGs"
+    )
+    illustrations.add_argument(
+        "outdir", nargs="?", default="illustrations",
+        help="output directory (default: ./illustrations)",
+    )
+
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    initializer = INITIALIZERS[args.init]
+    system = initializer(args.n, seed=args.seed)
+    chain = SeparationChain(
+        system,
+        lam=args.lam,
+        gamma=args.gamma,
+        swaps=not args.no_swaps,
+        seed=args.seed,
+    )
+    print(
+        f"n={args.n} lam={args.lam} gamma={args.gamma} "
+        f"swaps={not args.no_swaps} init={args.init}"
+    )
+    header = (
+        f"{'iteration':>12}  {'perimeter':>9}  {'alpha':>6}  "
+        f"{'hetero':>6}  phase"
+    )
+    print(header)
+    checkpoints = max(1, args.checkpoints)
+    block = args.steps // checkpoints
+    for i in range(checkpoints):
+        chain.run(block if i < checkpoints - 1 else args.steps - block * i)
+        print(
+            f"{chain.iterations:>12,}  {system.perimeter():>9}  "
+            f"{alpha_of(system):>6.2f}  {system.hetero_total:>6}  "
+            f"{classify_phase(system)}"
+        )
+    if args.ascii:
+        print()
+        print(render_ascii(system))
+    if args.save:
+        save_configuration(system, args.save)
+        print(f"saved final configuration to {args.save}")
+    return 0
+
+
+def _cmd_figure2(args: argparse.Namespace) -> int:
+    from repro.experiments.figure2 import run_figure2
+
+    result = run_figure2(n=args.n, scale=args.scale, seed=args.seed)
+    print(result.summary_table())
+    print()
+    print(result.snapshots[-1])
+    return 0
+
+
+def _cmd_figure3(args: argparse.Namespace) -> int:
+    from repro.experiments.figure3 import run_figure3
+
+    result = run_figure3(n=args.n, iterations=args.iterations, seed=args.seed)
+    print(result.grid_table())
+    return 0
+
+
+def _cmd_stationary(args: argparse.Namespace) -> int:
+    from repro.markov.exact import ExactChainAnalysis
+    from repro.markov.spectral import spectral_summary
+
+    analysis = ExactChainAnalysis(
+        args.n, list(args.counts), lam=args.lam, gamma=args.gamma
+    )
+    summary = spectral_summary(analysis)
+    print(f"state space: {len(analysis.states)} configurations")
+    print(f"detailed balance max error: {analysis.detailed_balance_error():.2e}")
+    print(f"spectral gap: {summary.spectral_gap:.6f}")
+    print(f"relaxation time: {summary.relaxation_time:.1f} steps")
+    print(f"mixing time (TV < 1/4) <= {summary.mixing_time_bound:.0f} steps")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.sweep import grid, run_sweep
+
+    points = run_sweep(
+        grid(args.lambdas, args.gammas),
+        metrics={
+            "alpha": alpha_of,
+            "hetero_density": lambda s: (
+                s.hetero_total / s.edge_total if s.edge_total else 0.0
+            ),
+        },
+        n=args.n,
+        iterations=args.iterations,
+        seed=args.seed,
+    )
+    print(f"{'lambda':>7}  {'gamma':>7}  {'alpha':>6}  {'h/e':>6}  phase")
+    for point in points:
+        phase = classify_phase(point.system)
+        print(
+            f"{point.params['lam']:>7.2f}  {point.params['gamma']:>7.2f}  "
+            f"{point.metrics['alpha']:>6.2f}  "
+            f"{point.metrics['hetero_density']:>6.3f}  {phase}"
+        )
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    system = load_configuration(args.input)
+    print(render_ascii(system))
+    if args.svg:
+        render_svg(system, args.svg)
+        print(f"wrote {args.svg}")
+    return 0
+
+
+def _cmd_illustrations(args: argparse.Namespace) -> int:
+    from repro.experiments.figure1 import write_illustrations
+
+    for path in write_illustrations(args.outdir):
+        print(f"wrote {path}")
+    return 0
+
+
+_HANDLERS = {
+    "simulate": _cmd_simulate,
+    "figure2": _cmd_figure2,
+    "figure3": _cmd_figure3,
+    "stationary": _cmd_stationary,
+    "sweep": _cmd_sweep,
+    "render": _cmd_render,
+    "illustrations": _cmd_illustrations,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

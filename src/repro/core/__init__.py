@@ -1,0 +1,79 @@
+"""The paper's primary contribution: stochastic separation algorithms.
+
+* :class:`SeparationChain` — Markov chain :math:`\\mathcal{M}`
+  (Algorithm 1) for separation and integration of colored particles.
+* :class:`CompressionChain` — the homogeneous compression chain of
+  PODC '16 recovered as the :math:`\\gamma = 1` special case.
+* :class:`PottsSeparationChain` — the k-color extension sketched in
+  Section 5.
+* Move-validity logic (Properties 4 and 5) in :mod:`repro.core.moves`.
+* Annealing schedules in :mod:`repro.core.schedule`.
+"""
+
+from repro.core.moves import (
+    move_allowed,
+    move_allowed_between,
+    move_allowed_reference,
+    satisfies_property_4,
+    satisfies_property_5,
+)
+from repro.core.separation_chain import (
+    SeparationChain,
+    evaluate_move,
+    evaluate_swap,
+    stationary_log_weight,
+)
+from repro.core.compression_chain import (
+    COMPRESSION_THRESHOLD,
+    EXPANSION_THRESHOLD,
+    CompressionChain,
+    compression_ratio,
+    is_compressed,
+)
+from repro.core.potts import (
+    PottsSeparationChain,
+    dominant_cluster_fractions,
+    interface_density,
+)
+from repro.core.schedule import (
+    ConstantSchedule,
+    GeometricSchedule,
+    LinearSchedule,
+    run_annealed,
+)
+from repro.core.energy import (
+    CompressionEnergy,
+    EnergyChain,
+    InteractionEnergy,
+    LocalEnergy,
+    SeparationEnergy,
+)
+
+__all__ = [
+    "SeparationChain",
+    "CompressionChain",
+    "PottsSeparationChain",
+    "evaluate_move",
+    "evaluate_swap",
+    "stationary_log_weight",
+    "move_allowed",
+    "move_allowed_between",
+    "move_allowed_reference",
+    "satisfies_property_4",
+    "satisfies_property_5",
+    "COMPRESSION_THRESHOLD",
+    "EXPANSION_THRESHOLD",
+    "compression_ratio",
+    "is_compressed",
+    "dominant_cluster_fractions",
+    "interface_density",
+    "ConstantSchedule",
+    "GeometricSchedule",
+    "LinearSchedule",
+    "run_annealed",
+    "LocalEnergy",
+    "SeparationEnergy",
+    "CompressionEnergy",
+    "InteractionEnergy",
+    "EnergyChain",
+]

@@ -1,0 +1,95 @@
+"""The compression chain of [CannonDRR16] (PODC '16).
+
+The paper's separation algorithm generalizes the earlier compression
+algorithm: with a single color class and :math:`\\gamma = 1`, Algorithm 1
+reduces exactly to the compression chain, whose stationary distribution is
+:math:`\\pi(\\sigma) \\propto \\lambda^{e(\\sigma)}`.  [CannonDRR16] proves
+:math:`\\alpha`-compression occurs w.h.p. for
+:math:`\\lambda > 2 + \\sqrt{2}` and that expansion occurs for
+:math:`\\lambda < 2.17`.
+
+This module provides the baseline as a first-class object so experiments
+can compare the heterogeneous chain against its homogeneous special case
+(benchmark E4), and exposes the proven thresholds.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.separation_chain import SeparationChain
+from repro.system.configuration import ParticleSystem
+from repro.system.initializers import hexagon_system, line_system
+from repro.util.rng import RngLike
+
+#: λ above which [CannonDRR16] proves α-compression w.h.p. (for some α).
+COMPRESSION_THRESHOLD = 2.0 + math.sqrt(2.0)
+
+#: λ below which [CannonDRR16] proves expansion (no compression) w.h.p.
+EXPANSION_THRESHOLD = 2.17
+
+
+class CompressionChain(SeparationChain):
+    """Markov chain for compression in homogeneous particle systems.
+
+    A :class:`~repro.core.separation_chain.SeparationChain` constrained to
+    one color class with :math:`\\gamma = 1` and swaps disabled (swaps are
+    meaningless when all particles are indistinguishable).
+    """
+
+    def __init__(
+        self,
+        system: ParticleSystem,
+        lam: float,
+        seed: RngLike = None,
+    ):
+        distinct = set(system.colors.values())
+        if len(distinct) > 1:
+            raise ValueError(
+                "CompressionChain requires a homogeneous system; "
+                f"found colors {sorted(distinct)}"
+            )
+        super().__init__(system, lam=lam, gamma=1.0, swaps=False, seed=seed)
+
+    @classmethod
+    def from_line(
+        cls, n: int, lam: float, seed: RngLike = None
+    ) -> "CompressionChain":
+        """Chain started from the maximum-perimeter (line) configuration."""
+        system = line_system(n, counts=[n, 0], num_colors=2, shuffle=False)
+        return cls(system, lam=lam, seed=seed)
+
+    @classmethod
+    def from_hexagon(
+        cls, n: int, lam: float, seed: RngLike = None
+    ) -> "CompressionChain":
+        """Chain started from the near-minimum-perimeter configuration."""
+        system = hexagon_system(n, counts=[n, 0], num_colors=2, shuffle=False)
+        return cls(system, lam=lam, seed=seed)
+
+
+def compression_ratio(system: ParticleSystem) -> float:
+    """Perimeter relative to the minimum possible: :math:`p / p_{min}(n)`.
+
+    The system is α-compressed iff this ratio is at most α.  Uses the
+    exact minimum perimeter (see
+    :func:`repro.analysis.compression_metric.minimum_perimeter`).
+    """
+    from repro.analysis.compression_metric import minimum_perimeter
+
+    p_min = minimum_perimeter(system.n)
+    if p_min == 0:
+        return 1.0
+    return system.perimeter() / p_min
+
+
+def is_compressed(system: ParticleSystem, alpha: float) -> bool:
+    """Whether the configuration is α-compressed (:math:`p \\le \\alpha p_{min}`)."""
+    if alpha < 1:
+        raise ValueError(f"alpha must be at least 1, got {alpha}")
+    return compression_ratio(system) <= alpha
+
+
+def proven_compression_lambda(margin: float = 0.0) -> float:
+    """Smallest λ proven to compress homogeneous systems, plus ``margin``."""
+    return COMPRESSION_THRESHOLD + margin

@@ -1,0 +1,193 @@
+"""Locality properties governing particle movement (Properties 4 and 5).
+
+A contracted particle may move from node :math:`\\ell` to an adjacent
+empty node :math:`\\ell'` only if one of two locally checkable properties
+holds; together they guarantee the system stays connected and never forms
+a new hole (Lemma 6).  With :math:`\\mathbb{S} = N(\\ell) \\cap N(\\ell')`
+the set of particles adjacent to both nodes:
+
+* **Property 4**: :math:`|\\mathbb{S}| \\in \\{1, 2\\}` and every particle
+  in :math:`N(\\ell \\cup \\ell')` is connected to exactly one particle of
+  :math:`\\mathbb{S}` by a path through :math:`N(\\ell \\cup \\ell')`.
+* **Property 5**: :math:`|\\mathbb{S}| = 0`, and both
+  :math:`N(\\ell) \\setminus \\{\\ell'\\}` and
+  :math:`N(\\ell') \\setminus \\{\\ell\\}` are nonempty and connected.
+
+Fast path: the eight nodes adjacent to :math:`\\ell` or :math:`\\ell'`
+form a chordless 8-cycle (:func:`repro.lattice.triangular.edge_ring`), on
+which "connected through the neighborhood" reduces to membership in
+maximal circular runs of occupied positions.  Ring index convention (from
+``edge_ring``): positions 0 and 4 are the two common neighbors; positions
+1-3 are exclusive to :math:`\\ell'`; positions 5-7 exclusive to
+:math:`\\ell`.
+
+The module also provides reference implementations that follow the paper
+definitions verbatim via BFS; the property-based tests assert the two
+agree on random neighborhoods.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.lattice.triangular import (
+    Node,
+    common_neighbors,
+    edge_ring,
+    neighbors,
+)
+
+#: Ring indices adjacent to the source node ℓ (including both commons).
+SRC_RING_INDICES: Tuple[int, ...] = (0, 4, 5, 6, 7)
+#: Ring indices adjacent to the destination node ℓ' (including both commons).
+DST_RING_INDICES: Tuple[int, ...] = (0, 1, 2, 3, 4)
+#: Ring indices of the two common neighbors (the candidate set S).
+COMMON_RING_INDICES: Tuple[int, ...] = (0, 4)
+
+
+def _circular_runs(occ: Sequence[bool]) -> List[List[int]]:
+    """Maximal circular runs of True positions in an 8-slot ring."""
+    size = len(occ)
+    if all(occ):
+        return [list(range(size))]
+    if not any(occ):
+        return []
+    # Start scanning just after an empty slot so runs never wrap.
+    start = next(i for i in range(size) if not occ[i])
+    runs: List[List[int]] = []
+    current: List[int] = []
+    for offset in range(1, size + 1):
+        i = (start + offset) % size
+        if occ[i]:
+            current.append(i)
+        elif current:
+            runs.append(current)
+            current = []
+    if current:
+        runs.append(current)
+    return runs
+
+
+def satisfies_property_4(occ: Sequence[bool]) -> bool:
+    """Property 4 on an edge-ring occupancy vector (length 8).
+
+    ``occ[i]`` is whether the i-th ring position is occupied, with the
+    index convention documented at module level.
+    """
+    s_count = occ[0] + occ[4]
+    if s_count not in (1, 2):
+        return False
+    for run in _circular_runs(occ):
+        commons_in_run = sum(1 for i in run if i in COMMON_RING_INDICES)
+        if commons_in_run != 1:
+            return False
+    return True
+
+
+def satisfies_property_5(occ: Sequence[bool]) -> bool:
+    """Property 5 on an edge-ring occupancy vector (length 8)."""
+    if occ[0] or occ[4]:
+        return False
+    # ℓ's exclusive neighbors are ring positions 5,6,7 (a path);
+    # ℓ''s are positions 1,2,3.  Each side must be nonempty and
+    # consecutive (the only disconnected pattern on a 3-path is 1,0,1).
+    src_side = (occ[5], occ[6], occ[7])
+    dst_side = (occ[1], occ[2], occ[3])
+    for side in (src_side, dst_side):
+        if not any(side):
+            return False
+        if side[0] and side[2] and not side[1]:
+            return False
+    return True
+
+
+def move_allowed(occ: Sequence[bool]) -> bool:
+    """Whether Property 4 or Property 5 holds for the ring occupancy."""
+    return satisfies_property_4(occ) or satisfies_property_5(occ)
+
+
+def ring_occupancy(colors: Dict[Node, int], src: Node, dst: Node) -> List[bool]:
+    """Occupancy vector of the edge ring around ``(src, dst)``."""
+    return [node in colors for node in edge_ring(src, dst)]
+
+
+def move_allowed_between(colors: Dict[Node, int], src: Node, dst: Node) -> bool:
+    """Convenience wrapper: Properties 4/5 for a move ``src -> dst``."""
+    return move_allowed(ring_occupancy(colors, src, dst))
+
+
+# ----------------------------------------------------------------------
+# Reference (definition-verbatim) implementations, used in tests.
+# ----------------------------------------------------------------------
+
+
+def _union_neighborhood(occupied: Set[Node], src: Node, dst: Node) -> Set[Node]:
+    """Occupied members of :math:`N(\\ell \\cup \\ell')` (excluding both)."""
+    union = set(neighbors(src)) | set(neighbors(dst))
+    union.discard(src)
+    union.discard(dst)
+    return {node for node in union if node in occupied}
+
+
+def property_4_reference(occupied: Set[Node], src: Node, dst: Node) -> bool:
+    """Property 4 straight from the definition (BFS through the union)."""
+    union = _union_neighborhood(occupied, src, dst)
+    s_set = {node for node in common_neighbors(src, dst) if node in occupied}
+    if len(s_set) not in (1, 2):
+        return False
+    for start in union:
+        reached_s = _reachable_s_members(union, s_set, start)
+        if reached_s != 1:
+            return False
+    return True
+
+
+def _reachable_s_members(union: Set[Node], s_set: Set[Node], start: Node) -> int:
+    seen = {start}
+    queue = deque([start])
+    while queue:
+        node = queue.popleft()
+        for nbr in neighbors(node):
+            if nbr in union and nbr not in seen:
+                seen.add(nbr)
+                queue.append(nbr)
+    return len(seen & s_set)
+
+
+def property_5_reference(occupied: Set[Node], src: Node, dst: Node) -> bool:
+    """Property 5 straight from the definition."""
+    s_set = {node for node in common_neighbors(src, dst) if node in occupied}
+    if s_set:
+        return False
+    for center, excluded in ((src, dst), (dst, src)):
+        side = {
+            node
+            for node in neighbors(center)
+            if node != excluded and node in occupied
+        }
+        if not side:
+            return False
+        if not _side_connected(side):
+            return False
+    return True
+
+
+def _side_connected(side: Set[Node]) -> bool:
+    start = next(iter(side))
+    seen = {start}
+    queue = deque([start])
+    while queue:
+        node = queue.popleft()
+        for nbr in neighbors(node):
+            if nbr in side and nbr not in seen:
+                seen.add(nbr)
+                queue.append(nbr)
+    return len(seen) == len(side)
+
+
+def move_allowed_reference(occupied: Set[Node], src: Node, dst: Node) -> bool:
+    """Definition-verbatim validity check for a move ``src -> dst``."""
+    return property_4_reference(occupied, src, dst) or property_5_reference(
+        occupied, src, dst
+    )

@@ -1,0 +1,402 @@
+"""Markov chain :math:`\\mathcal{M}` for separation and integration.
+
+This is Algorithm 1 of the paper.  Each step:
+
+1. choose a particle :math:`P` uniformly at random (color :math:`c_i`,
+   location :math:`\\ell`);
+2. choose a neighboring location :math:`\\ell'` and :math:`q \\in (0,1)`
+   uniformly at random;
+3. if :math:`\\ell'` is unoccupied, move :math:`P` there provided
+   (i) :math:`P` does not have five neighbors, (ii) Property 4 or 5 holds,
+   and (iii) :math:`q < \\lambda^{e'-e} \\gamma^{e_i'-e_i}`;
+4. if :math:`\\ell'` holds a particle :math:`Q` of another color, swap the
+   two provided :math:`q < \\gamma^{\\Delta a}` where :math:`\\Delta a` is
+   the change in homogeneous-edge count.
+
+All quantities are strictly local (the eight nodes surrounding the edge
+:math:`(\\ell, \\ell')`), which is what allows the chain to be realized by
+the fully distributed algorithm in :mod:`repro.distributed`.
+
+Performance notes: the step loop avoids attribute lookups and function
+calls by caching the color map, precomputing the edge-ring offsets per
+direction, table-driving the Property 4/5 check over the 256 ring
+occupancy bitmasks, and table-driving the bias powers
+:math:`\\lambda^{\\Delta e} \\gamma^{\\Delta e_i}`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.moves import (
+    DST_RING_INDICES,
+    SRC_RING_INDICES,
+    move_allowed,
+)
+from repro.lattice.triangular import NEIGHBOR_OFFSETS, Node, direction_between
+from repro.system.configuration import ParticleSystem
+from repro.util.rng import RngLike, make_rng
+
+# ----------------------------------------------------------------------
+# Precomputed tables
+# ----------------------------------------------------------------------
+
+
+def _build_ring_offsets() -> Tuple[Tuple[Tuple[int, int], ...], ...]:
+    """For each move direction d, offsets of the 8 edge-ring nodes.
+
+    Offsets are relative to the source node; the ring index convention is
+    that of :func:`repro.lattice.triangular.edge_ring` (positions 0 and 4
+    are the common neighbors).
+    """
+    tables = []
+    for d in range(6):
+        vdx, vdy = NEIGHBOR_OFFSETS[d]
+        ring = []
+        # Position 0: common neighbor on the counterclockwise side.
+        ring.append(NEIGHBOR_OFFSETS[(d + 1) % 6])
+        # Positions 1-3: exclusive neighbors of the destination.
+        for step in (1, 0, 5):
+            dx, dy = NEIGHBOR_OFFSETS[(d + step) % 6]
+            ring.append((vdx + dx, vdy + dy))
+        # Position 4: common neighbor on the clockwise side.
+        ring.append(NEIGHBOR_OFFSETS[(d + 5) % 6])
+        # Positions 5-7: exclusive neighbors of the source.
+        for step in (4, 3, 2):
+            ring.append(NEIGHBOR_OFFSETS[(d + step) % 6])
+        tables.append(tuple(ring))
+    return tuple(tables)
+
+
+RING_OFFSETS = _build_ring_offsets()
+
+#: MOVE_OK[mask] — whether Property 4 or 5 holds for the ring occupancy
+#: bitmask (bit i set iff ring position i occupied).
+MOVE_OK: Tuple[bool, ...] = tuple(
+    move_allowed([bool(mask & (1 << i)) for i in range(8)])
+    for mask in range(256)
+)
+
+_SRC_MASK = sum(1 << i for i in SRC_RING_INDICES)
+_DST_MASK = sum(1 << i for i in DST_RING_INDICES)
+
+#: Number of occupied source-side / destination-side neighbors per mask.
+E_SRC: Tuple[int, ...] = tuple(bin(mask & _SRC_MASK).count("1") for mask in range(256))
+E_DST: Tuple[int, ...] = tuple(bin(mask & _DST_MASK).count("1") for mask in range(256))
+
+
+def _power_table(base: float, max_abs_exponent: int) -> List[float]:
+    """``table[k + max_abs_exponent] == base ** k`` for |k| <= max."""
+    return [
+        base ** k for k in range(-max_abs_exponent, max_abs_exponent + 1)
+    ]
+
+
+class SeparationChain:
+    """Sampler for the separation/integration chain :math:`\\mathcal{M}`.
+
+    Parameters
+    ----------
+    system:
+        The particle system to evolve (mutated in place).
+    lam:
+        Neighbor bias :math:`\\lambda`; values above 1 favor compression.
+    gamma:
+        Homogeneity bias :math:`\\gamma`; values above 1 favor same-color
+        neighbors.  ``gamma=1`` recovers the color-blind compression chain
+        of [CannonDRR16].
+    swaps:
+        Whether neighboring particles of different colors may exchange
+        positions (Section 2.3).  Swaps accelerate convergence but do not
+        affect the stationary distribution; the ablation benchmark
+        quantifies this.
+    seed:
+        Integer seed or ``random.Random`` for reproducibility.
+
+    Attributes
+    ----------
+    iterations:
+        Total steps taken.
+    accepted_moves, accepted_swaps:
+        Counts of accepted location moves / color swaps.
+    """
+
+    def __init__(
+        self,
+        system: ParticleSystem,
+        lam: float,
+        gamma: float,
+        swaps: bool = True,
+        seed: RngLike = None,
+    ):
+        if lam <= 0:
+            raise ValueError(f"lambda must be positive, got {lam}")
+        if gamma <= 0:
+            raise ValueError(f"gamma must be positive, got {gamma}")
+        self.system = system
+        self.lam = float(lam)
+        self.gamma = float(gamma)
+        self.swaps = bool(swaps)
+        self.rng = make_rng(seed)
+        self.iterations = 0
+        self.accepted_moves = 0
+        self.accepted_swaps = 0
+        self._positions: List[Node] = list(system.colors)
+        self._lam_pow = _power_table(self.lam, 5)
+        self._gam_pow = _power_table(self.gamma, 5)
+        self._gam_pow_swap = _power_table(self.gamma, 10)
+
+    # ------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute one iteration of Algorithm 1.
+
+        Returns whether the configuration changed.
+        """
+        system = self.system
+        colors = system.colors
+        positions = self._positions
+        rng = self.rng
+        random = rng.random
+        self.iterations += 1
+
+        idx = int(random() * len(positions))
+        src = positions[idx]
+        ci = colors[src]
+        d = int(random() * 6)
+        dx, dy = NEIGHBOR_OFFSETS[d]
+        x, y = src
+        dst = (x + dx, y + dy)
+        dst_color = colors.get(dst)
+        if dst_color is not None and (not self.swaps or dst_color == ci):
+            return False  # occupied target and no swap possible: no-op
+
+        ring_offsets = RING_OFFSETS[d]
+        ring_colors = []
+        mask = 0
+        bit = 1
+        for rdx, rdy in ring_offsets:
+            c = colors.get((x + rdx, y + rdy))
+            ring_colors.append(c)
+            if c is not None:
+                mask |= bit
+            bit <<= 1
+
+        if dst_color is None:
+            # --- Expansion move (Algorithm 1, lines 3-8) ---
+            e_src = E_SRC[mask]
+            if e_src == 5:
+                return False
+            if not MOVE_OK[mask]:
+                return False
+            e_dst = E_DST[mask]
+            ei_src = 0
+            for i in SRC_RING_INDICES:
+                if ring_colors[i] == ci:
+                    ei_src += 1
+            ei_dst = 0
+            for i in DST_RING_INDICES:
+                if ring_colors[i] == ci:
+                    ei_dst += 1
+            ratio = (
+                self._lam_pow[e_dst - e_src + 5]
+                * self._gam_pow[ei_dst - ei_src + 5]
+            )
+            if ratio < 1.0 and random() >= ratio:
+                return False
+            # Accept: move the particle and update counters locally.
+            del colors[src]
+            colors[dst] = ci
+            positions[idx] = dst
+            system.edge_total += e_dst - e_src
+            system.hetero_total += (e_dst - ei_dst) - (e_src - ei_src)
+            self.accepted_moves += 1
+            return True
+
+        # --- Swap move (Algorithm 1, lines 9-10) ---
+        cj = dst_color
+        expo = 0
+        for i in DST_RING_INDICES:
+            c = ring_colors[i]
+            if c == ci:
+                expo += 1  # |N_i(l') \ {P}|
+            elif c == cj:
+                expo -= 1  # |N_j(l')|
+        for i in SRC_RING_INDICES:
+            c = ring_colors[i]
+            if c == ci:
+                expo -= 1  # |N_i(l)|
+            elif c == cj:
+                expo += 1  # |N_j(l) \ {Q}|
+        ratio = self._gam_pow_swap[expo + 10]
+        if ratio < 1.0 and random() >= ratio:
+            return False
+        colors[src] = cj
+        colors[dst] = ci
+        system.hetero_total -= expo
+        self.accepted_swaps += 1
+        return True
+
+    def run(self, steps: int) -> "SeparationChain":
+        """Execute ``steps`` iterations; returns ``self`` for chaining."""
+        if steps < 0:
+            raise ValueError(f"steps must be non-negative, got {steps}")
+        step = self.step
+        for _ in range(steps):
+            step()
+        return self
+
+    # ------------------------------------------------------------------
+    # Exact per-proposal probabilities (used by repro.markov.exact)
+    # ------------------------------------------------------------------
+
+    def move_acceptance_probability(self, src: Node, dst: Node) -> float:
+        """Probability a proposed move ``src -> dst`` is accepted.
+
+        Zero when the move is disallowed by condition (i) or Properties
+        4/5.  This mirrors :meth:`step` exactly but without mutating
+        state; the exact-transition-matrix builder relies on it.
+        """
+        colors = self.system.colors
+        if src not in colors or dst in colors:
+            return 0.0
+        details = evaluate_move(colors, src, dst, self.lam, self.gamma)
+        return details[0]
+
+    def swap_acceptance_probability(self, u: Node, v: Node) -> float:
+        """Probability a proposed swap of ``u`` and ``v`` is accepted."""
+        if not self.swaps:
+            return 0.0
+        colors = self.system.colors
+        if u not in colors or v not in colors or colors[u] == colors[v]:
+            return 0.0
+        return evaluate_swap(colors, u, v, self.gamma)[0]
+
+    def set_parameters(
+        self, lam: Optional[float] = None, gamma: Optional[float] = None
+    ) -> None:
+        """Change the bias parameters mid-run (for annealing schedules).
+
+        Rebuilds the internal power tables; the chain then targets the
+        stationary distribution of the new parameters.
+        """
+        if lam is not None:
+            if lam <= 0:
+                raise ValueError(f"lambda must be positive, got {lam}")
+            self.lam = float(lam)
+            self._lam_pow = _power_table(self.lam, 5)
+        if gamma is not None:
+            if gamma <= 0:
+                raise ValueError(f"gamma must be positive, got {gamma}")
+            self.gamma = float(gamma)
+            self._gam_pow = _power_table(self.gamma, 5)
+            self._gam_pow_swap = _power_table(self.gamma, 10)
+
+    def refresh_positions(self) -> None:
+        """Re-sync the internal particle list with the system state.
+
+        Call after mutating ``self.system`` outside the chain (the chain
+        otherwise assumes exclusive ownership while running).
+        """
+        self._positions = list(self.system.colors)
+
+    def acceptance_rate(self) -> float:
+        """Fraction of iterations that changed the configuration."""
+        if self.iterations == 0:
+            return 0.0
+        return (self.accepted_moves + self.accepted_swaps) / self.iterations
+
+    def __repr__(self) -> str:
+        return (
+            f"SeparationChain(n={self.system.n}, lam={self.lam}, "
+            f"gamma={self.gamma}, swaps={self.swaps}, "
+            f"iterations={self.iterations})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Pure move evaluation (shared with the exact-chain and distributed layers)
+# ----------------------------------------------------------------------
+
+
+def evaluate_move(
+    colors: Dict[Node, int],
+    src: Node,
+    dst: Node,
+    lam: float,
+    gamma: float,
+) -> Tuple[float, int, int]:
+    """Acceptance probability and (Δe, Δe_i) of a move ``src -> dst``.
+
+    Requires ``src`` occupied, ``dst`` an empty neighbor.  Returns
+    ``(probability, delta_edges, delta_same_color_edges)`` where the
+    probability already includes conditions (i) and (ii) — it is zero for
+    invalid moves.
+    """
+    ci = colors[src]
+    d = direction_between(src, dst)
+    x, y = src
+    ring_colors = []
+    mask = 0
+    bit = 1
+    for rdx, rdy in RING_OFFSETS[d]:
+        c = colors.get((x + rdx, y + rdy))
+        ring_colors.append(c)
+        if c is not None:
+            mask |= bit
+        bit <<= 1
+    e_src = E_SRC[mask]
+    if e_src == 5 or not MOVE_OK[mask]:
+        return 0.0, 0, 0
+    e_dst = E_DST[mask]
+    ei_src = sum(1 for i in SRC_RING_INDICES if ring_colors[i] == ci)
+    ei_dst = sum(1 for i in DST_RING_INDICES if ring_colors[i] == ci)
+    ratio = (lam ** (e_dst - e_src)) * (gamma ** (ei_dst - ei_src))
+    return min(1.0, ratio), e_dst - e_src, ei_dst - ei_src
+
+
+def evaluate_swap(
+    colors: Dict[Node, int],
+    u: Node,
+    v: Node,
+    gamma: float,
+) -> Tuple[float, int]:
+    """Acceptance probability and Δa of swapping particles at ``u, v``.
+
+    Requires both nodes occupied by different colors.  Returns
+    ``(probability, delta_homogeneous_edges)``.  The exponent is symmetric
+    in ``u`` and ``v``, so either endpoint initiating yields the same
+    probability (used by the 1/(3n) factor in Lemma 9's proof).
+    """
+    ci = colors[u]
+    cj = colors[v]
+    if ci == cj:
+        raise ValueError("swap requires particles of different colors")
+    d = direction_between(u, v)
+    x, y = u
+    ring_colors = []
+    for rdx, rdy in RING_OFFSETS[d]:
+        ring_colors.append(colors.get((x + rdx, y + rdy)))
+    expo = 0
+    for i in DST_RING_INDICES:
+        c = ring_colors[i]
+        if c == ci:
+            expo += 1
+        elif c == cj:
+            expo -= 1
+    for i in SRC_RING_INDICES:
+        c = ring_colors[i]
+        if c == ci:
+            expo -= 1
+        elif c == cj:
+            expo += 1
+    return min(1.0, gamma ** expo), expo
+
+
+def stationary_log_weight(
+    system: ParticleSystem, lam: float, gamma: float
+) -> float:
+    """Log of the unnormalized stationary weight (Lemma 9 form)."""
+    p = system.perimeter()
+    return -p * math.log(lam * gamma) - system.hetero_total * math.log(gamma)

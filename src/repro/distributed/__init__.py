@@ -1,0 +1,51 @@
+"""The distributed algorithm :math:`\\mathcal{A}` and its execution model.
+
+Section 3 of the paper notes that the centralized chain
+:math:`\\mathcal{M}` "can be directly translated to a fully distributed,
+local, asynchronous algorithm :math:`\\mathcal{A}`" because every
+probability and property it evaluates is computable from a particle's
+strict neighborhood.  This package makes that translation concrete:
+
+* :mod:`repro.distributed.local_view` — the read interface available to
+  an activated particle, with locality *enforced* (reads outside the
+  allowed neighborhood raise);
+* :mod:`repro.distributed.agent` — the per-particle program, written
+  purely against the local view;
+* :mod:`repro.distributed.scheduler` — asynchronous activation models
+  (uniform sequential, Poisson clocks, round-robin);
+* :mod:`repro.distributed.conflicts` — resolution of simultaneous
+  expansions into the same node;
+* :mod:`repro.distributed.runner` — drivers that execute agents under a
+  scheduler and, per the classical serialization argument (Section 2.1),
+  reproduce the behavior of the centralized chain.
+"""
+
+from repro.distributed.local_view import LocalityViolation, LocalView
+from repro.distributed.agent import MoveAction, NoAction, ParticleAgent, SwapAction
+from repro.distributed.scheduler import (
+    PoissonScheduler,
+    RoundRobinScheduler,
+    UniformScheduler,
+)
+from repro.distributed.conflicts import resolve_expansion_conflicts
+from repro.distributed.runner import ConcurrentRunner, DistributedRunner
+from repro.distributed.amoebot import AmoebotSimulator
+from repro.distributed.faults import FaultyRunner, degradation_curve
+
+__all__ = [
+    "LocalView",
+    "LocalityViolation",
+    "ParticleAgent",
+    "MoveAction",
+    "SwapAction",
+    "NoAction",
+    "UniformScheduler",
+    "PoissonScheduler",
+    "RoundRobinScheduler",
+    "resolve_expansion_conflicts",
+    "DistributedRunner",
+    "ConcurrentRunner",
+    "AmoebotSimulator",
+    "FaultyRunner",
+    "degradation_curve",
+]

@@ -1,0 +1,93 @@
+"""Conflict resolution for concurrent activations.
+
+Section 2.1: "Conflicts involving simultaneous particle expansions into
+the same unoccupied node are assumed to be resolved arbitrarily such that
+at most one particle moves to some unoccupied node at any given time."
+
+The concurrent runner computes a round of decisions against a common
+snapshot; this module serializes them, dropping every action invalidated
+by an earlier one in the (arbitrary) serialization order — both direct
+expansion conflicts and indirect invalidations (an earlier move changed a
+neighborhood so a later move would now violate Properties 4/5 or target
+an occupied node).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.moves import move_allowed_between
+from repro.distributed.agent import Action, MoveAction, NoAction, SwapAction
+from repro.lattice.triangular import Node
+
+
+def resolve_expansion_conflicts(
+    colors: Dict[Node, int],
+    proposed: Sequence[Tuple[int, Action]],
+) -> Tuple[List[Tuple[int, Action]], List[Tuple[int, Action, str]]]:
+    """Serialize a round of snapshot-based decisions.
+
+    ``proposed`` holds ``(particle_index, action)`` pairs in the chosen
+    serialization order; ``colors`` is the live color map, *mutated* as
+    accepted actions are applied.  Returns ``(applied, dropped)`` where
+    each dropped entry carries the invalidation reason.
+
+    Note the revalidation here checks *feasibility* (target emptiness,
+    Properties 4/5, occupancy of swap partners); it does not re-draw the
+    Metropolis filter, which the particle already passed against its
+    snapshot — the arbitrary-resolution rule of the model permits any
+    such policy.
+    """
+    applied: List[Tuple[int, Action]] = []
+    dropped: List[Tuple[int, Action, str]] = []
+    for index, action in proposed:
+        if isinstance(action, NoAction):
+            continue
+        if isinstance(action, MoveAction):
+            reason = _move_invalid_reason(colors, action)
+            if reason is None:
+                color = colors.pop(action.src)
+                colors[action.dst] = color
+                applied.append((index, action))
+            else:
+                dropped.append((index, action, reason))
+        elif isinstance(action, SwapAction):
+            reason = _swap_invalid_reason(colors, action)
+            if reason is None:
+                colors[action.a], colors[action.b] = (
+                    colors[action.b],
+                    colors[action.a],
+                )
+                applied.append((index, action))
+            else:
+                dropped.append((index, action, reason))
+        else:  # pragma: no cover - exhaustive over Action variants
+            raise TypeError(f"unknown action type: {action!r}")
+    return applied, dropped
+
+
+def _move_invalid_reason(colors: Dict[Node, int], action: MoveAction):
+    if action.src not in colors:
+        return "source vacated by an earlier action"
+    if action.dst in colors:
+        return "destination occupied by an earlier action"
+    occupied_neighbors = 0
+    x, y = action.src
+    from repro.lattice.triangular import NEIGHBOR_OFFSETS
+
+    for dx, dy in NEIGHBOR_OFFSETS:
+        if (x + dx, y + dy) in colors:
+            occupied_neighbors += 1
+    if occupied_neighbors == 5:
+        return "source now has five neighbors"
+    if not move_allowed_between(colors, action.src, action.dst):
+        return "Properties 4/5 no longer hold"
+    return None
+
+
+def _swap_invalid_reason(colors: Dict[Node, int], action: SwapAction):
+    if action.a not in colors or action.b not in colors:
+        return "swap partner vacated by an earlier action"
+    if colors[action.a] == colors[action.b]:
+        return "swap partners now share a color"
+    return None

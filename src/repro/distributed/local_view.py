@@ -1,0 +1,112 @@
+"""Strictly local read access for activated particles.
+
+The amoebot model (Section 2.1) allows an activated particle to read the
+occupancy and public memory of the nodes adjacent to the node(s) it
+occupies.  During a move evaluation the particle is (conceptually)
+expanded over :math:`\\ell` and :math:`\\ell'`, so its readable set is the
+union of both neighborhoods — exactly the eight-node edge ring plus the
+two nodes themselves.  Neighbor particles additionally publish their own
+per-color neighbor counts in memory, which is what makes the swap-move
+exponent computable by one endpoint (footnote semantics of Section 2.3).
+
+:class:`LocalView` wraps the global color map but *enforces* these rules:
+any read outside the allowed set raises :class:`LocalityViolation`.  The
+agent code in :mod:`repro.distributed.agent` is written exclusively
+against this interface, so passing the test suite demonstrates the
+algorithm really is local.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.lattice.triangular import NEIGHBOR_OFFSETS, Node, neighbors
+
+
+class LocalityViolation(RuntimeError):
+    """An agent attempted to read state outside its local neighborhood."""
+
+
+class LocalView:
+    """Read access for a particle at ``location`` evaluating ``target``.
+
+    ``target`` is the neighboring node chosen in the activation (possibly
+    occupied).  Readable occupancy: ``location``, ``target``, and every
+    node adjacent to either.  Readable *published counts* (simulating
+    reads of a neighbor's memory): any readable occupied node.
+    """
+
+    def __init__(
+        self,
+        colors: Dict[Node, int],
+        location: Node,
+        target: Node,
+    ):
+        if location not in colors:
+            raise ValueError(f"no particle at {location}")
+        if target not in neighbors(location):
+            raise ValueError(f"{target} is not adjacent to {location}")
+        self._colors = colors
+        self.location = location
+        self.target = target
+        allowed: Set[Node] = {location, target}
+        allowed.update(neighbors(location))
+        allowed.update(neighbors(target))
+        self._allowed = allowed
+
+    def _check(self, node: Node) -> None:
+        if node not in self._allowed:
+            raise LocalityViolation(
+                f"read of {node} outside the neighborhood of "
+                f"{self.location}-{self.target}"
+            )
+
+    def is_occupied(self, node: Node) -> bool:
+        """Occupancy of a node in the readable set."""
+        self._check(node)
+        return node in self._colors
+
+    def color_of(self, node: Node) -> Optional[int]:
+        """Color of the particle at ``node`` (None if empty)."""
+        self._check(node)
+        return self._colors.get(node)
+
+    def my_color(self) -> int:
+        """Color of the activated particle itself."""
+        return self._colors[self.location]
+
+    def occupied_neighbors(self, node: Node) -> List[Node]:
+        """Occupied nodes adjacent to ``node`` — allowed only for the
+        particle's own nodes (``location``/``target``), whose full
+        neighborhoods are readable."""
+        if node not in (self.location, self.target):
+            raise LocalityViolation(
+                f"neighborhood scan of {node} is only allowed for the "
+                "particle's own nodes"
+            )
+        x, y = node
+        return [
+            (x + dx, y + dy)
+            for dx, dy in NEIGHBOR_OFFSETS
+            if (x + dx, y + dy) in self._colors
+        ]
+
+    def published_neighbor_counts(self, node: Node) -> Tuple[int, Dict[int, int]]:
+        """Per-color neighbor counts published by the particle at ``node``.
+
+        Models reading a neighbor's constant-size memory, where each
+        particle keeps its current neighbor census.  Allowed for any
+        readable occupied node.  Returns ``(total, {color: count})``.
+        """
+        self._check(node)
+        if node not in self._colors:
+            raise LocalityViolation(f"no particle at {node} to read memory from")
+        x, y = node
+        total = 0
+        per_color: Dict[int, int] = {}
+        for dx, dy in NEIGHBOR_OFFSETS:
+            nbr_color = self._colors.get((x + dx, y + dy))
+            if nbr_color is not None:
+                total += 1
+                per_color[nbr_color] = per_color.get(nbr_color, 0) + 1
+        return total, per_color

@@ -1,0 +1,194 @@
+"""Drivers executing the distributed algorithm :math:`\\mathcal{A}`.
+
+:class:`DistributedRunner` performs one atomic activation at a time, in
+scheduler order, with each decision computed by the strictly local
+:class:`~repro.distributed.agent.ParticleAgent`.  Under the uniform
+scheduler this realizes the chain :math:`\\mathcal{M}` exactly (the test
+suite compares empirical distributions against the exact stationary
+distribution).
+
+:class:`ConcurrentRunner` models genuinely concurrent rounds: a random
+subset of particles decide against the round-start snapshot, and the
+decisions are serialized with conflict resolution — demonstrating the
+classical equivalence argument quoted in Section 2.1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.distributed.agent import (
+    MoveAction,
+    NoAction,
+    ParticleAgent,
+    SwapAction,
+)
+from repro.distributed.conflicts import resolve_expansion_conflicts
+from repro.distributed.local_view import LocalView
+from repro.distributed.scheduler import UniformScheduler
+from repro.lattice.triangular import NEIGHBOR_OFFSETS, Node
+from repro.system.configuration import ParticleSystem
+from repro.util.rng import RngLike, make_rng, spawn_rngs
+
+
+class DistributedRunner:
+    """Sequential-atomic-action executor for algorithm :math:`\\mathcal{A}`.
+
+    Parameters
+    ----------
+    system:
+        Particle system to evolve (mutated in place).
+    lam, gamma, swaps:
+        Algorithm parameters, as in the centralized chain.
+    scheduler:
+        Any object with ``next_active() -> int`` producing particle
+        indices; defaults to a :class:`UniformScheduler`, which makes the
+        runner distributionally identical to :math:`\\mathcal{M}`.
+    seed:
+        Seeds both the per-particle randomness and the default scheduler.
+
+    Notes
+    -----
+    Swap moves are realized as color-attribute exchanges (the footnote in
+    Section 2.3), so particle *devices* keep their lattice position and
+    the index-to-node map stays stable across swaps.
+    """
+
+    def __init__(
+        self,
+        system: ParticleSystem,
+        lam: float,
+        gamma: float,
+        swaps: bool = True,
+        scheduler: Optional[object] = None,
+        seed: RngLike = None,
+    ):
+        self.system = system
+        self.agent = ParticleAgent(lam=lam, gamma=gamma, swaps=swaps)
+        self._positions: List[Node] = list(system.colors)
+        master = make_rng(seed)
+        self._particle_rngs = spawn_rngs(master, len(self._positions))
+        self._direction_rng = make_rng(master.getrandbits(64))
+        self.scheduler = scheduler or UniformScheduler(
+            len(self._positions), seed=master.getrandbits(64)
+        )
+        self.iterations = 0
+        self.accepted_moves = 0
+        self.accepted_swaps = 0
+        self.rejections: Dict[str, int] = {}
+
+    def step(self) -> bool:
+        """One atomic activation; returns whether the configuration changed."""
+        self.iterations += 1
+        index = self.scheduler.next_active()
+        location = self._positions[index]
+        rng = self._particle_rngs[index]
+        d = int(rng.random() * 6)
+        dx, dy = NEIGHBOR_OFFSETS[d]
+        target = (location[0] + dx, location[1] + dy)
+        view = LocalView(self.system.colors, location, target)
+        action = self.agent.decide(view, rng)
+        return self._apply(index, action)
+
+    def _apply(self, index: int, action) -> bool:
+        if isinstance(action, MoveAction):
+            self.system.move_particle(action.src, action.dst)
+            self._positions[index] = action.dst
+            self.accepted_moves += 1
+            return True
+        if isinstance(action, SwapAction):
+            self.system.swap_particles(action.a, action.b)
+            self.accepted_swaps += 1
+            return True
+        if isinstance(action, NoAction):
+            self.rejections[action.reason] = (
+                self.rejections.get(action.reason, 0) + 1
+            )
+            return False
+        raise TypeError(f"unknown action type: {action!r}")
+
+    def run(self, steps: int) -> "DistributedRunner":
+        """Execute ``steps`` activations."""
+        if steps < 0:
+            raise ValueError(f"steps must be non-negative, got {steps}")
+        for _ in range(steps):
+            self.step()
+        return self
+
+    def acceptance_rate(self) -> float:
+        """Fraction of activations that changed the configuration."""
+        if self.iterations == 0:
+            return 0.0
+        return (self.accepted_moves + self.accepted_swaps) / self.iterations
+
+
+class ConcurrentRunner:
+    """Round-based concurrent executor with explicit conflict resolution.
+
+    Each round activates a random subset of particles (``round_size``);
+    all of them decide against the round-start snapshot, then the
+    decisions are applied in random serialization order via
+    :func:`~repro.distributed.conflicts.resolve_expansion_conflicts`.
+    Dropped actions are tallied in :attr:`conflicts_dropped` — measuring
+    how rarely concurrency actually conflicts at moderate densities.
+    """
+
+    def __init__(
+        self,
+        system: ParticleSystem,
+        lam: float,
+        gamma: float,
+        round_size: int,
+        swaps: bool = True,
+        seed: RngLike = None,
+    ):
+        if round_size < 1:
+            raise ValueError(f"round_size must be positive, got {round_size}")
+        self.system = system
+        self.agent = ParticleAgent(lam=lam, gamma=gamma, swaps=swaps)
+        self._positions: List[Node] = list(system.colors)
+        master = make_rng(seed)
+        self._particle_rngs = spawn_rngs(master, len(self._positions))
+        self._rng = make_rng(master.getrandbits(64))
+        self.round_size = min(round_size, len(self._positions))
+        self.rounds = 0
+        self.applied_actions = 0
+        self.conflicts_dropped = 0
+
+    def round(self) -> int:
+        """Execute one concurrent round; returns the number of applied actions."""
+        self.rounds += 1
+        chosen = self._rng.sample(range(len(self._positions)), self.round_size)
+        snapshot = dict(self.system.colors)
+        proposed = []
+        for index in chosen:
+            location = self._positions[index]
+            rng = self._particle_rngs[index]
+            d = int(rng.random() * 6)
+            dx, dy = NEIGHBOR_OFFSETS[d]
+            target = (location[0] + dx, location[1] + dy)
+            view = LocalView(snapshot, location, target)
+            proposed.append((index, self.agent.decide(view, rng)))
+        self._rng.shuffle(proposed)
+
+        # Serialize against a scratch copy, then replay onto the real
+        # system so the incremental counters stay correct.
+        scratch = dict(self.system.colors)
+        applied, dropped = resolve_expansion_conflicts(scratch, proposed)
+        for index, action in applied:
+            if isinstance(action, MoveAction):
+                self.system.move_particle(action.src, action.dst)
+                self._positions[index] = action.dst
+            else:
+                self.system.swap_particles(action.a, action.b)
+        self.applied_actions += len(applied)
+        self.conflicts_dropped += len(dropped)
+        return len(applied)
+
+    def run(self, rounds: int) -> "ConcurrentRunner":
+        """Execute ``rounds`` concurrent rounds."""
+        if rounds < 0:
+            raise ValueError(f"rounds must be non-negative, got {rounds}")
+        for _ in range(rounds):
+            self.round()
+        return self

@@ -1,0 +1,155 @@
+"""Asynchronous activation schedulers.
+
+The amoebot model assumes the standard asynchronous model: particles are
+activated one atomic action at a time, in an order produced by the
+environment.  The schedulers here generate that order:
+
+* :class:`UniformScheduler` — each activation picks a particle uniformly
+  at random; this is exactly the distribution of Step 1 of Algorithm 1,
+  so the distributed runner under this scheduler *is* the chain
+  :math:`\\mathcal{M}`.
+* :class:`PoissonScheduler` — every particle carries an independent
+  rate-1 Poisson clock and activates when it rings.  Activation order is
+  again uniform (exponential races are memoryless), but the scheduler
+  also exposes continuous activation *times*, the physically natural
+  model for independent hardware.
+* :class:`RoundRobinScheduler` — adversarial-flavored deterministic
+  sweeps (optionally reshuffled per round).  Each per-particle kernel
+  preserves the stationary distribution, so sweeps converge to the same
+  :math:`\\pi` despite not matching the chain step-for-step.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+from repro.util.rng import RngLike, make_rng
+
+
+class UniformScheduler:
+    """Uniformly random particle activations (the chain's own schedule)."""
+
+    def __init__(self, num_particles: int, seed: RngLike = None):
+        if num_particles < 1:
+            raise ValueError(f"num_particles must be positive, got {num_particles}")
+        self.num_particles = num_particles
+        self._rng = make_rng(seed)
+
+    def next_active(self) -> int:
+        """Index of the next particle to activate."""
+        return int(self._rng.random() * self.num_particles)
+
+
+class PoissonScheduler:
+    """Independent rate-1 Poisson clocks per particle.
+
+    Maintains a priority queue of next ring times; :meth:`next_active`
+    pops the earliest, reschedules that particle, and records the global
+    time (readable via :attr:`current_time`).
+    """
+
+    def __init__(self, num_particles: int, seed: RngLike = None):
+        if num_particles < 1:
+            raise ValueError(f"num_particles must be positive, got {num_particles}")
+        self.num_particles = num_particles
+        self._rng = make_rng(seed)
+        self.current_time = 0.0
+        self._queue: List[Tuple[float, int]] = [
+            (self._exponential(), i) for i in range(num_particles)
+        ]
+        heapq.heapify(self._queue)
+
+    def _exponential(self) -> float:
+        return self._rng.expovariate(1.0)
+
+    def next_active(self) -> int:
+        """Pop the earliest clock ring; advance global time."""
+        time, index = heapq.heappop(self._queue)
+        self.current_time = time
+        heapq.heappush(self._queue, (time + self._exponential(), index))
+        return index
+
+
+class RoundRobinScheduler:
+    """Deterministic sweeps over all particles.
+
+    With ``reshuffle=True`` the visiting order is re-randomized at the
+    start of every round (random-scan-without-replacement); with
+    ``reshuffle=False`` the same fixed order repeats forever — the most
+    adversarial schedule expressible without inspecting the
+    configuration.
+    """
+
+    def __init__(
+        self,
+        num_particles: int,
+        reshuffle: bool = True,
+        seed: RngLike = None,
+    ):
+        if num_particles < 1:
+            raise ValueError(f"num_particles must be positive, got {num_particles}")
+        self.num_particles = num_particles
+        self.reshuffle = reshuffle
+        self._rng = make_rng(seed)
+        self._order = list(range(num_particles))
+        if reshuffle:
+            self._rng.shuffle(self._order)
+        self._cursor = 0
+        self.rounds_completed = 0
+
+    def next_active(self) -> int:
+        """Next particle in the current sweep, starting a new round at the end."""
+        index = self._order[self._cursor]
+        self._cursor += 1
+        if self._cursor == self.num_particles:
+            self._cursor = 0
+            self.rounds_completed += 1
+            if self.reshuffle:
+                self._rng.shuffle(self._order)
+        return index
+
+
+SchedulerLike = object  # any object with next_active() -> int
+
+
+def make_scheduler(
+    kind: str,
+    num_particles: int,
+    seed: RngLike = None,
+    reshuffle: bool = True,
+) -> object:
+    """Factory by name: ``"uniform"``, ``"poisson"``, or ``"round-robin"``."""
+    if kind == "uniform":
+        return UniformScheduler(num_particles, seed=seed)
+    if kind == "poisson":
+        return PoissonScheduler(num_particles, seed=seed)
+    if kind == "round-robin":
+        return RoundRobinScheduler(num_particles, reshuffle=reshuffle, seed=seed)
+    raise ValueError(f"unknown scheduler kind: {kind!r}")
+
+
+def merge_activation_streams(
+    schedulers: List[PoissonScheduler], count: int
+) -> List[Tuple[float, int, int]]:
+    """Interleave several Poisson schedulers by global time.
+
+    Returns ``count`` triples ``(time, scheduler_index, particle_index)``
+    in time order — useful for modeling multi-cluster deployments in the
+    examples.
+    """
+    if not schedulers:
+        raise ValueError("need at least one scheduler")
+    results: List[Tuple[float, int, int]] = []
+    pending: List[Tuple[float, int, int]] = []
+    for s_index, scheduler in enumerate(schedulers):
+        particle = scheduler.next_active()
+        pending.append((scheduler.current_time, s_index, particle))
+    heapq.heapify(pending)
+    while len(results) < count:
+        time, s_index, particle = heapq.heappop(pending)
+        results.append((time, s_index, particle))
+        scheduler = schedulers[s_index]
+        nxt = scheduler.next_active()
+        heapq.heappush(pending, (scheduler.current_time, s_index, nxt))
+    return results

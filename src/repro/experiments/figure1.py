@@ -1,0 +1,174 @@
+"""Figures 1 and 4 — illustrative figures, regenerated as SVG/ASCII.
+
+Unlike Figures 2 and 3 these are not experimental results: Figure 1
+illustrates the triangular lattice with expanded and contracted
+particles, and Figure 4 illustrates the hexagon construction behind
+Lemma 2.  We regenerate them so the repository covers every figure in
+the paper; the quantitative content of Figure 4 (perimeter values) is
+asserted in the Lemma 2 tests and benchmark.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.lattice.geometry import disk, hexagon
+from repro.lattice.triangular import (
+    NEIGHBOR_OFFSETS,
+    Node,
+    to_cartesian,
+)
+from repro.system.configuration import ParticleSystem
+from repro.experiments.render import render_ascii, render_svg
+
+
+def figure1_lattice_svg(
+    radius: int = 3, path: Optional[Union[str, Path]] = None, scale: float = 16.0
+) -> str:
+    """Figure 1a: a section of the triangular lattice :math:`G_\\Delta`."""
+    nodes = sorted(disk((0, 0), radius))
+    node_set = set(nodes)
+    xs, ys = zip(*(to_cartesian(n) for n in nodes))
+    margin = 1.0
+    min_x, max_x = min(xs) - margin, max(xs) + margin
+    min_y, max_y = min(ys) - margin, max(ys) + margin
+    width = (max_x - min_x) * scale
+    height = (max_y - min_y) * scale
+
+    def transform(node: Node) -> Tuple[float, float]:
+        cx, cy = to_cartesian(node)
+        return ((cx - min_x) * scale, (max_y - cy) * scale)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0f}" '
+        f'height="{height:.0f}" viewBox="0 0 {width:.2f} {height:.2f}">',
+        '<rect width="100%" height="100%" fill="white"/>',
+    ]
+    for node in nodes:
+        x1, y1 = transform(node)
+        for dx, dy in NEIGHBOR_OFFSETS:
+            nbr = (node[0] + dx, node[1] + dy)
+            if nbr in node_set and node < nbr:
+                x2, y2 = transform(nbr)
+                parts.append(
+                    f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" '
+                    f'y2="{y2:.1f}" stroke="#a0aec0" stroke-width="1"/>'
+                )
+    for node in nodes:
+        cx, cy = transform(node)
+        parts.append(
+            f'<circle cx="{cx:.1f}" cy="{cy:.1f}" r="{0.12 * scale:.1f}" '
+            'fill="#4a5568"/>'
+        )
+    parts.append("</svg>")
+    text = "\n".join(parts)
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def figure1_particles_svg(
+    path: Optional[Union[str, Path]] = None, scale: float = 18.0
+) -> str:
+    """Figure 1b: expanded and contracted particles on the lattice.
+
+    Draws a handful of contracted particles (single disks) and one
+    expanded particle (two disks joined by a thick bar), as in the
+    paper's illustration.
+    """
+    lattice_nodes = sorted(disk((0, 0), 3))
+    node_set = set(lattice_nodes)
+    contracted: List[Node] = [(0, 0), (1, 0), (-1, 1), (0, -2), (2, -1)]
+    expanded_pair: Tuple[Node, Node] = ((-1, -1), (0, -1))
+
+    xs, ys = zip(*(to_cartesian(n) for n in lattice_nodes))
+    margin = 1.0
+    min_x, max_x = min(xs) - margin, max(xs) + margin
+    min_y, max_y = min(ys) - margin, max(ys) + margin
+    width = (max_x - min_x) * scale
+    height = (max_y - min_y) * scale
+
+    def transform(node: Node) -> Tuple[float, float]:
+        cx, cy = to_cartesian(node)
+        return ((cx - min_x) * scale, (max_y - cy) * scale)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0f}" '
+        f'height="{height:.0f}" viewBox="0 0 {width:.2f} {height:.2f}">',
+        '<rect width="100%" height="100%" fill="white"/>',
+    ]
+    for node in lattice_nodes:
+        x1, y1 = transform(node)
+        for dx, dy in NEIGHBOR_OFFSETS:
+            nbr = (node[0] + dx, node[1] + dy)
+            if nbr in node_set and node < nbr:
+                x2, y2 = transform(nbr)
+                parts.append(
+                    f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" '
+                    f'y2="{y2:.1f}" stroke="#cbd5e0" stroke-width="1"/>'
+                )
+    # Expanded particle: thick connector plus two disks.
+    (a, b) = expanded_pair
+    ax, ay = transform(a)
+    bx, by = transform(b)
+    parts.append(
+        f'<line x1="{ax:.1f}" y1="{ay:.1f}" x2="{bx:.1f}" y2="{by:.1f}" '
+        f'stroke="#1a202c" stroke-width="{0.18 * scale:.1f}"/>'
+    )
+    for node in list(contracted) + list(expanded_pair):
+        cx, cy = transform(node)
+        parts.append(
+            f'<circle cx="{cx:.1f}" cy="{cy:.1f}" r="{0.3 * scale:.1f}" '
+            'fill="#1a202c"/>'
+        )
+    parts.append("</svg>")
+    text = "\n".join(parts)
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def figure4_hexagon_construction(
+    side: int = 3, extra: int = 6
+) -> Tuple[ParticleSystem, ParticleSystem, str, str]:
+    """Figure 4: the Lemma 2 construction, as systems and ASCII art.
+
+    Returns ``(hexagon_system, hexagon_plus_layer_system, ascii_a,
+    ascii_b)`` for the regular hexagon of the given ``side`` and the
+    same hexagon with ``extra`` particles added around the outside —
+    the paper's example uses side 3 (37 particles) plus 6 extras with
+    perimeter 20.
+    """
+    base_count = 3 * side * side + 3 * side + 1
+    base = ParticleSystem.from_nodes(
+        hexagon(base_count), [0] * base_count, num_colors=2
+    )
+    total = base_count + extra
+    extended = ParticleSystem.from_nodes(
+        hexagon(total), [0] * total, num_colors=2
+    )
+    return base, extended, render_ascii(base), render_ascii(extended)
+
+
+def write_illustrations(directory: Union[str, Path]) -> List[Path]:
+    """Write all illustrative figures into a directory; returns paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name, producer in (
+        ("figure1a_lattice.svg", figure1_lattice_svg),
+        ("figure1b_particles.svg", figure1_particles_svg),
+    ):
+        target = directory / name
+        producer(path=target)
+        written.append(target)
+    base, extended, _, _ = figure4_hexagon_construction()
+    for name, system in (
+        ("figure4a_hexagon.svg", base),
+        ("figure4b_hexagon_layer.svg", extended),
+    ):
+        target = directory / name
+        render_svg(system, target)
+        written.append(target)
+    return written

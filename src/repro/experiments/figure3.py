@@ -1,0 +1,130 @@
+"""Experiment E2 — Figure 3: the (λ, γ) phase diagram.
+
+The paper starts every cell from the *same* initial configuration (the
+leftmost frame of Figure 2) and runs 50,000,000 iterations per (λ, γ)
+pair, observing four phases: compressed-separated,
+compressed-integrated, expanded-separated, and expanded-integrated.
+
+This regenerator sweeps a (λ, γ) grid spanning all four phases from a
+shared initial configuration and classifies every endpoint.  Iteration
+counts are scaled down by default (the phases establish themselves well
+before the paper's 50M steps at n = 100).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple  # noqa: F401
+
+from repro.core.separation_chain import SeparationChain
+from repro.experiments.phases import PhaseThresholds, classify_phase, phase_metrics
+from repro.system.configuration import ParticleSystem
+from repro.system.initializers import random_blob_system
+from repro.util.rng import RngLike
+
+#: Grid spanning the four phases (γ values straddle both proven regimes;
+#: λ = 0.5 exposes the expanded-separated corner, λγ small but γ large).
+DEFAULT_LAMBDAS = (0.5, 1.0, 2.0, 4.0, 6.0)
+DEFAULT_GAMMAS = (0.8, 1.0, 2.0, 4.0, 6.0)
+
+#: Iterations per cell in the paper.
+PAPER_ITERATIONS = 50_000_000
+
+#: Abbreviations used in the printed grid.
+PHASE_ABBREVIATIONS = {
+    "compressed-separated": "CS",
+    "compressed-integrated": "CI",
+    "expanded-separated": "ES",
+    "expanded-integrated": "EI",
+}
+
+
+@dataclass
+class Figure3Result:
+    """Outcome of a Figure 3 regeneration."""
+
+    lambdas: List[float]
+    gammas: List[float]
+    iterations: int
+    phases: Dict[Tuple[float, float], str]
+    metrics: Dict[Tuple[float, float], Dict[str, float]]
+
+    def grid_table(self) -> str:
+        """The phase diagram as a text grid (rows = λ, columns = γ)."""
+        header = "lambda\\gamma  " + "  ".join(
+            f"{gamma:>6.2f}" for gamma in self.gammas
+        )
+        lines = [header, "-" * len(header)]
+        for lam in self.lambdas:
+            cells = [
+                PHASE_ABBREVIATIONS[self.phases[(lam, gamma)]].rjust(6)
+                for gamma in self.gammas
+            ]
+            lines.append(f"{lam:>12.2f}  " + "  ".join(cells))
+        lines.append(
+            "(CS=compressed-separated, CI=compressed-integrated, "
+            "ES=expanded-separated, EI=expanded-integrated)"
+        )
+        return "\n".join(lines)
+
+    def phase_of(self, lam: float, gamma: float) -> str:
+        """Phase label of one grid cell."""
+        return self.phases[(lam, gamma)]
+
+
+def run_figure3(
+    n: int = 100,
+    lambdas: Sequence[float] = DEFAULT_LAMBDAS,
+    gammas: Sequence[float] = DEFAULT_GAMMAS,
+    iterations: int = 1_000_000,
+    swaps: bool = True,
+    seed: RngLike = 2018,
+    thresholds: PhaseThresholds = PhaseThresholds(),
+    initial: Optional[ParticleSystem] = None,
+    replicas: int = 1,
+) -> Figure3Result:
+    """Regenerate the Figure 3 phase grid.
+
+    Every cell starts from a copy of the same initial configuration (as
+    in the paper) and runs ``iterations`` steps of the chain with its own
+    (λ, γ).  With ``replicas > 1`` each cell runs several independent
+    seeds and the reported phase is the majority vote (ties broken
+    toward the first run), making the diagram robust to single-run
+    fluctuations near phase boundaries; metrics are averaged.
+    """
+    if replicas < 1:
+        raise ValueError(f"replicas must be positive, got {replicas}")
+    if initial is None:
+        initial = random_blob_system(n, seed=seed)
+    base_seed = seed if isinstance(seed, int) else 0
+    phases: Dict[Tuple[float, float], str] = {}
+    metrics: Dict[Tuple[float, float], Dict[str, float]] = {}
+    for lam in lambdas:
+        for gamma in gammas:
+            votes: List[str] = []
+            accumulated: Dict[str, float] = {}
+            for replica in range(replicas):
+                system = initial.copy()
+                chain = SeparationChain(
+                    system,
+                    lam=lam,
+                    gamma=gamma,
+                    swaps=swaps,
+                    seed=base_seed + 7919 * replica,
+                )
+                chain.run(iterations)
+                votes.append(classify_phase(system, thresholds))
+                for name, value in phase_metrics(system).items():
+                    accumulated[name] = accumulated.get(name, 0.0) + value
+            key = (lam, gamma)
+            phases[key] = max(votes, key=votes.count)
+            metrics[key] = {
+                name: value / replicas for name, value in accumulated.items()
+            }
+    return Figure3Result(
+        lambdas=list(lambdas),
+        gammas=list(gammas),
+        iterations=iterations,
+        phases=phases,
+        metrics=metrics,
+    )

@@ -1,0 +1,106 @@
+"""Executable checks of the paper's combinatorial lemmas (E6).
+
+* **Lemma 1** ([CannonDRR16] Lemma 4.3): for any :math:`\\nu > 2+\\sqrt2`
+  and large enough ``n``, the number of connected hole-free configurations
+  with ``n`` particles and perimeter ``k`` is at most :math:`\\nu^k`.  We
+  count exactly by exhaustive enumeration for small ``n`` and compare.
+* **Lemma 2**: :math:`p_{min}(n) \\le 2\\sqrt3\\sqrt{n}`, witnessed by the
+  hexagon-plus-layer construction — checked both against the closed-form
+  minimum and against the actual constructed configurations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.compression_metric import lemma2_upper_bound, minimum_perimeter
+from repro.lattice.boundary import perimeter_from_edges
+from repro.lattice.geometry import hexagon
+from repro.lattice.triangular import edges_of
+from repro.markov.enumerate_configs import enumerate_animals
+from repro.system.configuration import ParticleSystem
+
+
+def perimeter_census(n: int) -> Dict[int, int]:
+    """Exact count of connected hole-free ``n``-particle configurations
+    by perimeter (up to translation)."""
+    census: Dict[int, int] = {}
+    for animal in enumerate_animals(n, hole_free_only=True):
+        p = perimeter_from_edges(n, len(edges_of(animal)))
+        census[p] = census.get(p, 0) + 1
+    return census
+
+
+@dataclass
+class Lemma1Check:
+    """Result of comparing the exact census against the ν^k bound."""
+
+    n: int
+    nu: float
+    census: Dict[int, int]
+    violations: List[int]
+
+    @property
+    def holds(self) -> bool:
+        """Whether count(perimeter = k) <= ν^k for every k."""
+        return not self.violations
+
+
+def check_lemma1_counting_bound(n: int, nu: float) -> Lemma1Check:
+    """Verify Lemma 1's bound exactly for a small ``n``.
+
+    Lemma 1 is asymptotic ("for all n >= n_1(ν)"), so small-``n``
+    violations for ν barely above :math:`2+\\sqrt2` are legitimate; the
+    benchmark reports at which ν the bound already holds at small ``n``.
+    """
+    if nu <= 0:
+        raise ValueError(f"nu must be positive, got {nu}")
+    census = perimeter_census(n)
+    violations = [k for k, count in census.items() if count > nu**k]
+    return Lemma1Check(n=n, nu=nu, census=census, violations=violations)
+
+
+@dataclass
+class Lemma2Check:
+    """Result of validating the constructive perimeter bound at one n."""
+
+    n: int
+    constructed_perimeter: int
+    minimum: int
+    bound: float
+
+    @property
+    def holds(self) -> bool:
+        """Construction within the bound, and never below the true minimum."""
+        return (
+            self.minimum <= self.constructed_perimeter <= self.bound
+        )
+
+
+def check_lemma2_constructive_bound(n: int) -> Lemma2Check:
+    """Build the Lemma 2 hexagon configuration and measure it."""
+    nodes = hexagon(n)
+    system = ParticleSystem.from_nodes(nodes, [0] * n, num_colors=2)
+    if system.has_holes() or not system.is_connected():
+        raise AssertionError(f"hexagon construction invalid at n={n}")
+    return Lemma2Check(
+        n=n,
+        constructed_perimeter=system.perimeter(),
+        minimum=minimum_perimeter(n),
+        bound=lemma2_upper_bound(n),
+    )
+
+
+def smallest_valid_nu(n: int, precision: float = 0.01) -> float:
+    """Smallest ν (to ``precision``) whose bound holds at this exact ``n``.
+
+    Quantifies how much slack Lemma 1's asymptotic constant
+    :math:`2+\\sqrt2 \\approx 3.41` has at small ``n``.
+    """
+    census = perimeter_census(n)
+    nu = max(
+        count ** (1.0 / k) for k, count in census.items() if k > 0
+    )
+    return math.ceil(nu / precision) * precision

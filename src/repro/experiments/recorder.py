@@ -1,0 +1,92 @@
+"""Time-series recording for chain runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.markov.chain import MarkovChainProtocol
+from repro.system.configuration import ParticleSystem
+
+
+@dataclass
+class RunRecorder:
+    """Collects named observables of a particle system over a run.
+
+    Observables are functions of the system; :meth:`record` evaluates all
+    of them and appends a row.  Rows are plain dictionaries so harnesses
+    can print or serialize them without ceremony.
+    """
+
+    observables: Dict[str, Callable[[ParticleSystem], float]]
+    rows: List[Dict[str, float]] = field(default_factory=list)
+
+    def record(self, iteration: int, system: ParticleSystem) -> Dict[str, float]:
+        """Measure every observable now and append the row."""
+        row: Dict[str, float] = {"iteration": float(iteration)}
+        for name, fn in self.observables.items():
+            row[name] = float(fn(system))
+        self.rows.append(row)
+        return row
+
+    def series(self, name: str) -> List[float]:
+        """The time series of one observable (or of ``iteration``)."""
+        if self.rows and name not in self.rows[0]:
+            raise KeyError(f"unknown observable {name!r}")
+        return [row[name] for row in self.rows]
+
+    def last(self) -> Dict[str, float]:
+        """The most recent row."""
+        if not self.rows:
+            raise IndexError("no rows recorded")
+        return self.rows[-1]
+
+    def as_table(self, float_format: str = "{:.3f}") -> str:
+        """Fixed-width text table of all rows (for harness output)."""
+        if not self.rows:
+            return "(no rows)"
+        names = list(self.rows[0])
+        widths = {
+            name: max(len(name), 12 if name != "iteration" else 12)
+            for name in names
+        }
+        header = "  ".join(name.rjust(widths[name]) for name in names)
+        lines = [header, "-" * len(header)]
+        for row in self.rows:
+            cells = []
+            for name in names:
+                value = row[name]
+                if name == "iteration":
+                    cells.append(f"{int(value):>12d}")
+                else:
+                    cells.append(float_format.format(value).rjust(widths[name]))
+            lines.append("  ".join(cells))
+        return "\n".join(lines)
+
+
+def record_during_run(
+    chain: MarkovChainProtocol,
+    system: ParticleSystem,
+    recorder: RunRecorder,
+    checkpoints: Sequence[int],
+    start_iteration: Optional[int] = None,
+) -> RunRecorder:
+    """Run ``chain`` pausing at each checkpoint to record.
+
+    ``checkpoints`` are absolute iteration counts (ascending).  If the
+    first checkpoint is 0 (or equals the chain's current count), the
+    initial state is recorded before any step.
+    """
+    current = chain.iterations if start_iteration is None else start_iteration
+    previous = current - 1
+    for checkpoint in checkpoints:
+        if checkpoint < current:
+            raise ValueError(
+                f"checkpoints must be ascending and >= {current}; "
+                f"got {checkpoint} after {previous}"
+            )
+        chain.run(checkpoint - current)
+        current = checkpoint
+        previous = checkpoint
+        recorder.record(checkpoint, system)
+    return recorder

@@ -1,0 +1,106 @@
+"""Configuration rendering: ASCII for terminals, SVG for documents.
+
+The paper's Figures 2 and 3 are pictures of configurations; these
+renderers regenerate equivalent visuals.  ASCII renders use one character
+per particle with half-character row offsets approximating the triangular
+geometry; SVG renders place true hexagonal-lattice disks.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.lattice.triangular import Node, to_cartesian
+from repro.system.configuration import ParticleSystem
+
+#: Characters used for the first few colors in ASCII renders.
+ASCII_GLYPHS = ("o", "x", "v", "+", "*", "#")
+
+#: Fill colors for the first few color classes in SVG renders.
+SVG_COLORS = ("#2b6cb0", "#c53030", "#2f855a", "#b7791f", "#6b46c1", "#dd6b20")
+
+
+def render_ascii(system: ParticleSystem, empty: str = ".") -> str:
+    """Plain-text picture of the configuration.
+
+    Rows are lattice rows (decreasing ``y`` top to bottom); each row is
+    indented by half a character per unit ``y`` to mimic the triangular
+    lattice's skew.  Occupied nodes show their color glyph, unoccupied
+    nodes inside the bounding box show ``empty``.
+    """
+    colors = system.colors
+    xs = [x for x, _ in colors]
+    ys = [y for _, y in colors]
+    min_x, max_x = min(xs), max(xs)
+    min_y, max_y = min(ys), max(ys)
+    lines = []
+    for y in range(max_y, min_y - 1, -1):
+        indent = y - min_y  # each +1 in y shifts cartesian x by +1/2
+        cells = []
+        for x in range(min_x, max_x + 1):
+            color = colors.get((x, y))
+            if color is None:
+                cells.append(empty)
+            else:
+                cells.append(ASCII_GLYPHS[color % len(ASCII_GLYPHS)])
+        lines.append(" " * indent + " ".join(cells))
+    return "\n".join(lines)
+
+
+def render_svg(
+    system: ParticleSystem,
+    path: Optional[Union[str, Path]] = None,
+    scale: float = 14.0,
+    margin: float = 1.5,
+) -> str:
+    """SVG picture with particles as colored disks on the true lattice.
+
+    Returns the SVG text; also writes it to ``path`` when given.
+    """
+    colors = system.colors
+    points: Dict[Node, tuple] = {node: to_cartesian(node) for node in colors}
+    xs = [p[0] for p in points.values()]
+    ys = [p[1] for p in points.values()]
+    min_x, max_x = min(xs) - margin, max(xs) + margin
+    min_y, max_y = min(ys) - margin, max(ys) + margin
+    width = (max_x - min_x) * scale
+    height = (max_y - min_y) * scale
+
+    def transform(point: tuple) -> tuple:
+        # Flip y so larger lattice y renders higher on the page.
+        return ((point[0] - min_x) * scale, (max_y - point[1]) * scale)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" '
+        f'width="{width:.0f}" height="{height:.0f}" '
+        f'viewBox="0 0 {width:.2f} {height:.2f}">',
+        '<rect width="100%" height="100%" fill="white"/>',
+    ]
+    # Draw configuration edges underneath the particles.
+    from repro.lattice.triangular import NEIGHBOR_OFFSETS
+
+    for (x, y), point in points.items():
+        for dx, dy in NEIGHBOR_OFFSETS:
+            nbr = (x + dx, y + dy)
+            if nbr in points and (x, y) < nbr:
+                x1, y1 = transform(point)
+                x2, y2 = transform(points[nbr])
+                parts.append(
+                    f'<line x1="{x1:.1f}" y1="{y1:.1f}" '
+                    f'x2="{x2:.1f}" y2="{y2:.1f}" '
+                    'stroke="#cbd5e0" stroke-width="1"/>'
+                )
+    radius = 0.35 * scale
+    for node, point in points.items():
+        cx, cy = transform(point)
+        fill = SVG_COLORS[colors[node] % len(SVG_COLORS)]
+        parts.append(
+            f'<circle cx="{cx:.1f}" cy="{cy:.1f}" r="{radius:.1f}" '
+            f'fill="{fill}"/>'
+        )
+    parts.append("</svg>")
+    text = "\n".join(parts)
+    if path is not None:
+        Path(path).write_text(text)
+    return text

@@ -1,0 +1,74 @@
+"""Triangular-lattice substrate.
+
+The geometric amoebot model places particles on the infinite triangular
+lattice :math:`G_\\Delta`.  This package provides the coordinate system,
+neighborhood structure, geometric constructions (hexagons, rings, lines),
+boundary/perimeter computation, hole detection, and connectivity queries
+that every higher layer builds on.
+
+Coordinates are *axial*: node ``(x, y)`` sits at Cartesian position
+``(x + y/2, y * sqrt(3)/2)`` and its six neighbors are obtained by adding
+the offsets in :data:`NEIGHBOR_OFFSETS`.
+"""
+
+from repro.lattice.triangular import (
+    DIRECTIONS,
+    NEIGHBOR_OFFSETS,
+    Node,
+    are_adjacent,
+    common_neighbors,
+    direction_between,
+    edge_key,
+    edge_ring,
+    neighborhood,
+    neighbors,
+    to_cartesian,
+)
+from repro.lattice.geometry import (
+    disk,
+    hexagon,
+    hexagon_perimeter_length,
+    hexagon_size,
+    lattice_distance,
+    line,
+    parallelogram,
+    ring,
+)
+from repro.lattice.boundary import boundary_walk, outer_boundary_length, perimeter
+from repro.lattice.holes import find_holes, has_holes, fill_holes
+from repro.lattice.connectivity import (
+    connected_components,
+    is_connected,
+    is_simply_connected,
+)
+
+__all__ = [
+    "Node",
+    "NEIGHBOR_OFFSETS",
+    "DIRECTIONS",
+    "neighbors",
+    "neighborhood",
+    "are_adjacent",
+    "common_neighbors",
+    "direction_between",
+    "edge_key",
+    "edge_ring",
+    "to_cartesian",
+    "hexagon",
+    "hexagon_size",
+    "hexagon_perimeter_length",
+    "ring",
+    "disk",
+    "line",
+    "parallelogram",
+    "lattice_distance",
+    "boundary_walk",
+    "perimeter",
+    "outer_boundary_length",
+    "find_holes",
+    "has_holes",
+    "fill_holes",
+    "connected_components",
+    "is_connected",
+    "is_simply_connected",
+]

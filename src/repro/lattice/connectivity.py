@@ -1,0 +1,72 @@
+"""Connectivity queries over sets of occupied lattice nodes."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, List, Set
+
+from repro.lattice.triangular import NEIGHBOR_OFFSETS, Node
+from repro.lattice.holes import has_holes
+
+
+def connected_components(occupied: Iterable[Node]) -> List[Set[Node]]:
+    """Connected components of the induced subgraph on ``occupied``."""
+    remaining = set(occupied)
+    components: List[Set[Node]] = []
+    while remaining:
+        seed = remaining.pop()
+        component = {seed}
+        queue = deque([seed])
+        while queue:
+            x, y = queue.popleft()
+            for dx, dy in NEIGHBOR_OFFSETS:
+                nbr = (x + dx, y + dy)
+                if nbr in remaining:
+                    remaining.discard(nbr)
+                    component.add(nbr)
+                    queue.append(nbr)
+        components.append(component)
+    return components
+
+
+def is_connected(occupied: Iterable[Node]) -> bool:
+    """Whether the occupied nodes induce a connected subgraph.
+
+    The empty set is vacuously connected.
+    """
+    occupied_set = set(occupied)
+    if len(occupied_set) <= 1:
+        return True
+    seed = next(iter(occupied_set))
+    seen = {seed}
+    queue = deque([seed])
+    while queue:
+        x, y = queue.popleft()
+        for dx, dy in NEIGHBOR_OFFSETS:
+            nbr = (x + dx, y + dy)
+            if nbr in occupied_set and nbr not in seen:
+                seen.add(nbr)
+                queue.append(nbr)
+    return len(seen) == len(occupied_set)
+
+
+def is_simply_connected(occupied: Iterable[Node]) -> bool:
+    """Connected and hole-free — the state space of the chain at stationarity."""
+    occupied_set = set(occupied)
+    return is_connected(occupied_set) and not has_holes(occupied_set)
+
+
+def component_containing(occupied: Set[Node], node: Node) -> Set[Node]:
+    """The connected component of ``occupied`` that contains ``node``."""
+    if node not in occupied:
+        raise ValueError(f"node {node} is not occupied")
+    seen = {node}
+    queue = deque([node])
+    while queue:
+        x, y = queue.popleft()
+        for dx, dy in NEIGHBOR_OFFSETS:
+            nbr = (x + dx, y + dy)
+            if nbr in occupied and nbr not in seen:
+                seen.add(nbr)
+                queue.append(nbr)
+    return seen

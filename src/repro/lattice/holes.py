@@ -1,0 +1,132 @@
+"""Hole detection for particle configurations.
+
+A configuration has a *hole* if the unoccupied nodes of :math:`G_\\Delta`
+contain a finite (maximal) connected component.  The chain of the paper
+eliminates all holes and never re-creates one (Lemma 6); the detectors
+here are used by tests and debug assertions to verify that invariant, and
+by observables that must behave sensibly before burn-in.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, List, Set
+
+from repro.lattice.triangular import NEIGHBOR_OFFSETS, Node
+
+
+def _bounding_box(occupied: Set[Node], margin: int = 1):
+    xs = [x for x, _ in occupied]
+    ys = [y for _, y in occupied]
+    return (
+        min(xs) - margin,
+        max(xs) + margin,
+        min(ys) - margin,
+        max(ys) + margin,
+    )
+
+
+def find_holes(occupied: Set[Node]) -> List[Set[Node]]:
+    """All holes of the configuration, as sets of unoccupied nodes.
+
+    Flood-fills the unoccupied exterior from outside the bounding box;
+    any unoccupied node inside the box not reached by the fill belongs to
+    a finite complement component, i.e. a hole.  Returns each hole as its
+    own connected set.
+    """
+    if not occupied:
+        return []
+    min_x, max_x, min_y, max_y = _bounding_box(occupied)
+
+    def in_box(node: Node) -> bool:
+        return min_x <= node[0] <= max_x and min_y <= node[1] <= max_y
+
+    # Exterior flood fill seeded from every empty node on the box frame.
+    exterior: Set[Node] = set()
+    frontier: deque = deque()
+    for x in range(min_x, max_x + 1):
+        for y in (min_y, max_y):
+            node = (x, y)
+            if node not in occupied and node not in exterior:
+                exterior.add(node)
+                frontier.append(node)
+    for y in range(min_y, max_y + 1):
+        for x in (min_x, max_x):
+            node = (x, y)
+            if node not in occupied and node not in exterior:
+                exterior.add(node)
+                frontier.append(node)
+    while frontier:
+        x, y = frontier.popleft()
+        for dx, dy in NEIGHBOR_OFFSETS:
+            nbr = (x + dx, y + dy)
+            if in_box(nbr) and nbr not in occupied and nbr not in exterior:
+                exterior.add(nbr)
+                frontier.append(nbr)
+
+    # Remaining empty in-box nodes are hole nodes; group into components.
+    hole_nodes: Set[Node] = set()
+    for x in range(min_x + 1, max_x):
+        for y in range(min_y + 1, max_y):
+            node = (x, y)
+            if node not in occupied and node not in exterior:
+                hole_nodes.add(node)
+
+    holes: List[Set[Node]] = []
+    remaining = set(hole_nodes)
+    while remaining:
+        seed = remaining.pop()
+        component = {seed}
+        queue = deque([seed])
+        while queue:
+            x, y = queue.popleft()
+            for dx, dy in NEIGHBOR_OFFSETS:
+                nbr = (x + dx, y + dy)
+                if nbr in remaining:
+                    remaining.discard(nbr)
+                    component.add(nbr)
+                    queue.append(nbr)
+        holes.append(component)
+    return holes
+
+
+def has_holes(occupied: Set[Node]) -> bool:
+    """Whether the configuration encloses at least one hole."""
+    return bool(find_holes(occupied))
+
+
+def fill_holes(occupied: Set[Node]) -> Set[Node]:
+    """Return a copy of the configuration with every hole filled in.
+
+    Useful for constructing hole-free variants of randomly generated
+    initial configurations.
+    """
+    filled = set(occupied)
+    for hole in find_holes(occupied):
+        filled.update(hole)
+    return filled
+
+
+def hole_boundary_lengths(occupied: Set[Node]) -> Dict[FrozenSet[Node], int]:
+    """Map each hole to the number of configuration edges on its boundary.
+
+    The boundary edges of a hole are the occupied-occupied lattice edges
+    with at least one endpoint adjacent to the hole; this count is a
+    diagnostic observable, not part of the paper's perimeter definition.
+    """
+    result: Dict[FrozenSet[Node], int] = {}
+    for hole in find_holes(occupied):
+        rim: Set[Node] = set()
+        for x, y in hole:
+            for dx, dy in NEIGHBOR_OFFSETS:
+                nbr = (x + dx, y + dy)
+                if nbr in occupied:
+                    rim.add(nbr)
+        edges = 0
+        for x, y in rim:
+            for dx, dy in NEIGHBOR_OFFSETS:
+                nbr = (x + dx, y + dy)
+                if nbr in rim and (x, y) < nbr:
+                    edges += 1
+        result[frozenset(hole)] = edges
+    return result

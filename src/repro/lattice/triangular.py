@@ -1,0 +1,202 @@
+"""Axial-coordinate triangular lattice :math:`G_\\Delta`.
+
+Nodes are integer pairs ``(x, y)``.  The six neighbors of a node are found
+by adding :data:`NEIGHBOR_OFFSETS`, listed in counterclockwise order
+starting from "east".  Under the Cartesian embedding
+``(x + y/2, y * sqrt(3)/2)`` every edge has unit length and every node has
+six unit-distance neighbors, so this is exactly the triangular lattice of
+the amoebot model.
+
+A fact used heavily by the move-validity logic (Properties 4 and 5 of the
+paper): for an adjacent pair of nodes ``(u, v)``, the eight lattice nodes
+adjacent to ``u`` or ``v`` (excluding ``u`` and ``v`` themselves) form a
+*chordless 8-cycle*.  :func:`edge_ring` returns that cycle in order, which
+reduces the local connectivity checks of Properties 4/5 to scanning runs
+of occupied positions along a ring.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+Node = Tuple[int, int]
+
+#: Offsets to the six neighbors, counterclockwise starting from east.
+NEIGHBOR_OFFSETS: Tuple[Node, ...] = (
+    (1, 0),
+    (0, 1),
+    (-1, 1),
+    (-1, 0),
+    (0, -1),
+    (1, -1),
+)
+
+#: Direction names matching :data:`NEIGHBOR_OFFSETS`, for debugging/rendering.
+DIRECTIONS: Tuple[str, ...] = ("E", "NE", "NW", "W", "SW", "SE")
+
+_OFFSET_TO_DIRECTION: Dict[Node, int] = {
+    offset: index for index, offset in enumerate(NEIGHBOR_OFFSETS)
+}
+
+SQRT3 = math.sqrt(3.0)
+
+
+def neighbors(node: Node) -> List[Node]:
+    """The six lattice neighbors of ``node``, counterclockwise from east."""
+    x, y = node
+    return [(x + dx, y + dy) for dx, dy in NEIGHBOR_OFFSETS]
+
+
+def neighborhood(node: Node, include_self: bool = False) -> List[Node]:
+    """``node``'s neighbors, optionally with ``node`` itself prepended."""
+    result = neighbors(node)
+    if include_self:
+        result.insert(0, node)
+    return result
+
+
+def are_adjacent(u: Node, v: Node) -> bool:
+    """Whether ``u`` and ``v`` are joined by a lattice edge."""
+    return (v[0] - u[0], v[1] - u[1]) in _OFFSET_TO_DIRECTION
+
+
+def direction_between(u: Node, v: Node) -> int:
+    """Index into :data:`NEIGHBOR_OFFSETS` taking ``u`` to adjacent ``v``.
+
+    Raises ``ValueError`` if the nodes are not adjacent.
+    """
+    delta = (v[0] - u[0], v[1] - u[1])
+    try:
+        return _OFFSET_TO_DIRECTION[delta]
+    except KeyError:
+        raise ValueError(f"nodes {u} and {v} are not adjacent") from None
+
+
+def common_neighbors(u: Node, v: Node) -> List[Node]:
+    """The lattice nodes adjacent to both ``u`` and ``v``.
+
+    Adjacent nodes share exactly two common neighbors; these are the
+    candidate members of the set :math:`\\mathbb{S}` in Properties 4/5.
+    """
+    nbrs_u = set(neighbors(u))
+    return [w for w in neighbors(v) if w in nbrs_u]
+
+
+def edge_key(u: Node, v: Node) -> Tuple[Node, Node]:
+    """Canonical (sorted) key for the undirected edge ``{u, v}``."""
+    return (u, v) if u <= v else (v, u)
+
+
+def edge_ring(u: Node, v: Node) -> List[Node]:
+    """The 8-cycle of nodes surrounding the adjacent pair ``(u, v)``.
+
+    Returns the eight nodes adjacent to ``u`` or ``v`` (excluding ``u`` and
+    ``v``) in cyclic order, starting from one of the two common neighbors.
+    Consecutive returned nodes are lattice-adjacent, the first and last are
+    adjacent, and no non-consecutive pair is adjacent (the cycle is
+    chordless).  Positions 0 and 4 of the result are the two common
+    neighbors of ``u`` and ``v``.
+    """
+    d = direction_between(u, v)
+    ux, uy = u
+    vx, vy = v
+    steps = (
+        (vx, vy, d + 1),  # far side of v, counterclockwise
+        (vx, vy, d),  # directly beyond v
+        (vx, vy, d + 5),  # far side of v, clockwise
+        (ux, uy, d + 5),  # common neighbor (clockwise side)
+        (ux, uy, d + 4),
+        (ux, uy, d + 3),
+        (ux, uy, d + 2),
+    )
+    dx, dy = NEIGHBOR_OFFSETS[(d + 1) % 6]
+    ring: List[Node] = [(ux + dx, uy + dy)]  # common neighbor (ccw side)
+    for bx, by, direction in steps:
+        dx, dy = NEIGHBOR_OFFSETS[direction % 6]
+        ring.append((bx + dx, by + dy))
+    return ring
+
+
+def _edge_ring_explicit(u: Node, v: Node) -> List[Node]:
+    """Reference construction of the edge ring by angular sort.
+
+    Sorts the eight surrounding nodes by angle around the midpoint of the
+    edge, then rotates so the ring starts at a common neighbor.  Used by
+    :func:`edge_ring`; kept separate so the fast path can be swapped in
+    without changing the contract.
+    """
+    surround: Set[Node] = set(neighbors(u)) | set(neighbors(v))
+    surround.discard(u)
+    surround.discard(v)
+    mx = (u[0] + v[0]) / 2.0
+    my = (u[1] + v[1]) / 2.0
+    mcx = mx + my / 2.0
+    mcy = my * SQRT3 / 2.0
+
+    def angle(node: Node) -> float:
+        cx, cy = to_cartesian(node)
+        return math.atan2(cy - mcy, cx - mcx)
+
+    ordered = sorted(surround, key=angle)
+    commons = set(common_neighbors(u, v))
+    start = next(i for i, node in enumerate(ordered) if node in commons)
+    return ordered[start:] + ordered[:start]
+
+
+def to_cartesian(node: Node) -> Tuple[float, float]:
+    """Cartesian embedding of ``node`` with unit edge length."""
+    x, y = node
+    return (x + y / 2.0, y * SQRT3 / 2.0)
+
+
+def edges_of(nodes: Iterable[Node]) -> Set[Tuple[Node, Node]]:
+    """All lattice edges with both endpoints in ``nodes`` (canonical keys)."""
+    node_set = set(nodes)
+    result: Set[Tuple[Node, Node]] = set()
+    for node in node_set:
+        for nbr in neighbors(node):
+            if nbr in node_set:
+                result.add(edge_key(node, nbr))
+    return result
+
+
+def induced_degree(node: Node, occupied: Set[Node]) -> int:
+    """Number of occupied neighbors of ``node``."""
+    x, y = node
+    return sum((x + dx, y + dy) in occupied for dx, dy in NEIGHBOR_OFFSETS)
+
+
+def translate(nodes: Iterable[Node], delta: Node) -> List[Node]:
+    """Translate every node by ``delta``."""
+    dx, dy = delta
+    return [(x + dx, y + dy) for x, y in nodes]
+
+
+def rotate60(node: Node, times: int = 1) -> Node:
+    """Rotate ``node`` by ``times`` multiples of 60 degrees about the origin.
+
+    Under our Cartesian embedding the counterclockwise 60-degree rotation
+    is the linear map ``(x, y) -> (-y, x + y)``; composing it six times is
+    the identity, which the test suite verifies.
+    """
+    x, y = node
+    for _ in range(times % 6):
+        x, y = -y, x + y
+    return (x, y)
+
+
+def canonical_form(nodes: Sequence[Node]) -> Tuple[Node, ...]:
+    """Translation-canonical form of a node set.
+
+    Configurations in the paper are equivalence classes of arrangements
+    under translation; this returns the lexicographically-least translate,
+    suitable as a dictionary key when enumerating configurations.
+    """
+    if not nodes:
+        return ()
+    min_x = min(x for x, _ in nodes)
+    candidates = [(x, y) for x, y in nodes if x == min_x]
+    min_y = min(y for _, y in candidates)
+    shifted = sorted((x - min_x, y - min_y) for x, y in nodes)
+    return tuple(shifted)

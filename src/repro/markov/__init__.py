@@ -1,0 +1,70 @@
+"""Generic Markov-chain machinery and exact small-system analysis.
+
+* :mod:`repro.markov.chain` — protocols and runners shared by all chains.
+* :mod:`repro.markov.metropolis` — the Metropolis filter in isolation.
+* :mod:`repro.markov.enumerate_configs` — exhaustive enumeration of
+  connected (hole-free) colored configurations for small ``n``.
+* :mod:`repro.markov.exact` — exact transition matrices and stationary
+  distributions over the enumerated state space.
+* :mod:`repro.markov.diagnostics` — detailed balance, ergodicity,
+  total-variation distance, and empirical-vs-exact comparisons.
+"""
+
+from repro.markov.chain import MarkovChainProtocol, sample_observable, run_chunked
+from repro.markov.metropolis import metropolis_acceptance, metropolis_step
+from repro.markov.enumerate_configs import (
+    enumerate_animals,
+    enumerate_colored_configurations,
+    count_animals,
+)
+from repro.markov.exact import (
+    ExactChainAnalysis,
+    build_transition_matrix,
+    lemma9_distribution,
+)
+from repro.markov.coupling import (
+    CoalescenceResult,
+    convergence_from_extremes,
+    coupled_observable_coalescence,
+)
+from repro.markov.spectral import (
+    SpectralSummary,
+    bottleneck_ratio,
+    gap_versus_parameters,
+    spectral_summary,
+)
+from repro.markov.diagnostics import (
+    detailed_balance_violations,
+    empirical_distribution,
+    is_aperiodic,
+    is_irreducible,
+    stationary_from_matrix,
+    total_variation_distance,
+)
+
+__all__ = [
+    "MarkovChainProtocol",
+    "sample_observable",
+    "run_chunked",
+    "metropolis_acceptance",
+    "metropolis_step",
+    "enumerate_animals",
+    "enumerate_colored_configurations",
+    "count_animals",
+    "ExactChainAnalysis",
+    "build_transition_matrix",
+    "lemma9_distribution",
+    "detailed_balance_violations",
+    "empirical_distribution",
+    "is_aperiodic",
+    "is_irreducible",
+    "stationary_from_matrix",
+    "total_variation_distance",
+    "SpectralSummary",
+    "spectral_summary",
+    "bottleneck_ratio",
+    "gap_versus_parameters",
+    "CoalescenceResult",
+    "coupled_observable_coalescence",
+    "convergence_from_extremes",
+]

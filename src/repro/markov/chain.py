@@ -1,0 +1,77 @@
+"""Protocols and generic runners for discrete-time Markov chains."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Protocol, TypeVar, runtime_checkable
+
+T = TypeVar("T")
+
+
+@runtime_checkable
+class MarkovChainProtocol(Protocol):
+    """Minimal interface all chain samplers in this library satisfy."""
+
+    iterations: int
+
+    def step(self) -> bool:
+        """Advance one iteration; return whether the state changed."""
+        ...
+
+    def run(self, steps: int) -> "MarkovChainProtocol":
+        """Advance ``steps`` iterations."""
+        ...
+
+
+def sample_observable(
+    chain: MarkovChainProtocol,
+    observable: Callable[[], T],
+    samples: int,
+    thinning: int,
+    burn_in: int = 0,
+) -> List[T]:
+    """Collect ``samples`` values of ``observable``, ``thinning`` steps apart.
+
+    Runs ``burn_in`` iterations first.  The observable is a zero-argument
+    callable (typically a closure over the chain's system), evaluated
+    after each thinning block — the standard MCMC estimation loop used by
+    the stationary-distribution tests and the experiment harness.
+    """
+    if samples < 0:
+        raise ValueError(f"samples must be non-negative, got {samples}")
+    if thinning < 1:
+        raise ValueError(f"thinning must be positive, got {thinning}")
+    if burn_in < 0:
+        raise ValueError(f"burn_in must be non-negative, got {burn_in}")
+    chain.run(burn_in)
+    values: List[T] = []
+    for _ in range(samples):
+        chain.run(thinning)
+        values.append(observable())
+    return values
+
+
+def run_chunked(
+    chain: MarkovChainProtocol,
+    total_steps: int,
+    chunks: int,
+) -> Iterator[int]:
+    """Run ``total_steps`` in ``chunks`` pieces, yielding the step count so far.
+
+    Lets callers interleave measurement with simulation without paying
+    per-step callback overhead::
+
+        for done in run_chunked(chain, 1_000_000, 100):
+            record(done, system.perimeter())
+    """
+    if total_steps < 0:
+        raise ValueError(f"total_steps must be non-negative, got {total_steps}")
+    if chunks < 1:
+        raise ValueError(f"chunks must be positive, got {chunks}")
+    base = total_steps // chunks
+    remainder = total_steps - base * chunks
+    done = 0
+    for i in range(chunks):
+        size = base + (1 if i < remainder else 0)
+        chain.run(size)
+        done += size
+        yield done

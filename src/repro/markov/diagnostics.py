@@ -1,0 +1,147 @@
+"""Markov-chain diagnostics: balance, ergodicity, distances, estimation.
+
+Implements the textbook notions of Section 2.4 as executable checks:
+detailed balance, irreducibility, aperiodicity, total-variation distance,
+and empirical state-visit distributions of simulated chains.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Hashable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.markov.chain import MarkovChainProtocol
+
+
+def total_variation_distance(p: Sequence[float], q: Sequence[float]) -> float:
+    """:math:`\\tfrac12 \\sum_x |p(x) - q(x)|` for distributions on a common space."""
+    p_arr = np.asarray(p, dtype=float)
+    q_arr = np.asarray(q, dtype=float)
+    if p_arr.shape != q_arr.shape:
+        raise ValueError(f"shape mismatch: {p_arr.shape} vs {q_arr.shape}")
+    return 0.5 * float(np.abs(p_arr - q_arr).sum())
+
+
+def stationary_from_matrix(matrix: np.ndarray, iterations: int = 200) -> np.ndarray:
+    """Stationary distribution by repeated squaring of the matrix.
+
+    Robust for the small dense matrices produced by
+    :mod:`repro.markov.exact`; assumes the chain is ergodic.
+    """
+    m = np.asarray(matrix, dtype=float)
+    if m.ndim != 2 or m.shape[0] != m.shape[1]:
+        raise ValueError(f"transition matrix must be square, got {m.shape}")
+    power = m.copy()
+    for _ in range(iterations):
+        nxt = power @ power
+        if np.allclose(nxt, power, atol=1e-15):
+            power = nxt
+            break
+        power = nxt
+    pi = power.mean(axis=0)
+    return pi / pi.sum()
+
+
+def detailed_balance_violations(
+    matrix: np.ndarray,
+    pi: Sequence[float],
+    tolerance: float = 1e-10,
+) -> List[Tuple[int, int, float]]:
+    """State pairs violating :math:`\\pi_i M_{ij} = \\pi_j M_{ji}`.
+
+    Returns ``(i, j, |violation|)`` triples with ``i < j``; empty for a
+    reversible chain (which Lemma 9's proof shows this chain is).
+    """
+    m = np.asarray(matrix, dtype=float)
+    pi_arr = np.asarray(pi, dtype=float)
+    flow = pi_arr[:, None] * m
+    diff = np.abs(flow - flow.T)
+    bad = np.argwhere(np.triu(diff, k=1) > tolerance)
+    return [(int(i), int(j), float(diff[i, j])) for i, j in bad]
+
+
+def _reachable(adjacency: List[List[int]], start: int) -> set:
+    seen = {start}
+    queue = deque([start])
+    while queue:
+        node = queue.popleft()
+        for nxt in adjacency[node]:
+            if nxt not in seen:
+                seen.add(nxt)
+                queue.append(nxt)
+    return seen
+
+
+def is_irreducible(matrix: np.ndarray) -> bool:
+    """Whether the transition graph is strongly connected.
+
+    For a reversible chain, forward reachability from one state suffices,
+    but we check both directions to stay correct for arbitrary input.
+    """
+    m = np.asarray(matrix, dtype=float)
+    size = m.shape[0]
+    forward: List[List[int]] = [list(np.nonzero(m[i] > 0)[0]) for i in range(size)]
+    backward: List[List[int]] = [list(np.nonzero(m[:, i] > 0)[0]) for i in range(size)]
+    return (
+        len(_reachable(forward, 0)) == size
+        and len(_reachable(backward, 0)) == size
+    )
+
+
+def is_aperiodic(matrix: np.ndarray) -> bool:
+    """Aperiodicity via a self-loop in an irreducible chain.
+
+    An irreducible chain with any positive diagonal entry is aperiodic —
+    the argument used in the proof of Lemma 8 (rejected proposals keep
+    the configuration unchanged).
+    """
+    m = np.asarray(matrix, dtype=float)
+    return is_irreducible(m) and bool((np.diag(m) > 0).any())
+
+
+def empirical_distribution(
+    chain: MarkovChainProtocol,
+    state_index: Callable[[], Hashable],
+    steps: int,
+    record_every: int = 1,
+) -> Dict[Hashable, float]:
+    """Visit frequencies of states along a simulated trajectory.
+
+    ``state_index`` is a zero-argument callable mapping the chain's
+    current state to a hashable key (e.g. a canonical configuration key
+    or an index from :class:`~repro.markov.exact.ExactChainAnalysis`).
+    The chain is advanced ``steps`` iterations, recording every
+    ``record_every``-th state; frequencies are normalized to sum to 1.
+    """
+    if steps < 1:
+        raise ValueError(f"steps must be positive, got {steps}")
+    if record_every < 1:
+        raise ValueError(f"record_every must be positive, got {record_every}")
+    counts: Dict[Hashable, int] = {}
+    recorded = 0
+    done = 0
+    while done < steps:
+        block = min(record_every, steps - done)
+        chain.run(block)
+        done += block
+        key = state_index()
+        counts[key] = counts.get(key, 0) + 1
+        recorded += 1
+    return {key: value / recorded for key, value in counts.items()}
+
+
+def empirical_vs_exact_tv(
+    empirical: Dict[Hashable, float],
+    exact: Dict[Hashable, float],
+) -> float:
+    """Total-variation distance between keyed distributions.
+
+    Keys present in only one distribution are treated as zero-probability
+    in the other.
+    """
+    keys = set(empirical) | set(exact)
+    return 0.5 * sum(
+        abs(empirical.get(k, 0.0) - exact.get(k, 0.0)) for k in keys
+    )

@@ -1,0 +1,157 @@
+"""Exhaustive enumeration of small particle-system configurations.
+
+Enumerates *fixed site animals* of the triangular lattice — connected
+``n``-node subsets up to translation — via Redelmeier's algorithm, then
+layers colorings on top to produce the exact state space of the
+separation chain for small ``n``.  This is the foundation of the
+strongest correctness tests in the suite: the empirical distribution of
+the simulated chain is compared against the exact stationary distribution
+of Lemma 9 over the enumerated space.
+
+The animal counts match OEIS A001334 (connected site animals on the
+triangular lattice, fixed orientation): 1, 3, 11, 44, 186, 814, 3652, ...
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import FrozenSet, Iterator, List, Sequence, Tuple
+
+from repro.lattice.holes import has_holes
+from repro.lattice.triangular import NEIGHBOR_OFFSETS, Node
+from repro.system.configuration import ParticleSystem
+
+Animal = Tuple[Node, ...]
+
+
+def _after_origin(node: Node) -> bool:
+    """Whether ``node`` follows the origin in (y, x) lexicographic order."""
+    x, y = node
+    return y > 0 or (y == 0 and x > 0)
+
+
+def enumerate_animals(n: int, hole_free_only: bool = False) -> List[Animal]:
+    """All connected ``n``-node subsets of :math:`G_\\Delta` up to translation.
+
+    Each animal is returned as a sorted node tuple whose minimum node in
+    (y, x) order is the origin.  With ``hole_free_only`` the animals
+    enclosing holes (possible from ``n = 6``) are filtered out.
+    """
+    if n < 1:
+        raise ValueError(f"n must be positive, got {n}")
+    results: List[Animal] = []
+    origin: Node = (0, 0)
+
+    def recurse(animal: List[Node], untried: List[Node], seen: frozenset) -> None:
+        # ``seen`` holds every cell ever placed on the untried list along
+        # this branch (cells in the animal, still untried, or already
+        # rejected).  A rejected cell stays in ``seen`` for the remaining
+        # iterations of this level, which is what makes each fixed animal
+        # appear exactly once; deeper levels get their own extended copy
+        # so sibling branches are not affected.
+        while untried:
+            cell = untried.pop()
+            if len(animal) + 1 == n:
+                results.append(tuple(sorted(animal + [cell])))
+                continue
+            new_neighbors = []
+            x, y = cell
+            for dx, dy in NEIGHBOR_OFFSETS:
+                nbr = (x + dx, y + dy)
+                if nbr not in seen and _after_origin(nbr):
+                    new_neighbors.append(nbr)
+            animal.append(cell)
+            recurse(animal, untried + new_neighbors, seen | frozenset(new_neighbors))
+            animal.pop()
+
+    if n == 1:
+        results.append((origin,))
+    else:
+        recurse([], [origin], frozenset({origin}))
+    if hole_free_only:
+        results = [a for a in results if not has_holes(set(a))]
+    return results
+
+
+def count_animals(n: int, hole_free_only: bool = False) -> int:
+    """Number of connected ``n``-node subsets up to translation."""
+    return len(enumerate_animals(n, hole_free_only=hole_free_only))
+
+
+def colorings_with_counts(
+    n: int, color_counts: Sequence[int]
+) -> Iterator[Tuple[int, ...]]:
+    """All assignments of colors to positions ``0..n-1`` with exact counts.
+
+    Yields tuples ``c`` with ``c[i]`` the color of position ``i``.  Only
+    implemented for up to three colors, which covers the paper (k = 2)
+    and the Potts extension tests (k = 3).
+    """
+    if sum(color_counts) != n:
+        raise ValueError(f"color counts {color_counts} do not sum to {n}")
+    k = len(color_counts)
+    if k == 1:
+        yield (0,) * n
+        return
+    if k == 2:
+        for ones in combinations(range(n), color_counts[1]):
+            coloring = [0] * n
+            for i in ones:
+                coloring[i] = 1
+            yield tuple(coloring)
+        return
+    if k == 3:
+        positions = range(n)
+        for ones in combinations(positions, color_counts[1]):
+            rest = [i for i in positions if i not in set(ones)]
+            for twos in combinations(rest, color_counts[2]):
+                coloring = [0] * n
+                for i in ones:
+                    coloring[i] = 1
+                for i in twos:
+                    coloring[i] = 2
+                yield tuple(coloring)
+        return
+    raise NotImplementedError("colorings_with_counts supports at most 3 colors")
+
+
+def enumerate_colored_configurations(
+    n: int,
+    color_counts: Sequence[int],
+    hole_free_only: bool = True,
+) -> List[ParticleSystem]:
+    """The exact state space of the chain for small systems.
+
+    Every connected (optionally hole-free) configuration of ``n``
+    particles with the given per-color particle counts, one representative
+    per translation class.  Distinct colorings of the same node set are
+    distinct states; node sets from :func:`enumerate_animals` are already
+    translation-canonical, so no further deduplication is needed (a
+    colored configuration cannot equal a *different* coloring of a
+    translate of the same canonical node set).
+    """
+    num_colors = max(len(color_counts), 2)
+    systems: List[ParticleSystem] = []
+    for animal in enumerate_animals(n, hole_free_only=hole_free_only):
+        for coloring in colorings_with_counts(n, color_counts):
+            systems.append(
+                ParticleSystem.from_nodes(animal, coloring, num_colors=num_colors)
+            )
+    return systems
+
+
+def state_space_size(n: int, color_counts: Sequence[int]) -> int:
+    """Size of the hole-free colored state space without materializing it."""
+    from math import comb
+
+    animals = count_animals(n, hole_free_only=True)
+    k = len(color_counts)
+    ways = 1
+    remaining = n
+    for count in color_counts[1:] if k > 1 else []:
+        ways *= comb(remaining, count)
+        remaining -= count
+    return animals * ways
+
+
+FrozenAnimal = FrozenSet[Node]

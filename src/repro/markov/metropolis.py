@@ -1,0 +1,46 @@
+"""The Metropolis-Hastings filter in isolation.
+
+Algorithm 1 is a Metropolis chain: moves are proposed symmetrically
+(uniform particle, uniform direction) and accepted with probability
+:math:`\\min(1, \\pi(\\tau)/\\pi(\\sigma))`.  These helpers express that
+rule generically; the tests assert the hand-optimized acceptance logic in
+:class:`~repro.core.separation_chain.SeparationChain` agrees with the
+generic formula computed from full configuration weights.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, TypeVar
+
+from repro.util.rng import RngLike, make_rng
+
+S = TypeVar("S")
+
+
+def metropolis_acceptance(log_weight_current: float, log_weight_proposed: float) -> float:
+    """Acceptance probability :math:`\\min(1, e^{\\Delta \\log w})`."""
+    delta = log_weight_proposed - log_weight_current
+    if delta >= 0:
+        return 1.0
+    return math.exp(delta)
+
+
+def metropolis_step(
+    state: S,
+    propose: Callable[[S], S],
+    log_weight: Callable[[S], float],
+    seed: RngLike = None,
+) -> S:
+    """One generic Metropolis step with a symmetric proposal.
+
+    Returns the next state (either the proposal or ``state``).  Intended
+    for reference computations and tests; production chains inline this
+    logic for speed.
+    """
+    rng = make_rng(seed)
+    proposal = propose(state)
+    accept_prob = metropolis_acceptance(log_weight(state), log_weight(proposal))
+    if accept_prob >= 1.0 or rng.random() < accept_prob:
+        return proposal
+    return state

@@ -1,0 +1,44 @@
+"""Heterogeneous amoebot particle systems.
+
+State representation for systems of colored particles on the triangular
+lattice: occupancy-with-color maps, incrementally maintained observables
+(edge and heterogeneous-edge counts, hence perimeter via the hole-free
+identity), initial-configuration generators, and measurement functions.
+"""
+
+from repro.system.particle import Particle, color_name
+from repro.system.configuration import ParticleSystem
+from repro.system.initializers import (
+    annulus_system,
+    hexagon_system,
+    line_system,
+    random_blob_system,
+    separated_system,
+    checkerboard_system,
+)
+from repro.system.observables import (
+    edge_count,
+    heterogeneous_edge_count,
+    homogeneous_edge_count,
+    log_weight,
+    monochromatic_cluster_sizes,
+    color_counts,
+)
+
+__all__ = [
+    "Particle",
+    "color_name",
+    "ParticleSystem",
+    "annulus_system",
+    "hexagon_system",
+    "line_system",
+    "random_blob_system",
+    "separated_system",
+    "checkerboard_system",
+    "edge_count",
+    "heterogeneous_edge_count",
+    "homogeneous_edge_count",
+    "log_weight",
+    "monochromatic_cluster_sizes",
+    "color_counts",
+]

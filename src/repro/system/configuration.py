@@ -1,0 +1,293 @@
+"""Mutable particle-system configuration state.
+
+:class:`ParticleSystem` is the canonical state object shared by the
+centralized Markov chains, the distributed runner, and the analysis
+layers.  It stores a map from occupied lattice nodes to particle colors
+and *incrementally* maintains the two global quantities appearing in the
+stationary distribution of Lemma 9:
+
+* ``edge_total`` — :math:`e(\\sigma)`, the number of lattice edges with
+  both endpoints occupied, which for connected hole-free configurations
+  determines the perimeter via :math:`p = 3n - 3 - e`;
+* ``hetero_total`` — :math:`h(\\sigma)`, the number of heterogeneous
+  edges (endpoints of different colors).
+
+Incremental maintenance is what makes multi-million-step simulations
+feasible; :meth:`recompute_counters` recomputes both from scratch and the
+test suite cross-validates the incremental values against it after random
+move sequences.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.lattice.boundary import perimeter as walk_perimeter
+from repro.lattice.boundary import perimeter_from_edges
+from repro.lattice.connectivity import is_connected
+from repro.lattice.holes import has_holes
+from repro.lattice.triangular import NEIGHBOR_OFFSETS, Node, canonical_form
+
+Coloring = Mapping[Node, int]
+
+
+class ParticleSystem:
+    """A system of ``n`` colored contracted particles on :math:`G_\\Delta`.
+
+    Parameters
+    ----------
+    colors:
+        Mapping from occupied node to color index (``0 .. num_colors-1``).
+    num_colors:
+        Number of color classes ``k``; inferred as ``max(color)+1`` when
+        omitted (at least 2, so homogeneous systems still model the
+        bichromatic state space).
+    """
+
+    __slots__ = ("colors", "num_colors", "edge_total", "hetero_total")
+
+    def __init__(self, colors: Coloring, num_colors: Optional[int] = None):
+        self.colors: Dict[Node, int] = dict(colors)
+        if not self.colors:
+            raise ValueError("a particle system must contain at least one particle")
+        observed = max(self.colors.values()) + 1
+        if num_colors is None:
+            num_colors = max(observed, 2)
+        if observed > num_colors:
+            raise ValueError(
+                f"colors use {observed} classes but num_colors={num_colors}"
+            )
+        if min(self.colors.values()) < 0:
+            raise ValueError("colors must be non-negative integers")
+        self.num_colors = num_colors
+        self.edge_total = 0
+        self.hetero_total = 0
+        self.recompute_counters()
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of particles in the system."""
+        return len(self.colors)
+
+    def occupied(self) -> Iterable[Node]:
+        """View of the occupied nodes."""
+        return self.colors.keys()
+
+    def color_at(self, node: Node) -> int:
+        """Color of the particle at ``node`` (KeyError if unoccupied)."""
+        return self.colors[node]
+
+    def is_occupied(self, node: Node) -> bool:
+        """Whether ``node`` holds a particle."""
+        return node in self.colors
+
+    def neighbor_counts(
+        self, node: Node, ignore: Sequence[Node] = ()
+    ) -> Tuple[int, List[int]]:
+        """Total and per-color counts of occupied neighbors of ``node``.
+
+        ``ignore`` lists nodes treated as unoccupied — Algorithm 1 needs
+        neighborhoods of a location *excluding* the moving particle's own
+        nodes (the sets :math:`N_i(\\ell \\cup \\ell')` exclude particles
+        occupying :math:`\\ell` and :math:`\\ell'`).
+        """
+        x, y = node
+        total = 0
+        per_color = [0] * self.num_colors
+        colors = self.colors
+        for dx, dy in NEIGHBOR_OFFSETS:
+            nbr = (x + dx, y + dy)
+            if nbr in colors and nbr not in ignore:
+                total += 1
+                per_color[colors[nbr]] += 1
+        return total, per_color
+
+    def occupied_neighbors(self, node: Node) -> List[Node]:
+        """Occupied lattice neighbors of ``node``."""
+        x, y = node
+        colors = self.colors
+        result = []
+        for dx, dy in NEIGHBOR_OFFSETS:
+            nbr = (x + dx, y + dy)
+            if nbr in colors:
+                result.append(nbr)
+        return result
+
+    # ------------------------------------------------------------------
+    # Mutation (incremental counter maintenance)
+    # ------------------------------------------------------------------
+
+    def move_particle(self, src: Node, dst: Node) -> None:
+        """Move the particle at ``src`` to the unoccupied node ``dst``.
+
+        Updates ``edge_total`` and ``hetero_total`` in O(1).  Validity of
+        the move under the chain's locality properties is the caller's
+        responsibility; this method only requires ``src`` occupied and
+        ``dst`` empty.
+        """
+        colors = self.colors
+        if dst in colors:
+            raise ValueError(f"destination {dst} is occupied")
+        color = colors.pop(src)
+        x, y = src
+        for dx, dy in NEIGHBOR_OFFSETS:
+            nbr = (x + dx, y + dy)
+            nbr_color = colors.get(nbr)
+            if nbr_color is not None:
+                self.edge_total -= 1
+                if nbr_color != color:
+                    self.hetero_total -= 1
+        x, y = dst
+        for dx, dy in NEIGHBOR_OFFSETS:
+            nbr = (x + dx, y + dy)
+            nbr_color = colors.get(nbr)
+            if nbr_color is not None:
+                self.edge_total += 1
+                if nbr_color != color:
+                    self.hetero_total += 1
+        colors[dst] = color
+
+    def swap_particles(self, u: Node, v: Node) -> None:
+        """Exchange the colors of the particles at adjacent nodes ``u, v``.
+
+        A no-op when both particles share a color.  Updates
+        ``hetero_total`` in O(1); ``edge_total`` is untouched because swap
+        moves do not change the occupied set.
+        """
+        colors = self.colors
+        cu = colors[u]
+        cv = colors[v]
+        if cu == cv:
+            return
+        for node, old_color, new_color in ((u, cu, cv), (v, cv, cu)):
+            x, y = node
+            for dx, dy in NEIGHBOR_OFFSETS:
+                nbr = (x + dx, y + dy)
+                if nbr == u or nbr == v:
+                    continue  # the (u, v) edge stays heterogeneous
+                nbr_color = colors.get(nbr)
+                if nbr_color is None:
+                    continue
+                if nbr_color != old_color:
+                    self.hetero_total -= 1
+                if nbr_color != new_color:
+                    self.hetero_total += 1
+        colors[u] = cv
+        colors[v] = cu
+
+    # ------------------------------------------------------------------
+    # Derived quantities and validation
+    # ------------------------------------------------------------------
+
+    def recompute_counters(self) -> None:
+        """Recompute ``edge_total`` / ``hetero_total`` from scratch (O(n))."""
+        edges = 0
+        hetero = 0
+        colors = self.colors
+        for (x, y), color in colors.items():
+            for dx, dy in NEIGHBOR_OFFSETS:
+                nbr = (x + dx, y + dy)
+                nbr_color = colors.get(nbr)
+                if nbr_color is not None:
+                    edges += 1
+                    if nbr_color != color:
+                        hetero += 1
+        self.edge_total = edges // 2
+        self.hetero_total = hetero // 2
+
+    def perimeter(self, exact: bool = False) -> int:
+        """Perimeter :math:`p(\\sigma)`.
+
+        With ``exact=False`` (default) uses the O(1) hole-free identity
+        :math:`p = 3n - 3 - e`; with ``exact=True`` traces the outer
+        boundary walk, which is correct even in the presence of holes.
+        """
+        if exact:
+            return walk_perimeter(set(self.colors))
+        return perimeter_from_edges(self.n, self.edge_total)
+
+    def homogeneous_edges(self) -> int:
+        """Number of homogeneous edges :math:`a(\\sigma) = e - h`."""
+        return self.edge_total - self.hetero_total
+
+    def is_connected(self) -> bool:
+        """Whether the occupied set is connected."""
+        return is_connected(self.colors.keys())
+
+    def has_holes(self) -> bool:
+        """Whether the occupied set encloses any hole."""
+        return has_holes(set(self.colors))
+
+    def validate(self) -> None:
+        """Assert the incremental counters match a from-scratch recount."""
+        edge_before = self.edge_total
+        hetero_before = self.hetero_total
+        self.recompute_counters()
+        if (edge_before, hetero_before) != (self.edge_total, self.hetero_total):
+            raise AssertionError(
+                "incremental counters diverged: "
+                f"edges {edge_before} vs {self.edge_total}, "
+                f"hetero {hetero_before} vs {self.hetero_total}"
+            )
+
+    # ------------------------------------------------------------------
+    # Copies, keys, constructors
+    # ------------------------------------------------------------------
+
+    def copy(self) -> "ParticleSystem":
+        """Independent deep copy of the system state."""
+        clone = ParticleSystem.__new__(ParticleSystem)
+        clone.colors = dict(self.colors)
+        clone.num_colors = self.num_colors
+        clone.edge_total = self.edge_total
+        clone.hetero_total = self.hetero_total
+        return clone
+
+    def canonical_key(self) -> Tuple[Tuple[Node, int], ...]:
+        """Translation-invariant hashable key of the colored configuration.
+
+        Two systems have equal keys iff one is a translation of the other
+        with matching colors — the configuration equivalence of Section
+        2.2 extended to colors.
+        """
+        nodes = list(self.colors)
+        canonical = canonical_form(nodes)
+        if not canonical:
+            return ()
+        # Recover the translation applied by canonical_form.
+        min_x = min(x for x, _ in nodes)
+        min_y = min(y for x, y in nodes if x == min_x)
+        shift = (min_x, min_y)
+        return tuple(
+            sorted(
+                ((x - shift[0], y - shift[1]), color)
+                for (x, y), color in self.colors.items()
+            )
+        )
+
+    @classmethod
+    def from_nodes(
+        cls,
+        nodes: Sequence[Node],
+        colors: Sequence[int],
+        num_colors: Optional[int] = None,
+    ) -> "ParticleSystem":
+        """Build a system from parallel node and color sequences."""
+        if len(nodes) != len(colors):
+            raise ValueError(
+                f"got {len(nodes)} nodes but {len(colors)} colors"
+            )
+        mapping = dict(zip(nodes, colors))
+        if len(mapping) != len(nodes):
+            raise ValueError("duplicate nodes in configuration")
+        return cls(mapping, num_colors=num_colors)
+
+    def __repr__(self) -> str:
+        return (
+            f"ParticleSystem(n={self.n}, k={self.num_colors}, "
+            f"edges={self.edge_total}, hetero={self.hetero_total})"
+        )

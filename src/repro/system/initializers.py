@@ -1,0 +1,193 @@
+"""Initial-configuration generators.
+
+All generators return a :class:`~repro.system.configuration.ParticleSystem`
+that is connected (and, unless documented otherwise, hole-free), since the
+chain requires a connected start (Lemma 6).  Color assignment strategies
+cover the experimental settings of the paper: well-mixed random colorings
+(the "arbitrary initial configuration" of Figure 2), fully separated
+half-and-half colorings (to probe integration from the opposite extreme),
+and alternating colorings (maximally heterogeneous).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.lattice.geometry import hexagon, line, parallelogram
+from repro.lattice.holes import fill_holes
+from repro.lattice.triangular import NEIGHBOR_OFFSETS, Node
+from repro.system.configuration import ParticleSystem
+from repro.util.rng import RngLike, make_rng
+
+
+def _color_sequence(
+    n: int,
+    counts: Optional[Sequence[int]],
+    num_colors: int,
+    rng,
+    shuffle: bool,
+) -> List[int]:
+    """Build a color list with exact per-color counts (balanced by default)."""
+    if counts is None:
+        base = n // num_colors
+        counts = [base] * num_colors
+        for i in range(n - base * num_colors):
+            counts[i] += 1
+    if sum(counts) != n:
+        raise ValueError(f"color counts {counts} do not sum to n={n}")
+    colors: List[int] = []
+    for color, count in enumerate(counts):
+        colors.extend([color] * count)
+    if shuffle:
+        rng.shuffle(colors)
+    return colors
+
+
+def hexagon_system(
+    n: int,
+    counts: Optional[Sequence[int]] = None,
+    num_colors: int = 2,
+    seed: RngLike = None,
+    shuffle: bool = True,
+) -> ParticleSystem:
+    """Compact (near-minimum-perimeter) system with randomly mixed colors."""
+    rng = make_rng(seed)
+    nodes = hexagon(n)
+    colors = _color_sequence(n, counts, num_colors, rng, shuffle)
+    return ParticleSystem.from_nodes(nodes, colors, num_colors=num_colors)
+
+
+def line_system(
+    n: int,
+    counts: Optional[Sequence[int]] = None,
+    num_colors: int = 2,
+    seed: RngLike = None,
+    shuffle: bool = True,
+) -> ParticleSystem:
+    """Maximum-perimeter (straight line) system; the irreducibility pivot."""
+    rng = make_rng(seed)
+    nodes = line(n)
+    colors = _color_sequence(n, counts, num_colors, rng, shuffle)
+    return ParticleSystem.from_nodes(nodes, colors, num_colors=num_colors)
+
+
+def separated_system(
+    n: int,
+    num_colors: int = 2,
+    rows: Optional[int] = None,
+) -> ParticleSystem:
+    """A fully separated configuration: contiguous monochromatic bands.
+
+    Particles fill a near-square parallelogram row by row; each color
+    occupies a contiguous block of rows, so the system starts
+    (β, δ)-separated for small β and δ.  Used to probe integration
+    dynamics (Theorem 16 regime) from a separated start.
+    """
+    if n < num_colors:
+        raise ValueError(f"need at least one particle per color, got n={n}")
+    cols = max(1, int(round(n ** 0.5)))
+    if rows is None:
+        rows = (n + cols - 1) // cols
+    nodes = parallelogram(rows, cols)[:n]
+    base = n // num_colors
+    counts = [base] * num_colors
+    for i in range(n - base * num_colors):
+        counts[i] += 1
+    colors: List[int] = []
+    for color, count in enumerate(counts):
+        colors.extend([color] * count)
+    return ParticleSystem.from_nodes(nodes, colors, num_colors=num_colors)
+
+
+def checkerboard_system(n: int, num_colors: int = 2) -> ParticleSystem:
+    """Maximally heterogeneous start: colors alternate along filling order."""
+    nodes = hexagon(n)
+    colors = [i % num_colors for i in range(n)]
+    return ParticleSystem.from_nodes(nodes, colors, num_colors=num_colors)
+
+
+def annulus_system(
+    outer_radius: int,
+    inner_radius: int = 1,
+    num_colors: int = 2,
+    seed: RngLike = None,
+) -> ParticleSystem:
+    """A ring-shaped system enclosing a hole (for burn-in studies).
+
+    The chain must *eliminate* initial holes before the stationary
+    analysis applies (Lemma 6); this initializer produces the canonical
+    holed starting point: all nodes with hop distance in
+    ``[inner_radius+1 .. outer_radius]`` from the origin, enclosing a
+    hole of ``hexagon_size(inner_radius)`` empty nodes.  Colors are
+    assigned in balanced random fashion.
+    """
+    if inner_radius < 0 or outer_radius <= inner_radius:
+        raise ValueError(
+            f"need 0 <= inner_radius < outer_radius, got "
+            f"{inner_radius}, {outer_radius}"
+        )
+    from repro.lattice.geometry import ring as lattice_ring
+
+    rng = make_rng(seed)
+    nodes: List = []
+    for radius in range(inner_radius + 1, outer_radius + 1):
+        nodes.extend(lattice_ring((0, 0), radius))
+    colors = _color_sequence(len(nodes), None, num_colors, rng, True)
+    return ParticleSystem.from_nodes(nodes, colors, num_colors=num_colors)
+
+
+def random_blob_system(
+    n: int,
+    counts: Optional[Sequence[int]] = None,
+    num_colors: int = 2,
+    seed: RngLike = None,
+) -> ParticleSystem:
+    """Random connected hole-free blob grown by biased site addition.
+
+    Grows a connected cluster one node at a time, choosing uniformly among
+    empty nodes adjacent to the current cluster (an Eden-model growth),
+    then fills any holes.  Produces the "arbitrary initial configuration"
+    style of Figure 2: irregular, moderately spread out.
+
+    Because hole filling can add nodes, the blob is grown to ``n`` and
+    then trimmed back to exactly ``n`` by removing removable boundary
+    nodes; the result always has exactly ``n`` particles, is connected,
+    and hole-free.
+    """
+    rng = make_rng(seed)
+    occupied = {(0, 0)}
+    frontier = set(NEIGHBOR_OFFSETS)
+    while len(occupied) < n:
+        node = rng.choice(sorted(frontier))
+        occupied.add(node)
+        frontier.discard(node)
+        x, y = node
+        for dx, dy in NEIGHBOR_OFFSETS:
+            nbr = (x + dx, y + dy)
+            if nbr not in occupied:
+                frontier.add(nbr)
+    occupied = fill_holes(occupied)
+    _trim_to_size(occupied, n)
+    nodes = sorted(occupied)
+    colors = _color_sequence(n, counts, num_colors, rng, True)
+    return ParticleSystem.from_nodes(nodes, colors, num_colors=num_colors)
+
+
+def _trim_to_size(occupied: set, n: int) -> None:
+    """Remove boundary nodes until ``len(occupied) == n``.
+
+    Only removes nodes whose removal keeps the set connected and hole-free
+    (checked directly, since this runs once at setup time).
+    """
+    from repro.lattice.connectivity import is_connected
+    from repro.lattice.holes import has_holes
+
+    while len(occupied) > n:
+        for node in sorted(occupied, reverse=True):
+            candidate = set(occupied)
+            candidate.discard(node)
+            if is_connected(candidate) and not has_holes(candidate):
+                occupied.discard(node)
+                break
+        else:  # pragma: no cover - a connected set always has a removable leaf
+            raise RuntimeError("could not trim blob while preserving invariants")

@@ -1,0 +1,134 @@
+"""Measurement functions over particle systems.
+
+Free functions (rather than methods) so they can be applied uniformly to
+:class:`~repro.system.configuration.ParticleSystem` instances, recorded
+snapshots, and enumerated small configurations.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Dict, List
+
+from repro.lattice.triangular import NEIGHBOR_OFFSETS
+from repro.system.configuration import ParticleSystem
+
+
+def edge_count(system: ParticleSystem) -> int:
+    """:math:`e(\\sigma)` — occupied-occupied lattice edges."""
+    return system.edge_total
+
+
+def heterogeneous_edge_count(system: ParticleSystem) -> int:
+    """:math:`h(\\sigma)` — edges whose endpoints have different colors."""
+    return system.hetero_total
+
+
+def homogeneous_edge_count(system: ParticleSystem) -> int:
+    """:math:`a(\\sigma) = e(\\sigma) - h(\\sigma)`."""
+    return system.edge_total - system.hetero_total
+
+
+def color_counts(system: ParticleSystem) -> List[int]:
+    """Number of particles of each color."""
+    counts = [0] * system.num_colors
+    for color in system.colors.values():
+        counts[color] += 1
+    return counts
+
+
+def log_weight(system: ParticleSystem, lam: float, gamma: float) -> float:
+    """Log of the unnormalized stationary weight of Lemma 9.
+
+    :math:`\\ln\\bigl((\\lambda\\gamma)^{-p(\\sigma)}\\gamma^{-h(\\sigma)}\\bigr)
+    = -p(\\sigma)\\ln(\\lambda\\gamma) - h(\\sigma)\\ln\\gamma`.
+
+    Valid for connected hole-free configurations (uses the fast perimeter
+    identity).  Working in log space avoids overflow for large systems.
+    """
+    if lam <= 0 or gamma <= 0:
+        raise ValueError(f"lambda and gamma must be positive, got {lam}, {gamma}")
+    p = system.perimeter()
+    h = system.hetero_total
+    return -p * math.log(lam * gamma) - h * math.log(gamma)
+
+
+def log_weight_edge_form(system: ParticleSystem, lam: float, gamma: float) -> float:
+    """Log weight in the equivalent edge form :math:`\\lambda^e \\gamma^a`.
+
+    Appendix A.2 shows :math:`\\lambda^{e}\\gamma^{a}` and
+    :math:`(\\lambda\\gamma)^{-p}\\gamma^{-h}` define the same distribution
+    (they differ by the configuration-independent factor
+    :math:`(\\lambda\\gamma)^{3n-3}`); the tests verify that identity.
+    """
+    if lam <= 0 or gamma <= 0:
+        raise ValueError(f"lambda and gamma must be positive, got {lam}, {gamma}")
+    e = system.edge_total
+    a = system.edge_total - system.hetero_total
+    return e * math.log(lam) + a * math.log(gamma)
+
+
+def monochromatic_cluster_sizes(system: ParticleSystem) -> Dict[int, List[int]]:
+    """Sizes of maximal same-color connected clusters, per color.
+
+    A crude but fast separation signal: a separated system has one giant
+    cluster per color; an integrated system has many small ones.
+    """
+    colors = system.colors
+    seen = set()
+    result: Dict[int, List[int]] = {c: [] for c in range(system.num_colors)}
+    for start, color in colors.items():
+        if start in seen:
+            continue
+        seen.add(start)
+        size = 1
+        queue = deque([start])
+        while queue:
+            x, y = queue.popleft()
+            for dx, dy in NEIGHBOR_OFFSETS:
+                nbr = (x + dx, y + dy)
+                if nbr not in seen and colors.get(nbr) == color:
+                    seen.add(nbr)
+                    size += 1
+                    queue.append(nbr)
+        result[color].append(size)
+    for sizes in result.values():
+        sizes.sort(reverse=True)
+    return result
+
+
+def largest_cluster_fraction(system: ParticleSystem) -> float:
+    """Fraction of particles in the largest monochromatic cluster.
+
+    Approaches ``max(color fraction)`` for separated systems and is small
+    for integrated ones; a scalar order parameter for phase diagrams.
+    """
+    sizes = monochromatic_cluster_sizes(system)
+    largest = max((s[0] for s in sizes.values() if s), default=0)
+    return largest / system.n
+
+
+def mean_same_color_neighbor_fraction(system: ParticleSystem) -> float:
+    """Average over particles of (same-color neighbors) / (neighbors).
+
+    Particles with no neighbors contribute nothing.  This is the local
+    order parameter used by Schelling-model studies; ~0.5 for a balanced
+    integrated system, near 1 for a separated one.
+    """
+    colors = system.colors
+    total = 0.0
+    counted = 0
+    for (x, y), color in colors.items():
+        nbrs = 0
+        same = 0
+        for dx, dy in NEIGHBOR_OFFSETS:
+            nbr_color = colors.get((x + dx, y + dy))
+            if nbr_color is not None:
+                nbrs += 1
+                if nbr_color == color:
+                    same += 1
+        if nbrs:
+            total += same / nbrs
+            counted += 1
+    return total / counted if counted else 0.0

@@ -1,0 +1,82 @@
+"""Particle identity and color conventions.
+
+Throughout the library a *color* is a small non-negative integer
+(``0 .. k-1``); the bichromatic systems of the paper use colors 0 and 1.
+The hot simulation loops store bare color integers in the occupancy map
+for speed; the :class:`Particle` record is the richer identity object used
+by the distributed-execution layer, where particles carry local memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.lattice.triangular import Node
+
+#: Human-readable names for the first few colors, used in renders and logs.
+_COLOR_NAMES: Tuple[str, ...] = ("blue", "red", "green", "yellow", "purple", "orange")
+
+
+def color_name(color: int) -> str:
+    """Readable label for a color index (falls back to ``color-<i>``)."""
+    if color < 0:
+        raise ValueError(f"color must be non-negative, got {color}")
+    if color < len(_COLOR_NAMES):
+        return _COLOR_NAMES[color]
+    return f"color-{color}"
+
+
+@dataclass
+class Particle:
+    """A single amoebot particle.
+
+    Attributes mirror the amoebot model of Section 2.1: particles are
+    anonymous (``pid`` exists only for bookkeeping outside the algorithm
+    and is never read by the local rule), have an immutable ``color``
+    visible to neighbors, occupy a ``head`` node and, while expanded, a
+    ``tail`` node, and carry a constant-size local ``memory`` dictionary
+    that neighbors may read.
+    """
+
+    pid: int
+    color: int
+    head: Node
+    tail: Optional[Node] = None
+    memory: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def is_expanded(self) -> bool:
+        """Whether the particle currently occupies two adjacent nodes."""
+        return self.tail is not None
+
+    @property
+    def is_contracted(self) -> bool:
+        """Whether the particle occupies a single node."""
+        return self.tail is None
+
+    def expand(self, node: Node) -> None:
+        """Expand the head into ``node``, keeping the old node as tail."""
+        if self.is_expanded:
+            raise RuntimeError(f"particle {self.pid} is already expanded")
+        self.tail = self.head
+        self.head = node
+
+    def contract_to_head(self) -> None:
+        """Complete a move: give up the tail node."""
+        if self.is_contracted:
+            raise RuntimeError(f"particle {self.pid} is not expanded")
+        self.tail = None
+
+    def contract_to_tail(self) -> None:
+        """Abort a move: retreat to the original node."""
+        if self.is_contracted:
+            raise RuntimeError(f"particle {self.pid} is not expanded")
+        self.head = self.tail
+        self.tail = None
+
+    def occupied_nodes(self) -> Tuple[Node, ...]:
+        """The one or two nodes this particle currently occupies."""
+        if self.tail is None:
+            return (self.head,)
+        return (self.head, self.tail)

@@ -1,0 +1,18 @@
+"""Shared utilities: seeded RNG helpers and configuration serialization."""
+
+from repro.util.rng import make_rng, spawn_rngs
+from repro.util.serialization import (
+    configuration_from_json,
+    configuration_to_json,
+    load_configuration,
+    save_configuration,
+)
+
+__all__ = [
+    "make_rng",
+    "spawn_rngs",
+    "configuration_to_json",
+    "configuration_from_json",
+    "save_configuration",
+    "load_configuration",
+]

@@ -1,0 +1,51 @@
+"""JSON (de)serialization of particle-system configurations.
+
+Snapshots are plain JSON so runs can be archived, diffed, and reloaded
+across library versions.  The format stores nodes and colors as parallel
+lists plus the color-class count.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.system.configuration import ParticleSystem
+
+FORMAT_VERSION = 1
+
+
+def configuration_to_json(system: ParticleSystem) -> str:
+    """Serialize a system to a JSON string."""
+    nodes = sorted(system.colors)
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "num_colors": system.num_colors,
+        "nodes": [list(node) for node in nodes],
+        "colors": [system.colors[node] for node in nodes],
+    }
+    return json.dumps(payload)
+
+
+def configuration_from_json(text: str) -> ParticleSystem:
+    """Deserialize a system from a JSON string produced by this module."""
+    payload = json.loads(text)
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported configuration format version: {version}")
+    nodes = [tuple(node) for node in payload["nodes"]]
+    colors = payload["colors"]
+    return ParticleSystem.from_nodes(
+        nodes, colors, num_colors=payload["num_colors"]
+    )
+
+
+def save_configuration(system: ParticleSystem, path: Union[str, Path]) -> None:
+    """Write a system snapshot to ``path``."""
+    Path(path).write_text(configuration_to_json(system))
+
+
+def load_configuration(path: Union[str, Path]) -> ParticleSystem:
+    """Read a system snapshot from ``path``."""
+    return configuration_from_json(Path(path).read_text())

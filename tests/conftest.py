@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.system.configuration import ParticleSystem
+from repro.system.initializers import (
+    hexagon_system,
+    line_system,
+    random_blob_system,
+)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG for tests that need raw randomness."""
+    return random.Random(12345)
+
+
+@pytest.fixture
+def small_mixed_system() -> ParticleSystem:
+    """A 20-particle bichromatic hexagon with shuffled colors."""
+    return hexagon_system(20, seed=7)
+
+
+@pytest.fixture
+def medium_mixed_system() -> ParticleSystem:
+    """A 60-particle bichromatic blob, the workhorse for chain tests."""
+    return random_blob_system(60, seed=11)
+
+
+@pytest.fixture
+def line20() -> ParticleSystem:
+    """A 20-particle line (maximum perimeter) with alternating colors."""
+    return line_system(20, seed=3, shuffle=True)
+
+
+def random_connected_system(
+    n: int, seed: int, num_colors: int = 2
+) -> ParticleSystem:
+    """Helper for property tests: a random connected hole-free system."""
+    return random_blob_system(n, seed=seed, num_colors=num_colors)

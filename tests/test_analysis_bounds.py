@@ -1,0 +1,143 @@
+"""Tests for the executable theorem bounds."""
+
+import math
+
+import pytest
+
+from repro.analysis.bounds import (
+    GAMMA_THRESHOLD_LARGE,
+    GAMMA_WINDOW_SMALL,
+    PEIERLS_CONSTANT,
+    SEPARATION_LAMBDA_GAMMA_THRESHOLD,
+    predicted_regime,
+    theorem13_condition,
+    theorem13_min_alpha,
+    theorem14_condition,
+    theorem14_min_gamma,
+    theorem15_condition,
+    theorem15_min_alpha,
+    theorem16_condition,
+)
+
+
+class TestConstants:
+    def test_peierls_constant(self):
+        assert math.isclose(PEIERLS_CONSTANT, 2 * (2 + math.sqrt(2)))
+
+    def test_gamma_threshold(self):
+        assert math.isclose(GAMMA_THRESHOLD_LARGE, 4 ** 1.25)
+        assert 5.65 < GAMMA_THRESHOLD_LARGE < 5.66
+
+    def test_separation_threshold_value(self):
+        """The paper quotes 2(2+√2)e^{0.0003} ≈ 6.83."""
+        assert 6.82 < SEPARATION_LAMBDA_GAMMA_THRESHOLD < 6.84
+
+    def test_gamma_window(self):
+        low, high = GAMMA_WINDOW_SMALL
+        assert math.isclose(low * high, 1.0)
+        assert low < 1.0 < high
+
+
+class TestTheorem13:
+    def test_paper_corollary_region(self):
+        """λ > 1, γ > 4^{5/4}, λγ > 6.83 admits some α."""
+        assert theorem13_min_alpha(1.3, 6.0) is not None
+
+    def test_fails_below_gamma_threshold(self):
+        assert not theorem13_condition(2.0, 10.0, 5.0)
+        assert theorem13_min_alpha(10.0, 5.0) is None
+
+    def test_fails_below_lambda_gamma_threshold(self):
+        assert theorem13_min_alpha(1.05, 5.7) is None  # λγ ≈ 5.99 < 6.83
+
+    def test_condition_monotone_in_alpha(self):
+        lam, gamma = 2.0, 8.0
+        alpha_min = theorem13_min_alpha(lam, gamma)
+        assert alpha_min is not None
+        assert theorem13_condition(alpha_min * 1.01, lam, gamma)
+        assert not theorem13_condition(alpha_min * 0.9, lam, gamma)
+
+    def test_stronger_bias_allows_smaller_alpha(self):
+        weak = theorem13_min_alpha(1.3, 6.0)
+        strong = theorem13_min_alpha(4.0, 10.0)
+        assert strong < weak
+
+    def test_rejects_invalid_inputs(self):
+        assert not theorem13_condition(0.5, 4.0, 8.0)
+        assert not theorem13_condition(2.0, -1.0, 8.0)
+
+
+class TestTheorem14:
+    def test_requires_beta_above_geometry_floor(self):
+        # β must exceed 2√3·α ≈ 3.46α.
+        assert theorem14_min_gamma(1.0, 3.0, 0.1) is None
+        assert theorem14_min_gamma(1.0, 4.0, 0.1) is not None
+
+    def test_condition_at_min_gamma_boundary(self):
+        alpha, beta, delta = 1.1, 8.0, 0.1
+        gamma_min = theorem14_min_gamma(alpha, beta, delta)
+        assert theorem14_condition(alpha, beta, delta, gamma_min * 1.01)
+        assert not theorem14_condition(alpha, beta, delta, gamma_min * 0.99)
+
+    def test_looser_beta_needs_smaller_gamma(self):
+        tight = theorem14_min_gamma(1.1, 5.0, 0.1)
+        loose = theorem14_min_gamma(1.1, 50.0, 0.1)
+        assert loose < tight
+
+    def test_delta_bounds(self):
+        assert theorem14_min_gamma(1.0, 8.0, 0.6) is None
+        assert not theorem14_condition(1.0, 8.0, 0.0, 10.0)
+
+
+class TestTheorem15:
+    def test_window_and_threshold(self):
+        # λ(γ+1) = 8 > 6.83 with γ = 1: provable for some α.
+        assert theorem15_min_alpha(4.0, 1.0) is not None
+
+    def test_gamma_outside_window_fails(self):
+        assert not theorem15_condition(2.0, 4.0, 1.5)
+        assert theorem15_min_alpha(4.0, 1.5) is None
+
+    def test_lambda_too_small_fails(self):
+        # λ(γ+1) = 2·2 = 4 < 6.83.
+        assert theorem15_min_alpha(2.0, 1.0) is None
+
+    def test_condition_monotone_in_alpha(self):
+        alpha_min = theorem15_min_alpha(5.0, 1.0)
+        assert theorem15_condition(alpha_min * 1.01, 5.0, 1.0)
+        assert not theorem15_condition(alpha_min * 0.9, 5.0, 1.0)
+
+
+class TestTheorem16:
+    def test_gamma_one_always_qualifies(self):
+        assert theorem16_condition(0.1, 1.0)
+
+    def test_window_widens_for_smaller_delta(self):
+        """Smaller δ (stricter separation notion) admits a wider γ window
+        in which separation provably fails."""
+        assert theorem16_condition(0.01, 1.02)
+        assert not theorem16_condition(0.2, 1.02)
+
+    def test_gamma_far_from_one_fails(self):
+        assert not theorem16_condition(0.1, 2.0)
+        assert not theorem16_condition(0.1, 0.5)
+
+    def test_delta_must_be_below_quarter(self):
+        assert not theorem16_condition(0.3, 1.0)
+
+
+class TestPredictedRegime:
+    def test_proven_separation_region(self):
+        assert predicted_regime(1.3, 6.0) == "separates"
+        assert predicted_regime(4.0, 8.0) == "separates"
+
+    def test_proven_integration_region(self):
+        assert predicted_regime(7.0, 1.0) == "integrates"
+        assert predicted_regime(10.0, 81 / 80) == "integrates"
+
+    def test_unproven_gap(self):
+        # γ between the two windows: nothing is proven (e.g. Figure 2's
+        # own λ = γ = 4 setting!).
+        assert predicted_regime(4.0, 4.0) == "unproven"
+        assert predicted_regime(2.0, 1.0) == "unproven"
+        assert predicted_regime(0.5, 8.0) == "unproven"

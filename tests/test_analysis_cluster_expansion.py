@@ -1,0 +1,224 @@
+"""Tests for the abstract polymer model and cluster expansion."""
+
+import math
+
+import pytest
+
+from repro.analysis.cluster_expansion import (
+    PolymerModel,
+    find_kp_constant,
+    kotecky_preiss_margin,
+    log_partition_function,
+    partition_function,
+    psi_per_edge,
+    truncated_cluster_expansion,
+    ursell_factor,
+    volume_surface_split,
+)
+from repro.analysis.polymers import (
+    all_polymers_in_region,
+    enumerate_loops_through_edge,
+    loop_closure_size,
+    triangle_edges,
+)
+from repro.lattice.geometry import disk
+
+
+def hard_core_segments(length, weight):
+    """Polymer model: unit segments on a path, incompatible if adjacent.
+
+    Its partition function is the independence polynomial of a path
+    graph, with the closed-form Fibonacci-like recurrence
+    Z_k = Z_{k-1} + w * Z_{k-2}.
+    """
+    polymers = list(range(length))
+    return PolymerModel(
+        polymers=polymers,
+        weight=lambda p: weight,
+        compatible=lambda a, b: abs(a - b) > 1,
+    )
+
+
+def path_independence_polynomial(length, weight):
+    z_prev, z = 1.0, 1.0 + weight  # Z_0 = 1, Z_1 = 1 + w
+    if length == 0:
+        return 1.0
+    for _ in range(length - 1):
+        z_prev, z = z, z + weight * z_prev
+    return z
+
+
+class TestPartitionFunction:
+    @pytest.mark.parametrize("length,weight", [(1, 0.5), (4, 0.3), (7, 1.2)])
+    def test_matches_path_independence_polynomial(self, length, weight):
+        model = hard_core_segments(length, weight)
+        assert math.isclose(
+            partition_function(model),
+            path_independence_polynomial(length, weight),
+        )
+
+    def test_empty_model(self):
+        model = PolymerModel([], lambda p: 1.0, lambda a, b: True)
+        assert partition_function(model) == 1.0
+
+    def test_log_partition_rejects_nonpositive(self):
+        model = PolymerModel([0], lambda p: -2.0, lambda a, b: True)
+        with pytest.raises(ValueError):
+            log_partition_function(model)
+
+
+class TestUrsellFactors:
+    def test_singleton_cluster(self):
+        model = hard_core_segments(2, 1.0)
+        incompatible = model.incompatibility_matrix()
+        assert ursell_factor((0,), incompatible) == 1.0
+
+    def test_incompatible_pair(self):
+        model = hard_core_segments(2, 1.0)
+        incompatible = model.incompatibility_matrix()
+        # Two distinct incompatible polymers: U = -1 (one edge), /1 = -1.
+        assert ursell_factor((0, 1), incompatible) == -1.0
+
+    def test_repeated_polymer(self):
+        model = hard_core_segments(1, 1.0)
+        incompatible = model.incompatibility_matrix()
+        # Same polymer twice: incompatible with itself, U = -1, /2! = -0.5.
+        assert ursell_factor((0, 0), incompatible) == -0.5
+
+    def test_compatible_pair_is_not_a_cluster(self):
+        model = hard_core_segments(3, 1.0)
+        incompatible = model.incompatibility_matrix()
+        assert ursell_factor((0, 2), incompatible) == 0.0
+
+
+class TestTruncatedExpansion:
+    def test_converges_to_exact_small_weights(self):
+        model = hard_core_segments(6, 0.05)
+        exact = log_partition_function(model)
+        errors = [
+            abs(truncated_cluster_expansion(model, m) - exact)
+            for m in (1, 2, 3, 4)
+        ]
+        assert errors[-1] < 1e-4
+        assert errors[0] > 100 * errors[-1]
+
+    def test_loop_model_convergence(self):
+        gamma = 6.0
+        region = triangle_edges(set(disk((0, 0), 1)))
+        polymers = all_polymers_in_region(region, 6, kind="loop")
+        model = PolymerModel(
+            polymers,
+            weight=lambda p: gamma ** (-len(p)),
+            compatible=lambda a, b: a.isdisjoint(b),
+        )
+        exact = log_partition_function(model)
+        approx = truncated_cluster_expansion(model, 3)
+        assert abs(approx - exact) < 1e-4
+
+    def test_validates_cluster_size(self):
+        model = hard_core_segments(2, 0.1)
+        with pytest.raises(ValueError):
+            truncated_cluster_expansion(model, 0)
+
+
+class TestKoteckyPreiss:
+    def test_margin_positive_for_tiny_weights(self):
+        loops = enumerate_loops_through_edge(8)
+        margin = kotecky_preiss_margin(
+            loops, lambda p: 20.0 ** (-len(p)), loop_closure_size, c=0.01
+        )
+        assert margin > 0
+
+    def test_margin_negative_for_heavy_weights(self):
+        loops = enumerate_loops_through_edge(8)
+        margin = kotecky_preiss_margin(
+            loops, lambda p: 2.0 ** (-len(p)), loop_closure_size, c=0.01
+        )
+        assert margin < 0
+
+    def test_find_kp_constant(self):
+        loops = enumerate_loops_through_edge(8)
+        c = find_kp_constant(
+            loops, lambda p: 8.0 ** (-len(p)), loop_closure_size
+        )
+        assert c is not None
+        assert kotecky_preiss_margin(
+            loops, lambda p: 8.0 ** (-len(p)), loop_closure_size, c
+        ) >= 0
+
+    def test_find_kp_constant_none_when_impossible(self):
+        loops = enumerate_loops_through_edge(8)
+        c = find_kp_constant(
+            loops, lambda p: 1.5 ** (-len(p)), loop_closure_size, c_max=0.5
+        )
+        assert c is None
+
+    def test_margin_validates_c(self):
+        with pytest.raises(ValueError):
+            kotecky_preiss_margin([], lambda p: 0.0, lambda p: 0, c=0.0)
+
+
+class TestVolumeSurfaceSplit:
+    def test_theorem11_sandwich_numerically(self):
+        """Brute-force ln Ξ_Λ lies within ψ|Λ| ± c|∂Λ| on concrete
+        regions, with ψ estimated from the per-edge cluster expansion."""
+        gamma = 6.0
+
+        def weight(p):
+            return gamma ** (-len(p))
+
+        loops_through = enumerate_loops_through_edge(8)
+        c = find_kp_constant(loops_through, weight, loop_closure_size)
+        assert c is not None
+
+        # ψ from clusters around the reference edge (truncated).
+        nearby = all_polymers_in_region(
+            triangle_edges(set(disk((0, 0), 2))), 6, kind="loop"
+        )
+        psi_model = PolymerModel(
+            nearby, weight, lambda a, b: a.isdisjoint(b)
+        )
+        from repro.analysis.polymers import REFERENCE_EDGE
+
+        psi = psi_per_edge(
+            psi_model, element_of=lambda p: p,
+            reference_element=REFERENCE_EDGE, max_cluster_size=3,
+        )
+        assert abs(psi) <= c
+
+        for radius in (1, 2):
+            region = triangle_edges(set(disk((0, 0), radius)))
+            polymers = all_polymers_in_region(region, 6, kind="loop")
+            model = PolymerModel(polymers, weight, lambda a, b: a.isdisjoint(b))
+            log_xi = log_partition_function(model)
+            boundary = _region_boundary_size(region)
+            lower, upper, holds = volume_surface_split(
+                log_xi, psi, volume=len(region), boundary=boundary, c=c
+            )
+            assert holds, (radius, lower, log_xi, upper)
+
+    def test_split_reports_bounds(self):
+        lower, upper, holds = volume_surface_split(
+            log_xi=0.0, psi=0.0, volume=10, boundary=5, c=0.1
+        )
+        assert lower == -0.5 and upper == 0.5 and holds
+
+
+def _region_boundary_size(region_edges):
+    """Edges of the region touching a vertex with incident edges outside."""
+    from repro.lattice.triangular import edge_key, neighbors
+
+    vertices = set()
+    for a, b in region_edges:
+        vertices.add(a)
+        vertices.add(b)
+    boundary = 0
+    for a, b in region_edges:
+        for vertex in (a, b):
+            if any(
+                edge_key(vertex, nbr) not in region_edges
+                for nbr in neighbors(vertex)
+            ):
+                boundary += 1
+                break
+    return boundary

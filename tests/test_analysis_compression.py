@@ -1,0 +1,103 @@
+"""Tests for compression metrics (Lemma 2, p_min)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.compression_metric import (
+    alpha_of,
+    is_alpha_compressed,
+    lemma2_upper_bound,
+    maximum_perimeter,
+    minimum_perimeter,
+    normalized_perimeter,
+)
+from repro.lattice.boundary import perimeter_from_edges
+from repro.lattice.triangular import edges_of
+from repro.markov.enumerate_configs import enumerate_animals
+from repro.system.initializers import hexagon_system, line_system
+
+
+class TestMinimumPerimeter:
+    def test_small_values(self):
+        assert [minimum_perimeter(n) for n in range(1, 12)] == [
+            0, 2, 3, 4, 5, 6, 6, 7, 8, 8, 9,
+        ]
+
+    @given(st.integers(min_value=1, max_value=7))
+    @settings(max_examples=7, deadline=None)
+    def test_matches_brute_force(self, n):
+        """The closed form equals the true minimum over all animals."""
+        best = min(
+            perimeter_from_edges(n, len(edges_of(animal)))
+            for animal in enumerate_animals(n, hole_free_only=True)
+        )
+        assert minimum_perimeter(n) == best
+
+    def test_hexagonal_numbers_exact(self):
+        for ell in range(1, 20):
+            n = 3 * ell * ell + 3 * ell + 1
+            assert minimum_perimeter(n) == 6 * ell
+
+    @given(st.integers(min_value=1, max_value=100_000))
+    @settings(max_examples=100, deadline=None)
+    def test_lemma2_bound_holds(self, n):
+        assert minimum_perimeter(n) <= lemma2_upper_bound(n)
+
+    @given(st.integers(min_value=2, max_value=100_000))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_nondecreasing(self, n):
+        assert minimum_perimeter(n) >= minimum_perimeter(n - 1)
+
+    def test_sqrt_order(self):
+        """p_min(n) = Θ(√n): sandwiched between √(4√3·n)-3 and 2√3·√n."""
+        for n in (10, 100, 1000, 10_000):
+            p = minimum_perimeter(n)
+            assert p <= 2 * math.sqrt(3 * n)
+            assert p >= math.sqrt(n)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            minimum_perimeter(0)
+
+
+class TestAlphaCompression:
+    def test_hexagon_is_nearly_one(self):
+        system = hexagon_system(91, seed=0)
+        assert alpha_of(system) < 1.1
+
+    def test_line_alpha_is_large(self):
+        # Line: p = 2(n-1) = 98 against p_min(50) = 22.
+        system = line_system(50, seed=0)
+        assert alpha_of(system) > 4.0
+
+    def test_is_alpha_compressed(self):
+        system = hexagon_system(37, seed=0)
+        assert is_alpha_compressed(system, 1.5)
+        assert not is_alpha_compressed(line_system(37, seed=0), 1.5)
+
+    def test_alpha_validates(self):
+        with pytest.raises(ValueError):
+            is_alpha_compressed(hexagon_system(5, seed=0), 0.9)
+
+    def test_single_particle_alpha(self):
+        from repro.system.configuration import ParticleSystem
+
+        lonely = ParticleSystem.from_nodes([(0, 0)], [0])
+        assert alpha_of(lonely) == 1.0
+
+
+class TestPerimeterExtremes:
+    def test_maximum_perimeter_is_line(self):
+        for n in (2, 10, 25):
+            assert maximum_perimeter(n) == line_system(n, seed=0).perimeter()
+
+    def test_normalized_perimeter_bounds(self):
+        assert normalized_perimeter(hexagon_system(37, seed=0)) < 0.1
+        assert normalized_perimeter(line_system(37, seed=0)) == 1.0
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            maximum_perimeter(0)

@@ -1,0 +1,103 @@
+"""Tests for time-series estimators."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.analysis.estimators import (
+    autocorrelation_time,
+    batch_means_error,
+    effective_sample_size,
+    running_mean,
+    time_to_threshold,
+)
+
+
+class TestAutocorrelation:
+    def test_iid_series_tau_near_one(self):
+        rng = random.Random(0)
+        series = [rng.random() for _ in range(5000)]
+        assert autocorrelation_time(series) < 1.5
+
+    def test_correlated_series_tau_large(self):
+        rng = random.Random(0)
+        value = 0.0
+        series = []
+        for _ in range(5000):
+            value = 0.95 * value + rng.gauss(0, 1)
+            series.append(value)
+        tau = autocorrelation_time(series)
+        # AR(1) with ρ=0.95 has τ = (1+ρ)/(1-ρ) = 39.
+        assert tau > 10
+
+    def test_constant_series(self):
+        assert autocorrelation_time([3.0] * 100) == 1.0
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError):
+            autocorrelation_time([1.0, 2.0])
+
+    def test_effective_sample_size(self):
+        rng = random.Random(1)
+        series = [rng.random() for _ in range(1000)]
+        ess = effective_sample_size(series)
+        assert 500 < ess <= 1000
+
+
+class TestBatchMeans:
+    def test_mean_recovered(self):
+        rng = random.Random(2)
+        series = [5.0 + rng.gauss(0, 1) for _ in range(2000)]
+        mean, error = batch_means_error(series)
+        assert abs(mean - 5.0) < 0.2
+        assert 0 < error < 0.2
+
+    def test_validates_arguments(self):
+        with pytest.raises(ValueError):
+            batch_means_error([1.0] * 100, num_batches=1)
+        with pytest.raises(ValueError):
+            batch_means_error([1.0] * 10, num_batches=20)
+
+
+class TestTimeToThreshold:
+    def test_simple_crossing(self):
+        times = [0, 10, 20, 30]
+        values = [5.0, 4.0, 2.0, 1.0]
+        assert time_to_threshold(times, values, 2.5, "below") == 20
+
+    def test_patience_skips_blips(self):
+        times = [0, 10, 20, 30, 40]
+        values = [5.0, 2.0, 5.0, 2.0, 2.0]
+        assert time_to_threshold(times, values, 2.5, "below", patience=2) == 30
+
+    def test_above_direction(self):
+        assert time_to_threshold([0, 1, 2], [0.1, 0.6, 0.9], 0.5, "above") == 1
+
+    def test_never_crossed(self):
+        assert time_to_threshold([0, 1], [5.0, 5.0], 1.0, "below") is None
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            time_to_threshold([0], [1.0, 2.0], 1.0)
+        with pytest.raises(ValueError):
+            time_to_threshold([0], [1.0], 1.0, direction="sideways")
+        with pytest.raises(ValueError):
+            time_to_threshold([0], [1.0], 1.0, patience=0)
+
+
+class TestRunningMean:
+    def test_window_one_is_identity(self):
+        data = [1.0, 2.0, 3.0]
+        assert np.allclose(running_mean(data, 1), data)
+
+    def test_smooths_noise(self):
+        rng = random.Random(3)
+        data = [math.sin(i / 50) + rng.gauss(0, 0.3) for i in range(500)]
+        smoothed = running_mean(data, 51)
+        assert np.var(np.diff(smoothed)) < np.var(np.diff(data))
+
+    def test_validates_window(self):
+        with pytest.raises(ValueError):
+            running_mean([1.0], 0)

@@ -1,0 +1,108 @@
+"""Tests for interface-geometry observables."""
+
+import math
+
+from repro.analysis.interfaces import (
+    centroid_separation,
+    color_geometry,
+    demixing_index,
+    interface_component_count,
+    interface_edges,
+    interface_summary,
+)
+from repro.system.configuration import ParticleSystem
+from repro.system.initializers import checkerboard_system, separated_system
+
+
+def sorted_line(n, colors):
+    return ParticleSystem.from_nodes([(i, 0) for i in range(n)], colors)
+
+
+class TestInterfaceEdges:
+    def test_count_matches_hetero_total(self):
+        for system in (separated_system(36), checkerboard_system(36)):
+            assert len(interface_edges(system)) == system.hetero_total
+
+    def test_single_interface_on_sorted_line(self):
+        system = sorted_line(8, [0, 0, 0, 0, 1, 1, 1, 1])
+        assert len(interface_edges(system)) == 1
+        assert interface_component_count(system) == 1
+
+    def test_alternating_line_is_one_chained_component(self):
+        """Adjacent heterogeneous edges share endpoints, so a fully
+        alternating line has ONE long interface component — length, not
+        component count, is what distinguishes it from separation."""
+        system = sorted_line(8, [0, 1, 0, 1, 0, 1, 0, 1])
+        assert interface_component_count(system) == 1
+        assert len(interface_edges(system)) == 7
+
+    def test_separated_stripes_give_disjoint_components(self):
+        system = sorted_line(8, [0, 0, 1, 1, 0, 0, 1, 1])
+        assert interface_component_count(system) == 3
+
+    def test_monochromatic_has_none(self):
+        system = sorted_line(6, [0] * 6)
+        assert interface_edges(system) == []
+        assert interface_component_count(system) == 0
+
+
+class TestColorGeometry:
+    def test_centroid_of_line_halves(self):
+        system = sorted_line(10, [0] * 5 + [1] * 5)
+        left = color_geometry(system, 0)
+        right = color_geometry(system, 1)
+        assert left.count == right.count == 5
+        assert left.centroid[0] < right.centroid[0]
+
+    def test_missing_color(self):
+        system = sorted_line(4, [0] * 4)
+        geometry = color_geometry(system, 1)
+        assert geometry.count == 0
+        assert geometry.radius_of_gyration == 0.0
+
+    def test_gyration_grows_with_spread(self):
+        compact = separated_system(36)
+        line = sorted_line(36, [0] * 18 + [1] * 18)
+        assert (
+            color_geometry(line, 0).radius_of_gyration
+            > color_geometry(compact, 0).radius_of_gyration
+        )
+
+
+class TestCentroidSeparation:
+    def test_separated_larger_than_checkerboard(self):
+        assert centroid_separation(separated_system(64)) > (
+            centroid_separation(checkerboard_system(64))
+        )
+
+    def test_monochromatic_is_zero(self):
+        assert centroid_separation(sorted_line(5, [0] * 5)) == 0.0
+
+
+class TestDemixingIndex:
+    def test_bounds(self):
+        for system in (separated_system(36), checkerboard_system(36)):
+            assert 0.0 <= demixing_index(system) <= 1.0
+
+    def test_ordering(self):
+        assert demixing_index(separated_system(64)) > 0.6
+        assert demixing_index(checkerboard_system(64)) < 0.3
+
+    def test_single_particle(self):
+        assert demixing_index(ParticleSystem.from_nodes([(0, 0)], [0])) == 0.0
+
+
+class TestSummary:
+    def test_keys_and_consistency(self):
+        system = separated_system(49)
+        summary = interface_summary(system)
+        assert set(summary) == {
+            "length",
+            "components",
+            "normalized_length",
+            "centroid_separation",
+        }
+        assert summary["length"] == system.hetero_total
+        assert math.isclose(
+            summary["normalized_length"], system.hetero_total / 7.0
+        )

@@ -1,0 +1,153 @@
+"""Tests for polymer enumeration."""
+
+from repro.analysis.polymers import (
+    all_polymers_in_region,
+    enumerate_connected_edge_sets_through_edge,
+    enumerate_even_polymers_through_edge,
+    enumerate_loops_through_edge,
+    even_closure_size,
+    is_even_subgraph,
+    loop_closure_size,
+    loop_counts_by_length,
+    loops_share_edge,
+    polymer_vertices,
+    polymers_share_vertex,
+    triangle_edges,
+    REFERENCE_EDGE,
+)
+from repro.lattice.geometry import disk
+from repro.lattice.triangular import edge_key
+
+
+class TestLoops:
+    def test_two_triangles_through_edge(self):
+        loops = enumerate_loops_through_edge(3)
+        assert len(loops) == 2
+        assert all(len(loop) == 3 for loop in loops)
+
+    def test_loop_counts_by_length(self):
+        counts = loop_counts_by_length(6)
+        assert counts[3] == 2
+        assert counts[4] == 4
+        assert counts[5] == 10
+        assert counts[6] == 30
+
+    def test_loops_contain_reference_edge(self):
+        for loop in enumerate_loops_through_edge(6):
+            assert REFERENCE_EDGE in loop
+
+    def test_loops_are_even_subgraphs(self):
+        """Every cycle is an even subgraph (degree 2 everywhere)."""
+        for loop in enumerate_loops_through_edge(6):
+            assert is_even_subgraph(loop)
+
+    def test_loops_unique(self):
+        loops = enumerate_loops_through_edge(7)
+        assert len(loops) == len(set(loops))
+
+    def test_max_length_below_three_empty(self):
+        assert enumerate_loops_through_edge(2) == []
+
+
+class TestEvenPolymers:
+    def test_smallest_are_triangles(self):
+        evens = enumerate_even_polymers_through_edge(3)
+        assert len(evens) == 2
+
+    def test_at_six_edges_includes_bowties(self):
+        """Two triangles sharing a vertex: 6 edges, degree 4 at the
+        shared vertex — connected, even, not a single cycle."""
+        evens = enumerate_even_polymers_through_edge(6)
+        six_edge = [p for p in evens if len(p) == 6]
+        bowties = [
+            p
+            for p in six_edge
+            if any(
+                sum(1 for e in p if v in e) == 4
+                for v in polymer_vertices(p)
+            )
+        ]
+        assert bowties, "expected bowtie even polymers at size 6"
+
+    def test_all_even(self):
+        for polymer in enumerate_even_polymers_through_edge(6):
+            assert is_even_subgraph(polymer)
+
+    def test_connected_edge_sets_grow(self):
+        small = enumerate_connected_edge_sets_through_edge(2)
+        # 1 singleton + one set per edge adjacent to the reference edge.
+        assert len(small) == 1 + 10
+
+
+class TestCompatibility:
+    def test_loops_share_edge(self):
+        a, b = enumerate_loops_through_edge(3)
+        assert loops_share_edge(a, b)  # both contain the reference edge
+
+    def test_disjoint_loops_compatible(self):
+        a = frozenset(
+            [edge_key((0, 0), (1, 0)), edge_key((1, 0), (0, 1)), edge_key((0, 0), (0, 1))]
+        )
+        far = frozenset(
+            [
+                edge_key((10, 0), (11, 0)),
+                edge_key((11, 0), (10, 1)),
+                edge_key((10, 0), (10, 1)),
+            ]
+        )
+        assert not loops_share_edge(a, far)
+        assert not polymers_share_vertex(a, far)
+
+    def test_closure_sizes(self):
+        triangle = enumerate_loops_through_edge(3)[0]
+        assert loop_closure_size(triangle) == 3
+        # Even closure: all edges incident to the triangle's 3 vertices.
+        assert even_closure_size(triangle) > 3
+
+
+class TestRegionEnumeration:
+    def test_region_loops_all_inside(self):
+        region = triangle_edges(set(disk((0, 0), 2)))
+        loops = all_polymers_in_region(region, 5, kind="loop")
+        assert loops
+        for loop in loops:
+            assert loop <= region
+
+    def test_region_loops_unique(self):
+        region = triangle_edges(set(disk((0, 0), 2)))
+        loops = all_polymers_in_region(region, 5, kind="loop")
+        assert len(loops) == len(set(loops))
+
+    def test_region_triangle_count(self):
+        """A radius-1 disk (7 nodes) contains exactly its 6 unit
+        triangles as length-3 loops."""
+        region = triangle_edges(set(disk((0, 0), 1)))
+        loops = all_polymers_in_region(region, 3, kind="loop")
+        assert len(loops) == 6
+
+    def test_region_even_polymers(self):
+        region = triangle_edges(set(disk((0, 0), 1)))
+        evens = all_polymers_in_region(region, 4, kind="even")
+        # Only the six triangles: no 4-edge even subgraph fits in a
+        # radius-1 disk... rhombi do fit. Verify all are even and inside.
+        for polymer in evens:
+            assert is_even_subgraph(polymer)
+            assert polymer <= region
+
+    def test_unknown_kind_raises(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            all_polymers_in_region(set(), 3, kind="mystery")
+
+    def test_non_horizontal_loops_found(self):
+        """Loops with no horizontal edge must be enumerated too (the
+        NE/NW rhombus), guarding against orientation bias."""
+        region = triangle_edges(set(disk((0, 0), 2)))
+        loops = all_polymers_in_region(region, 4, kind="loop")
+        horizontal_free = [
+            loop
+            for loop in loops
+            if all(a[1] != b[1] for a, b in loop)
+        ]
+        assert horizontal_free, "expected rhombi without horizontal edges"

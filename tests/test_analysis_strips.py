@@ -1,0 +1,92 @@
+"""Tests for the strip decomposition (Theorem 16 machinery)."""
+
+import pytest
+
+from repro.analysis.strips import (
+    chernoff_surplus_bound,
+    max_surplus_summary,
+    strip_color_surpluses,
+    strip_decomposition,
+    surplus_profile,
+)
+from repro.system.configuration import ParticleSystem
+from repro.system.initializers import checkerboard_system, separated_system
+
+
+def sorted_line(n, colors):
+    return ParticleSystem.from_nodes([(i, 0) for i in range(n)], colors)
+
+
+class TestDecomposition:
+    def test_strips_cover_all_particles(self):
+        system = separated_system(49)
+        strips = strip_decomposition(system, width=2)
+        assert sum(strip.size for strip in strips) == 49
+
+    def test_width_one_line(self):
+        system = sorted_line(6, [0, 0, 0, 1, 1, 1])
+        strips = strip_decomposition(system, width=1)
+        assert len(strips) == 6
+        assert [s.count_color1 for s in strips] == [0, 0, 0, 1, 1, 1]
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            strip_decomposition(sorted_line(3, [0, 0, 1]), width=0)
+
+    def test_fraction_property(self):
+        system = sorted_line(4, [0, 1, 0, 1])
+        for strip in strip_decomposition(system, width=2):
+            assert strip.fraction_color1 == 0.5
+
+
+class TestSurpluses:
+    def test_sorted_line_has_large_surplus(self):
+        system = sorted_line(20, [0] * 10 + [1] * 10)
+        surpluses = strip_color_surpluses(system, width=10)
+        assert max(surpluses) == 5.0  # a pure strip of 10 vs fair share 5
+
+    def test_alternating_has_zero_surplus(self):
+        system = sorted_line(20, [0, 1] * 10)
+        surpluses = strip_color_surpluses(system, width=2)
+        assert max(surpluses) == 0.0
+
+
+class TestChernoff:
+    def test_bound_grows_with_strip_size(self):
+        small = chernoff_surplus_bound(10, 100, 50, 0.01)
+        large = chernoff_surplus_bound(40, 100, 50, 0.01)
+        assert large > small
+
+    def test_bound_grows_with_confidence(self):
+        loose = chernoff_surplus_bound(20, 100, 50, 0.1)
+        tight = chernoff_surplus_bound(20, 100, 50, 0.001)
+        assert tight > loose
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            chernoff_surplus_bound(0, 10, 5, 0.1)
+        with pytest.raises(ValueError):
+            chernoff_surplus_bound(5, 10, 5, 1.5)
+        with pytest.raises(ValueError):
+            chernoff_surplus_bound(5, 10, 50, 0.1)
+
+
+class TestSummary:
+    def test_separated_exceeds_envelope(self):
+        """A cleanly separated configuration has a strip surplus far
+        beyond what random coloring allows — the Theorem 14 side."""
+        system = separated_system(100)
+        summary = max_surplus_summary(system, width=3)
+        assert summary.exceeds_envelope
+
+    def test_checkerboard_within_envelope(self):
+        """A perfectly mixed coloring stays within the Chernoff
+        envelope — the Theorem 16 side."""
+        system = checkerboard_system(100)
+        summary = max_surplus_summary(system, width=3)
+        assert not summary.exceeds_envelope
+
+    def test_profile_keys(self):
+        system = separated_system(49)
+        profile = surplus_profile(system, widths=(2, 4))
+        assert set(profile) == {2, 4}

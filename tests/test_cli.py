@@ -1,0 +1,120 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.system.initializers import hexagon_system
+from repro.util.serialization import save_configuration
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.n == 100
+        assert args.lam == 4.0
+        assert args.init == "blob"
+
+
+class TestSimulate:
+    def test_basic_run(self, capsys):
+        code = main(
+            [
+                "simulate", "-n", "30", "--steps", "5000", "--seed", "1",
+                "--checkpoints", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "perimeter" in out
+        assert "5,000" in out
+
+    def test_ascii_and_save(self, tmp_path, capsys):
+        target = tmp_path / "final.json"
+        code = main(
+            [
+                "simulate", "-n", "20", "--steps", "2000", "--seed", "2",
+                "--ascii", "--save", str(target), "--init", "hexagon",
+            ]
+        )
+        assert code == 0
+        assert target.exists()
+        out = capsys.readouterr().out
+        assert "o" in out and "x" in out
+
+    def test_no_swaps_flag(self, capsys):
+        code = main(
+            ["simulate", "-n", "15", "--steps", "1000", "--no-swaps",
+             "--seed", "3"]
+        )
+        assert code == 0
+        assert "swaps=False" in capsys.readouterr().out
+
+
+class TestFigures:
+    def test_figure2(self, capsys):
+        code = main(
+            ["figure2", "-n", "30", "--scale", "0.0005", "--seed", "4"]
+        )
+        assert code == 0
+        assert "iteration" in capsys.readouterr().out
+
+    def test_figure3_small(self, capsys):
+        # Tiny grid via the iterations knob; the default grid is larger
+        # but a smoke test must stay fast, so just assert it parses and
+        # runs with minimal work.
+        code = main(["figure3", "-n", "20", "--iterations", "2000"])
+        assert code == 0
+        assert "lambda\\gamma" in capsys.readouterr().out
+
+
+class TestStationary:
+    def test_reports_gap(self, capsys):
+        code = main(
+            ["stationary", "-n", "4", "--counts", "2", "2", "--lam", "2",
+             "--gamma", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "spectral gap" in out
+        assert "detailed balance" in out
+
+
+class TestSweep:
+    def test_sweep_rows(self, capsys):
+        code = main(
+            [
+                "sweep", "--lambdas", "4", "--gammas", "1", "4",
+                "--iterations", "3000", "-n", "20",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") >= 3  # header + two rows
+
+
+class TestIllustrations:
+    def test_writes_four_svgs(self, tmp_path, capsys):
+        code = main(["illustrations", str(tmp_path / "figs")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("wrote") == 4
+        assert len(list((tmp_path / "figs").glob("*.svg"))) == 4
+
+
+class TestRender:
+    def test_render_roundtrip(self, tmp_path, capsys):
+        source = tmp_path / "config.json"
+        save_configuration(hexagon_system(12, seed=5), source)
+        svg = tmp_path / "config.svg"
+        code = main(["render", str(source), "--svg", str(svg)])
+        assert code == 0
+        assert svg.exists()
+        assert "<svg" in svg.read_text()

@@ -1,0 +1,77 @@
+"""Tests for the PODC '16 compression baseline."""
+
+import math
+
+import pytest
+
+from repro.core.compression_chain import (
+    COMPRESSION_THRESHOLD,
+    EXPANSION_THRESHOLD,
+    CompressionChain,
+    compression_ratio,
+    is_compressed,
+    proven_compression_lambda,
+)
+from repro.core.separation_chain import SeparationChain
+from repro.system.initializers import hexagon_system, line_system
+
+
+class TestConstruction:
+    def test_rejects_heterogeneous_systems(self):
+        system = hexagon_system(10, seed=0)  # two colors
+        with pytest.raises(ValueError):
+            CompressionChain(system, lam=4.0)
+
+    def test_from_line_and_hexagon(self):
+        assert CompressionChain.from_line(12, lam=4.0).system.n == 12
+        assert CompressionChain.from_hexagon(12, lam=4.0).system.n == 12
+
+    def test_gamma_forced_to_one(self):
+        chain = CompressionChain.from_hexagon(10, lam=4.0)
+        assert chain.gamma == 1.0
+        assert chain.swaps is False
+
+
+class TestThresholds:
+    def test_constants(self):
+        assert math.isclose(COMPRESSION_THRESHOLD, 2 + math.sqrt(2))
+        assert EXPANSION_THRESHOLD == 2.17
+        assert proven_compression_lambda(0.5) == COMPRESSION_THRESHOLD + 0.5
+
+
+class TestCompressionBehavior:
+    def test_line_compresses_at_large_lambda(self):
+        chain = CompressionChain.from_line(30, lam=5.0, seed=1)
+        start = chain.system.perimeter()
+        chain.run(80_000)
+        end = chain.system.perimeter()
+        assert end < 0.6 * start
+        assert is_compressed(chain.system, alpha=2.5)
+
+    def test_hexagon_expands_at_small_lambda(self):
+        chain = CompressionChain.from_hexagon(30, lam=1.0, seed=1)
+        chain.run(80_000)
+        # λ = 1 is unbiased: the perimeter drifts well above minimal.
+        assert compression_ratio(chain.system) > 1.5
+
+    def test_compression_ratio_of_hexagon_is_small(self):
+        chain = CompressionChain.from_hexagon(37, lam=4.0)
+        assert compression_ratio(chain.system) < 1.2
+
+    def test_is_compressed_validates_alpha(self):
+        chain = CompressionChain.from_hexagon(10, lam=4.0)
+        with pytest.raises(ValueError):
+            is_compressed(chain.system, alpha=0.5)
+
+
+class TestEquivalenceWithSeparationChain:
+    def test_gamma_one_separation_chain_matches_compression_chain(self):
+        """With γ=1 and identical seeds, the two chains take identical
+        trajectories on a monochromatic system."""
+        a = hexagon_system(20, counts=[20, 0], seed=3, shuffle=False)
+        b = a.copy()
+        comp = CompressionChain(a, lam=3.0, seed=99)
+        sep = SeparationChain(b, lam=3.0, gamma=1.0, swaps=False, seed=99)
+        comp.run(10_000)
+        sep.run(10_000)
+        assert sorted(a.colors) == sorted(b.colors)

@@ -1,0 +1,208 @@
+"""Tests for the local-energy framework and the generic energy chain."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.energy import (
+    CompressionEnergy,
+    EnergyChain,
+    InteractionEnergy,
+    LocalEnergy,
+    SeparationEnergy,
+)
+from repro.core.separation_chain import SeparationChain
+from repro.system.initializers import hexagon_system, random_blob_system
+from repro.system.observables import color_counts
+
+
+class TestLocalEnergy:
+    def test_requires_square_symmetric_costs(self):
+        with pytest.raises(ValueError):
+            LocalEnergy([[0.0, 1.0]], perimeter_cost=0.0)
+        with pytest.raises(ValueError):
+            LocalEnergy([[0.0, 1.0], [2.0, 0.0]], perimeter_cost=0.0)
+
+    def test_total_energy_matches_lemma9_exponent(self):
+        """SeparationEnergy's total equals p·ln(λγ) + h·ln(γ)."""
+        lam, gamma = 3.0, 2.0
+        energy = SeparationEnergy(lam, gamma)
+        for seed in range(5):
+            system = random_blob_system(15, seed=seed)
+            expected = system.perimeter() * math.log(lam * gamma) + (
+                system.hetero_total * math.log(gamma)
+            )
+            assert math.isclose(energy.total(system), expected)
+
+    def test_compression_energy_is_perimeter_only(self):
+        energy = CompressionEnergy(lam=4.0)
+        system = random_blob_system(12, seed=1)
+        assert math.isclose(
+            energy.total(system), system.perimeter() * math.log(4.0)
+        )
+
+    def test_interaction_energy_validates(self):
+        with pytest.raises(ValueError):
+            InteractionEnergy(0.0, [[1.0]])
+        with pytest.raises(ValueError):
+            InteractionEnergy(2.0, [[1.0, -1.0], [-1.0, 1.0]])
+
+    def test_interaction_reproduces_separation_energy(self):
+        """Cross-color affinity 1/γ at λ' = λγ gives cost ln γ per
+        heterogeneous edge and ln(λγ) per perimeter unit — exactly
+        SeparationEnergy."""
+        lam, gamma = 3.0, 2.5
+        separation = SeparationEnergy(lam, gamma)
+        interaction = InteractionEnergy(
+            lam * gamma, [[1.0, 1.0 / gamma], [1.0 / gamma, 1.0]]
+        )
+        for seed in range(4):
+            system = random_blob_system(14, seed=seed)
+            assert math.isclose(
+                interaction.total(system), separation.total(system),
+                abs_tol=1e-9,
+            )
+
+
+class TestDeltas:
+    """move_delta / swap_delta must match total-energy differences."""
+
+    @given(st.integers(0, 80))
+    @settings(max_examples=20, deadline=None)
+    def test_move_delta_matches_total_difference(self, seed):
+        from repro.core.separation_chain import evaluate_move
+        from repro.lattice.triangular import (
+            NEIGHBOR_OFFSETS,
+            direction_between,
+        )
+        from repro.core.separation_chain import RING_OFFSETS
+
+        energy = InteractionEnergy(
+            2.0, [[3.0, 0.5], [0.5, 1.5]]
+        )
+        system = random_blob_system(14, seed=seed)
+        colors = system.colors
+        for src in sorted(colors):
+            for dx, dy in NEIGHBOR_OFFSETS:
+                dst = (src[0] + dx, src[1] + dy)
+                if dst in colors:
+                    continue
+                prob, _, _ = evaluate_move(colors, src, dst, 2.0, 2.0)
+                if prob == 0.0:
+                    continue  # invalid move: delta undefined (would hole)
+                d = direction_between(src, dst)
+                ring_colors = [
+                    colors.get((src[0] + rdx, src[1] + rdy))
+                    for rdx, rdy in RING_OFFSETS[d]
+                ]
+                delta = energy.move_delta(colors[src], ring_colors)
+                before = energy.total(system)
+                clone = system.copy()
+                clone.move_particle(src, dst)
+                after = energy.total(clone)
+                assert math.isclose(delta, after - before, abs_tol=1e-9)
+
+    @given(st.integers(0, 80))
+    @settings(max_examples=20, deadline=None)
+    def test_swap_delta_matches_total_difference(self, seed):
+        from repro.lattice.triangular import (
+            NEIGHBOR_OFFSETS,
+            direction_between,
+        )
+        from repro.core.separation_chain import RING_OFFSETS
+
+        energy = InteractionEnergy(2.0, [[4.0, 0.7], [0.7, 2.0]])
+        system = random_blob_system(14, seed=seed)
+        colors = system.colors
+        for src in sorted(colors):
+            for dx, dy in NEIGHBOR_OFFSETS:
+                dst = (src[0] + dx, src[1] + dy)
+                if colors.get(dst) is None or colors[dst] == colors[src]:
+                    continue
+                d = direction_between(src, dst)
+                ring_colors = [
+                    colors.get((src[0] + rdx, src[1] + rdy))
+                    for rdx, rdy in RING_OFFSETS[d]
+                ]
+                delta = energy.swap_delta(colors[src], colors[dst], ring_colors)
+                before = energy.total(system)
+                clone = system.copy()
+                clone.swap_particles(src, dst)
+                after = energy.total(clone)
+                assert math.isclose(delta, after - before, abs_tol=1e-9)
+
+
+class TestEnergyChain:
+    def test_rejects_color_mismatch(self):
+        system = hexagon_system(9, num_colors=3, seed=0)
+        with pytest.raises(ValueError):
+            EnergyChain(system, SeparationEnergy(2.0, 2.0, num_colors=2))
+
+    def test_matches_separation_chain_stationary_distribution(self):
+        """With SeparationEnergy, EnergyChain targets the same π as
+        Algorithm 1: its empirical distribution converges to the exact
+        Lemma 9 distribution.  (Step-for-step trajectory equality is not
+        expected: the two compute acceptance thresholds in power vs log
+        space, so marginal float comparisons can differ.)"""
+        from repro.markov.diagnostics import (
+            empirical_distribution,
+            empirical_vs_exact_tv,
+        )
+        from repro.markov.exact import ExactChainAnalysis
+
+        analysis = ExactChainAnalysis(4, [2, 2], lam=2.0, gamma=3.0)
+        state = analysis.states[0].copy()
+        chain = EnergyChain(state, SeparationEnergy(2.0, 3.0), seed=99)
+        empirical = empirical_distribution(
+            chain,
+            state_index=lambda: state.canonical_key(),
+            steps=120_000,
+            record_every=4,
+        )
+        exact = {
+            s.canonical_key(): float(p)
+            for s, p in zip(analysis.states, analysis.pi)
+        }
+        assert empirical_vs_exact_tv(empirical, exact) < 0.08
+
+    def test_invariants_with_interaction_energy(self):
+        system = hexagon_system(30, num_colors=3, seed=7)
+        affinity = [
+            [4.0, 0.5, 1.0],
+            [0.5, 4.0, 2.0],
+            [1.0, 2.0, 4.0],
+        ]
+        chain = EnergyChain(system, InteractionEnergy(3.0, affinity), seed=7)
+        chain.run(30_000)
+        system.validate()
+        assert system.is_connected()
+        assert not system.has_holes()
+        assert color_counts(system) == color_counts(hexagon_system(30, num_colors=3, seed=7))
+
+    def test_repulsive_cross_affinity_separates_strongly(self):
+        """Making opposite colors actively repel (affinity < 1) drives
+        the interface length below the plain separation chain's."""
+        base = hexagon_system(48, seed=8)
+        attract_only = base.copy()
+        EnergyChain(
+            attract_only, InteractionEnergy(4.0, [[4.0, 1.0], [1.0, 4.0]]),
+            seed=8,
+        ).run(100_000)
+        repel = base.copy()
+        EnergyChain(
+            repel, InteractionEnergy(4.0, [[4.0, 0.25], [0.25, 4.0]]),
+            seed=8,
+        ).run(100_000)
+        assert repel.hetero_total <= attract_only.hetero_total
+
+    def test_run_validation_and_rates(self):
+        chain = EnergyChain(
+            hexagon_system(10, seed=0), SeparationEnergy(2, 2), seed=0
+        )
+        with pytest.raises(ValueError):
+            chain.run(-1)
+        chain.run(500)
+        assert 0.0 <= chain.acceptance_rate() <= 1.0
+        assert chain.log_stationary_weight() == -chain.energy.total(chain.system)

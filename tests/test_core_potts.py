@@ -1,0 +1,69 @@
+"""Tests for the k-color (Potts) extension."""
+
+import pytest
+
+from repro.core.potts import (
+    PottsSeparationChain,
+    balanced_counts,
+    dominant_cluster_fractions,
+    interface_density,
+)
+from repro.system.initializers import hexagon_system
+from repro.system.observables import color_counts
+
+
+class TestConstruction:
+    def test_balanced_factory(self):
+        chain = PottsSeparationChain.balanced(30, k=3, lam=4, gamma=4, seed=0)
+        assert color_counts(chain.system) == [10, 10, 10]
+
+    def test_rejects_k_less_than_two(self):
+        with pytest.raises(ValueError):
+            PottsSeparationChain.balanced(10, k=1, lam=4, gamma=4)
+
+    def test_rejects_n_less_than_k(self):
+        with pytest.raises(ValueError):
+            PottsSeparationChain.balanced(2, k=3, lam=4, gamma=4)
+
+    def test_blob_start(self):
+        chain = PottsSeparationChain.balanced(
+            12, k=4, lam=4, gamma=4, seed=1, compact_start=False
+        )
+        assert chain.system.is_connected()
+
+
+class TestInvariants:
+    def test_three_color_run_preserves_everything(self):
+        chain = PottsSeparationChain.balanced(30, k=3, lam=4, gamma=4, seed=5)
+        chain.run(20_000)
+        system = chain.system
+        system.validate()
+        assert system.is_connected()
+        assert not system.has_holes()
+        assert color_counts(system) == [10, 10, 10]
+
+
+class TestOrderParameters:
+    def test_separation_grows_dominant_clusters(self):
+        chain = PottsSeparationChain.balanced(45, k=3, lam=4, gamma=5, seed=2)
+        before = sum(dominant_cluster_fractions(chain.system)) / 3
+        chain.run(150_000)
+        after = sum(dominant_cluster_fractions(chain.system)) / 3
+        assert after > before
+        assert after > 0.7
+
+    def test_interface_density_drops(self):
+        chain = PottsSeparationChain.balanced(45, k=3, lam=4, gamma=5, seed=2)
+        before = interface_density(chain.system)
+        chain.run(150_000)
+        assert interface_density(chain.system) < before
+
+    def test_interface_density_empty_edges(self):
+        from repro.system.configuration import ParticleSystem
+
+        lonely = ParticleSystem.from_nodes([(0, 0)], [0])
+        assert interface_density(lonely) == 0.0
+
+    def test_balanced_counts(self):
+        assert balanced_counts(10, 3) == [4, 3, 3]
+        assert balanced_counts(9, 3) == [3, 3, 3]

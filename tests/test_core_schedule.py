@@ -1,0 +1,94 @@
+"""Tests for annealing schedules."""
+
+import math
+
+import pytest
+
+from repro.core.schedule import (
+    ConstantSchedule,
+    GeometricSchedule,
+    LinearSchedule,
+    effective_temperature,
+    run_annealed,
+)
+from repro.core.separation_chain import SeparationChain
+from repro.system.initializers import hexagon_system
+
+
+class TestSchedules:
+    def test_linear_endpoints(self):
+        schedule = LinearSchedule(1.0, 5.0, 1.0, 3.0)
+        assert schedule(0.0) == (1.0, 1.0)
+        assert schedule(1.0) == (5.0, 3.0)
+        assert schedule(0.5) == (3.0, 2.0)
+
+    def test_linear_clamps(self):
+        schedule = LinearSchedule(1.0, 5.0, 1.0, 3.0)
+        assert schedule(-1.0) == (1.0, 1.0)
+        assert schedule(2.0) == (5.0, 3.0)
+
+    def test_geometric_endpoints(self):
+        schedule = GeometricSchedule(1.0, 4.0, 2.0, 8.0)
+        lam, gamma = schedule(0.5)
+        assert math.isclose(lam, 2.0)
+        assert math.isclose(gamma, 4.0)
+
+    def test_geometric_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            GeometricSchedule(0.0, 4.0, 1.0, 1.0)
+
+    def test_constant(self):
+        schedule = ConstantSchedule(3.0, 2.0)
+        assert schedule(0.7) == (3.0, 2.0)
+
+
+class TestRunAnnealed:
+    def test_steps_accounted(self):
+        system = hexagon_system(15, seed=0)
+        chain = SeparationChain(system, lam=1.0, gamma=1.0, seed=0)
+        run_annealed(chain, LinearSchedule(1, 4, 1, 4), total_steps=1003, updates=7)
+        assert chain.iterations == 1003
+
+    def test_final_parameters_match_schedule_end(self):
+        system = hexagon_system(15, seed=0)
+        chain = SeparationChain(system, lam=1.0, gamma=1.0, seed=0)
+        run_annealed(chain, LinearSchedule(1, 4, 1, 6), total_steps=500, updates=5)
+        assert math.isclose(chain.lam, 4.0)
+        assert math.isclose(chain.gamma, 6.0)
+
+    def test_observer_called_per_segment(self):
+        system = hexagon_system(15, seed=0)
+        chain = SeparationChain(system, lam=2.0, gamma=2.0, seed=0)
+        seen = []
+        run_annealed(
+            chain,
+            ConstantSchedule(2.0, 2.0),
+            total_steps=100,
+            updates=4,
+            observer=lambda done, c: seen.append(done),
+        )
+        assert seen == [25, 50, 75, 100]
+
+    def test_invalid_arguments(self):
+        system = hexagon_system(5, seed=0)
+        chain = SeparationChain(system, lam=2.0, gamma=2.0, seed=0)
+        with pytest.raises(ValueError):
+            run_annealed(chain, ConstantSchedule(2, 2), total_steps=-1)
+        with pytest.raises(ValueError):
+            run_annealed(chain, ConstantSchedule(2, 2), total_steps=10, updates=0)
+
+    def test_invariants_survive_annealing(self):
+        system = hexagon_system(25, seed=3)
+        chain = SeparationChain(system, lam=1.0, gamma=1.0, seed=3)
+        run_annealed(chain, GeometricSchedule(1.0, 4.0, 1.0, 4.0), 20_000, 10)
+        system.validate()
+        assert system.is_connected()
+        assert not system.has_holes()
+
+
+class TestEffectiveTemperature:
+    def test_unbiased_point_is_infinite(self):
+        assert effective_temperature(1.0, 1.0) == math.inf
+
+    def test_decreases_with_bias(self):
+        assert effective_temperature(4.0, 4.0) < effective_temperature(2.0, 2.0)

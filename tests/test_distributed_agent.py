@@ -1,0 +1,132 @@
+"""Tests for the local particle agent — especially its exact agreement
+with the optimized centralized move evaluation."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.separation_chain import evaluate_move, evaluate_swap
+from repro.distributed.agent import (
+    MoveAction,
+    NoAction,
+    ParticleAgent,
+    SwapAction,
+)
+from repro.distributed.local_view import LocalView
+from repro.lattice.triangular import NEIGHBOR_OFFSETS
+from repro.system.initializers import random_blob_system
+
+
+class _FixedQ(random.Random):
+    """RNG whose uniform draws return a fixed q (for acceptance probing)."""
+
+    def __init__(self, q):
+        super().__init__(0)
+        self._q = q
+
+    def random(self):
+        return self._q
+
+
+class TestAgentConstruction:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ParticleAgent(lam=0.0, gamma=1.0)
+        with pytest.raises(ValueError):
+            ParticleAgent(lam=1.0, gamma=-1.0)
+
+
+class TestAgentMatchesCentralizedChain:
+    """For every (particle, direction) in random systems, the agent's
+    accept/reject boundary equals the centralized acceptance probability."""
+
+    @given(st.integers(0, 60))
+    @settings(max_examples=15, deadline=None)
+    def test_move_decisions_match(self, seed):
+        lam, gamma = 2.0, 3.0
+        agent = ParticleAgent(lam=lam, gamma=gamma)
+        system = random_blob_system(15, seed=seed)
+        colors = system.colors
+        for src in sorted(colors):
+            for dx, dy in NEIGHBOR_OFFSETS:
+                dst = (src[0] + dx, src[1] + dy)
+                if dst in colors:
+                    continue
+                prob, _, _ = evaluate_move(colors, src, dst, lam, gamma)
+                view = LocalView(colors, src, dst)
+                # Draw q just below and just above the centralized
+                # probability: the agent must accept/reject accordingly.
+                if prob > 0:
+                    action = agent.decide(view, _FixedQ(prob * 0.999))
+                    assert isinstance(action, MoveAction), (src, dst, prob)
+                if prob < 1:
+                    action = agent.decide(view, _FixedQ(min(prob * 1.001, 0.999999)))
+                    if prob == 0:
+                        assert isinstance(action, NoAction)
+                    else:
+                        assert isinstance(action, (NoAction, MoveAction))
+                        # strictly above the boundary must reject
+                        action2 = agent.decide(view, _FixedQ(prob + (1 - prob) / 2))
+                        assert isinstance(action2, NoAction)
+
+    @given(st.integers(0, 60))
+    @settings(max_examples=15, deadline=None)
+    def test_swap_decisions_match(self, seed):
+        gamma = 2.5
+        agent = ParticleAgent(lam=2.0, gamma=gamma)
+        system = random_blob_system(15, seed=seed)
+        colors = system.colors
+        for src in sorted(colors):
+            for dx, dy in NEIGHBOR_OFFSETS:
+                dst = (src[0] + dx, src[1] + dy)
+                if colors.get(dst) is None or colors[dst] == colors[src]:
+                    continue
+                prob, _ = evaluate_swap(colors, src, dst, gamma)
+                view = LocalView(colors, src, dst)
+                action = agent.decide(view, _FixedQ(prob * 0.999))
+                assert isinstance(action, SwapAction)
+                if prob < 1:
+                    above = prob + (1 - prob) / 2
+                    action2 = agent.decide(view, _FixedQ(above))
+                    assert isinstance(action2, NoAction)
+
+
+class TestAgentBehaviors:
+    def test_same_color_swap_is_noop(self):
+        from repro.system.configuration import ParticleSystem
+
+        system = ParticleSystem.from_nodes([(0, 0), (1, 0)], [0, 0])
+        agent = ParticleAgent(lam=2, gamma=2)
+        view = LocalView(system.colors, (0, 0), (1, 0))
+        action = agent.decide(view, random.Random(0))
+        assert isinstance(action, NoAction)
+        assert "same color" in action.reason
+
+    def test_swaps_disabled(self):
+        from repro.system.configuration import ParticleSystem
+
+        system = ParticleSystem.from_nodes([(0, 0), (1, 0)], [0, 1])
+        agent = ParticleAgent(lam=2, gamma=2, swaps=False)
+        view = LocalView(system.colors, (0, 0), (1, 0))
+        action = agent.decide(view, random.Random(0))
+        assert isinstance(action, NoAction)
+        assert "disabled" in action.reason
+
+    def test_five_neighbor_rule(self):
+        """A particle with five neighbors may not expand (condition i)."""
+        from repro.lattice.triangular import neighbors
+        from repro.system.configuration import ParticleSystem
+
+        center = (0, 0)
+        nbrs = neighbors(center)
+        occupied = [center] + nbrs[:5]
+        system = ParticleSystem.from_nodes(occupied, [0] * 6)
+        empty = nbrs[5]
+        agent = ParticleAgent(lam=100.0, gamma=1.0)
+        view = LocalView(system.colors, center, empty)
+        action = agent.decide(view, _FixedQ(1e-9))
+        assert isinstance(action, NoAction)
+        assert "five neighbors" in action.reason

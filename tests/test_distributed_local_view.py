@@ -1,0 +1,82 @@
+"""Tests for locality enforcement in the distributed layer."""
+
+import pytest
+
+from repro.distributed.local_view import LocalityViolation, LocalView
+from repro.system.initializers import hexagon_system
+
+
+@pytest.fixture
+def view():
+    system = hexagon_system(20, seed=0)
+    location = next(iter(sorted(system.colors)))
+    from repro.lattice.triangular import neighbors
+
+    target = neighbors(location)[0]
+    return LocalView(system.colors, location, target), system, location, target
+
+
+class TestConstruction:
+    def test_requires_occupied_location(self):
+        system = hexagon_system(5, seed=0)
+        with pytest.raises(ValueError):
+            LocalView(system.colors, (99, 99), (100, 99))
+
+    def test_requires_adjacent_target(self):
+        system = hexagon_system(5, seed=0)
+        location = next(iter(system.colors))
+        with pytest.raises(ValueError):
+            LocalView(system.colors, location, (location[0] + 5, location[1]))
+
+
+class TestReads:
+    def test_own_color_readable(self, view):
+        v, system, location, _ = view
+        assert v.my_color() == system.colors[location]
+
+    def test_neighborhood_readable(self, view):
+        v, system, location, target = view
+        from repro.lattice.triangular import neighbors
+
+        for node in neighbors(location) + neighbors(target):
+            v.is_occupied(node)  # must not raise
+            v.color_of(node)
+
+    def test_far_read_raises(self, view):
+        v, _, _, _ = view
+        with pytest.raises(LocalityViolation):
+            v.is_occupied((50, 50))
+        with pytest.raises(LocalityViolation):
+            v.color_of((50, 50))
+
+    def test_neighbor_scan_only_own_nodes(self, view):
+        v, system, location, target = view
+        v.occupied_neighbors(location)
+        v.occupied_neighbors(target)
+        from repro.lattice.triangular import neighbors
+
+        outside = neighbors(location)[2]
+        if outside != target:
+            with pytest.raises(LocalityViolation):
+                v.occupied_neighbors(outside)
+
+    def test_published_counts_need_occupied_node(self, view):
+        v, system, location, target = view
+        from repro.lattice.triangular import neighbors
+
+        empty_neighbor = None
+        for node in neighbors(location):
+            if node not in system.colors:
+                empty_neighbor = node
+                break
+        if empty_neighbor is not None:
+            with pytest.raises(LocalityViolation):
+                v.published_neighbor_counts(empty_neighbor)
+
+    def test_published_counts_content(self, view):
+        v, system, location, target = view
+        total, per_color = v.published_neighbor_counts(location)
+        expected_total, expected_by_color = system.neighbor_counts(location)
+        assert total == expected_total
+        for color, count in per_color.items():
+            assert expected_by_color[color] == count

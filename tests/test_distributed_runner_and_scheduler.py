@@ -1,0 +1,182 @@
+"""Tests for schedulers, conflict resolution, and distributed runners."""
+
+import pytest
+
+from repro.distributed.agent import MoveAction, NoAction, SwapAction
+from repro.distributed.conflicts import resolve_expansion_conflicts
+from repro.distributed.runner import ConcurrentRunner, DistributedRunner
+from repro.distributed.scheduler import (
+    PoissonScheduler,
+    RoundRobinScheduler,
+    UniformScheduler,
+    make_scheduler,
+    merge_activation_streams,
+)
+from repro.system.initializers import hexagon_system, random_blob_system
+from repro.system.observables import color_counts
+
+
+class TestSchedulers:
+    def test_uniform_in_range(self):
+        scheduler = UniformScheduler(10, seed=0)
+        samples = [scheduler.next_active() for _ in range(1000)]
+        assert set(samples) <= set(range(10))
+        assert len(set(samples)) == 10  # all particles eventually chosen
+
+    def test_poisson_time_increases(self):
+        scheduler = PoissonScheduler(5, seed=0)
+        times = []
+        for _ in range(100):
+            scheduler.next_active()
+            times.append(scheduler.current_time)
+        assert times == sorted(times)
+
+    def test_poisson_activation_rate_roughly_uniform(self):
+        scheduler = PoissonScheduler(4, seed=1)
+        counts = [0] * 4
+        for _ in range(8000):
+            counts[scheduler.next_active()] += 1
+        assert max(counts) < 1.3 * min(counts)
+
+    def test_round_robin_covers_everyone_each_round(self):
+        scheduler = RoundRobinScheduler(6, seed=0)
+        first_round = [scheduler.next_active() for _ in range(6)]
+        assert sorted(first_round) == list(range(6))
+        assert scheduler.rounds_completed == 1
+
+    def test_round_robin_fixed_order(self):
+        scheduler = RoundRobinScheduler(4, reshuffle=False, seed=0)
+        round1 = [scheduler.next_active() for _ in range(4)]
+        round2 = [scheduler.next_active() for _ in range(4)]
+        assert round1 == round2 == [0, 1, 2, 3]
+
+    def test_factory(self):
+        assert isinstance(make_scheduler("uniform", 3), UniformScheduler)
+        assert isinstance(make_scheduler("poisson", 3), PoissonScheduler)
+        assert isinstance(make_scheduler("round-robin", 3), RoundRobinScheduler)
+        with pytest.raises(ValueError):
+            make_scheduler("quantum", 3)
+
+    def test_validates_num_particles(self):
+        with pytest.raises(ValueError):
+            UniformScheduler(0)
+
+    def test_merge_activation_streams_ordered(self):
+        streams = [PoissonScheduler(3, seed=i) for i in range(2)]
+        merged = merge_activation_streams(streams, 50)
+        times = [t for t, _, _ in merged]
+        assert times == sorted(times)
+        assert len(merged) == 50
+
+
+class TestConflictResolution:
+    def test_two_moves_same_destination(self):
+        colors = {(0, 0): 0, (1, 0): 0, (0, 1): 1, (2, 0): 1, (1, -1): 0}
+        target = (1, 1)
+        proposed = [
+            (0, MoveAction(src=(0, 1), dst=target)),
+            (1, MoveAction(src=(2, 0), dst=target)),
+        ]
+        applied, dropped = resolve_expansion_conflicts(colors, proposed)
+        assert len(applied) == 1
+        assert len(dropped) == 1
+        assert "occupied" in dropped[0][2]
+
+    def test_noactions_ignored(self):
+        colors = {(0, 0): 0}
+        applied, dropped = resolve_expansion_conflicts(
+            colors, [(0, NoAction("nope"))]
+        )
+        assert applied == [] and dropped == []
+
+    def test_swap_invalidated_by_earlier_move(self):
+        colors = {(0, 0): 0, (1, 0): 1, (0, 1): 0, (1, -1): 1}
+        proposed = [
+            (0, SwapAction(a=(0, 0), b=(1, 0))),
+            (1, SwapAction(a=(1, 0), b=(0, 0))),
+        ]
+        applied, dropped = resolve_expansion_conflicts(colors, proposed)
+        # After the first swap the pair's colors are exchanged; the
+        # second swap is still *feasible* (colors still differ), so both
+        # may apply — the point is no crash and consistent bookkeeping.
+        assert len(applied) + len(dropped) == 2
+
+
+class TestDistributedRunner:
+    def test_invariants_preserved(self):
+        system = random_blob_system(30, seed=4)
+        runner = DistributedRunner(system, lam=4.0, gamma=4.0, seed=4)
+        runner.run(10_000)
+        system.validate()
+        assert system.is_connected()
+        assert not system.has_holes()
+
+    def test_color_counts_conserved(self):
+        system = hexagon_system(24, counts=[14, 10], seed=2)
+        runner = DistributedRunner(system, lam=3.0, gamma=3.0, seed=2)
+        runner.run(5000)
+        assert color_counts(system) == [14, 10]
+
+    def test_negative_steps_rejected(self):
+        runner = DistributedRunner(hexagon_system(5, seed=0), lam=2, gamma=2)
+        with pytest.raises(ValueError):
+            runner.run(-1)
+
+    def test_acceptance_rate_and_rejection_reasons(self):
+        system = hexagon_system(20, seed=1)
+        runner = DistributedRunner(system, lam=4.0, gamma=4.0, seed=1)
+        runner.run(3000)
+        assert 0 < runner.acceptance_rate() < 1
+        assert runner.rejections  # at least one rejection reason recorded
+
+    def test_alternative_schedulers_preserve_invariants(self):
+        for kind in ("poisson", "round-robin"):
+            system = random_blob_system(20, seed=6)
+            runner = DistributedRunner(
+                system,
+                lam=3.0,
+                gamma=2.0,
+                scheduler=make_scheduler(kind, 20, seed=6),
+                seed=6,
+            )
+            runner.run(5000)
+            system.validate()
+            assert system.is_connected()
+            assert not system.has_holes()
+
+    def test_separation_progresses(self):
+        system = hexagon_system(40, seed=8)
+        before = system.hetero_total
+        runner = DistributedRunner(system, lam=4.0, gamma=4.0, seed=8)
+        runner.run(60_000)
+        assert system.hetero_total < before
+
+
+class TestConcurrentRunner:
+    def test_rounds_preserve_invariants(self):
+        system = random_blob_system(30, seed=9)
+        runner = ConcurrentRunner(system, lam=4.0, gamma=4.0, round_size=8, seed=9)
+        runner.run(1500)
+        system.validate()
+        assert system.is_connected()
+        assert not system.has_holes()
+
+    def test_conflicts_are_rare_but_counted(self):
+        system = random_blob_system(40, seed=10)
+        runner = ConcurrentRunner(
+            system, lam=4.0, gamma=4.0, round_size=20, seed=10
+        )
+        runner.run(1000)
+        assert runner.applied_actions > 0
+        assert runner.conflicts_dropped >= 0
+        assert runner.rounds == 1000
+
+    def test_round_size_validation(self):
+        with pytest.raises(ValueError):
+            ConcurrentRunner(hexagon_system(5, seed=0), 2, 2, round_size=0)
+
+    def test_round_size_capped_at_n(self):
+        runner = ConcurrentRunner(
+            hexagon_system(5, seed=0), 2, 2, round_size=50
+        )
+        assert runner.round_size == 5

@@ -1,0 +1,49 @@
+"""Tests for the illustrative figures (Figures 1 and 4)."""
+
+from repro.experiments.figure1 import (
+    figure1_lattice_svg,
+    figure1_particles_svg,
+    figure4_hexagon_construction,
+    write_illustrations,
+)
+
+
+class TestFigure1:
+    def test_lattice_svg_structure(self):
+        text = figure1_lattice_svg(radius=2)
+        assert text.startswith("<svg")
+        assert text.count("<circle") == 19  # radius-2 disk
+
+    def test_particles_svg_has_expanded_bar(self):
+        text = figure1_particles_svg()
+        # One thick connector line for the expanded particle.
+        thick = [line for line in text.splitlines() if 'stroke-width="3' in line]
+        assert thick
+
+    def test_write_to_file(self, tmp_path):
+        target = tmp_path / "lattice.svg"
+        figure1_lattice_svg(radius=1, path=target)
+        assert target.read_text().startswith("<svg")
+
+
+class TestFigure4:
+    def test_paper_example_values(self):
+        """The paper's Figure 4: side-3 hexagon (37 particles, p = 18)
+        plus 6 extras with perimeter 20 < 2√3·√43."""
+        base, extended, ascii_a, ascii_b = figure4_hexagon_construction(
+            side=3, extra=6
+        )
+        assert base.n == 37
+        assert base.perimeter() == 18
+        assert extended.n == 43
+        assert extended.perimeter() <= 20
+        assert 2 * (3 * 43) ** 0.5 > extended.perimeter()
+        assert ascii_a.count("o") == 37
+        assert ascii_b.count("o") == 43
+
+    def test_write_illustrations(self, tmp_path):
+        written = write_illustrations(tmp_path)
+        assert len(written) == 4
+        for path in written:
+            assert path.exists()
+            assert path.read_text().startswith("<svg")

@@ -1,0 +1,147 @@
+"""Tests for the Figure 2 / Figure 3 regenerators and lemma checks."""
+
+import math
+
+import pytest
+
+from repro.experiments.figure2 import (
+    PAPER_CHECKPOINTS,
+    Figure2Result,
+    run_figure2,
+    scaled_checkpoints,
+)
+from repro.experiments.figure3 import (
+    PHASE_ABBREVIATIONS,
+    run_figure3,
+)
+from repro.experiments.lemmas import (
+    check_lemma1_counting_bound,
+    check_lemma2_constructive_bound,
+    perimeter_census,
+    smallest_valid_nu,
+)
+
+
+class TestFigure2:
+    def test_paper_checkpoints(self):
+        assert PAPER_CHECKPOINTS == (0, 50_000, 1_050_000, 17_050_000, 68_250_000)
+
+    def test_scaled_checkpoints_dedup(self):
+        scaled = scaled_checkpoints(1e-6)
+        assert scaled[0] == 0
+        assert len(scaled) == len(set(scaled))
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            scaled_checkpoints(0)
+
+    def test_small_run_structure(self):
+        result = run_figure2(n=40, scale=0.001, seed=1)
+        assert isinstance(result, Figure2Result)
+        assert len(result.rows) == len(result.checkpoints) == len(result.phases)
+        assert len(result.snapshots) == len(result.checkpoints)
+        assert "iteration" in result.summary_table()
+
+    def test_separation_improves_over_run(self):
+        result = run_figure2(n=60, scale=0.005, seed=2)
+        first = result.rows[0]["hetero_density"]
+        last = result.rows[-1]["hetero_density"]
+        assert last < first
+
+    def test_compression_improves_over_run(self):
+        result = run_figure2(n=60, scale=0.005, seed=2)
+        assert result.rows[-1]["alpha"] < result.rows[0]["alpha"] + 0.01
+
+    def test_final_phase_is_compressed_separated(self):
+        result = run_figure2(n=60, scale=0.01, seed=3)
+        assert result.phases[-1] == "compressed-separated"
+
+    def test_custom_checkpoints(self):
+        result = run_figure2(n=30, checkpoints=[0, 500, 1000], seed=1)
+        assert result.checkpoints == [0, 500, 1000]
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def small_grid(self):
+        return run_figure3(
+            n=50,
+            lambdas=(1.0, 4.0),
+            gammas=(1.0, 4.0),
+            iterations=120_000,
+            seed=4,
+        )
+
+    def test_grid_complete(self, small_grid):
+        assert set(small_grid.phases) == {
+            (1.0, 1.0), (1.0, 4.0), (4.0, 1.0), (4.0, 4.0),
+        }
+
+    def test_four_corner_phases(self, small_grid):
+        """The corners land in the phases the paper's Figure 3 shows."""
+        assert small_grid.phase_of(4.0, 4.0) == "compressed-separated"
+        assert small_grid.phase_of(4.0, 1.0) == "compressed-integrated"
+        assert small_grid.phase_of(1.0, 1.0) == "expanded-integrated"
+
+    def test_grid_table_renders(self, small_grid):
+        table = small_grid.grid_table()
+        assert "lambda\\gamma" in table
+        for abbreviation in set(
+            PHASE_ABBREVIATIONS[p] for p in small_grid.phases.values()
+        ):
+            assert abbreviation in table
+
+    def test_metrics_recorded(self, small_grid):
+        metrics = small_grid.metrics[(4.0, 4.0)]
+        assert metrics["alpha"] >= 1.0
+        assert 0.0 <= metrics["hetero_density"] <= 1.0
+
+    def test_replicas_majority_vote(self):
+        result = run_figure3(
+            n=40,
+            lambdas=(4.0,),
+            gammas=(4.0,),
+            iterations=60_000,
+            seed=4,
+            replicas=3,
+        )
+        assert result.phase_of(4.0, 4.0) == "compressed-separated"
+
+    def test_replicas_validation(self):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            run_figure3(n=10, iterations=10, replicas=0)
+
+
+class TestLemmaChecks:
+    def test_lemma1_holds_at_generous_nu(self):
+        check = check_lemma1_counting_bound(6, nu=3.5)
+        assert check.holds
+
+    def test_lemma1_fails_at_tiny_nu(self):
+        check = check_lemma1_counting_bound(6, nu=1.01)
+        assert not check.holds
+        assert check.violations
+
+    def test_lemma1_census_totals(self):
+        census = perimeter_census(5)
+        assert sum(census.values()) == 186
+
+    def test_smallest_valid_nu_below_paper_constant(self):
+        """At small n the ν^k bound already holds for ν well below the
+        asymptotic 2+√2 ≈ 3.41."""
+        nu = smallest_valid_nu(6)
+        assert nu <= 2 + math.sqrt(2)
+
+    @pytest.mark.parametrize("n", [1, 2, 7, 19, 50, 100, 1000])
+    def test_lemma2_constructive_bound(self, n):
+        check = check_lemma2_constructive_bound(n)
+        assert check.holds, (
+            f"n={n}: constructed {check.constructed_perimeter}, "
+            f"minimum {check.minimum}, bound {check.bound}"
+        )
+
+    def test_lemma1_validates_nu(self):
+        with pytest.raises(ValueError):
+            check_lemma1_counting_bound(4, nu=0.0)

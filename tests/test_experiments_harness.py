@@ -1,0 +1,160 @@
+"""Tests for the experiment harness: phases, recorder, render, sweeps."""
+
+import pytest
+
+from repro.core.separation_chain import SeparationChain
+from repro.experiments.phases import (
+    PhaseThresholds,
+    classify_phase,
+    is_compressed_phase,
+    is_separated_phase,
+    phase_metrics,
+)
+from repro.experiments.recorder import RunRecorder, record_during_run
+from repro.experiments.render import render_ascii, render_svg
+from repro.experiments.sweep import grid, run_sweep
+from repro.system.initializers import (
+    checkerboard_system,
+    hexagon_system,
+    line_system,
+    separated_system,
+)
+
+
+class TestPhaseClassifier:
+    def test_compact_separated(self):
+        system = separated_system(64)
+        assert classify_phase(system) == "compressed-separated"
+
+    def test_compact_integrated(self):
+        system = checkerboard_system(64)
+        assert classify_phase(system) == "compressed-integrated"
+
+    def test_expanded_integrated(self):
+        system = line_system(64, seed=0)
+        assert classify_phase(system) == "expanded-integrated"
+
+    def test_expanded_separated(self):
+        # A sorted line: maximum perimeter but perfectly color-sorted.
+        from repro.system.configuration import ParticleSystem
+
+        nodes = [(i, 0) for i in range(64)]
+        colors = [0] * 32 + [1] * 32
+        system = ParticleSystem.from_nodes(nodes, colors)
+        assert classify_phase(system) == "expanded-separated"
+
+    def test_thresholds_respected(self):
+        system = separated_system(64)
+        strict = PhaseThresholds(alpha_max=1.0)
+        assert not is_compressed_phase(system, strict)
+
+    def test_separated_requires_low_hetero_density(self):
+        system = checkerboard_system(64)
+        lenient = PhaseThresholds(beta_max=100.0, delta=0.49)
+        assert not is_separated_phase(system, lenient)
+
+    def test_phase_metrics_keys(self):
+        metrics = phase_metrics(separated_system(25))
+        assert {
+            "alpha",
+            "perimeter",
+            "hetero_edges",
+            "hetero_density",
+            "best_beta",
+            "best_impurity",
+        } <= set(metrics)
+
+
+class TestRecorder:
+    def test_record_rows(self):
+        system = hexagon_system(10, seed=0)
+        recorder = RunRecorder({"perimeter": lambda s: s.perimeter()})
+        recorder.record(0, system)
+        recorder.record(10, system)
+        assert len(recorder.rows) == 2
+        assert recorder.series("perimeter")[0] == system.perimeter()
+        assert recorder.last()["iteration"] == 10.0
+
+    def test_series_unknown_name(self):
+        recorder = RunRecorder({"x": lambda s: 0.0})
+        recorder.record(0, hexagon_system(5, seed=0))
+        with pytest.raises(KeyError):
+            recorder.series("bogus")
+
+    def test_last_empty_raises(self):
+        with pytest.raises(IndexError):
+            RunRecorder({}).last()
+
+    def test_as_table_formats(self):
+        system = hexagon_system(10, seed=0)
+        recorder = RunRecorder({"perimeter": lambda s: s.perimeter()})
+        recorder.record(0, system)
+        table = recorder.as_table()
+        assert "perimeter" in table and "iteration" in table
+
+    def test_record_during_run(self):
+        system = hexagon_system(15, seed=1)
+        chain = SeparationChain(system, lam=3, gamma=3, seed=1)
+        recorder = RunRecorder({"hetero": lambda s: s.hetero_total})
+        record_during_run(chain, system, recorder, checkpoints=[0, 100, 500])
+        assert [row["iteration"] for row in recorder.rows] == [0.0, 100.0, 500.0]
+        assert chain.iterations == 500
+
+    def test_record_during_run_validates_order(self):
+        system = hexagon_system(10, seed=1)
+        chain = SeparationChain(system, lam=3, gamma=3, seed=1)
+        recorder = RunRecorder({})
+        with pytest.raises(ValueError):
+            record_during_run(chain, system, recorder, checkpoints=[100, 50])
+
+
+class TestRender:
+    def test_ascii_contains_both_glyphs(self):
+        text = render_ascii(hexagon_system(20, seed=0))
+        assert "o" in text and "x" in text
+
+    def test_ascii_row_count(self):
+        system = hexagon_system(19, seed=0)  # radius-2 hexagon: 5 rows
+        assert len(render_ascii(system).splitlines()) == 5
+
+    def test_svg_well_formed(self, tmp_path):
+        system = hexagon_system(12, seed=0)
+        path = tmp_path / "config.svg"
+        text = render_svg(system, path)
+        assert text.startswith("<svg")
+        assert text.endswith("</svg>")
+        assert text.count("<circle") == 12
+        assert path.read_text() == text
+
+
+class TestSweep:
+    def test_grid_product(self):
+        cells = grid([1.0, 2.0], [3.0, 4.0, 5.0])
+        assert len(cells) == 6
+
+    def test_run_sweep_metrics(self):
+        points = run_sweep(
+            grid([4.0], [4.0]),
+            metrics={"hetero": lambda s: s.hetero_total},
+            n=20,
+            iterations=2000,
+            seed=3,
+        )
+        assert len(points) == 1
+        assert "hetero" in points[0].metrics
+        assert points[0].metrics["_replicas"] == 1.0
+
+    def test_run_sweep_replicas_average(self):
+        points = run_sweep(
+            grid([4.0], [4.0]),
+            metrics={"hetero": lambda s: s.hetero_total},
+            n=20,
+            iterations=500,
+            seed=3,
+            replicas=3,
+        )
+        assert points[0].metrics["_replicas"] == 3.0
+
+    def test_run_sweep_validates_replicas(self):
+        with pytest.raises(ValueError):
+            run_sweep([], metrics={}, replicas=0)

@@ -1,0 +1,129 @@
+"""Cross-module integration tests.
+
+These exercise full pipelines: simulate → measure → certify → compare
+against exact/theoretical references, mirroring how the benchmarks drive
+the library.
+"""
+
+import pytest
+
+from repro import (
+    CompressionChain,
+    SeparationChain,
+    hexagon_system,
+    random_blob_system,
+)
+from repro.analysis.bounds import predicted_regime
+from repro.analysis.compression_metric import alpha_of
+from repro.analysis.estimators import time_to_threshold
+from repro.analysis.separation_metric import best_certificate
+from repro.distributed import DistributedRunner
+from repro.experiments.phases import classify_phase
+from repro.markov.diagnostics import (
+    empirical_distribution,
+    empirical_vs_exact_tv,
+)
+from repro.markov.exact import ExactChainAnalysis
+
+
+class TestSeparationPipeline:
+    def test_high_gamma_run_ends_separated(self):
+        system = random_blob_system(80, seed=21)
+        chain = SeparationChain(system, lam=4.0, gamma=6.0, seed=21)
+        chain.run(400_000)
+        assert classify_phase(system) == "compressed-separated"
+        cert = best_certificate(system, beta=4.0, delta=0.2)
+        assert cert is not None and cert.satisfies(4.0, 0.2)
+
+    def test_gamma_one_run_stays_integrated(self):
+        system = random_blob_system(80, seed=22)
+        chain = SeparationChain(system, lam=6.0, gamma=1.0, seed=22)
+        chain.run(400_000)
+        assert classify_phase(system) == "compressed-integrated"
+
+    def test_proven_regimes_match_simulation(self):
+        """Where the theorems apply, simulation agrees with prediction."""
+        cases = [
+            (1.3, 6.0, "separated"),  # Theorems 13+14 region
+            (7.0, 1.0, "integrated"),  # Theorems 15+16 region
+        ]
+        for lam, gamma, expectation in cases:
+            regime = predicted_regime(lam, gamma)
+            assert regime in ("separates", "integrates")
+            system = random_blob_system(80, seed=int(lam * 10))
+            SeparationChain(system, lam=lam, gamma=gamma, seed=5).run(400_000)
+            phase = classify_phase(system)
+            assert expectation in phase, (lam, gamma, regime, phase)
+
+
+class TestSwapAblation:
+    def test_swaps_accelerate_separation(self):
+        """Section 3.2: separation occurs without swaps but more slowly.
+
+        Compare the hetero-edge trajectory with and without swaps over
+        the same budget from the same start."""
+        budget, step = 150_000, 5_000
+        results = {}
+        for swaps in (True, False):
+            system = hexagon_system(60, seed=30)
+            chain = SeparationChain(
+                system, lam=4.0, gamma=4.0, swaps=swaps, seed=30
+            )
+            times, values = [], []
+            for i in range(budget // step):
+                chain.run(step)
+                times.append((i + 1) * step)
+                values.append(system.hetero_total / system.edge_total)
+            results[swaps] = time_to_threshold(
+                times, values, threshold=0.2, direction="below", patience=2
+            )
+        with_swaps, without_swaps = results[True], results[False]
+        assert with_swaps is not None
+        # Without swaps either never reaches the threshold in budget or
+        # takes at least as long.
+        assert without_swaps is None or without_swaps >= with_swaps
+
+
+class TestDistributedEquivalence:
+    def test_distributed_runner_matches_exact_stationary(self):
+        """E10: the distributed algorithm A converges to the same π as
+        the centralized chain M."""
+        analysis = ExactChainAnalysis(4, [2, 2], lam=2.0, gamma=3.0)
+        state = analysis.states[0].copy()
+        runner = DistributedRunner(state, lam=2.0, gamma=3.0, seed=77)
+        empirical = empirical_distribution(
+            runner,
+            state_index=lambda: state.canonical_key(),
+            steps=120_000,
+            record_every=4,
+        )
+        exact = {
+            s.canonical_key(): float(p)
+            for s, p in zip(analysis.states, analysis.pi)
+        }
+        tv = empirical_vs_exact_tv(empirical, exact)
+        assert tv < 0.08, f"TV distance {tv} too large"
+
+
+class TestCompressionBaseline:
+    def test_compression_threshold_behavior(self):
+        """Above the proven threshold the homogeneous system compresses;
+        at λ = 1 it does not."""
+        compressing = CompressionChain.from_line(40, lam=4.0, seed=31)
+        compressing.run(150_000)
+        assert alpha_of(compressing.system) < 2.0
+
+        free = CompressionChain.from_hexagon(40, lam=1.0, seed=31)
+        free.run(150_000)
+        assert alpha_of(free.system) > alpha_of(compressing.system)
+
+
+class TestLongRunStability:
+    @pytest.mark.parametrize("gamma", [0.9, 1.0, 4.0])
+    def test_half_million_steps_keep_invariants(self, gamma):
+        system = random_blob_system(50, seed=40)
+        chain = SeparationChain(system, lam=3.0, gamma=gamma, seed=40)
+        chain.run(500_000)
+        system.validate()
+        assert system.is_connected()
+        assert not system.has_holes()

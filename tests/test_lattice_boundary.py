@@ -1,0 +1,85 @@
+"""Tests for boundary walks and the perimeter identity."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lattice.boundary import (
+    boundary_walk,
+    perimeter,
+    perimeter_from_edges,
+    walk_edges,
+)
+from repro.lattice.geometry import disk, hexagon, line
+from repro.lattice.triangular import are_adjacent, edges_of
+from repro.markov.enumerate_configs import enumerate_animals
+from repro.system.initializers import random_blob_system
+
+
+class TestBoundaryWalk:
+    def test_single_particle(self):
+        assert boundary_walk({(0, 0)}) == [(0, 0)]
+        assert perimeter({(0, 0)}) == 0
+
+    def test_two_particles(self):
+        assert perimeter({(0, 0), (1, 0)}) == 2
+
+    def test_triangle(self):
+        assert perimeter({(0, 0), (1, 0), (0, 1)}) == 3
+
+    def test_hexagon_ring_with_center(self):
+        assert perimeter(set(disk((0, 0), 1))) == 6
+
+    def test_line_perimeter(self):
+        assert perimeter(set(line(10))) == 18  # 2*(n-1)
+
+    def test_walk_steps_are_adjacent(self):
+        walk = boundary_walk(set(hexagon(25)))
+        for a, b in walk_edges(walk):
+            assert are_adjacent(a, b)
+
+    def test_walk_edges_empty_for_singleton(self):
+        assert walk_edges([(0, 0)]) == []
+
+    def test_cut_vertex_traversed_twice(self):
+        # Two triangles joined at the origin: the boundary walk passes
+        # the cut vertex twice and its length matches the edge identity.
+        nodes = {(0, 0), (1, 0), (0, 1), (-1, 0), (0, -1)}
+        walk = boundary_walk(nodes)
+        assert walk.count((0, 0)) == 2
+        assert len(walk) == perimeter_from_edges(
+            len(nodes), len(edges_of(nodes))
+        )
+
+
+class TestPerimeterIdentity:
+    @given(st.integers(min_value=1, max_value=7))
+    @settings(max_examples=7, deadline=None)
+    def test_identity_on_all_small_animals(self, n):
+        """p = 3n - 3 - e for every connected hole-free configuration."""
+        for animal in enumerate_animals(n, hole_free_only=True):
+            occupied = set(animal)
+            assert perimeter(occupied) == perimeter_from_edges(
+                n, len(edges_of(occupied))
+            )
+
+    @given(st.integers(min_value=2, max_value=80))
+    @settings(max_examples=20, deadline=None)
+    def test_identity_on_random_blobs(self, n):
+        system = random_blob_system(n, seed=n)
+        occupied = set(system.colors)
+        assert perimeter(occupied) == perimeter_from_edges(n, system.edge_total)
+
+    def test_identity_fails_with_holes(self):
+        # A hexagon ring (hole in the middle): the walk sees only the
+        # outer boundary while the edge formula implicitly counts the
+        # hole, so they must disagree.
+        from repro.lattice.geometry import ring as lattice_ring
+
+        nodes = set(lattice_ring((0, 0), 1))
+        e = len(edges_of(nodes))
+        assert perimeter(nodes) != perimeter_from_edges(len(nodes), e)
+
+    def test_perimeter_from_edges_invalid_n(self):
+        with pytest.raises(ValueError):
+            perimeter_from_edges(0, 0)

@@ -1,0 +1,56 @@
+"""Tests for connectivity queries."""
+
+import pytest
+
+from repro.lattice.connectivity import (
+    component_containing,
+    connected_components,
+    is_connected,
+    is_simply_connected,
+)
+from repro.lattice.geometry import hexagon, line, ring
+
+
+class TestIsConnected:
+    def test_empty_and_singleton(self):
+        assert is_connected(set())
+        assert is_connected({(0, 0)})
+
+    def test_hexagon_connected(self):
+        assert is_connected(set(hexagon(19)))
+
+    def test_two_distant_nodes_disconnected(self):
+        assert not is_connected({(0, 0), (5, 5)})
+
+    def test_diagonal_gap_disconnected(self):
+        # (0,0) and (1,1) are not adjacent on the triangular lattice.
+        assert not is_connected({(0, 0), (1, 1)})
+
+
+class TestComponents:
+    def test_single_component(self):
+        assert len(connected_components(line(5))) == 1
+
+    def test_three_components(self):
+        nodes = {(0, 0), (1, 0), (10, 0), (20, 0), (21, 0), (22, 0)}
+        components = connected_components(nodes)
+        assert sorted(len(c) for c in components) == [1, 2, 3]
+
+    def test_component_containing(self):
+        nodes = {(0, 0), (1, 0), (10, 0)}
+        assert component_containing(nodes, (0, 0)) == {(0, 0), (1, 0)}
+
+    def test_component_containing_missing_node(self):
+        with pytest.raises(ValueError):
+            component_containing({(0, 0)}, (9, 9))
+
+
+class TestSimplyConnected:
+    def test_solid_hexagon(self):
+        assert is_simply_connected(set(hexagon(19)))
+
+    def test_ring_is_not(self):
+        assert not is_simply_connected(set(ring((0, 0), 1)))
+
+    def test_disconnected_is_not(self):
+        assert not is_simply_connected({(0, 0), (5, 5)})

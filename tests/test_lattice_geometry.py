@@ -1,0 +1,142 @@
+"""Tests for geometric constructions on the lattice."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lattice.connectivity import is_connected
+from repro.lattice.geometry import (
+    boundary_nodes,
+    bounding_radius,
+    disk,
+    hexagon,
+    hexagon_perimeter_length,
+    hexagon_size,
+    lattice_distance,
+    line,
+    parallelogram,
+    ring,
+)
+from repro.lattice.holes import has_holes
+from repro.lattice.triangular import are_adjacent, neighbors
+
+
+class TestDistance:
+    def test_distance_to_self(self):
+        assert lattice_distance((3, -1), (3, -1)) == 0
+
+    def test_distance_to_neighbors_is_one(self):
+        for nbr in neighbors((0, 0)):
+            assert lattice_distance((0, 0), nbr) == 1
+
+    @given(
+        st.tuples(st.integers(-20, 20), st.integers(-20, 20)),
+        st.tuples(st.integers(-20, 20), st.integers(-20, 20)),
+    )
+    def test_distance_symmetric(self, u, v):
+        assert lattice_distance(u, v) == lattice_distance(v, u)
+
+    @given(
+        st.tuples(st.integers(-10, 10), st.integers(-10, 10)),
+        st.tuples(st.integers(-10, 10), st.integers(-10, 10)),
+        st.tuples(st.integers(-10, 10), st.integers(-10, 10)),
+    )
+    def test_triangle_inequality(self, u, v, w):
+        assert lattice_distance(u, w) <= (
+            lattice_distance(u, v) + lattice_distance(v, w)
+        )
+
+
+class TestRing:
+    def test_radius_zero_is_center(self):
+        assert ring((2, 3), 0) == [(2, 3)]
+
+    @given(st.integers(min_value=1, max_value=8))
+    def test_ring_size_is_6r(self, r):
+        assert len(ring((0, 0), r)) == 6 * r
+
+    @given(st.integers(min_value=1, max_value=8))
+    def test_ring_nodes_at_exact_distance(self, r):
+        for node in ring((0, 0), r):
+            assert lattice_distance((0, 0), node) == r
+
+    @given(st.integers(min_value=1, max_value=6))
+    def test_ring_consecutive_nodes_adjacent(self, r):
+        nodes = ring((0, 0), r)
+        for i, node in enumerate(nodes):
+            assert are_adjacent(node, nodes[(i + 1) % len(nodes)])
+
+    def test_negative_radius_raises(self):
+        with pytest.raises(ValueError):
+            ring((0, 0), -1)
+
+
+class TestDisk:
+    @given(st.integers(min_value=0, max_value=6))
+    def test_disk_size_matches_hexagon_size(self, r):
+        assert len(disk((0, 0), r)) == hexagon_size(r)
+
+    def test_disk_connected_hole_free(self):
+        nodes = set(disk((0, 0), 3))
+        assert is_connected(nodes)
+        assert not has_holes(nodes)
+
+
+class TestHexagon:
+    @given(st.integers(min_value=1, max_value=200))
+    def test_hexagon_has_n_nodes(self, n):
+        assert len(hexagon(n)) == n
+
+    @given(st.integers(min_value=1, max_value=120))
+    def test_hexagon_connected_and_hole_free(self, n):
+        nodes = set(hexagon(n))
+        assert is_connected(nodes)
+        assert not has_holes(nodes)
+
+    def test_hexagon_size_formula(self):
+        assert [hexagon_size(s) for s in range(4)] == [1, 7, 19, 37]
+
+    def test_hexagon_perimeter_length(self):
+        assert hexagon_perimeter_length(0) == 0
+        assert hexagon_perimeter_length(3) == 18
+
+    def test_hexagon_invalid_n(self):
+        with pytest.raises(ValueError):
+            hexagon(0)
+
+
+class TestLine:
+    @given(st.integers(min_value=1, max_value=50))
+    def test_line_is_connected_path(self, n):
+        nodes = line(n)
+        assert len(nodes) == n
+        for a, b in zip(nodes, nodes[1:]):
+            assert are_adjacent(a, b)
+
+    def test_line_rejects_bad_direction(self):
+        with pytest.raises(ValueError):
+            line(3, direction=(2, 0))
+
+
+class TestParallelogram:
+    def test_size(self):
+        assert len(parallelogram(3, 4)) == 12
+
+    def test_connected(self):
+        assert is_connected(set(parallelogram(4, 4)))
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            parallelogram(0, 3)
+
+
+class TestBoundaryNodes:
+    def test_interior_excluded(self):
+        nodes = set(disk((0, 0), 2))
+        border = boundary_nodes(nodes)
+        assert (0, 0) not in border
+        assert all(lattice_distance((0, 0), node) == 2 for node in border)
+
+    def test_bounding_radius(self):
+        assert bounding_radius(set(disk((0, 0), 3))) == 3
+        assert bounding_radius(set()) == 0

@@ -1,0 +1,70 @@
+"""Tests for hole detection."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lattice.geometry import disk, hexagon, line, ring
+from repro.lattice.holes import (
+    fill_holes,
+    find_holes,
+    has_holes,
+    hole_boundary_lengths,
+)
+
+
+class TestFindHoles:
+    def test_solid_shapes_have_no_holes(self):
+        assert not has_holes(set(hexagon(30)))
+        assert not has_holes(set(line(10)))
+        assert not has_holes({(0, 0)})
+
+    def test_hexagon_ring_has_one_hole(self):
+        holes = find_holes(set(ring((0, 0), 1)))
+        assert len(holes) == 1
+        assert holes[0] == {(0, 0)}
+
+    def test_radius2_ring_hole_is_disk_of_radius1(self):
+        holes = find_holes(set(ring((0, 0), 2)))
+        assert len(holes) == 1
+        assert holes[0] == set(disk((0, 0), 1))
+
+    def test_two_separate_holes(self):
+        nodes = set(ring((0, 0), 1)) | set(ring((10, 0), 1))
+        # Bridge the two rings so the configuration is one component.
+        nodes |= {(x, 0) for x in range(2, 9)}
+        holes = find_holes(nodes)
+        assert len(holes) == 2
+        assert {(0, 0)} in holes and {(10, 0)} in holes
+
+    def test_empty_set(self):
+        assert find_holes(set()) == []
+
+    def test_notch_is_not_a_hole(self):
+        # A C-shape: the cavity opens to the exterior, so no hole.
+        nodes = set(ring((0, 0), 1))
+        nodes.discard((1, 0))
+        assert not has_holes(nodes)
+
+
+class TestFillHoles:
+    def test_fill_restores_disk(self):
+        filled = fill_holes(set(ring((0, 0), 1)))
+        assert filled == set(disk((0, 0), 1))
+
+    def test_fill_no_holes_is_identity(self):
+        nodes = set(hexagon(12))
+        assert fill_holes(nodes) == nodes
+
+    @given(st.integers(min_value=1, max_value=4))
+    @settings(deadline=None)
+    def test_filled_never_has_holes(self, r):
+        assert not has_holes(fill_holes(set(ring((0, 0), r))))
+
+
+class TestHoleBoundaries:
+    def test_single_hole_rim_edges(self):
+        lengths = hole_boundary_lengths(set(ring((0, 0), 1)))
+        assert list(lengths.values()) == [6]
+
+    def test_no_holes_empty_mapping(self):
+        assert hole_boundary_lengths(set(hexagon(9))) == {}

@@ -1,0 +1,177 @@
+"""Tests for the triangular-lattice coordinate system."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lattice.triangular import (
+    DIRECTIONS,
+    NEIGHBOR_OFFSETS,
+    _edge_ring_explicit,
+    are_adjacent,
+    canonical_form,
+    common_neighbors,
+    direction_between,
+    edge_key,
+    edge_ring,
+    edges_of,
+    induced_degree,
+    neighborhood,
+    neighbors,
+    rotate60,
+    to_cartesian,
+    translate,
+)
+
+nodes_st = st.tuples(
+    st.integers(min_value=-30, max_value=30),
+    st.integers(min_value=-30, max_value=30),
+)
+directions_st = st.integers(min_value=0, max_value=5)
+
+
+class TestNeighbors:
+    def test_six_neighbors(self):
+        assert len(neighbors((0, 0))) == 6
+
+    def test_neighbors_distinct(self):
+        assert len(set(neighbors((3, -2)))) == 6
+
+    def test_direction_names_match_offsets(self):
+        assert len(DIRECTIONS) == len(NEIGHBOR_OFFSETS) == 6
+
+    def test_neighborhood_with_self(self):
+        result = neighborhood((2, 2), include_self=True)
+        assert result[0] == (2, 2)
+        assert len(result) == 7
+
+    @given(nodes_st)
+    def test_neighbors_at_unit_cartesian_distance(self, node):
+        cx, cy = to_cartesian(node)
+        for nbr in neighbors(node):
+            nx, ny = to_cartesian(nbr)
+            assert math.isclose(math.hypot(nx - cx, ny - cy), 1.0)
+
+    @given(nodes_st)
+    def test_adjacency_is_symmetric(self, node):
+        for nbr in neighbors(node):
+            assert are_adjacent(node, nbr)
+            assert are_adjacent(nbr, node)
+
+    def test_not_adjacent_to_self(self):
+        assert not are_adjacent((0, 0), (0, 0))
+
+    def test_not_adjacent_distance_two(self):
+        assert not are_adjacent((0, 0), (2, 0))
+
+
+class TestDirections:
+    @given(nodes_st, directions_st)
+    def test_direction_between_roundtrip(self, node, d):
+        dx, dy = NEIGHBOR_OFFSETS[d]
+        assert direction_between(node, (node[0] + dx, node[1] + dy)) == d
+
+    def test_direction_between_non_adjacent_raises(self):
+        with pytest.raises(ValueError):
+            direction_between((0, 0), (5, 5))
+
+
+class TestCommonNeighbors:
+    @given(nodes_st, directions_st)
+    def test_adjacent_nodes_share_exactly_two(self, node, d):
+        dx, dy = NEIGHBOR_OFFSETS[d]
+        other = (node[0] + dx, node[1] + dy)
+        commons = common_neighbors(node, other)
+        assert len(commons) == 2
+        for c in commons:
+            assert are_adjacent(c, node)
+            assert are_adjacent(c, other)
+
+
+class TestEdgeRing:
+    @given(nodes_st, directions_st)
+    def test_ring_has_eight_distinct_nodes(self, node, d):
+        dx, dy = NEIGHBOR_OFFSETS[d]
+        ring = edge_ring(node, (node[0] + dx, node[1] + dy))
+        assert len(ring) == 8
+        assert len(set(ring)) == 8
+
+    @given(nodes_st, directions_st)
+    def test_ring_matches_explicit_construction(self, node, d):
+        dx, dy = NEIGHBOR_OFFSETS[d]
+        other = (node[0] + dx, node[1] + dy)
+        assert set(edge_ring(node, other)) == set(_edge_ring_explicit(node, other))
+
+    @given(nodes_st, directions_st)
+    def test_ring_is_chordless_cycle(self, node, d):
+        dx, dy = NEIGHBOR_OFFSETS[d]
+        ring = edge_ring(node, (node[0] + dx, node[1] + dy))
+        for i in range(8):
+            assert are_adjacent(ring[i], ring[(i + 1) % 8])
+            for j in range(i + 2, 8):
+                if (i, j) != (0, 7):
+                    assert not are_adjacent(ring[i], ring[j])
+
+    @given(nodes_st, directions_st)
+    def test_ring_commons_at_positions_0_and_4(self, node, d):
+        dx, dy = NEIGHBOR_OFFSETS[d]
+        other = (node[0] + dx, node[1] + dy)
+        ring = edge_ring(node, other)
+        assert {ring[0], ring[4]} == set(common_neighbors(node, other))
+
+    @given(nodes_st, directions_st)
+    def test_ring_excludes_endpoints(self, node, d):
+        dx, dy = NEIGHBOR_OFFSETS[d]
+        other = (node[0] + dx, node[1] + dy)
+        ring = edge_ring(node, other)
+        assert node not in ring
+        assert other not in ring
+
+
+class TestRotation:
+    @given(nodes_st)
+    def test_six_rotations_identity(self, node):
+        assert rotate60(node, 6) == node
+
+    @given(nodes_st)
+    def test_rotation_preserves_origin_distance(self, node):
+        cx, cy = to_cartesian(node)
+        rx, ry = to_cartesian(rotate60(node))
+        assert math.isclose(math.hypot(cx, cy), math.hypot(rx, ry), abs_tol=1e-9)
+
+    @given(nodes_st, directions_st)
+    def test_rotation_preserves_adjacency(self, node, d):
+        dx, dy = NEIGHBOR_OFFSETS[d]
+        other = (node[0] + dx, node[1] + dy)
+        assert are_adjacent(rotate60(node), rotate60(other))
+
+
+class TestEdgesAndKeys:
+    def test_edge_key_orders_endpoints(self):
+        assert edge_key((1, 0), (0, 0)) == ((0, 0), (1, 0))
+
+    def test_edges_of_triangle(self):
+        assert len(edges_of([(0, 0), (1, 0), (0, 1)])) == 3
+
+    def test_edges_of_line(self):
+        assert len(edges_of([(0, 0), (1, 0), (2, 0)])) == 2
+
+    def test_induced_degree(self):
+        occupied = {(0, 0), (1, 0), (0, 1)}
+        assert induced_degree((0, 0), occupied) == 2
+        assert induced_degree((5, 5), occupied) == 0
+
+
+class TestCanonicalForm:
+    @given(st.lists(nodes_st, min_size=1, max_size=8, unique=True), nodes_st)
+    def test_translation_invariance(self, nodes, delta):
+        assert canonical_form(nodes) == canonical_form(translate(nodes, delta))
+
+    def test_empty(self):
+        assert canonical_form([]) == ()
+
+    def test_sorted_output(self):
+        result = canonical_form([(5, 5), (6, 5), (5, 6)])
+        assert list(result) == sorted(result)

@@ -1,0 +1,78 @@
+"""Tests for generic chain runners and the Metropolis filter."""
+
+import math
+
+import pytest
+
+from repro.core.separation_chain import SeparationChain
+from repro.markov.chain import MarkovChainProtocol, run_chunked, sample_observable
+from repro.markov.metropolis import metropolis_acceptance, metropolis_step
+from repro.system.initializers import hexagon_system
+from repro.util.rng import make_rng
+
+
+class TestProtocol:
+    def test_separation_chain_satisfies_protocol(self):
+        chain = SeparationChain(hexagon_system(5, seed=0), lam=2, gamma=2)
+        assert isinstance(chain, MarkovChainProtocol)
+
+
+class TestSampleObservable:
+    def test_collects_expected_count(self):
+        system = hexagon_system(15, seed=0)
+        chain = SeparationChain(system, lam=2, gamma=2, seed=0)
+        values = sample_observable(
+            chain, lambda: system.perimeter(), samples=10, thinning=50, burn_in=100
+        )
+        assert len(values) == 10
+        assert chain.iterations == 100 + 10 * 50
+
+    def test_validates_arguments(self):
+        chain = SeparationChain(hexagon_system(5, seed=0), lam=2, gamma=2)
+        with pytest.raises(ValueError):
+            sample_observable(chain, lambda: 0, samples=-1, thinning=1)
+        with pytest.raises(ValueError):
+            sample_observable(chain, lambda: 0, samples=1, thinning=0)
+        with pytest.raises(ValueError):
+            sample_observable(chain, lambda: 0, samples=1, thinning=1, burn_in=-1)
+
+
+class TestRunChunked:
+    def test_yields_cumulative_counts(self):
+        chain = SeparationChain(hexagon_system(10, seed=0), lam=2, gamma=2, seed=0)
+        marks = list(run_chunked(chain, total_steps=103, chunks=4))
+        assert marks == [26, 52, 78, 103]
+        assert chain.iterations == 103
+
+    def test_validates(self):
+        chain = SeparationChain(hexagon_system(5, seed=0), lam=2, gamma=2)
+        with pytest.raises(ValueError):
+            list(run_chunked(chain, -1, 2))
+        with pytest.raises(ValueError):
+            list(run_chunked(chain, 10, 0))
+
+
+class TestMetropolis:
+    def test_acceptance_uphill_is_one(self):
+        assert metropolis_acceptance(0.0, 5.0) == 1.0
+
+    def test_acceptance_downhill_is_exponential(self):
+        assert math.isclose(metropolis_acceptance(1.0, 0.0), math.exp(-1.0))
+
+    def test_step_targets_distribution(self):
+        """A two-state Metropolis walk visits states proportionally to
+        their weights."""
+        log_weights = {0: 0.0, 1: math.log(3.0)}
+        rng = make_rng(7)
+        state = 0
+        visits = [0, 0]
+        for _ in range(30_000):
+            state = metropolis_step(
+                state,
+                propose=lambda s: 1 - s,
+                log_weight=lambda s: log_weights[s],
+                seed=rng,
+            )
+            visits[state] += 1
+        ratio = visits[1] / visits[0]
+        assert 2.5 < ratio < 3.5

@@ -1,0 +1,88 @@
+"""Tests for coupled-chain convergence diagnostics."""
+
+import pytest
+
+from repro.markov.coupling import (
+    convergence_from_extremes,
+    coupled_observable_coalescence,
+)
+from repro.system.initializers import hexagon_system, line_system
+
+
+class TestCoupling:
+    def test_extreme_starts_coalesce_in_perimeter(self):
+        result = convergence_from_extremes(
+            n=25,
+            lam=4.0,
+            gamma=4.0,
+            observable=lambda s: float(s.perimeter()),
+            max_steps=150_000,
+            seed=5,
+            tolerance=2.0,
+        )
+        assert result.coalesced
+        assert result.steps is not None and result.steps <= 150_000
+        # The expanded start's perimeter must have fallen dramatically.
+        assert result.trajectory_b[-1] < result.trajectory_b[0]
+
+    def test_trajectories_recorded_even_without_coalescence(self):
+        a = hexagon_system(20, seed=1)
+        b = line_system(20, seed=1)
+        result = coupled_observable_coalescence(
+            a,
+            b,
+            lam=4.0,
+            gamma=4.0,
+            observable=lambda s: float(s.perimeter()),
+            max_steps=2_000,
+            check_every=500,
+            tolerance=0.0,
+            seed=1,
+        )
+        assert len(result.trajectory_a) == len(result.trajectory_b) == 4
+
+    def test_invariants_hold_for_both_chains(self):
+        a = hexagon_system(20, seed=2)
+        b = line_system(20, seed=2)
+        coupled_observable_coalescence(
+            a,
+            b,
+            lam=3.0,
+            gamma=2.0,
+            observable=lambda s: float(s.hetero_total),
+            max_steps=20_000,
+            tolerance=1.0,
+            seed=2,
+        )
+        for system in (a, b):
+            system.validate()
+            assert system.is_connected()
+            assert not system.has_holes()
+
+    def test_validates_arguments(self):
+        a = hexagon_system(5, seed=0)
+        b = hexagon_system(5, seed=1)
+        with pytest.raises(ValueError):
+            coupled_observable_coalescence(
+                a, b, 2.0, 2.0, lambda s: 0.0, max_steps=0
+            )
+
+    def test_identical_starts_coalesce_immediately(self):
+        a = hexagon_system(15, seed=3)
+        b = a.copy()
+        result = coupled_observable_coalescence(
+            a,
+            b,
+            lam=3.0,
+            gamma=3.0,
+            observable=lambda s: float(s.hetero_total),
+            max_steps=10_000,
+            check_every=1_000,
+            patience=1,
+            seed=3,
+        )
+        assert result.coalesced
+        # Shared randomness keeps identical copies in lockstep, so the
+        # FIRST checkpoint already agrees.
+        assert result.steps == 1_000
+        assert a.colors == b.colors

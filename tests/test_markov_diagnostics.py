@@ -1,0 +1,79 @@
+"""Tests for Markov-chain diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.markov.diagnostics import (
+    detailed_balance_violations,
+    empirical_vs_exact_tv,
+    is_aperiodic,
+    is_irreducible,
+    stationary_from_matrix,
+    total_variation_distance,
+)
+
+
+def two_state_chain(p=0.3, q=0.6):
+    return np.array([[1 - p, p], [q, 1 - q]])
+
+
+class TestTotalVariation:
+    def test_identical_distributions(self):
+        assert total_variation_distance([0.5, 0.5], [0.5, 0.5]) == 0.0
+
+    def test_disjoint_distributions(self):
+        assert total_variation_distance([1.0, 0.0], [0.0, 1.0]) == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            total_variation_distance([1.0], [0.5, 0.5])
+
+    def test_keyed_variant(self):
+        assert empirical_vs_exact_tv({"a": 1.0}, {"b": 1.0}) == 1.0
+        assert empirical_vs_exact_tv({"a": 0.5, "b": 0.5}, {"a": 0.5, "b": 0.5}) == 0.0
+
+
+class TestStationary:
+    def test_two_state_closed_form(self):
+        p, q = 0.3, 0.6
+        pi = stationary_from_matrix(two_state_chain(p, q))
+        expected = np.array([q, p]) / (p + q)
+        assert np.allclose(pi, expected)
+
+    def test_requires_square(self):
+        with pytest.raises(ValueError):
+            stationary_from_matrix(np.ones((2, 3)))
+
+
+class TestDetailedBalance:
+    def test_reversible_chain_clean(self):
+        m = two_state_chain()
+        pi = stationary_from_matrix(m)
+        assert detailed_balance_violations(m, pi) == []
+
+    def test_nonreversible_chain_flagged(self):
+        # Three-state cyclic drift: stationary but not reversible.
+        m = np.array(
+            [
+                [0.0, 0.9, 0.1],
+                [0.1, 0.0, 0.9],
+                [0.9, 0.1, 0.0],
+            ]
+        )
+        pi = np.array([1 / 3, 1 / 3, 1 / 3])
+        assert len(detailed_balance_violations(m, pi)) > 0
+
+
+class TestErgodicity:
+    def test_irreducible_two_state(self):
+        assert is_irreducible(two_state_chain())
+
+    def test_reducible_block_matrix(self):
+        m = np.eye(2)
+        assert not is_irreducible(m)
+
+    def test_aperiodic_needs_self_loop(self):
+        flip = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assert is_irreducible(flip)
+        assert not is_aperiodic(flip)
+        assert is_aperiodic(two_state_chain())

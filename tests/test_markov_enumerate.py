@@ -1,0 +1,91 @@
+"""Tests for exhaustive configuration enumeration."""
+
+import math
+
+import pytest
+
+from repro.lattice.connectivity import is_connected
+from repro.lattice.holes import has_holes
+from repro.markov.enumerate_configs import (
+    colorings_with_counts,
+    count_animals,
+    enumerate_animals,
+    enumerate_colored_configurations,
+    state_space_size,
+)
+
+#: OEIS A001334: connected site animals on the triangular lattice.
+A001334 = [1, 3, 11, 44, 186, 814, 3652]
+
+
+class TestAnimalEnumeration:
+    def test_counts_match_oeis(self):
+        assert [count_animals(n) for n in range(1, 8)] == A001334
+
+    def test_first_holed_animal_at_n6(self):
+        """The hexagonal ring is the unique 6-animal with a hole."""
+        assert count_animals(6, hole_free_only=True) == 813
+        assert count_animals(5, hole_free_only=True) == 186
+
+    def test_animals_are_connected(self):
+        for animal in enumerate_animals(5):
+            assert is_connected(set(animal))
+
+    def test_hole_free_filter(self):
+        for animal in enumerate_animals(6, hole_free_only=True):
+            assert not has_holes(set(animal))
+
+    def test_animals_unique(self):
+        animals = enumerate_animals(6)
+        assert len(animals) == len(set(animals))
+
+    def test_animals_translation_canonical(self):
+        """Each animal's minimum node in (y, x) order is the origin."""
+        for animal in enumerate_animals(5):
+            min_node = min(animal, key=lambda node: (node[1], node[0]))
+            assert min_node == (0, 0)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            enumerate_animals(0)
+
+
+class TestColorings:
+    def test_two_color_counts(self):
+        colorings = list(colorings_with_counts(4, [2, 2]))
+        assert len(colorings) == math.comb(4, 2)
+        assert all(sum(c) == 2 for c in colorings)
+
+    def test_single_color(self):
+        assert list(colorings_with_counts(3, [3])) == [(0, 0, 0)]
+
+    def test_three_colors(self):
+        colorings = list(colorings_with_counts(4, [2, 1, 1]))
+        assert len(colorings) == 12  # 4!/(2!1!1!)
+        assert all(c.count(2) == 1 for c in colorings)
+
+    def test_wrong_sum_raises(self):
+        with pytest.raises(ValueError):
+            list(colorings_with_counts(4, [1, 1]))
+
+    def test_four_colors_unsupported(self):
+        with pytest.raises(NotImplementedError):
+            list(colorings_with_counts(4, [1, 1, 1, 1]))
+
+
+class TestColoredConfigurations:
+    def test_state_space_size(self):
+        states = enumerate_colored_configurations(4, [2, 2])
+        assert len(states) == 44 * 6
+        assert len(states) == state_space_size(4, [2, 2])
+
+    def test_states_are_distinct(self):
+        states = enumerate_colored_configurations(4, [2, 2])
+        keys = {state.canonical_key() for state in states}
+        assert len(keys) == len(states)
+
+    def test_states_valid(self):
+        for state in enumerate_colored_configurations(4, [3, 1]):
+            assert state.n == 4
+            assert state.is_connected()
+            state.validate()

@@ -1,0 +1,207 @@
+"""Exact-chain tests: the strongest validation of Algorithm 1.
+
+Builds the full transition matrix on enumerated state spaces and checks
+the paper's structural results: Lemma 7 (reversibility), Lemma 8
+(ergodicity), Lemma 9 / Appendix A.2 (the stationary distribution), and
+convergence of the simulated chain to it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.separation_chain import SeparationChain
+from repro.markov.diagnostics import (
+    detailed_balance_violations,
+    empirical_distribution,
+    empirical_vs_exact_tv,
+    is_aperiodic,
+    is_irreducible,
+    stationary_from_matrix,
+)
+from repro.markov.exact import ExactChainAnalysis, lemma9_distribution
+
+
+@pytest.fixture(scope="module")
+def analysis_n4():
+    return ExactChainAnalysis(4, [2, 2], lam=2.0, gamma=3.0)
+
+
+@pytest.fixture(scope="module")
+def analysis_n4_noswap():
+    return ExactChainAnalysis(4, [2, 2], lam=2.0, gamma=3.0, swaps=False)
+
+
+@pytest.fixture(scope="module")
+def analysis_n5():
+    return ExactChainAnalysis(5, [3, 2], lam=3.0, gamma=0.9)
+
+
+class TestTransitionMatrix:
+    def test_rows_sum_to_one(self, analysis_n4):
+        assert np.allclose(analysis_n4.matrix.sum(axis=1), 1.0)
+
+    def test_probabilities_in_range(self, analysis_n4):
+        assert (analysis_n4.matrix >= 0).all()
+        assert (analysis_n4.matrix <= 1).all()
+
+    def test_reversibility_lemma7(self, analysis_n4):
+        """M(σ,τ) > 0 implies M(τ,σ) > 0 (off-diagonal)."""
+        m = analysis_n4.matrix
+        nonzero = m > 0
+        assert (nonzero == nonzero.T).all()
+
+    def test_ergodicity_lemma8(self, analysis_n4):
+        assert is_irreducible(analysis_n4.matrix)
+        assert is_aperiodic(analysis_n4.matrix)
+
+    def test_ergodic_without_swaps(self, analysis_n4_noswap):
+        """Swaps are a convergence accelerator, not needed for ergodicity."""
+        assert is_irreducible(analysis_n4_noswap.matrix)
+
+    def test_state_space_not_trivial(self, analysis_n4):
+        assert len(analysis_n4.states) == 264
+
+
+class TestStationaryDistribution:
+    def test_detailed_balance_lemma9(self, analysis_n4):
+        assert analysis_n4.detailed_balance_error() < 1e-14
+
+    def test_detailed_balance_small_gamma(self, analysis_n5):
+        assert analysis_n5.detailed_balance_error() < 1e-14
+
+    def test_no_violations_reported(self, analysis_n4):
+        violations = detailed_balance_violations(
+            analysis_n4.matrix, analysis_n4.pi, tolerance=1e-12
+        )
+        assert violations == []
+
+    def test_lemma9_matches_eigenvector(self, analysis_n4):
+        pi_eig = analysis_n4.stationary_by_eigenvector()
+        assert np.abs(pi_eig - analysis_n4.pi).max() < 1e-10
+
+    def test_lemma9_matches_power_method(self, analysis_n4):
+        pi_pow = stationary_from_matrix(analysis_n4.matrix)
+        assert np.abs(pi_pow - analysis_n4.pi).max() < 1e-10
+
+    def test_lemma9_is_stationary_vector(self, analysis_n5):
+        pi = analysis_n5.pi
+        assert np.abs(pi @ analysis_n5.matrix - pi).max() < 1e-14
+
+    def test_swaps_do_not_change_stationary_distribution(
+        self, analysis_n4, analysis_n4_noswap
+    ):
+        """Section 2.3: swaps accelerate convergence but π is identical."""
+        pi_swap = analysis_n4.stationary_by_eigenvector()
+        pi_noswap = analysis_n4_noswap.stationary_by_eigenvector()
+        assert np.abs(pi_swap - pi_noswap).max() < 1e-10
+
+    def test_distribution_normalized(self, analysis_n4):
+        assert np.isclose(analysis_n4.pi.sum(), 1.0)
+
+    def test_compressed_states_favored_per_state(self, analysis_n4):
+        """Each minimum-perimeter state carries more mass than each
+        maximum-perimeter state (entropy can still favor the much more
+        numerous trees in aggregate at small λγ — the energy/entropy
+        trade-off the paper's Peierls argument is about)."""
+        perimeters = np.array([s.perimeter() for s in analysis_n4.states])
+        pi = analysis_n4.pi
+        min_mask = perimeters == perimeters.min()
+        max_mask = perimeters == perimeters.max()
+        assert pi[min_mask].mean() > 5 * pi[max_mask].mean()
+
+    def test_expected_perimeter_decreases_with_lambda(self, analysis_n4):
+        """Larger λ compresses: stationary E[perimeter] is smaller."""
+        perimeters = np.array([s.perimeter() for s in analysis_n4.states])
+        stronger = ExactChainAnalysis(4, [2, 2], lam=6.0, gamma=3.0)
+        unbiased = ExactChainAnalysis(4, [2, 2], lam=1.0, gamma=1.0)
+        assert (
+            stronger.pi @ perimeters
+            < analysis_n4.pi @ perimeters
+            < unbiased.pi @ perimeters
+        )
+
+
+class TestSimulationConvergence:
+    """The production step loop converges to the exact π in TV distance."""
+
+    def test_empirical_matches_exact(self, analysis_n4):
+        state = analysis_n4.states[0].copy()
+        chain = SeparationChain(state, lam=2.0, gamma=3.0, seed=4242)
+        empirical = empirical_distribution(
+            chain,
+            state_index=lambda: state.canonical_key(),
+            steps=120_000,
+            record_every=4,
+        )
+        exact = {
+            s.canonical_key(): float(p)
+            for s, p in zip(analysis_n4.states, analysis_n4.pi)
+        }
+        tv = empirical_vs_exact_tv(empirical, exact)
+        assert tv < 0.08, f"TV distance {tv} too large"
+
+    def test_empirical_without_swaps(self, analysis_n4_noswap):
+        state = analysis_n4_noswap.states[0].copy()
+        chain = SeparationChain(
+            state, lam=2.0, gamma=3.0, swaps=False, seed=99
+        )
+        empirical = empirical_distribution(
+            chain,
+            state_index=lambda: state.canonical_key(),
+            steps=150_000,
+            record_every=4,
+        )
+        exact = {
+            s.canonical_key(): float(p)
+            for s, p in zip(analysis_n4_noswap.states, analysis_n4_noswap.pi)
+        }
+        assert empirical_vs_exact_tv(empirical, exact) < 0.10
+
+
+class TestAnalysisUtilities:
+    def test_expected_observable(self, analysis_n4):
+        ones = [1.0] * len(analysis_n4.states)
+        assert np.isclose(analysis_n4.expected_observable(ones), 1.0)
+
+    def test_expected_observable_shape_check(self, analysis_n4):
+        with pytest.raises(ValueError):
+            analysis_n4.expected_observable([1.0, 2.0])
+
+    def test_state_index_roundtrip(self, analysis_n4):
+        for i in (0, 10, 100):
+            assert analysis_n4.state_index(analysis_n4.states[i]) == i
+
+    def test_mixing_time_is_finite(self, analysis_n4):
+        t = analysis_n4.mixing_time_upper_bound(0.25)
+        assert t is not None and 1 <= t <= 2**20
+
+    def test_mixing_time_validates_epsilon(self, analysis_n4):
+        with pytest.raises(ValueError):
+            analysis_n4.mixing_time_upper_bound(0.0)
+
+    def test_separation_probability_monotone_in_gamma(self):
+        """Exact check of the paper's core claim on a small system: the
+        stationary probability of being separated increases with γ."""
+        low = ExactChainAnalysis(4, [2, 2], lam=2.0, gamma=1.0)
+        high = ExactChainAnalysis(4, [2, 2], lam=2.0, gamma=6.0)
+        beta, delta = 0.75, 0.2  # at most one cut edge, pure regions
+        p_low = low.separation_probability(beta, delta)
+        p_high = high.separation_probability(beta, delta)
+        assert 0.0 < p_low < p_high < 1.0
+
+    def test_three_color_exact_chain(self):
+        """The Potts extension satisfies the same exact structure:
+        detailed balance against Lemma 9's form with h counting ALL
+        heterogeneous edges, ergodicity, and eigenvector agreement."""
+        analysis = ExactChainAnalysis(4, [2, 1, 1], lam=2.0, gamma=3.0)
+        assert len(analysis.states) == 44 * 12
+        assert analysis.detailed_balance_error() < 1e-14
+        assert is_irreducible(analysis.matrix)
+        pi_eig = analysis.stationary_by_eigenvector()
+        assert np.abs(pi_eig - analysis.pi).max() < 1e-10
+
+    def test_lemma9_distribution_uniform_at_unit_parameters(self):
+        """λ = γ = 1 weights every hole-free configuration equally."""
+        analysis = ExactChainAnalysis(4, [2, 2], lam=1.0, gamma=1.0)
+        pi = lemma9_distribution(analysis.states, 1.0, 1.0)
+        assert np.allclose(pi, 1.0 / len(analysis.states))

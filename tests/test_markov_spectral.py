@@ -1,0 +1,94 @@
+"""Tests for spectral analysis of the chain."""
+
+import math
+
+import pytest
+
+from repro.core.separation_chain import SeparationChain
+from repro.markov.exact import ExactChainAnalysis
+from repro.markov.spectral import (
+    bottleneck_ratio,
+    empirical_relaxation_time,
+    gap_versus_parameters,
+    spectral_summary,
+)
+from repro.system.initializers import hexagon_system
+
+
+@pytest.fixture(scope="module")
+def analysis():
+    return ExactChainAnalysis(4, [2, 2], lam=2.0, gamma=3.0)
+
+
+class TestSpectralSummary:
+    def test_gap_in_unit_interval(self, analysis):
+        summary = spectral_summary(analysis)
+        assert 0.0 < summary.spectral_gap < 1.0
+        assert summary.second_eigenvalue < 1.0
+
+    def test_relaxation_inverse_of_gap(self, analysis):
+        summary = spectral_summary(analysis)
+        assert math.isclose(
+            summary.relaxation_time, 1.0 / summary.spectral_gap
+        )
+
+    def test_mixing_bound_consistent_with_power_method(self, analysis):
+        """The spectral mixing bound must dominate the power-method
+        measurement of the actual mixing time."""
+        summary = spectral_summary(analysis)
+        measured = analysis.mixing_time_upper_bound(0.25)
+        assert measured is not None
+        assert summary.mixing_time_bound >= measured / 2  # factor-2 grid
+
+    def test_epsilon_validation(self, analysis):
+        with pytest.raises(ValueError):
+            spectral_summary(analysis, epsilon=0.0)
+
+
+class TestBottleneck:
+    def test_conductance_bounds_gap(self, analysis):
+        """Cheeger: gap <= 2 Φ(S) for every cut S."""
+        summary = spectral_summary(analysis)
+        phi = bottleneck_ratio(
+            analysis, in_cut=lambda s: s.hetero_total <= 1
+        )
+        assert summary.spectral_gap <= 2.0 * phi + 1e-12
+
+    def test_trivial_cut_rejected(self, analysis):
+        with pytest.raises(ValueError):
+            bottleneck_ratio(analysis, in_cut=lambda s: True)
+
+
+class TestGapTrends:
+    def test_gap_shrinks_with_gamma(self):
+        """Deep separation creates bottlenecks: the gap at γ = 8 is
+        smaller than at γ = 1 (the Section 5 slow-mixing intuition)."""
+        grid = gap_versus_parameters(
+            4, [2, 2], lambdas=[2.0], gammas=[1.0, 8.0]
+        )
+        assert (
+            grid[(2.0, 8.0)].spectral_gap < grid[(2.0, 1.0)].spectral_gap
+        )
+
+    def test_swaps_improve_or_preserve_gap(self):
+        with_swaps = gap_versus_parameters(
+            4, [2, 2], lambdas=[2.0], gammas=[4.0], swaps=True
+        )[(2.0, 4.0)]
+        without = gap_versus_parameters(
+            4, [2, 2], lambdas=[2.0], gammas=[4.0], swaps=False
+        )[(2.0, 4.0)]
+        assert with_swaps.spectral_gap >= without.spectral_gap - 1e-12
+
+
+class TestEmpiricalRelaxation:
+    def test_returns_steps_scale(self):
+        system = hexagon_system(30, seed=3)
+        chain = SeparationChain(system, lam=4.0, gamma=4.0, seed=3)
+        tau = empirical_relaxation_time(
+            chain,
+            observable=lambda: float(system.hetero_total),
+            samples=300,
+            thinning=20,
+            burn_in=5_000,
+        )
+        assert tau >= 20.0  # at least one thinning interval

@@ -1,0 +1,131 @@
+"""Deep property-based fuzzing across module boundaries.
+
+These tests generate randomized systems, parameters, and trajectories
+and assert the library's global invariants — the properties that must
+hold for *every* input, not just the curated cases elsewhere in the
+suite.
+"""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.compression_metric import minimum_perimeter
+from repro.analysis.separation_metric import best_certificate, evaluate_region
+from repro.core.separation_chain import SeparationChain
+from repro.lattice.boundary import boundary_walk, turning_number
+from repro.system.initializers import random_blob_system
+from repro.system.observables import color_counts
+from repro.util.serialization import (
+    configuration_from_json,
+    configuration_to_json,
+)
+
+lam_st = st.floats(min_value=0.3, max_value=8.0, allow_nan=False)
+gamma_st = st.floats(min_value=0.3, max_value=8.0, allow_nan=False)
+
+
+class TestChainFuzz:
+    @given(
+        st.integers(min_value=2, max_value=45),
+        lam_st,
+        gamma_st,
+        st.integers(0, 10_000),
+        st.booleans(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_run_preserves_all_invariants(self, n, lam, gamma, seed, swaps):
+        """For arbitrary (n, λ, γ, seed, swaps): connectivity, hole-
+        freedom, counter consistency, color conservation, and the
+        perimeter identity all survive a run."""
+        system = random_blob_system(n, seed=seed)
+        counts_before = color_counts(system)
+        chain = SeparationChain(
+            system, lam=lam, gamma=gamma, swaps=swaps, seed=seed
+        )
+        chain.run(2_000)
+        system.validate()
+        assert system.is_connected()
+        assert not system.has_holes()
+        assert color_counts(system) == counts_before
+        assert system.perimeter() == system.perimeter(exact=True)
+        assert system.perimeter() >= minimum_perimeter(n)
+
+    @given(st.integers(min_value=2, max_value=40), st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_trajectory_determinism(self, n, seed):
+        """Two identically seeded runs are bit-identical."""
+        outcomes = []
+        for _ in range(2):
+            system = random_blob_system(n, seed=seed)
+            SeparationChain(system, lam=3.0, gamma=2.0, seed=seed).run(1_500)
+            outcomes.append(sorted(system.colors.items()))
+        assert outcomes[0] == outcomes[1]
+
+
+class TestGeometryFuzz:
+    @given(st.integers(min_value=2, max_value=60), st.integers(0, 500))
+    @settings(max_examples=30, deadline=None)
+    def test_boundary_walk_closes_and_turns_once(self, n, seed):
+        system = random_blob_system(n, seed=seed)
+        occupied = set(system.colors)
+        walk = boundary_walk(occupied)
+        assert turning_number(walk) == 6
+        assert set(walk) <= occupied
+        # Every boundary node (one with an empty neighbor reachable from
+        # outside) appears in the walk at least once.
+        from repro.lattice.geometry import boundary_nodes
+
+        assert boundary_nodes(occupied) <= set(walk) | set()
+
+    @given(st.integers(min_value=1, max_value=3000))
+    @settings(max_examples=60, deadline=None)
+    def test_minimum_perimeter_is_achievable(self, n):
+        """p_min(n) is realized by an actual configuration within the
+        Lemma 2 construction family (never smaller than the formula)."""
+        from repro.lattice.geometry import hexagon
+        from repro.lattice.triangular import edges_of
+        from repro.lattice.boundary import perimeter_from_edges
+
+        constructed = perimeter_from_edges(n, len(edges_of(hexagon(n))))
+        assert minimum_perimeter(n) <= constructed <= minimum_perimeter(n) + 1
+
+
+class TestCertificateFuzz:
+    @given(st.integers(min_value=4, max_value=50), st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_certificates_are_always_sound(self, n, seed):
+        """Whatever region the heuristics produce, its reported numbers
+        re-verify against the definition."""
+        system = random_blob_system(n, seed=seed)
+        certificate = best_certificate(system)
+        assume(certificate is not None)
+        measured = evaluate_region(
+            system, set(certificate.region), certificate.color
+        )
+        assert measured is not None
+        assert measured.cut_edges == certificate.cut_edges
+        assert math.isclose(
+            measured.density_inside, certificate.density_inside
+        )
+        assert math.isclose(
+            measured.density_outside, certificate.density_outside
+        )
+
+
+class TestSerializationFuzz:
+    @given(
+        st.integers(min_value=1, max_value=60),
+        st.integers(0, 500),
+        st.integers(min_value=2, max_value=4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_preserves_everything(self, n, seed, k):
+        system = random_blob_system(n, seed=seed, num_colors=k)
+        restored = configuration_from_json(configuration_to_json(system))
+        assert restored.colors == system.colors
+        assert restored.num_colors == system.num_colors
+        assert restored.edge_total == system.edge_total
+        assert restored.hetero_total == system.hetero_total
+        assert restored.canonical_key() == system.canonical_key()

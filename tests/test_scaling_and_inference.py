@@ -1,0 +1,131 @@
+"""Tests for the finite-size scaling study and parameter inference."""
+
+import math
+
+import pytest
+
+from repro.analysis.inference import (
+    estimate_gamma_from_shape,
+    estimate_gamma_pseudolikelihood,
+    estimate_parameters,
+    expected_h_at_gamma,
+    gamma_pseudo_likelihood,
+)
+from repro.core.separation_chain import SeparationChain
+from repro.experiments.scaling import (
+    interface_scaling_exponent,
+    scaling_study,
+    scaling_table,
+)
+from repro.markov.chain import sample_observable
+from repro.system.initializers import hexagon_system
+
+
+class TestScalingStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return scaling_study(
+            sizes=(30, 60, 120),
+            steps_per_particle=1_500,
+            replicas=2,
+            seed=3,
+        )
+
+    def test_every_size_reported(self, study):
+        assert [p.n for p in study] == [30, 60, 120]
+        assert all(p.replicas == 2 for p in study)
+
+    def test_all_runs_separate_in_budget(self, study):
+        assert all(p.fraction_separated_in_budget == 1.0 for p in study)
+
+    def test_alpha_concentrates_near_one(self, study):
+        assert all(p.mean_alpha < 2.0 for p in study)
+
+    def test_normalized_interface_bounded(self, study):
+        """h/√n grows only mildly across a 4x size range (a fully
+        integrated system would have h/√n ∝ √n, i.e. double)."""
+        values = [p.mean_normalized_interface for p in study]
+        assert max(values) < 3 * min(values)
+
+    def test_interface_exponent_in_coarsening_regime(self, study):
+        """At fixed per-particle budget the fitted h ~ n^b exponent sits
+        in the coarsening band (≈1), not below the equilibrium 0.5 —
+        interface merging slows with n (the §5 slow-mixing effect).
+        Anything far above 1 would indicate the runs aren't even
+        reaching the domain-forming stage."""
+        exponent = interface_scaling_exponent(study)
+        assert 0.4 <= exponent <= 1.35, exponent
+
+    def test_table_renders(self, study):
+        table = scaling_table(study)
+        assert "alpha" in table and "120" in table
+
+    def test_validates_replicas(self):
+        with pytest.raises(ValueError):
+            scaling_study(sizes=(10,), replicas=0)
+
+
+class TestMomentInference:
+    def test_expected_h_monotone_in_gamma(self):
+        shapes = [hexagon_system(10, seed=s) for s in range(3)]
+        values = [
+            expected_h_at_gamma(shapes, gamma) for gamma in (0.5, 1.0, 3.0, 9.0)
+        ]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_gamma_recovery_from_exact_moments(self):
+        """Generate E[h] at a known γ, recover it by bisection."""
+        shapes = [hexagon_system(12, seed=s) for s in range(2)]
+        for true_gamma in (0.7, 2.0, 5.0):
+            observed = expected_h_at_gamma(shapes, true_gamma)
+            estimate = estimate_gamma_from_shape(shapes, observed)
+            assert math.isclose(estimate, true_gamma, rel_tol=0.02)
+
+    def test_joint_recovery_small_system(self):
+        """Recover (λ, γ) from exact stationary moments at n = 4."""
+        from repro.markov.exact import ExactChainAnalysis
+
+        true_lam, true_gamma = 3.0, 2.0
+        analysis = ExactChainAnalysis(4, [2, 2], lam=true_lam, gamma=true_gamma)
+        perimeter = [float(s.perimeter()) for s in analysis.states]
+        hetero = [float(s.hetero_total) for s in analysis.states]
+        observed_p = analysis.expected_observable(perimeter)
+        observed_h = analysis.expected_observable(hetero)
+        lam, gamma = estimate_parameters(
+            observed_p, observed_h, n=4, color_counts=[2, 2]
+        )
+        assert math.isclose(lam, true_lam, rel_tol=0.15)
+        assert math.isclose(gamma, true_gamma, rel_tol=0.15)
+
+    def test_out_of_range_observations_clamp(self):
+        shapes = [hexagon_system(10, seed=0)]
+        assert estimate_gamma_from_shape(shapes, observed_mean_h=1e9) == 0.05
+        assert estimate_gamma_from_shape(shapes, observed_mean_h=-1.0) == 50.0
+
+
+class TestPseudoLikelihood:
+    def _sample_configurations(self, gamma, count=6, seed=11):
+        system = hexagon_system(60, seed=seed)
+        chain = SeparationChain(system, lam=4.0, gamma=gamma, seed=seed)
+        return sample_observable(
+            chain,
+            observable=lambda: system.copy(),
+            samples=count,
+            thinning=15_000,
+            burn_in=60_000,
+        )
+
+    def test_likelihood_concave_shape(self):
+        samples = self._sample_configurations(gamma=2.0, count=3)
+        values = [
+            gamma_pseudo_likelihood(samples, math.log(g))
+            for g in (0.3, 1.0, 2.0, 6.0, 20.0)
+        ]
+        peak = max(range(len(values)), key=values.__getitem__)
+        assert 0 < peak < len(values) - 1, values
+
+    @pytest.mark.parametrize("true_gamma", [1.0, 2.5])
+    def test_gamma_recovered_within_factor(self, true_gamma):
+        samples = self._sample_configurations(true_gamma)
+        estimate = estimate_gamma_pseudolikelihood(samples)
+        assert true_gamma / 1.7 <= estimate <= true_gamma * 1.7, estimate

@@ -1,0 +1,178 @@
+"""Tests for the ParticleSystem state object."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.system.configuration import ParticleSystem
+from repro.system.initializers import hexagon_system, random_blob_system
+from repro.util.rng import make_rng
+
+
+def _random_valid_move(system, rng):
+    """A uniformly chosen (src, empty adjacent dst) pair, if any exists."""
+    from repro.lattice.triangular import NEIGHBOR_OFFSETS
+
+    nodes = sorted(system.colors)
+    rng.shuffle(nodes)
+    for src in nodes:
+        dirs = list(NEIGHBOR_OFFSETS)
+        rng.shuffle(dirs)
+        for dx, dy in dirs:
+            dst = (src[0] + dx, src[1] + dy)
+            if dst not in system.colors:
+                return src, dst
+    return None
+
+
+class TestConstruction:
+    def test_from_nodes(self):
+        system = ParticleSystem.from_nodes([(0, 0), (1, 0)], [0, 1])
+        assert system.n == 2
+        assert system.edge_total == 1
+        assert system.hetero_total == 1
+
+    def test_homogeneous_edge_counts(self):
+        system = ParticleSystem.from_nodes([(0, 0), (1, 0), (0, 1)], [0, 0, 1])
+        assert system.edge_total == 3
+        assert system.hetero_total == 2
+        assert system.homogeneous_edges() == 1
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ParticleSystem({})
+
+    def test_duplicate_nodes_raise(self):
+        with pytest.raises(ValueError):
+            ParticleSystem.from_nodes([(0, 0), (0, 0)], [0, 1])
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            ParticleSystem.from_nodes([(0, 0)], [0, 1])
+
+    def test_too_many_colors_raise(self):
+        with pytest.raises(ValueError):
+            ParticleSystem.from_nodes([(0, 0), (1, 0)], [0, 5], num_colors=2)
+
+    def test_negative_color_raises(self):
+        with pytest.raises(ValueError):
+            ParticleSystem.from_nodes([(0, 0)], [-1])
+
+    def test_num_colors_inferred_at_least_two(self):
+        system = ParticleSystem.from_nodes([(0, 0)], [0])
+        assert system.num_colors == 2
+
+
+class TestNeighborCounts:
+    def test_counts_by_color(self):
+        system = ParticleSystem.from_nodes(
+            [(0, 0), (1, 0), (0, 1), (-1, 0)], [0, 1, 1, 0]
+        )
+        total, per_color = system.neighbor_counts((0, 0))
+        assert total == 3
+        assert per_color == [1, 2]
+
+    def test_ignore_parameter(self):
+        system = ParticleSystem.from_nodes([(0, 0), (1, 0), (0, 1)], [0, 1, 1])
+        total, per_color = system.neighbor_counts((0, 0), ignore=((1, 0),))
+        assert total == 1
+        assert per_color == [0, 1]
+
+    def test_occupied_neighbors(self):
+        system = ParticleSystem.from_nodes([(0, 0), (1, 0), (5, 5)], [0, 0, 0])
+        assert system.occupied_neighbors((0, 0)) == [(1, 0)]
+
+
+class TestMoves:
+    def test_move_updates_counters(self):
+        system = ParticleSystem.from_nodes([(0, 0), (1, 0), (0, 1)], [0, 1, 0])
+        before = (system.edge_total, system.hetero_total)
+        system.move_particle((0, 1), (1, 1))
+        # (1,1) neighbors (1,0) and (0,1)->now empty; edges: (0,0)-(1,0),
+        # (1,0)-(1,1): total 2.
+        assert system.edge_total == 2
+        assert system.is_occupied((1, 1))
+        assert not system.is_occupied((0, 1))
+        system.validate()
+        assert before != (system.edge_total, system.hetero_total)
+
+    def test_move_to_occupied_raises(self):
+        system = ParticleSystem.from_nodes([(0, 0), (1, 0)], [0, 1])
+        with pytest.raises(ValueError):
+            system.move_particle((0, 0), (1, 0))
+
+    def test_swap_changes_colors_not_occupancy(self):
+        system = ParticleSystem.from_nodes([(0, 0), (1, 0), (2, 0)], [0, 1, 0])
+        system.swap_particles((0, 0), (1, 0))
+        assert system.color_at((0, 0)) == 1
+        assert system.color_at((1, 0)) == 0
+        system.validate()
+
+    def test_swap_same_color_noop(self):
+        system = ParticleSystem.from_nodes([(0, 0), (1, 0)], [0, 0])
+        h = system.hetero_total
+        system.swap_particles((0, 0), (1, 0))
+        assert system.hetero_total == h
+
+    @given(st.integers(min_value=2, max_value=40), st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_counters_survive_random_move_sequences(self, n, seed):
+        """Incremental counters equal full recounts after arbitrary moves."""
+        rng = make_rng(seed)
+        system = random_blob_system(n, seed=seed)
+        for _ in range(30):
+            if rng.random() < 0.5:
+                move = _random_valid_move(system, rng)
+                if move:
+                    system.move_particle(*move)
+            else:
+                nodes = sorted(system.colors)
+                u = rng.choice(nodes)
+                nbrs = system.occupied_neighbors(u)
+                if nbrs:
+                    system.swap_particles(u, rng.choice(nbrs))
+        system.validate()  # raises if incremental counters diverged
+
+
+class TestPerimeter:
+    def test_fast_equals_exact_when_hole_free(self):
+        system = hexagon_system(30, seed=1)
+        assert system.perimeter() == system.perimeter(exact=True)
+
+    def test_perimeter_of_pair(self):
+        system = ParticleSystem.from_nodes([(0, 0), (1, 0)], [0, 1])
+        assert system.perimeter() == 2
+
+
+class TestCopyAndKeys:
+    def test_copy_is_independent(self):
+        from repro.lattice.triangular import neighbors
+
+        system = hexagon_system(10, seed=2)
+        clone = system.copy()
+        moved = False
+        for src in sorted(clone.colors):
+            for dst in neighbors(src):
+                if dst not in clone.colors:
+                    clone.move_particle(src, dst)
+                    moved = True
+                    break
+            if moved:
+                break
+        assert moved
+        assert system.colors != clone.colors
+        system.validate()
+
+    def test_canonical_key_translation_invariant(self):
+        a = ParticleSystem.from_nodes([(0, 0), (1, 0)], [0, 1])
+        b = ParticleSystem.from_nodes([(5, -3), (6, -3)], [0, 1])
+        assert a.canonical_key() == b.canonical_key()
+
+    def test_canonical_key_distinguishes_colors(self):
+        a = ParticleSystem.from_nodes([(0, 0), (1, 0)], [0, 1])
+        b = ParticleSystem.from_nodes([(0, 0), (1, 0)], [1, 0])
+        assert a.canonical_key() != b.canonical_key()
+
+    def test_repr_mentions_counts(self):
+        system = ParticleSystem.from_nodes([(0, 0), (1, 0)], [0, 1])
+        assert "n=2" in repr(system)

@@ -1,0 +1,95 @@
+"""Tests for initial-configuration generators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.system.initializers import (
+    checkerboard_system,
+    hexagon_system,
+    line_system,
+    random_blob_system,
+    separated_system,
+)
+from repro.system.observables import color_counts
+
+
+class TestHexagonSystem:
+    def test_balanced_colors(self):
+        system = hexagon_system(100, seed=0)
+        assert color_counts(system) == [50, 50]
+
+    def test_explicit_counts(self):
+        system = hexagon_system(10, counts=[7, 3], seed=0)
+        assert color_counts(system) == [7, 3]
+
+    def test_bad_counts_raise(self):
+        with pytest.raises(ValueError):
+            hexagon_system(10, counts=[5, 4])
+
+    def test_seed_reproducibility(self):
+        a = hexagon_system(30, seed=42)
+        b = hexagon_system(30, seed=42)
+        assert a.colors == b.colors
+
+    def test_connected_hole_free(self):
+        system = hexagon_system(77, seed=1)
+        assert system.is_connected()
+        assert not system.has_holes()
+
+
+class TestLineSystem:
+    def test_line_perimeter_is_maximal(self):
+        system = line_system(15, seed=0)
+        assert system.perimeter() == 2 * (15 - 1)
+
+    def test_three_colors(self):
+        system = line_system(9, num_colors=3, seed=0)
+        assert color_counts(system) == [3, 3, 3]
+
+
+class TestSeparatedSystem:
+    def test_fully_separated_start(self):
+        system = separated_system(36)
+        assert system.is_connected()
+        # Contiguous color bands: the heterogeneous interface is small.
+        assert system.hetero_total <= 2 * (36 ** 0.5) + 6
+
+    def test_three_color_bands(self):
+        system = separated_system(30, num_colors=3)
+        assert color_counts(system) == [10, 10, 10]
+
+    def test_too_few_particles_raise(self):
+        with pytest.raises(ValueError):
+            separated_system(1, num_colors=2)
+
+
+class TestCheckerboard:
+    def test_alternating_counts(self):
+        system = checkerboard_system(10)
+        assert color_counts(system) == [5, 5]
+
+    def test_highly_heterogeneous(self):
+        mixed = checkerboard_system(50)
+        separated = separated_system(50)
+        assert mixed.hetero_total > separated.hetero_total
+
+
+class TestRandomBlob:
+    @given(st.integers(min_value=1, max_value=60), st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_blob_invariants(self, n, seed):
+        system = random_blob_system(n, seed=seed)
+        assert system.n == n
+        assert system.is_connected()
+        assert not system.has_holes()
+
+    def test_blob_reproducible(self):
+        a = random_blob_system(40, seed=9)
+        b = random_blob_system(40, seed=9)
+        assert a.colors == b.colors
+
+    def test_blob_different_seeds_differ(self):
+        a = random_blob_system(40, seed=1)
+        b = random_blob_system(40, seed=2)
+        assert a.colors != b.colors

@@ -1,0 +1,116 @@
+"""Tests for system observables."""
+
+import math
+
+import pytest
+
+from repro.system.configuration import ParticleSystem
+from repro.system.initializers import checkerboard_system, separated_system
+from repro.system.observables import (
+    color_counts,
+    edge_count,
+    heterogeneous_edge_count,
+    homogeneous_edge_count,
+    largest_cluster_fraction,
+    log_weight,
+    log_weight_edge_form,
+    mean_same_color_neighbor_fraction,
+    monochromatic_cluster_sizes,
+)
+from repro.system.particle import Particle, color_name
+
+
+class TestEdgeObservables:
+    def test_counts_sum(self):
+        system = ParticleSystem.from_nodes(
+            [(0, 0), (1, 0), (0, 1), (1, 1)], [0, 1, 0, 1]
+        )
+        assert edge_count(system) == (
+            heterogeneous_edge_count(system) + homogeneous_edge_count(system)
+        )
+
+    def test_color_counts(self):
+        system = ParticleSystem.from_nodes([(0, 0), (1, 0), (2, 0)], [0, 0, 1])
+        assert color_counts(system) == [2, 1]
+
+
+class TestLogWeight:
+    def test_weight_forms_differ_by_constant(self):
+        """λ^e γ^a and (λγ)^{-p} γ^{-h} differ by (λγ)^{3n-3} (Lemma 9)."""
+        lam, gamma = 3.0, 2.0
+        for seed in range(5):
+            from repro.system.initializers import random_blob_system
+
+            system = random_blob_system(12, seed=seed)
+            constant = (3 * system.n - 3) * math.log(lam * gamma)
+            assert math.isclose(
+                log_weight_edge_form(system, lam, gamma)
+                - log_weight(system, lam, gamma),
+                constant,
+                rel_tol=1e-12,
+            )
+
+    def test_invalid_parameters(self):
+        system = ParticleSystem.from_nodes([(0, 0)], [0])
+        with pytest.raises(ValueError):
+            log_weight(system, -1.0, 2.0)
+        with pytest.raises(ValueError):
+            log_weight_edge_form(system, 1.0, 0.0)
+
+
+class TestClusters:
+    def test_separated_has_giant_clusters(self):
+        system = separated_system(36)
+        sizes = monochromatic_cluster_sizes(system)
+        assert sizes[0][0] == 18
+        assert sizes[1][0] == 18
+        assert largest_cluster_fraction(system) == 0.5
+
+    def test_checkerboard_has_smaller_clusters(self):
+        mixed = checkerboard_system(36)
+        assert largest_cluster_fraction(mixed) < 0.5
+
+    def test_same_color_fraction_bounds(self):
+        for system in (separated_system(25), checkerboard_system(25)):
+            fraction = mean_same_color_neighbor_fraction(system)
+            assert 0.0 <= fraction <= 1.0
+
+    def test_separated_more_homophilous_than_checkerboard(self):
+        assert mean_same_color_neighbor_fraction(
+            separated_system(49)
+        ) > mean_same_color_neighbor_fraction(checkerboard_system(49))
+
+
+class TestParticle:
+    def test_expand_contract_cycle(self):
+        p = Particle(pid=0, color=1, head=(0, 0))
+        assert p.is_contracted
+        p.expand((1, 0))
+        assert p.is_expanded
+        assert set(p.occupied_nodes()) == {(0, 0), (1, 0)}
+        p.contract_to_head()
+        assert p.head == (1, 0) and p.is_contracted
+
+    def test_contract_to_tail_aborts(self):
+        p = Particle(pid=0, color=0, head=(0, 0))
+        p.expand((1, 0))
+        p.contract_to_tail()
+        assert p.head == (0, 0)
+
+    def test_double_expand_raises(self):
+        p = Particle(pid=0, color=0, head=(0, 0))
+        p.expand((1, 0))
+        with pytest.raises(RuntimeError):
+            p.expand((2, 0))
+
+    def test_contract_when_contracted_raises(self):
+        p = Particle(pid=0, color=0, head=(0, 0))
+        with pytest.raises(RuntimeError):
+            p.contract_to_head()
+
+    def test_color_names(self):
+        assert color_name(0) == "blue"
+        assert color_name(1) == "red"
+        assert color_name(99) == "color-99"
+        with pytest.raises(ValueError):
+            color_name(-1)

@@ -1,0 +1,64 @@
+"""Tests for RNG helpers and serialization."""
+
+import random
+
+import pytest
+
+from repro.system.initializers import hexagon_system
+from repro.util.rng import make_rng, maybe_seeded, random_unit, spawn_rngs
+from repro.util.serialization import (
+    configuration_from_json,
+    configuration_to_json,
+    load_configuration,
+    save_configuration,
+)
+
+
+class TestRng:
+    def test_make_rng_from_int(self):
+        assert make_rng(5).random() == make_rng(5).random()
+
+    def test_make_rng_passthrough(self):
+        rng = random.Random(0)
+        assert make_rng(rng) is rng
+
+    def test_spawn_rngs_independent_and_deterministic(self):
+        a = spawn_rngs(7, 3)
+        b = spawn_rngs(7, 3)
+        assert [r.random() for r in a] == [r.random() for r in b]
+        values = {r.random() for r in spawn_rngs(7, 3)}
+        assert len(values) == 3
+
+    def test_spawn_rngs_validates(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_random_unit_open_interval(self):
+        rng = make_rng(1)
+        for _ in range(1000):
+            q = random_unit(rng)
+            assert 0.0 < q < 1.0
+
+    def test_maybe_seeded(self):
+        assert maybe_seeded(None, 3).random() == random.Random(3).random()
+        assert maybe_seeded(9, 3).random() == random.Random(9).random()
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        system = hexagon_system(25, seed=4)
+        restored = configuration_from_json(configuration_to_json(system))
+        assert restored.colors == system.colors
+        assert restored.num_colors == system.num_colors
+        assert restored.edge_total == system.edge_total
+        assert restored.hetero_total == system.hetero_total
+
+    def test_file_roundtrip(self, tmp_path):
+        system = hexagon_system(10, seed=1)
+        path = tmp_path / "config.json"
+        save_configuration(system, path)
+        assert load_configuration(path).colors == system.colors
+
+    def test_rejects_unknown_version(self):
+        with pytest.raises(ValueError):
+            configuration_from_json('{"format_version": 99}')
