@@ -21,6 +21,25 @@ def test_separation_chain_throughput(benchmark):
     assert system.is_connected()
 
 
+def test_separation_chain_step_loop_throughput(benchmark):
+    """Reference path: per-step RNG draws, no batching.
+
+    ``run`` pre-draws uniform variates in chunks and inlines the move
+    loop; this benchmark drives the same chain through ``step()`` so
+    the table shows what the batched fast path buys.
+    """
+    system = hexagon_system(100, seed=1)
+    chain = SeparationChain(system, lam=4.0, gamma=4.0, seed=1)
+
+    def step_loop(steps):
+        step = chain.step
+        for _ in range(steps):
+            step()
+
+    benchmark(step_loop, STEPS)
+    assert system.is_connected()
+
+
 def test_separation_chain_no_swaps_throughput(benchmark):
     system = hexagon_system(100, seed=1)
     chain = SeparationChain(system, lam=4.0, gamma=4.0, swaps=False, seed=1)

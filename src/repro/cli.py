@@ -12,7 +12,9 @@ Commands
     Exact small-system analysis: detailed balance, spectral gap, mixing
     bounds.
 ``sweep``
-    Endpoint metrics over a (λ, γ) grid.
+    Endpoint metrics over a (λ, γ) grid, optionally fanned out over a
+    process pool (``--workers N``) with per-cell checkpoints
+    (``--checkpoint DIR``) and ``--resume`` for killed runs.
 ``render``
     Draw a saved configuration as ASCII or SVG.
 """
@@ -44,6 +46,43 @@ INITIALIZERS = {
     "separated": lambda n, seed=None: separated_system(n),
     "checkerboard": lambda n, seed=None: checkerboard_system(n),
 }
+
+
+def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
+    """Shared parallel-execution flags for the experiment subcommands."""
+    parser.add_argument(
+        "--replicas", type=int, default=1,
+        help="independent runs per cell (means come with _std metrics)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="process-pool size; >1 selects the process backend",
+    )
+    parser.add_argument(
+        "--backend", choices=("serial", "process"), default=None,
+        help="execution backend (default: infer from --workers)",
+    )
+    parser.add_argument(
+        "--checkpoint", metavar="DIR", default=None,
+        help="write one JSON checkpoint per completed cell into DIR",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="skip cells whose checkpoints already exist in --checkpoint DIR",
+    )
+
+
+def _parallel_kwargs(args: argparse.Namespace) -> dict:
+    """Translate parsed parallel flags into harness keyword arguments."""
+    from repro.experiments.parallel import resolve_backend
+
+    return {
+        "replicas": args.replicas,
+        "backend": resolve_backend(args.backend, args.workers),
+        "workers": args.workers,
+        "checkpoint_dir": args.checkpoint,
+        "resume": args.resume,
+    }
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -83,11 +122,13 @@ def build_parser() -> argparse.ArgumentParser:
     figure2.add_argument("--scale", type=float, default=0.02)
     figure2.add_argument("-n", type=int, default=100)
     figure2.add_argument("--seed", type=int, default=2018)
+    _add_parallel_arguments(figure2)
 
     figure3 = commands.add_parser("figure3", help="regenerate Figure 3")
     figure3.add_argument("--iterations", type=int, default=400_000)
     figure3.add_argument("-n", type=int, default=100)
     figure3.add_argument("--seed", type=int, default=2018)
+    _add_parallel_arguments(figure3)
 
     stationary = commands.add_parser(
         "stationary", help="exact small-system analysis"
@@ -107,6 +148,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--iterations", type=int, default=200_000)
     sweep.add_argument("-n", type=int, default=100)
     sweep.add_argument("--seed", type=int, default=0)
+    _add_parallel_arguments(sweep)
 
     render = commands.add_parser("render", help="draw a saved configuration")
     render.add_argument("input", help="configuration JSON file")
@@ -163,7 +205,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _cmd_figure2(args: argparse.Namespace) -> int:
     from repro.experiments.figure2 import run_figure2
 
-    result = run_figure2(n=args.n, scale=args.scale, seed=args.seed)
+    result = run_figure2(
+        n=args.n, scale=args.scale, seed=args.seed, **_parallel_kwargs(args)
+    )
     print(result.summary_table())
     print()
     print(result.snapshots[-1])
@@ -173,7 +217,12 @@ def _cmd_figure2(args: argparse.Namespace) -> int:
 def _cmd_figure3(args: argparse.Namespace) -> int:
     from repro.experiments.figure3 import run_figure3
 
-    result = run_figure3(n=args.n, iterations=args.iterations, seed=args.seed)
+    result = run_figure3(
+        n=args.n,
+        iterations=args.iterations,
+        seed=args.seed,
+        **_parallel_kwargs(args),
+    )
     print(result.grid_table())
     return 0
 
@@ -208,15 +257,24 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         n=args.n,
         iterations=args.iterations,
         seed=args.seed,
+        **_parallel_kwargs(args),
     )
-    print(f"{'lambda':>7}  {'gamma':>7}  {'alpha':>6}  {'h/e':>6}  phase")
+    with_spread = args.replicas > 1
+    spread = "  alpha_sd  h/e_sd" if with_spread else ""
+    print(f"{'lambda':>7}  {'gamma':>7}  {'alpha':>6}  {'h/e':>6}{spread}  phase")
     for point in points:
         phase = classify_phase(point.system)
-        print(
+        columns = (
             f"{point.params['lam']:>7.2f}  {point.params['gamma']:>7.2f}  "
             f"{point.metrics['alpha']:>6.2f}  "
-            f"{point.metrics['hetero_density']:>6.3f}  {phase}"
+            f"{point.metrics['hetero_density']:>6.3f}"
         )
+        if with_spread:
+            columns += (
+                f"  {point.metrics['alpha_std']:>8.2f}"
+                f"  {point.metrics['hetero_density_std']:>6.3f}"
+            )
+        print(f"{columns}  {phase}")
     return 0
 
 

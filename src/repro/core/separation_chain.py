@@ -27,6 +27,7 @@ occupancy bitmasks, and table-driving the bias powers
 from __future__ import annotations
 
 import math
+import random as _random
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.moves import (
@@ -36,7 +37,7 @@ from repro.core.moves import (
 )
 from repro.lattice.triangular import NEIGHBOR_OFFSETS, Node, direction_between
 from repro.system.configuration import ParticleSystem
-from repro.util.rng import RngLike, make_rng
+from repro.util.rng import RngLike, make_rng, uniform_chunk
 
 # ----------------------------------------------------------------------
 # Precomputed tables
@@ -86,11 +87,51 @@ E_SRC: Tuple[int, ...] = tuple(bin(mask & _SRC_MASK).count("1") for mask in rang
 E_DST: Tuple[int, ...] = tuple(bin(mask & _DST_MASK).count("1") for mask in range(256))
 
 
+#: Uniform draws per refill of the batched run() fast path.
+_RNG_CHUNK = 4096
+
+
+def _clamped_power(base: float, exponent: int) -> float:
+    """``base ** exponent`` with overflow clamped to ``math.inf``.
+
+    ``float.__pow__`` raises ``OverflowError`` for results above the
+    float range (e.g. ``1e40 ** 10`` while building the swap table for
+    the large-γ limit of Theorem 14) but silently underflows to ``0.0``
+    below it; clamping the overflow side to ``inf`` makes both
+    directions total, so extreme-but-valid biases construct fine.
+    """
+    try:
+        return base ** exponent
+    except OverflowError:
+        return math.inf
+
+
 def _power_table(base: float, max_abs_exponent: int) -> List[float]:
-    """``table[k + max_abs_exponent] == base ** k`` for |k| <= max."""
+    """``table[k + max_abs_exponent] == base ** k`` for |k| <= max.
+
+    Entries overflowing the float range clamp to ``math.inf`` (and
+    underflow naturally to ``0.0``) instead of raising at construction.
+    """
     return [
-        base ** k for k in range(-max_abs_exponent, max_abs_exponent + 1)
+        _clamped_power(base, k)
+        for k in range(-max_abs_exponent, max_abs_exponent + 1)
     ]
+
+
+def bias_ratio(lam: float, gamma: float, delta_e: int, delta_ei: int) -> float:
+    """:math:`\\lambda^{\\Delta e} \\gamma^{\\Delta e_i}`, overflow-safe.
+
+    Resolves the indeterminate ``inf * 0`` corner (one bias extremely
+    large, the other extremely small) in log space, which is where the
+    product is well defined.
+    """
+    ratio = _clamped_power(lam, delta_e) * _clamped_power(gamma, delta_ei)
+    if ratio != ratio:  # nan from inf * 0: resolve via logarithms
+        log_ratio = delta_e * math.log(lam) + delta_ei * math.log(gamma)
+        if log_ratio > 0.0:
+            return math.inf
+        return math.exp(log_ratio)
+    return ratio
 
 
 class SeparationChain:
@@ -146,19 +187,45 @@ class SeparationChain:
         self._lam_pow = _power_table(self.lam, 5)
         self._gam_pow = _power_table(self.gamma, 5)
         self._gam_pow_swap = _power_table(self.gamma, 10)
+        self._log_lam = math.log(self.lam)
+        self._log_gam = math.log(self.gamma)
+        # Leftover uniforms from a chunked run(); consumed before any new
+        # draw so that interleaving run() and step() stays on one stream.
+        self._buffer: List[float] = []
+        self._buffer_pos = 0
+        # Chunked drawing is only safe when the chain owns a plain
+        # random.Random.  Subclasses (e.g. the replay stream used by the
+        # coupling diagnostics) rely on draw-by-draw consumption, so they
+        # take the reference single-step path.
+        self._batch_rng = type(self.rng) is _random.Random
 
     # ------------------------------------------------------------------
+
+    def _uniform(self) -> float:
+        """Next uniform draw, honoring any chunk left over from run().
+
+        The batched fast path may have drawn ahead of what it consumed;
+        serving those leftovers first keeps a mixed run()/step() usage on
+        the exact stream a pure step() loop would have seen.
+        """
+        pos = self._buffer_pos
+        if pos < len(self._buffer):
+            self._buffer_pos = pos + 1
+            return self._buffer[pos]
+        return self.rng.random()
 
     def step(self) -> bool:
         """Execute one iteration of Algorithm 1.
 
-        Returns whether the configuration changed.
+        Returns whether the configuration changed.  This is the
+        reference single-step path; :meth:`run` batches the same logic
+        (and the test suite asserts both produce identical trajectories
+        for the same seed).
         """
         system = self.system
         colors = system.colors
         positions = self._positions
-        rng = self.rng
-        random = rng.random
+        random = self._uniform
         self.iterations += 1
 
         idx = int(random() * len(positions))
@@ -203,6 +270,12 @@ class SeparationChain:
                 self._lam_pow[e_dst - e_src + 5]
                 * self._gam_pow[ei_dst - ei_src + 5]
             )
+            if ratio != ratio:  # inf * 0 under extreme biases
+                log_ratio = (
+                    (e_dst - e_src) * self._log_lam
+                    + (ei_dst - ei_src) * self._log_gam
+                )
+                ratio = math.inf if log_ratio > 0.0 else math.exp(log_ratio)
             if ratio < 1.0 and random() >= ratio:
                 return False
             # Accept: move the particle and update counters locally.
@@ -239,12 +312,163 @@ class SeparationChain:
         return True
 
     def run(self, steps: int) -> "SeparationChain":
-        """Execute ``steps`` iterations; returns ``self`` for chaining."""
+        """Execute ``steps`` iterations; returns ``self`` for chaining.
+
+        When the chain owns a plain ``random.Random`` this uses a batched
+        fast path: the step logic is inlined (no per-step method call or
+        attribute traffic) and the particle-index/direction/q uniforms
+        are drawn in chunks via :func:`repro.util.rng.uniform_chunk`
+        instead of three ``random()`` calls per step.  Consumption order
+        is strictly sequential and unused draws are carried over in a
+        buffer, so the trajectory is identical to calling :meth:`step`
+        ``steps`` times with the same seed — including across mixed
+        ``run()``/``step()`` call sequences.
+        """
         if steps < 0:
             raise ValueError(f"steps must be non-negative, got {steps}")
-        step = self.step
-        for _ in range(steps):
-            step()
+        if not self._batch_rng:
+            step = self.step
+            for _ in range(steps):
+                step()
+            return self
+        if steps == 0:
+            return self
+
+        # --- Batched fast path (inlined step(); see tests for identity) ---
+        system = self.system
+        colors = system.colors
+        colors_get = colors.get
+        positions = self._positions
+        n_particles = len(positions)
+        swaps_enabled = self.swaps
+        lam_pow = self._lam_pow
+        gam_pow = self._gam_pow
+        gam_pow_swap = self._gam_pow_swap
+        log_lam = self._log_lam
+        log_gam = self._log_gam
+        move_ok = MOVE_OK
+        e_src_table = E_SRC
+        e_dst_table = E_DST
+        ring_tables = RING_OFFSETS
+        offsets = NEIGHBOR_OFFSETS
+        src_indices = SRC_RING_INDICES
+        dst_indices = DST_RING_INDICES
+        rng = self.rng
+        buffer = self._buffer
+        pos = self._buffer_pos
+        size = len(buffer)
+        edge_total = system.edge_total
+        hetero_total = system.hetero_total
+        accepted_moves = 0
+        accepted_swaps = 0
+
+        for remaining in range(steps, 0, -1):
+            if size - pos < 3:
+                # Refill with at most the worst-case demand of the rest
+                # of this run (3 draws/step) so over-draw stays bounded;
+                # leftovers persist in self._buffer for the next call.
+                need = 3 * remaining - (size - pos)
+                buffer = buffer[pos:] + uniform_chunk(
+                    rng, need if need < _RNG_CHUNK else _RNG_CHUNK
+                )
+                pos = 0
+                size = len(buffer)
+
+            idx = int(buffer[pos] * n_particles)
+            pos += 1
+            src = positions[idx]
+            ci = colors[src]
+            d = int(buffer[pos] * 6)
+            pos += 1
+            dx, dy = offsets[d]
+            x, y = src
+            dst = (x + dx, y + dy)
+            dst_color = colors_get(dst)
+            if dst_color is not None and (not swaps_enabled or dst_color == ci):
+                continue  # occupied target and no swap possible: no-op
+
+            ring_offsets = ring_tables[d]
+            ring_colors = []
+            mask = 0
+            bit = 1
+            for rdx, rdy in ring_offsets:
+                c = colors_get((x + rdx, y + rdy))
+                ring_colors.append(c)
+                if c is not None:
+                    mask |= bit
+                bit <<= 1
+
+            if dst_color is None:
+                # --- Expansion move (Algorithm 1, lines 3-8) ---
+                e_src = e_src_table[mask]
+                if e_src == 5:
+                    continue
+                if not move_ok[mask]:
+                    continue
+                e_dst = e_dst_table[mask]
+                ei_src = 0
+                for i in src_indices:
+                    if ring_colors[i] == ci:
+                        ei_src += 1
+                ei_dst = 0
+                for i in dst_indices:
+                    if ring_colors[i] == ci:
+                        ei_dst += 1
+                ratio = (
+                    lam_pow[e_dst - e_src + 5] * gam_pow[ei_dst - ei_src + 5]
+                )
+                if ratio != ratio:  # inf * 0 under extreme biases
+                    log_ratio = (
+                        (e_dst - e_src) * log_lam + (ei_dst - ei_src) * log_gam
+                    )
+                    ratio = math.inf if log_ratio > 0.0 else math.exp(log_ratio)
+                if ratio < 1.0:
+                    q = buffer[pos]
+                    pos += 1
+                    if q >= ratio:
+                        continue
+                # Accept: move the particle and update counters locally.
+                del colors[src]
+                colors[dst] = ci
+                positions[idx] = dst
+                edge_total += e_dst - e_src
+                hetero_total += (e_dst - ei_dst) - (e_src - ei_src)
+                accepted_moves += 1
+                continue
+
+            # --- Swap move (Algorithm 1, lines 9-10) ---
+            cj = dst_color
+            expo = 0
+            for i in dst_indices:
+                c = ring_colors[i]
+                if c == ci:
+                    expo += 1  # |N_i(l') \ {P}|
+                elif c == cj:
+                    expo -= 1  # |N_j(l')|
+            for i in src_indices:
+                c = ring_colors[i]
+                if c == ci:
+                    expo -= 1  # |N_i(l)|
+                elif c == cj:
+                    expo += 1  # |N_j(l) \ {Q}|
+            ratio = gam_pow_swap[expo + 10]
+            if ratio < 1.0:
+                q = buffer[pos]
+                pos += 1
+                if q >= ratio:
+                    continue
+            colors[src] = cj
+            colors[dst] = ci
+            hetero_total -= expo
+            accepted_swaps += 1
+
+        system.edge_total = edge_total
+        system.hetero_total = hetero_total
+        self.iterations += steps
+        self.accepted_moves += accepted_moves
+        self.accepted_swaps += accepted_swaps
+        self._buffer = buffer
+        self._buffer_pos = pos
         return self
 
     # ------------------------------------------------------------------
@@ -286,12 +510,14 @@ class SeparationChain:
                 raise ValueError(f"lambda must be positive, got {lam}")
             self.lam = float(lam)
             self._lam_pow = _power_table(self.lam, 5)
+            self._log_lam = math.log(self.lam)
         if gamma is not None:
             if gamma <= 0:
                 raise ValueError(f"gamma must be positive, got {gamma}")
             self.gamma = float(gamma)
             self._gam_pow = _power_table(self.gamma, 5)
             self._gam_pow_swap = _power_table(self.gamma, 10)
+            self._log_gam = math.log(self.gamma)
 
     def refresh_positions(self) -> None:
         """Re-sync the internal particle list with the system state.
@@ -352,7 +578,7 @@ def evaluate_move(
     e_dst = E_DST[mask]
     ei_src = sum(1 for i in SRC_RING_INDICES if ring_colors[i] == ci)
     ei_dst = sum(1 for i in DST_RING_INDICES if ring_colors[i] == ci)
-    ratio = (lam ** (e_dst - e_src)) * (gamma ** (ei_dst - ei_src))
+    ratio = bias_ratio(lam, gamma, e_dst - e_src, ei_dst - ei_src)
     return min(1.0, ratio), e_dst - e_src, ei_dst - ei_src
 
 
@@ -391,7 +617,7 @@ def evaluate_swap(
             expo -= 1
         elif c == cj:
             expo += 1
-    return min(1.0, gamma ** expo), expo
+    return min(1.0, _clamped_power(gamma, expo)), expo
 
 
 def stationary_log_weight(

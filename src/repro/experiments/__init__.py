@@ -6,10 +6,19 @@
   (compressed/expanded × separated/integrated).
 * :mod:`repro.experiments.lemmas` — executable checks of Lemmas 1 and 2.
 * :mod:`repro.experiments.sweep` — generic parameter sweeps.
+* :mod:`repro.experiments.parallel` — process-pool execution backend
+  with per-cell checkpointing and resume.
 * :mod:`repro.experiments.recorder` — time-series recording.
 * :mod:`repro.experiments.render` — ASCII and SVG configuration renders.
 """
 
+from repro.experiments.parallel import (
+    CellResult,
+    CellTask,
+    execute_cells,
+    resolve_backend,
+    run_cell,
+)
 from repro.experiments.phases import PhaseThresholds, classify_phase
 from repro.experiments.recorder import RunRecorder
 from repro.experiments.render import render_ascii, render_svg
@@ -27,6 +36,11 @@ from repro.experiments.scaling import (
 )
 
 __all__ = [
+    "CellResult",
+    "CellTask",
+    "execute_cells",
+    "resolve_backend",
+    "run_cell",
     "classify_phase",
     "PhaseThresholds",
     "RunRecorder",

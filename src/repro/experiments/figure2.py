@@ -11,24 +11,42 @@ trajectory (perimeter, compression factor α, heterogeneous edges, phase
 label) at the same checkpoints — scaled down by default so the benchmark
 finishes quickly, full scale with ``scale=1.0`` (or the
 ``REPRO_FULL_SCALE=1`` environment variable on the benchmark).
+
+Execution goes through :mod:`repro.experiments.parallel`: with
+``replicas > 1`` the independent trajectories fan out over the process
+pool (``backend="process"``), the reported rows become replica means
+with standard deviations in ``rows_std``, and the phase labels are
+per-checkpoint majority votes.
 """
 
 from __future__ import annotations
 
+import math
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.compression_metric import alpha_of
-from repro.core.separation_chain import SeparationChain
+from repro.experiments.parallel import CellTask, execute_cells
 from repro.experiments.phases import PhaseThresholds, classify_phase
-from repro.experiments.recorder import RunRecorder
 from repro.experiments.render import render_ascii
 from repro.system.configuration import ParticleSystem
 from repro.system.initializers import random_blob_system
-from repro.util.rng import RngLike
+from repro.util.rng import RngLike, derive_seed, seed_entropy
+from repro.util.serialization import configuration_to_json
 
 #: The iteration counts at which Figure 2 shows snapshots.
 PAPER_CHECKPOINTS = (0, 50_000, 1_050_000, 17_050_000, 68_250_000)
+
+#: The observables reported per checkpoint row.
+OBSERVABLES = {
+    "perimeter": lambda s: float(s.perimeter()),
+    "alpha": lambda s: float(alpha_of(s)),
+    "hetero_edges": lambda s: float(s.hetero_total),
+    "hetero_density": lambda s: (
+        s.hetero_total / s.edge_total if s.edge_total else 0.0
+    ),
+}
 
 
 @dataclass
@@ -40,6 +58,8 @@ class Figure2Result:
     phases: List[str]
     snapshots: List[str] = field(default_factory=list)
     system: Optional[ParticleSystem] = None
+    replicas: int = 1
+    rows_std: Optional[List[Dict[str, float]]] = None
 
     def summary_table(self) -> str:
         """Text table matching the figure's progression."""
@@ -81,6 +101,11 @@ def run_figure2(
     keep_snapshots: bool = True,
     system: Optional[ParticleSystem] = None,
     checkpoints: Optional[Sequence[int]] = None,
+    replicas: int = 1,
+    backend: str = "serial",
+    workers: Optional[int] = None,
+    checkpoint_dir: Optional[os.PathLike] = None,
+    resume: bool = False,
 ) -> Figure2Result:
     """Regenerate the Figure 2 trajectory.
 
@@ -88,38 +113,89 @@ def run_figure2(
     ``scale`` (0.02 → final checkpoint 1.365M iterations, enough to see
     the bulk of compression and separation per the paper's own remark).
     A custom starting ``system`` or checkpoint list overrides the
-    defaults.
+    defaults.  Replica 0 keeps the historical seed so single-replica
+    runs reproduce earlier releases exactly; additional replicas get
+    deterministically derived seeds and can run on the process backend.
     """
+    if replicas < 1:
+        raise ValueError(f"replicas must be positive, got {replicas}")
     if system is None:
         system = random_blob_system(n, seed=seed)
-    chain = SeparationChain(system, lam=lam, gamma=gamma, swaps=swaps, seed=seed)
     if checkpoints is None:
         checkpoints = scaled_checkpoints(scale)
-    recorder = RunRecorder(
-        observables={
-            "perimeter": lambda s: s.perimeter(),
-            "alpha": alpha_of,
-            "hetero_edges": lambda s: s.hetero_total,
-            "hetero_density": lambda s: (
-                s.hetero_total / s.edge_total if s.edge_total else 0.0
-            ),
-        }
+    checkpoints = [int(checkpoint) for checkpoint in checkpoints]
+    base = seed_entropy(seed)
+    initial_json = configuration_to_json(system, sort_nodes=False)
+    steps = checkpoints[-1] if checkpoints else 0
+
+    tasks = [
+        CellTask(
+            lam=lam,
+            gamma=gamma,
+            replica=replica,
+            seed=base if replica == 0 else derive_seed(base, "figure2", replica),
+            steps=steps,
+            swaps=swaps,
+            system_json=initial_json,
+            checkpoints=tuple(checkpoints),
+            label=f"figure2 replica={replica}",
+        )
+        for replica in range(replicas)
+    ]
+    results = execute_cells(
+        tasks,
+        backend=backend,
+        workers=workers,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
     )
+
     thresholds = PhaseThresholds()
+    per_replica_rows: List[List[Dict[str, float]]] = []
+    per_replica_phases: List[List[str]] = []
+    for result in results:
+        rows = []
+        phase_row = []
+        for checkpoint, snapshot in zip(checkpoints, result.snapshots):
+            row = {"iteration": float(checkpoint)}
+            for name, fn in OBSERVABLES.items():
+                row[name] = float(fn(snapshot))
+            rows.append(row)
+            phase_row.append(classify_phase(snapshot, thresholds))
+        per_replica_rows.append(rows)
+        per_replica_phases.append(phase_row)
+
+    rows: List[Dict[str, float]] = []
+    rows_std: List[Dict[str, float]] = []
     phases: List[str] = []
-    snapshots: List[str] = []
-    current = 0
-    for checkpoint in checkpoints:
-        chain.run(checkpoint - current)
-        current = checkpoint
-        recorder.record(checkpoint, system)
-        phases.append(classify_phase(system, thresholds))
-        if keep_snapshots:
-            snapshots.append(render_ascii(system))
+    for position, checkpoint in enumerate(checkpoints):
+        mean_row: Dict[str, float] = {"iteration": float(checkpoint)}
+        std_row: Dict[str, float] = {"iteration": float(checkpoint)}
+        for name in OBSERVABLES:
+            samples = [
+                per_replica_rows[r][position][name] for r in range(replicas)
+            ]
+            mean = sum(samples) / replicas
+            mean_row[name] = mean
+            std_row[name] = math.sqrt(
+                sum((value - mean) ** 2 for value in samples) / replicas
+            )
+        rows.append(mean_row)
+        rows_std.append(std_row)
+        votes = [per_replica_phases[r][position] for r in range(replicas)]
+        phases.append(max(votes, key=votes.count))
+
+    snapshots = (
+        [render_ascii(snapshot) for snapshot in results[0].snapshots]
+        if keep_snapshots
+        else []
+    )
     return Figure2Result(
         checkpoints=list(checkpoints),
-        rows=recorder.rows,
+        rows=rows,
         phases=phases,
         snapshots=snapshots,
-        system=system,
+        system=results[0].system,
+        replicas=replicas,
+        rows_std=rows_std,
     )

@@ -1,0 +1,367 @@
+"""Process-pool parallel execution backend for experiment sweeps.
+
+Every quantitative result in the paper (Figure 2's evolution traces,
+Figure 3's λ–γ phase diagram, the finite-size scaling study) reduces to
+the same shape of work: run the separation chain from a fixed initial
+configuration for a fixed number of steps under fixed ``(λ, γ)`` — once
+per grid cell per replica.  Those cells are embarrassingly parallel, so
+this module factors the execution out of the individual harnesses:
+
+* :class:`CellTask` — one self-contained unit of work: the biases, the
+  replica index, a *derived integer seed*, the step budget, optional
+  intermediate snapshot checkpoints, and the initial configuration
+  serialized with order-preserving JSON (dict order determines the
+  chain's particle indexing, so an order-preserving round trip makes a
+  worker's trajectory bit-identical to an in-process run).
+* :func:`run_cell` — the worker entrypoint.  Importable at module top
+  level so ``ProcessPoolExecutor`` can ship it to workers; it speaks
+  plain JSON-able payload dicts (see :mod:`repro.util.serialization`)
+  rather than live objects.
+* :func:`execute_cells` — fan tasks out over a ``serial`` or ``process``
+  backend, optionally writing one JSON checkpoint file per completed
+  cell and, with ``resume=True``, skipping cells whose checkpoints are
+  already on disk — a killed sweep re-run with ``--resume`` completes
+  only the missing cells.
+
+Because each task carries its own deterministically derived seed (see
+:func:`repro.util.rng.derive_seed`), the two backends produce identical
+results for the same inputs; the test suite asserts this cell by cell.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import warnings
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.separation_chain import SeparationChain
+from repro.system.configuration import ParticleSystem
+from repro.util.serialization import (
+    configuration_from_json,
+    configuration_to_json,
+    load_payload,
+    save_payload,
+)
+
+#: Execution backends understood by :func:`execute_cells`.
+BACKENDS = ("serial", "process")
+
+#: Schema version of the per-cell checkpoint payloads.
+CHECKPOINT_VERSION = 1
+
+#: Callback signature: ``progress(index, total, result)`` after each cell.
+ProgressCallback = Callable[[int, int, "CellResult"], None]
+
+
+@dataclass(frozen=True)
+class CellTask:
+    """One sweep cell: a fully self-contained chain run.
+
+    ``checkpoints`` lists iteration counts (strictly increasing, each
+    ``<= steps``) at which the worker snapshots the configuration; the
+    final configuration after ``steps`` iterations is always returned.
+    ``label`` is free-form metadata for reporting and does not affect
+    the task identity (it is excluded from :meth:`key`).
+    """
+
+    lam: float
+    gamma: float
+    replica: int
+    seed: int
+    steps: int
+    swaps: bool = True
+    system_json: str = ""
+    checkpoints: Tuple[int, ...] = ()
+    label: str = ""
+
+    def key(self) -> str:
+        """Stable identity digest used to name checkpoint files.
+
+        Covers every field that affects the trajectory (including a
+        digest of the initial configuration), so resuming against a
+        checkpoint directory written by a *different* sweep recomputes
+        rather than silently reusing stale cells.
+        """
+        system_digest = hashlib.sha256(self.system_json.encode()).hexdigest()
+        blob = "|".join(
+            [
+                repr(self.lam),
+                repr(self.gamma),
+                str(self.replica),
+                str(self.seed),
+                str(self.steps),
+                str(int(self.swaps)),
+                ",".join(str(c) for c in self.checkpoints),
+                system_digest,
+            ]
+        ).encode()
+        return hashlib.sha256(blob).hexdigest()[:24]
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on malformed tasks before any fan-out."""
+        if not self.system_json:
+            raise ValueError("task is missing its initial configuration")
+        if self.steps < 0:
+            raise ValueError(f"steps must be non-negative, got {self.steps}")
+        previous = -1
+        for checkpoint in self.checkpoints:
+            if checkpoint <= previous:
+                raise ValueError(
+                    f"checkpoints must be strictly increasing, got "
+                    f"{self.checkpoints}"
+                )
+            previous = checkpoint
+        if self.checkpoints and self.checkpoints[-1] > self.steps:
+            raise ValueError(
+                f"checkpoint {self.checkpoints[-1]} exceeds steps {self.steps}"
+            )
+
+
+@dataclass
+class CellResult:
+    """Outcome of one cell: final system, snapshots, and chain counters."""
+
+    task: CellTask
+    system: ParticleSystem
+    snapshots: List[ParticleSystem] = field(default_factory=list)
+    iterations: int = 0
+    accepted_moves: int = 0
+    accepted_swaps: int = 0
+    from_checkpoint: bool = False
+
+
+def task_payload(task: CellTask) -> Dict[str, Any]:
+    """The JSON-able payload shipped to worker processes for ``task``."""
+    return {
+        "key": task.key(),
+        "lam": task.lam,
+        "gamma": task.gamma,
+        "replica": task.replica,
+        "seed": task.seed,
+        "steps": task.steps,
+        "swaps": task.swaps,
+        "system": task.system_json,
+        "checkpoints": list(task.checkpoints),
+        "label": task.label,
+    }
+
+
+def run_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entrypoint: execute one cell payload, return a result payload.
+
+    Module-level (picklable) by design.  Rebuilds the initial
+    configuration from its order-preserving JSON, runs the chain with
+    the task's derived seed, snapshots at each requested checkpoint,
+    and serializes everything back to plain JSON-able data.
+    """
+    system = configuration_from_json(payload["system"])
+    chain = SeparationChain(
+        system,
+        lam=payload["lam"],
+        gamma=payload["gamma"],
+        swaps=payload["swaps"],
+        seed=payload["seed"],
+    )
+    snapshots: List[str] = []
+    current = 0
+    for checkpoint in payload["checkpoints"]:
+        chain.run(checkpoint - current)
+        current = checkpoint
+        snapshots.append(configuration_to_json(system, sort_nodes=False))
+    chain.run(payload["steps"] - current)
+    return {
+        "version": CHECKPOINT_VERSION,
+        "key": payload["key"],
+        "snapshots": snapshots,
+        "final": configuration_to_json(system, sort_nodes=False),
+        "iterations": chain.iterations,
+        "accepted_moves": chain.accepted_moves,
+        "accepted_swaps": chain.accepted_swaps,
+    }
+
+
+def _decode_result(
+    task: CellTask, payload: Dict[str, Any], from_checkpoint: bool = False
+) -> CellResult:
+    return CellResult(
+        task=task,
+        system=configuration_from_json(payload["final"]),
+        snapshots=[
+            configuration_from_json(text) for text in payload["snapshots"]
+        ],
+        iterations=int(payload["iterations"]),
+        accepted_moves=int(payload["accepted_moves"]),
+        accepted_swaps=int(payload["accepted_swaps"]),
+        from_checkpoint=from_checkpoint,
+    )
+
+
+def checkpoint_path(directory: Path, task: CellTask) -> Path:
+    """Filesystem location of ``task``'s checkpoint in ``directory``."""
+    return directory / f"cell-{task.key()}.json"
+
+
+def _load_checkpoint(directory: Path, task: CellTask) -> Optional[CellResult]:
+    """Load a completed cell from disk, or ``None`` if absent/unusable.
+
+    Unreadable or mismatched files are treated as missing (with a
+    warning) so that a checkpoint corrupted by a hard kill forces a
+    recompute instead of poisoning the resumed sweep.
+    """
+    path = checkpoint_path(directory, task)
+    if not path.exists():
+        return None
+    try:
+        payload = load_payload(path)
+        if payload.get("version") != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"checkpoint version {payload.get('version')!r} unsupported"
+            )
+        if payload.get("key") != task.key():
+            raise ValueError("checkpoint key does not match task identity")
+        return _decode_result(task, payload, from_checkpoint=True)
+    except (ValueError, KeyError, OSError) as error:
+        warnings.warn(
+            f"ignoring unusable checkpoint {path.name}: {error}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return None
+
+
+def default_workers() -> int:
+    """Worker count used when ``workers`` is not given: one per core."""
+    return os.cpu_count() or 1
+
+
+def execute_cells(
+    tasks: Iterable[CellTask],
+    backend: str = "serial",
+    workers: Optional[int] = None,
+    checkpoint_dir: Optional[os.PathLike] = None,
+    resume: bool = False,
+    progress: Optional[ProgressCallback] = None,
+) -> List[CellResult]:
+    """Run every task and return results in task order.
+
+    Parameters
+    ----------
+    backend:
+        ``"serial"`` runs in-process; ``"process"`` fans out over a
+        ``ProcessPoolExecutor``.  Both route each cell through
+        :func:`run_cell`, so their results are identical for identical
+        tasks.
+    workers:
+        Pool size for the process backend (default: one per CPU core).
+        Ignored by the serial backend.
+    checkpoint_dir:
+        When given, each completed cell is written there as one JSON
+        file (atomically, so killing the sweep never leaves truncated
+        checkpoints).
+    resume:
+        Skip tasks whose checkpoint files already exist in
+        ``checkpoint_dir`` (required when ``resume=True``), loading
+        their recorded results instead of recomputing.
+    progress:
+        Optional callback ``(completed_count, total, result)`` invoked
+        after every cell, including cells restored from checkpoints.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    if resume and checkpoint_dir is None:
+        raise ValueError("resume=True requires a checkpoint_dir")
+    if workers is not None and workers < 1:
+        raise ValueError(f"workers must be positive, got {workers}")
+
+    task_list = list(tasks)
+    for task in task_list:
+        task.validate()
+
+    directory: Optional[Path] = None
+    if checkpoint_dir is not None:
+        directory = Path(checkpoint_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+
+    total = len(task_list)
+    results: List[Optional[CellResult]] = [None] * total
+    completed = 0
+    pending: List[int] = []
+    for index, task in enumerate(task_list):
+        restored = _load_checkpoint(directory, task) if resume else None
+        if restored is not None:
+            results[index] = restored
+            completed += 1
+            if progress is not None:
+                progress(completed, total, restored)
+        else:
+            pending.append(index)
+
+    def finish(index: int, payload: Dict[str, Any]) -> None:
+        nonlocal completed
+        task = task_list[index]
+        if directory is not None:
+            save_payload(payload, checkpoint_path(directory, task))
+        result = _decode_result(task, payload)
+        results[index] = result
+        completed += 1
+        if progress is not None:
+            progress(completed, total, result)
+
+    if backend == "serial":
+        for index in pending:
+            finish(index, run_cell(task_payload(task_list[index])))
+    else:
+        pool_size = workers if workers is not None else default_workers()
+        with ProcessPoolExecutor(max_workers=pool_size) as pool:
+            futures = {
+                pool.submit(run_cell, task_payload(task_list[index])): index
+                for index in pending
+            }
+            for future in as_completed(futures):
+                finish(futures[future], future.result())
+
+    assert all(result is not None for result in results)
+    return results  # type: ignore[return-value]
+
+
+def resolve_backend(backend: Optional[str], workers: Optional[int]) -> str:
+    """CLI convenience: pick a backend from ``--backend``/``--workers``.
+
+    An explicit backend wins; otherwise requesting more than one worker
+    implies the process pool and anything else stays serial.
+    """
+    if backend is not None:
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
+        return backend
+    if workers is not None and workers > 1:
+        return "process"
+    return "serial"
+
+
+def group_by_cell(
+    results: Sequence[CellResult], replicas: int
+) -> List[List[CellResult]]:
+    """Split a flat, task-ordered result list into per-cell replica groups.
+
+    Harnesses emit tasks replica-innermost; this restores the
+    ``cells × replicas`` nesting for aggregation.
+    """
+    if replicas < 1:
+        raise ValueError(f"replicas must be positive, got {replicas}")
+    if len(results) % replicas:
+        raise ValueError(
+            f"{len(results)} results do not divide into groups of {replicas}"
+        )
+    return [
+        list(results[start : start + replicas])
+        for start in range(0, len(results), replicas)
+    ]

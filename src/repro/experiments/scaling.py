@@ -16,14 +16,21 @@ Runs are replicated over seeds so means come with spreads.
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence  # noqa: F401
 
 from repro.analysis.compression_metric import alpha_of
 from repro.analysis.estimators import time_to_threshold
-from repro.core.separation_chain import SeparationChain
+from repro.experiments.parallel import (
+    CellTask,
+    ProgressCallback,
+    execute_cells,
+    group_by_cell,
+)
 from repro.system.initializers import random_blob_system
-from repro.util.rng import RngLike
+from repro.util.rng import RngLike, seed_entropy
+from repro.util.serialization import configuration_to_json
 
 
 @dataclass(frozen=True)
@@ -54,6 +61,11 @@ def scaling_study(
     replicas: int = 3,
     separation_threshold: float = 0.18,
     seed: RngLike = 0,
+    backend: str = "serial",
+    workers: Optional[int] = None,
+    checkpoint_dir: Optional[os.PathLike] = None,
+    resume: bool = False,
+    progress: Optional[ProgressCallback] = None,
 ) -> List[ScalingPoint]:
     """Measure endpoint quality and time-to-separation across sizes.
 
@@ -62,35 +74,65 @@ def scaling_study(
     model corresponds to n sequential activations).  Time to separation
     is the first checkpoint where the heterogeneous-edge density stays
     below ``separation_threshold``.
+
+    The ``(size, replica)`` runs are independent, so they execute via
+    :mod:`repro.experiments.parallel`: ``backend="process"`` fans them
+    out over ``workers`` processes, and ``checkpoint_dir``/``resume``
+    allow restarting a killed study without redoing finished runs.
     """
     if replicas < 1:
         raise ValueError(f"replicas must be positive, got {replicas}")
-    base_seed = seed if isinstance(seed, int) else 0
-    points: List[ScalingPoint] = []
+    base_seed = seed_entropy(seed)
+    checkpoint_count = 40
+    blocks: Dict[int, int] = {}
+    tasks: List[CellTask] = []
     for n in sizes:
         budget = steps_per_particle * n
-        checkpoints = 40
-        block = max(1, budget // checkpoints)
+        block = max(1, budget // checkpoint_count)
+        blocks[n] = block
+        ticks = tuple((i + 1) * block for i in range(checkpoint_count))
+        for replica in range(replicas):
+            run_seed = base_seed * 1_000_003 + n * 101 + replica
+            system = random_blob_system(n, seed=run_seed)
+            tasks.append(
+                CellTask(
+                    lam=lam,
+                    gamma=gamma,
+                    replica=replica,
+                    seed=run_seed,
+                    steps=ticks[-1],
+                    system_json=configuration_to_json(
+                        system, sort_nodes=False
+                    ),
+                    checkpoints=ticks,
+                    label=f"n={n} replica={replica}",
+                )
+            )
+    results = execute_cells(
+        tasks,
+        backend=backend,
+        workers=workers,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+        progress=progress,
+    )
+
+    points: List[ScalingPoint] = []
+    for n, size_results in zip(sizes, group_by_cell(results, replicas)):
+        block = blocks[n]
+        ticks = [(i + 1) * block for i in range(checkpoint_count)]
         alphas: List[float] = []
         interfaces: List[float] = []
         times: List[float] = []
         separated = 0
-        for replica in range(replicas):
-            run_seed = base_seed * 1_000_003 + n * 101 + replica
-            system = random_blob_system(n, seed=run_seed)
-            chain = SeparationChain(
-                system, lam=lam, gamma=gamma, seed=run_seed
-            )
-            ticks: List[int] = []
-            values: List[float] = []
-            for i in range(checkpoints):
-                chain.run(block)
-                ticks.append((i + 1) * block)
-                values.append(
-                    system.hetero_total / system.edge_total
-                    if system.edge_total
-                    else 0.0
-                )
+        for result in size_results:
+            values = [
+                snapshot.hetero_total / snapshot.edge_total
+                if snapshot.edge_total
+                else 0.0
+                for snapshot in result.snapshots
+            ]
+            system = result.system
             alphas.append(alpha_of(system))
             interfaces.append(system.hetero_total / math.sqrt(n))
             hit = time_to_threshold(

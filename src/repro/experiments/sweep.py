@@ -1,23 +1,50 @@
-"""Generic parameter sweeps over the separation chain."""
+"""Generic parameter sweeps over the separation chain.
+
+Sweeps are the workhorse behind Figure 3-style phase diagrams: a grid
+of ``(λ, γ)`` cells, each run for a fixed step budget from a shared
+initial configuration, possibly replicated over independent seeds.  The
+cells are executed through :mod:`repro.experiments.parallel`, so a
+sweep can fan out over a process pool (``backend="process"``), write
+per-cell checkpoints, and resume a killed run — with results identical
+to the serial backend for the same seed.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+import os
+from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional
 
-from repro.core.separation_chain import SeparationChain
+from repro.experiments.parallel import (
+    CellTask,
+    ProgressCallback,
+    execute_cells,
+    group_by_cell,
+)
 from repro.system.configuration import ParticleSystem
 from repro.system.initializers import random_blob_system
-from repro.util.rng import RngLike
+from repro.util.rng import RngLike, derive_seed, seed_entropy
+from repro.util.serialization import configuration_to_json
 
 
 @dataclass
 class SweepPoint:
-    """One sweep cell: parameters, metrics, and the final system."""
+    """One sweep cell: parameters, aggregated metrics, and a final system.
+
+    ``metrics`` holds, for every requested metric ``name``, the mean
+    over replicas under ``name`` and the population standard deviation
+    under ``name + "_std"`` (zero for a single replica), plus a
+    ``_replicas`` count — enough to draw error bars on Figure 3-style
+    diagrams.  ``system`` is the final configuration of the last
+    replica; ``replica_values`` retains the raw per-replica metric
+    values behind the aggregates.
+    """
 
     params: Dict[str, float]
     metrics: Dict[str, float]
     system: ParticleSystem
+    replica_values: Dict[str, List[float]] = field(default_factory=dict)
 
 
 def run_sweep(
@@ -29,61 +56,98 @@ def run_sweep(
     seed: RngLike = 0,
     initial: Optional[ParticleSystem] = None,
     replicas: int = 1,
+    backend: str = "serial",
+    workers: Optional[int] = None,
+    checkpoint_dir: Optional[os.PathLike] = None,
+    resume: bool = False,
+    progress: Optional[ProgressCallback] = None,
 ) -> List[SweepPoint]:
     """Run the chain over a parameter grid, measuring the endpoints.
 
     ``param_grid`` yields dictionaries with keys ``lam`` and ``gamma``
     (and optionally ``iterations`` to override the default per cell).
-    With ``replicas > 1`` each cell runs multiple independent seeds and
-    metric values are averaged (a ``_replicas`` entry records the count).
-    Every run starts from a copy of the same initial configuration.
+    With ``replicas > 1`` each cell runs multiple independent seeds;
+    metric values are averaged and their per-cell standard deviation is
+    recorded under ``<name>_std`` (a ``_replicas`` entry records the
+    count).  Every run starts from a copy of the same initial
+    configuration.
+
+    ``backend="process"`` distributes cells over ``workers`` processes;
+    ``checkpoint_dir``/``resume`` persist completed cells and skip them
+    on re-run (see :func:`repro.experiments.parallel.execute_cells`).
+    Both backends produce identical metrics for the same ``seed``.
     """
     if replicas < 1:
         raise ValueError(f"replicas must be positive, got {replicas}")
     if initial is None:
         initial = random_blob_system(n, seed=seed)
-    points: List[SweepPoint] = []
-    for params in param_grid:
-        lam = params["lam"]
-        gamma = params["gamma"]
+    base = seed_entropy(seed)
+    initial_json = configuration_to_json(initial, sort_nodes=False)
+
+    cells = [dict(params) for params in param_grid]
+    tasks: List[CellTask] = []
+    for params in cells:
         steps = int(params.get("iterations", iterations))
-        accumulated: Dict[str, float] = {name: 0.0 for name in metrics}
-        final_system: Optional[ParticleSystem] = None
         for replica in range(replicas):
-            system = initial.copy()
-            chain = SeparationChain(
-                system,
-                lam=lam,
-                gamma=gamma,
-                swaps=swaps,
-                seed=_replica_seed(seed, params, replica),
+            tasks.append(
+                CellTask(
+                    lam=params["lam"],
+                    gamma=params["gamma"],
+                    replica=replica,
+                    seed=_replica_seed(base, params, replica),
+                    steps=steps,
+                    swaps=swaps,
+                    system_json=initial_json,
+                    label=f"lam={params['lam']} gamma={params['gamma']}",
+                )
             )
-            chain.run(steps)
-            for name, fn in metrics.items():
-                accumulated[name] += float(fn(system))
-            final_system = system
-        measured = {
-            name: value / replicas for name, value in accumulated.items()
+
+    results = execute_cells(
+        tasks,
+        backend=backend,
+        workers=workers,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+        progress=progress,
+    )
+
+    points: List[SweepPoint] = []
+    for params, cell_results in zip(cells, group_by_cell(results, replicas)):
+        values = {
+            name: [float(fn(result.system)) for result in cell_results]
+            for name, fn in metrics.items()
         }
+        measured: Dict[str, float] = {}
+        for name, samples in values.items():
+            mean = sum(samples) / replicas
+            measured[name] = mean
+            measured[name + "_std"] = math.sqrt(
+                sum((value - mean) ** 2 for value in samples) / replicas
+            )
         measured["_replicas"] = float(replicas)
-        assert final_system is not None
         points.append(
-            SweepPoint(params=dict(params), metrics=measured, system=final_system)
+            SweepPoint(
+                params=dict(params),
+                metrics=measured,
+                system=cell_results[-1].system,
+                replica_values=values,
+            )
         )
     return points
 
 
-def _replica_seed(seed: RngLike, params: Dict[str, float], replica: int) -> int:
+def _replica_seed(base: int, params: Dict[str, float], replica: int) -> int:
     """Deterministic per-cell, per-replica seed derivation.
 
-    Uses a cryptographic digest rather than ``hash()``, whose string
-    hashing is salted per process and would break reproducibility.
+    ``base`` must already be an integer — callers collapse ``RngLike``
+    seeds via :func:`repro.util.rng.seed_entropy`, which draws fresh
+    entropy from a ``random.Random`` instead of silently degrading every
+    non-int seed to ``0`` (the historical bug that gave every sweep the
+    same replica seeds).  Derivation uses a cryptographic digest rather
+    than ``hash()``, whose string hashing is salted per process and
+    would break cross-process reproducibility.
     """
-    import hashlib
-
-    base = seed if isinstance(seed, int) else 0
-    blob = f"{base}|{sorted(params.items())}|{replica}".encode()
-    return int.from_bytes(hashlib.sha256(blob).digest()[:8], "big")
+    return derive_seed(base, sorted(params.items()), replica)
 
 
 def grid(lambdas: Iterable[float], gammas: Iterable[float]) -> List[Dict[str, float]]:

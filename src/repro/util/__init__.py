@@ -1,18 +1,35 @@
 """Shared utilities: seeded RNG helpers and configuration serialization."""
 
-from repro.util.rng import make_rng, spawn_rngs
+from repro.util.rng import (
+    derive_seed,
+    make_rng,
+    seed_entropy,
+    spawn_rngs,
+    uniform_chunk,
+)
 from repro.util.serialization import (
     configuration_from_json,
     configuration_to_json,
     load_configuration,
+    load_payload,
+    payload_from_json,
+    payload_to_json,
     save_configuration,
+    save_payload,
 )
 
 __all__ = [
     "make_rng",
     "spawn_rngs",
+    "derive_seed",
+    "seed_entropy",
+    "uniform_chunk",
     "configuration_to_json",
     "configuration_from_json",
     "save_configuration",
     "load_configuration",
+    "payload_to_json",
+    "payload_from_json",
+    "save_payload",
+    "load_payload",
 ]

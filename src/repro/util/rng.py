@@ -12,6 +12,7 @@ several times faster, and Markov-chain steps are irreducibly scalar.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from typing import List, Optional, Union
 
@@ -42,6 +43,58 @@ def spawn_rngs(seed: RngLike, count: int) -> List[random.Random]:
         raise ValueError(f"count must be non-negative, got {count}")
     parent = make_rng(seed)
     return [random.Random(parent.getrandbits(64)) for _ in range(count)]
+
+
+def uniform_chunk(rng: random.Random, count: int) -> List[float]:
+    """Draw ``count`` uniform variates from ``rng`` in one batch.
+
+    The values are exactly the ones ``count`` sequential ``rng.random()``
+    calls would produce, so a consumer that buffers a chunk and serves it
+    in order sees the identical stream — this is what lets the batched
+    fast path of :meth:`repro.core.separation_chain.SeparationChain.run`
+    reproduce the reference single-step path bit for bit.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    draw = rng.random
+    return [draw() for _ in range(count)]
+
+
+def seed_entropy(seed: RngLike) -> int:
+    """Collapse an ``RngLike`` into an integer entropy base.
+
+    * integers pass through unchanged (so integer-seeded runs keep their
+      historical trajectories);
+    * a ``random.Random`` contributes one 64-bit draw, advancing its
+      stream — two generators in different states therefore yield
+      different bases (previously such seeds silently degraded to ``0``,
+      giving every sweep identical replica seeds);
+    * ``None`` draws fresh OS entropy;
+    * anything else raises ``TypeError`` instead of silently degrading.
+    """
+    if isinstance(seed, int):
+        return seed
+    if isinstance(seed, random.Random):
+        return seed.getrandbits(64)
+    if seed is None:
+        return random.SystemRandom().getrandbits(64)
+    raise TypeError(
+        f"cannot derive seed entropy from {type(seed).__name__}; "
+        "pass an int, random.Random, or None"
+    )
+
+
+def derive_seed(base: int, *parts: object) -> int:
+    """Deterministic 64-bit child seed from an integer base plus context.
+
+    Uses a SHA-256 digest of the ``repr`` of each context part rather
+    than ``hash()``, whose string hashing is salted per process and would
+    break cross-process reproducibility — the parallel sweep backend
+    relies on every worker deriving the same per-task seed the serial
+    backend would.
+    """
+    blob = "|".join([str(base), *[repr(part) for part in parts]]).encode()
+    return int.from_bytes(hashlib.sha256(blob).digest()[:8], "big")
 
 
 def random_unit(rng: random.Random) -> float:

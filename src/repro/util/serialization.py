@@ -1,24 +1,47 @@
-"""JSON (de)serialization of particle-system configurations.
+"""JSON (de)serialization of configurations and experiment payloads.
 
 Snapshots are plain JSON so runs can be archived, diffed, and reloaded
 across library versions.  The format stores nodes and colors as parallel
 lists plus the color-class count.
+
+Two node orderings are supported:
+
+* ``sort_nodes=True`` (default) — canonical sorted order, best for
+  archival snapshots and diffs;
+* ``sort_nodes=False`` — preserves the system's insertion order, which
+  is what the parallel sweep backend uses: the chain's particle list is
+  built from dict order, so an order-preserving round trip reproduces
+  the *identical* trajectory a worker process would have seen in the
+  parent.
+
+This module also carries the generic versioned payload envelope used by
+:mod:`repro.experiments.parallel` to serialize ``(params, replica,
+seed)`` sweep tasks and their per-cell checkpoint results.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
-from typing import Union
+from typing import Any, Dict, Mapping, Union
 
 from repro.system.configuration import ParticleSystem
 
 FORMAT_VERSION = 1
 
+#: Version tag of the generic payload envelope (sweep tasks/results).
+PAYLOAD_FORMAT_VERSION = 1
 
-def configuration_to_json(system: ParticleSystem) -> str:
-    """Serialize a system to a JSON string."""
-    nodes = sorted(system.colors)
+
+def configuration_to_json(system: ParticleSystem, sort_nodes: bool = True) -> str:
+    """Serialize a system to a JSON string.
+
+    With ``sort_nodes=False`` the occupied nodes are emitted in the
+    system's own dict order so that deserializing rebuilds a system with
+    identical iteration order (trajectory-faithful round trips).
+    """
+    nodes = sorted(system.colors) if sort_nodes else list(system.colors)
     payload = {
         "format_version": FORMAT_VERSION,
         "num_colors": system.num_colors,
@@ -49,3 +72,47 @@ def save_configuration(system: ParticleSystem, path: Union[str, Path]) -> None:
 def load_configuration(path: Union[str, Path]) -> ParticleSystem:
     """Read a system snapshot from ``path``."""
     return configuration_from_json(Path(path).read_text())
+
+
+# ----------------------------------------------------------------------
+# Generic versioned payloads (sweep tasks and per-cell checkpoints)
+# ----------------------------------------------------------------------
+
+
+def payload_to_json(payload: Mapping[str, Any]) -> str:
+    """Wrap a JSON-able mapping in a versioned envelope."""
+    envelope = {
+        "format_version": PAYLOAD_FORMAT_VERSION,
+        "payload": dict(payload),
+    }
+    return json.dumps(envelope)
+
+
+def payload_from_json(text: str) -> Dict[str, Any]:
+    """Unwrap a versioned payload envelope produced by this module."""
+    envelope = json.loads(text)
+    version = envelope.get("format_version")
+    if version != PAYLOAD_FORMAT_VERSION:
+        raise ValueError(f"unsupported payload format version: {version}")
+    payload = envelope.get("payload")
+    if not isinstance(payload, dict):
+        raise ValueError("payload envelope missing its payload mapping")
+    return payload
+
+
+def save_payload(payload: Mapping[str, Any], path: Union[str, Path]) -> None:
+    """Atomically write a payload envelope to ``path``.
+
+    Writes to a sibling temp file then ``os.replace``\\ s it into place so
+    a checkpoint killed mid-write never leaves a truncated JSON file for
+    ``--resume`` to trip over.
+    """
+    target = Path(path)
+    temporary = target.with_name(target.name + ".tmp")
+    temporary.write_text(payload_to_json(payload))
+    os.replace(temporary, target)
+
+
+def load_payload(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read a payload envelope from ``path``."""
+    return payload_from_json(Path(path).read_text())

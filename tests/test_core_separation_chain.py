@@ -1,6 +1,7 @@
 """Tests for the separation chain (Algorithm 1)."""
 
 import math
+import random
 
 import pytest
 from hypothesis import given, settings
@@ -155,6 +156,142 @@ class TestStepSemantics:
         chain.refresh_positions()
         chain.run(100)
         system.validate()
+
+
+class TestBatchedRun:
+    """run() must reproduce the reference step() path bit for bit."""
+
+    @pytest.mark.parametrize("swaps", [True, False])
+    @pytest.mark.parametrize("seed", [0, 7, 2018])
+    def test_run_matches_step_loop(self, seed, swaps):
+        reference = random_blob_system(35, seed=seed)
+        batched = reference.copy()
+        chain_ref = SeparationChain(
+            reference, lam=3.0, gamma=2.0, swaps=swaps, seed=seed
+        )
+        chain_fast = SeparationChain(
+            batched, lam=3.0, gamma=2.0, swaps=swaps, seed=seed
+        )
+        for _ in range(4000):
+            chain_ref.step()
+        chain_fast.run(4000)
+        assert batched.colors == reference.colors
+        assert chain_fast.iterations == chain_ref.iterations == 4000
+        assert chain_fast.accepted_moves == chain_ref.accepted_moves
+        assert chain_fast.accepted_swaps == chain_ref.accepted_swaps
+        assert batched.edge_total == reference.edge_total
+        assert batched.hetero_total == reference.hetero_total
+
+    def test_mixed_run_and_step_sequences_agree(self):
+        """Chunk leftovers must keep mixed run()/step() on one stream."""
+        a = random_blob_system(30, seed=4)
+        b = a.copy()
+        chain_a = SeparationChain(a, lam=4.0, gamma=4.0, seed=12)
+        chain_b = SeparationChain(b, lam=4.0, gamma=4.0, seed=12)
+        chain_a.run(137)
+        for _ in range(61):
+            chain_a.step()
+        chain_a.run(802)
+        chain_b.run(1000)
+        assert a.colors == b.colors
+        assert chain_a.accepted_moves == chain_b.accepted_moves
+
+    def test_annealed_run_matches_step_loop(self):
+        """set_parameters mid-run must not desynchronize the fast path."""
+        a = random_blob_system(30, seed=8)
+        b = a.copy()
+        chain_a = SeparationChain(a, lam=1.2, gamma=1.2, seed=5)
+        chain_b = SeparationChain(b, lam=1.2, gamma=1.2, seed=5)
+        chain_a.run(1500)
+        chain_a.set_parameters(lam=5.0, gamma=6.0)
+        chain_a.run(1500)
+        for _ in range(1500):
+            chain_b.step()
+        chain_b.set_parameters(lam=5.0, gamma=6.0)
+        for _ in range(1500):
+            chain_b.step()
+        assert a.colors == b.colors
+
+    def test_counters_consistent_after_annealed_mixed_run(self):
+        """Cross-validate incremental counters against recompute_counters
+        after long mixed move/swap runs with mid-run annealing."""
+        system = random_blob_system(40, seed=3)
+        chain = SeparationChain(system, lam=0.8, gamma=0.7, seed=3)
+        schedule = [(0.8, 0.7), (2.0, 5.0), (6.0, 0.9), (4.0, 4.0)]
+        for lam, gamma in schedule:
+            chain.set_parameters(lam=lam, gamma=gamma)
+            chain.run(8000)
+            edge_before, hetero_before = system.edge_total, system.hetero_total
+            system.recompute_counters()
+            assert (edge_before, hetero_before) == (
+                system.edge_total,
+                system.hetero_total,
+            )
+        assert chain.accepted_swaps > 0  # the run exercised swap moves
+
+    def test_subclassed_rng_uses_reference_path(self):
+        """Random subclasses (replay streams) must see draw-by-draw
+        consumption — no chunk over-draw."""
+
+        class CountingRandom(random.Random):
+            def __init__(self, seed):
+                super().__init__(seed)
+                self.draws = 0
+
+            def random(self):
+                self.draws += 1
+                return super().random()
+
+        rng = CountingRandom(9)
+        chain = SeparationChain(
+            hexagon_system(20, seed=1), lam=3, gamma=3, seed=rng
+        )
+        chain.run(200)
+        # At most 3 draws per step, and no draw-ahead beyond the run.
+        assert chain.iterations == 200
+        assert rng.draws <= 3 * 200
+
+
+class TestExtremeBiases:
+    """Regression: power tables must clamp instead of raising at
+    construction for extreme-but-valid biases (large-γ limit probes)."""
+
+    def test_huge_gamma_constructs_and_steps(self):
+        system = hexagon_system(20, seed=1)
+        chain = SeparationChain(system, lam=2, gamma=1e40, seed=1)
+        chain.run(500)
+        system.validate()
+        assert chain.iterations == 500
+
+    def test_tiny_gamma_constructs_and_steps(self):
+        system = hexagon_system(20, seed=1)
+        chain = SeparationChain(system, lam=2, gamma=1e-40, seed=1)
+        chain.run(500)
+        system.validate()
+
+    def test_opposed_extremes_construct_and_step(self):
+        """λ huge with γ tiny exercises the inf * 0 log-space fallback."""
+        system = hexagon_system(20, seed=2)
+        chain = SeparationChain(system, lam=1e40, gamma=1e-40, seed=2)
+        chain.run(500)
+        system.validate()
+        for _ in range(100):
+            chain.step()
+        system.validate()
+
+    def test_acceptance_probabilities_stay_bounded(self):
+        system = hexagon_system(12, seed=4)
+        chain = SeparationChain(system, lam=1e40, gamma=1e-40, seed=4)
+        for src in sorted(system.colors):
+            for dx, dy in NEIGHBOR_OFFSETS:
+                dst = (src[0] + dx, src[1] + dy)
+                if dst in system.colors:
+                    if system.colors[dst] != system.colors[src]:
+                        p = chain.swap_acceptance_probability(src, dst)
+                        assert 0.0 <= p <= 1.0
+                else:
+                    p = chain.move_acceptance_probability(src, dst)
+                    assert 0.0 <= p <= 1.0
 
 
 class TestEvaluateHelpers:

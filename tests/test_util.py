@@ -5,12 +5,24 @@ import random
 import pytest
 
 from repro.system.initializers import hexagon_system
-from repro.util.rng import make_rng, maybe_seeded, random_unit, spawn_rngs
+from repro.util.rng import (
+    derive_seed,
+    make_rng,
+    maybe_seeded,
+    random_unit,
+    seed_entropy,
+    spawn_rngs,
+    uniform_chunk,
+)
 from repro.util.serialization import (
     configuration_from_json,
     configuration_to_json,
     load_configuration,
+    load_payload,
+    payload_from_json,
+    payload_to_json,
     save_configuration,
+    save_payload,
 )
 
 
@@ -43,6 +55,34 @@ class TestRng:
         assert maybe_seeded(None, 3).random() == random.Random(3).random()
         assert maybe_seeded(9, 3).random() == random.Random(9).random()
 
+    def test_uniform_chunk_matches_sequential_draws(self):
+        chunked = uniform_chunk(make_rng(11), 64)
+        reference = make_rng(11)
+        assert chunked == [reference.random() for _ in range(64)]
+
+    def test_uniform_chunk_validates(self):
+        with pytest.raises(ValueError):
+            uniform_chunk(make_rng(0), -1)
+
+    def test_seed_entropy_int_passthrough(self):
+        assert seed_entropy(42) == 42
+
+    def test_seed_entropy_from_rng_state(self):
+        # Distinct generator states yield distinct bases (the historical
+        # bug collapsed every non-int seed to 0).
+        assert seed_entropy(random.Random(1)) != seed_entropy(random.Random(2))
+        assert seed_entropy(random.Random(1)) == seed_entropy(random.Random(1))
+
+    def test_seed_entropy_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            seed_entropy("not-a-seed")
+
+    def test_derive_seed_deterministic_and_sensitive(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+        assert derive_seed(1, "a", 2) != derive_seed(1, "a", 3)
+        assert derive_seed(1, "a", 2) != derive_seed(2, "a", 2)
+        assert 0 <= derive_seed(0) < 2 ** 64
+
 
 class TestSerialization:
     def test_roundtrip(self):
@@ -62,3 +102,27 @@ class TestSerialization:
     def test_rejects_unknown_version(self):
         with pytest.raises(ValueError):
             configuration_from_json('{"format_version": 99}')
+
+    def test_order_preserving_roundtrip(self):
+        """sort_nodes=False keeps dict insertion order, which determines
+        the chain's particle indexing (trajectory-faithful restarts)."""
+        system = hexagon_system(25, seed=4)
+        text = configuration_to_json(system, sort_nodes=False)
+        restored = configuration_from_json(text)
+        assert list(restored.colors) == list(system.colors)
+
+    def test_payload_roundtrip(self):
+        payload = {"key": "abc", "values": [1, 2.5, "x"]}
+        assert payload_from_json(payload_to_json(payload)) == payload
+
+    def test_payload_rejects_unknown_version(self):
+        with pytest.raises(ValueError):
+            payload_from_json('{"format_version": 99, "payload": {}}')
+        with pytest.raises(ValueError):
+            payload_from_json('{"format_version": 1, "payload": []}')
+
+    def test_payload_file_roundtrip_is_atomic(self, tmp_path):
+        path = tmp_path / "cell.json"
+        save_payload({"a": 1}, path)
+        assert load_payload(path) == {"a": 1}
+        assert list(tmp_path.iterdir()) == [path]  # no stray temp files
