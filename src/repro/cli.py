@@ -17,19 +17,34 @@ Commands
     (``--checkpoint DIR``) and ``--resume`` for killed runs.
 ``render``
     Draw a saved configuration as ASCII or SVG.
+
+Output discipline: result tables go to **stdout** (so piped output
+stays machine-readable); diagnostics, progress lines, and profiling
+reports go to **stderr** via the structured logger and are silenced by
+``--quiet``.  The observability flags — ``--log-json``,
+``--metrics-out``, ``--trace-out``, ``--profile`` — export structured
+run logs (JSONL), a metrics snapshot, and a Chrome/perfetto trace; see
+``docs/observability.md``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.analysis.compression_metric import alpha_of
 from repro.core.separation_chain import SeparationChain
 from repro.experiments.phases import classify_phase
 from repro.experiments.render import render_ascii, render_svg
-from repro.system.configuration import ParticleSystem
+from repro.obs import (
+    Instrumentation,
+    JsonLogger,
+    MetricsRegistry,
+    ProgressReporter,
+    TraceRecorder,
+    run_profiled,
+)
 from repro.system.initializers import (
     checkerboard_system,
     hexagon_system,
@@ -46,6 +61,9 @@ INITIALIZERS = {
     "separated": lambda n, seed=None: separated_system(n),
     "checkerboard": lambda n, seed=None: checkerboard_system(n),
 }
+
+#: Heartbeat interval (seconds) for long-running experiment commands.
+HEARTBEAT_SECONDS = 30.0
 
 
 def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
@@ -72,17 +90,106 @@ def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
+    """Shared observability flags (see docs/observability.md)."""
+    parser.add_argument(
+        "--log-json", metavar="FILE", default=None, dest="log_json",
+        help="append structured JSONL run events to FILE",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="FILE", default=None, dest="metrics_out",
+        help="write a metrics-registry snapshot (counters/gauges/"
+             "histograms/per-cell series) to FILE",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="FILE", default=None, dest="trace_out",
+        help="write a Chrome trace-event JSON (perfetto-viewable) to FILE",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="profile each cell (or run) with cProfile; report to stderr/log",
+    )
+    _add_quiet_argument(parser)
+
+
+def _add_quiet_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress stderr diagnostics and progress lines "
+             "(result tables still print to stdout)",
+    )
+
+
+def _build_observability(
+    args: argparse.Namespace,
+) -> Tuple[Optional[Instrumentation], Callable[[], None]]:
+    """Build the Instrumentation requested by the parsed flags.
+
+    Returns ``(obs, finalize)``; ``finalize`` writes the metrics and
+    trace files and closes the log after the command ran (including on
+    error, so a crashed sweep still leaves its telemetry behind).
+    """
+    log_json = getattr(args, "log_json", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    trace_out = getattr(args, "trace_out", None)
+    profile = bool(getattr(args, "profile", False))
+    if not (log_json or metrics_out or trace_out or profile):
+        return None, lambda: None
+
+    logger = JsonLogger.open(log_json) if log_json else None
+    metrics = MetricsRegistry() if metrics_out else None
+    trace = TraceRecorder(process_name="repro") if trace_out else None
+    obs = Instrumentation(
+        logger=logger, metrics=metrics, trace=trace, profile=profile
+    )
+    obs.log("cli.start", command=args.command, argv=sys.argv[1:])
+
+    def finalize() -> None:
+        obs.log("cli.done", command=args.command)
+        if metrics is not None:
+            metrics.save(metrics_out)
+        if trace is not None:
+            trace.save(trace_out)
+        if logger is not None:
+            logger.close()
+
+    return obs, finalize
+
+
+def _diag(args: argparse.Namespace, message: str, event: str = "cli.diag",
+          **fields: object) -> None:
+    """Emit a diagnostic: stderr unless ``--quiet``, plus the JSON log.
+
+    Diagnostics never touch stdout — result tables own it so piped
+    output stays machine-readable.
+    """
+    if not getattr(args, "quiet", False):
+        print(message, file=sys.stderr)
+    obs = getattr(args, "_obs", None)
+    if obs is not None and obs.logger is not None:
+        obs.logger.info(event, message=message, **fields)
+
+
 def _parallel_kwargs(args: argparse.Namespace) -> dict:
     """Translate parsed parallel flags into harness keyword arguments."""
     from repro.experiments.parallel import resolve_backend
 
-    return {
+    kwargs = {
         "replicas": args.replicas,
         "backend": resolve_backend(args.backend, args.workers),
         "workers": args.workers,
         "checkpoint_dir": args.checkpoint,
         "resume": args.resume,
     }
+    obs = getattr(args, "_obs", None)
+    if obs is not None:
+        kwargs["obs"] = obs
+    if not getattr(args, "quiet", False):
+        reporter = ProgressReporter()
+        reporter.start_heartbeat(HEARTBEAT_SECONDS)
+        args._progress = reporter
+        kwargs["progress"] = reporter
+    return kwargs
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -117,18 +224,21 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--ascii", action="store_true", help="print the final configuration"
     )
+    _add_observability_arguments(simulate)
 
     figure2 = commands.add_parser("figure2", help="regenerate Figure 2")
     figure2.add_argument("--scale", type=float, default=0.02)
     figure2.add_argument("-n", type=int, default=100)
     figure2.add_argument("--seed", type=int, default=2018)
     _add_parallel_arguments(figure2)
+    _add_observability_arguments(figure2)
 
     figure3 = commands.add_parser("figure3", help="regenerate Figure 3")
     figure3.add_argument("--iterations", type=int, default=400_000)
     figure3.add_argument("-n", type=int, default=100)
     figure3.add_argument("--seed", type=int, default=2018)
     _add_parallel_arguments(figure3)
+    _add_observability_arguments(figure3)
 
     stationary = commands.add_parser(
         "stationary", help="exact small-system analysis"
@@ -149,10 +259,12 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("-n", type=int, default=100)
     sweep.add_argument("--seed", type=int, default=0)
     _add_parallel_arguments(sweep)
+    _add_observability_arguments(sweep)
 
     render = commands.add_parser("render", help="draw a saved configuration")
     render.add_argument("input", help="configuration JSON file")
     render.add_argument("--svg", metavar="FILE", help="write SVG here")
+    _add_quiet_argument(render)
 
     illustrations = commands.add_parser(
         "illustrations", help="write the Figure 1/4 illustration SVGs"
@@ -161,6 +273,7 @@ def build_parser() -> argparse.ArgumentParser:
         "outdir", nargs="?", default="illustrations",
         help="output directory (default: ./illustrations)",
     )
+    _add_quiet_argument(illustrations)
 
     return parser
 
@@ -175,9 +288,20 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         swaps=not args.no_swaps,
         seed=args.seed,
     )
-    print(
+    obs = getattr(args, "_obs", None)
+    if obs is not None:
+        chain.instrument(obs)
+    _diag(
+        args,
         f"n={args.n} lam={args.lam} gamma={args.gamma} "
-        f"swaps={not args.no_swaps} init={args.init}"
+        f"swaps={not args.no_swaps} init={args.init}",
+        event="simulate.start",
+        n=args.n,
+        lam=args.lam,
+        gamma=args.gamma,
+        swaps=not args.no_swaps,
+        init=args.init,
+        steps=args.steps,
     )
     header = (
         f"{'iteration':>12}  {'perimeter':>9}  {'alpha':>6}  "
@@ -186,19 +310,44 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(header)
     checkpoints = max(1, args.checkpoints)
     block = args.steps // checkpoints
-    for i in range(checkpoints):
-        chain.run(block if i < checkpoints - 1 else args.steps - block * i)
-        print(
-            f"{chain.iterations:>12,}  {system.perimeter():>9}  "
-            f"{alpha_of(system):>6.2f}  {system.hetero_total:>6}  "
-            f"{classify_phase(system)}"
-        )
+
+    def run_blocks() -> None:
+        for i in range(checkpoints):
+            chain.run(block if i < checkpoints - 1 else args.steps - block * i)
+            print(
+                f"{chain.iterations:>12,}  {system.perimeter():>9}  "
+                f"{alpha_of(system):>6.2f}  {system.hetero_total:>6}  "
+                f"{classify_phase(system)}"
+            )
+
+    if getattr(args, "profile", False):
+        _, profile_text = run_profiled(run_blocks)
+        if obs is not None and obs.logger is not None:
+            obs.logger.info("simulate.profile", profile=profile_text)
+        if not args.quiet:
+            sys.stderr.write(profile_text)
+    else:
+        run_blocks()
+    rate = chain.acceptance_rate()
+    rate_text = "n/a" if rate != rate else f"{rate:.3f}"  # NaN: never ran
+    _diag(
+        args,
+        f"acceptance rate: {rate_text}",
+        event="simulate.done",
+        acceptance_rate=None if rate != rate else rate,
+        iterations=chain.iterations,
+    )
     if args.ascii:
         print()
         print(render_ascii(system))
     if args.save:
         save_configuration(system, args.save)
-        print(f"saved final configuration to {args.save}")
+        _diag(
+            args,
+            f"saved final configuration to {args.save}",
+            event="simulate.saved",
+            path=args.save,
+        )
     return 0
 
 
@@ -283,7 +432,7 @@ def _cmd_render(args: argparse.Namespace) -> int:
     print(render_ascii(system))
     if args.svg:
         render_svg(system, args.svg)
-        print(f"wrote {args.svg}")
+        _diag(args, f"wrote {args.svg}", event="render.wrote", path=args.svg)
     return 0
 
 
@@ -291,7 +440,7 @@ def _cmd_illustrations(args: argparse.Namespace) -> int:
     from repro.experiments.figure1 import write_illustrations
 
     for path in write_illustrations(args.outdir):
-        print(f"wrote {path}")
+        _diag(args, f"wrote {path}", event="illustrations.wrote", path=str(path))
     return 0
 
 
@@ -307,9 +456,23 @@ _HANDLERS = {
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Observability (``--log-json``/``--metrics-out``/``--trace-out``) is
+    finalized in a ``finally`` block, so even a failing command leaves
+    its structured log, metrics snapshot, and trace file behind.
+    """
     args = build_parser().parse_args(argv)
-    return _HANDLERS[args.command](args)
+    obs, finalize = _build_observability(args)
+    args._obs = obs
+    args._progress = None
+    try:
+        return _HANDLERS[args.command](args)
+    finally:
+        reporter = getattr(args, "_progress", None)
+        if reporter is not None:
+            reporter.stop()
+        finalize()
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

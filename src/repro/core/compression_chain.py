@@ -35,6 +35,11 @@ class CompressionChain(SeparationChain):
     A :class:`~repro.core.separation_chain.SeparationChain` constrained to
     one color class with :math:`\\gamma = 1` and swaps disabled (swaps are
     meaningless when all particles are indistinguishable).
+
+    Observability hooks are inherited unchanged: ``instrument()`` attaches
+    the same ``chain.*`` metrics, trace spans, and log events as the
+    heterogeneous chain (with ``chain.swaps_accepted`` pinned at zero),
+    so compression baselines and separation runs share dashboards.
     """
 
     def __init__(

@@ -28,7 +28,11 @@ from __future__ import annotations
 
 import math
 import random as _random
-from typing import Dict, List, Optional, Tuple
+import time
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Instrumentation, JsonLogger, MetricsRegistry, TraceRecorder
 
 from repro.core.moves import (
     DST_RING_INDICES,
@@ -198,6 +202,15 @@ class SeparationChain:
         # coupling diagnostics) rely on draw-by-draw consumption, so they
         # take the reference single-step path.
         self._batch_rng = type(self.rng) is _random.Random
+        # Observability hooks (see instrument()).  Disabled by default;
+        # run() pays exactly one boolean check when uninstrumented, and
+        # the hooks never touch the RNG stream, so instrumented and
+        # uninstrumented trajectories are bit-identical (asserted by the
+        # regression test in tests/test_obs.py).
+        self._obs_metrics: Optional["MetricsRegistry"] = None
+        self._obs_trace: Optional["TraceRecorder"] = None
+        self._obs_logger: Optional["JsonLogger"] = None
+        self._obs_active = False
 
     # ------------------------------------------------------------------
 
@@ -311,6 +324,35 @@ class SeparationChain:
         self.accepted_swaps += 1
         return True
 
+    def instrument(
+        self,
+        obs: Optional["Instrumentation"] = None,
+        *,
+        metrics: Optional["MetricsRegistry"] = None,
+        trace: Optional["TraceRecorder"] = None,
+        logger: Optional["JsonLogger"] = None,
+    ) -> "SeparationChain":
+        """Attach observability hooks; returns ``self`` for chaining.
+
+        Accepts either an :class:`repro.obs.Instrumentation` bundle or
+        the individual instruments.  Hooks fire once per :meth:`run`
+        call (never per step), record wall-time, throughput, and
+        counter deltas, and do not consume randomness — trajectories
+        stay bit-identical to uninstrumented runs.  Passing nothing
+        detaches all hooks.
+        """
+        if obs is not None:
+            metrics = metrics or obs.metrics
+            trace = trace or obs.trace
+            logger = logger or obs.logger
+        self._obs_metrics = metrics
+        self._obs_trace = trace
+        self._obs_logger = logger
+        self._obs_active = (
+            metrics is not None or trace is not None or logger is not None
+        )
+        return self
+
     def run(self, steps: int) -> "SeparationChain":
         """Execute ``steps`` iterations; returns ``self`` for chaining.
 
@@ -323,7 +365,72 @@ class SeparationChain:
         buffer, so the trajectory is identical to calling :meth:`step`
         ``steps`` times with the same seed — including across mixed
         ``run()``/``step()`` call sequences.
+
+        With :meth:`instrument` attached, the run is additionally timed
+        and reported (metrics counters/gauges/histogram, one trace span,
+        one debug log event) — all outside the step loop, so the fast
+        path and the RNG stream are untouched.
         """
+        if not self._obs_active:
+            return self._run_steps(steps)
+        trace = self._obs_trace
+        trace_start = trace.now() if trace is not None else 0.0
+        moves_before = self.accepted_moves
+        swaps_before = self.accepted_swaps
+        wall_start = time.perf_counter()
+        self._run_steps(steps)
+        elapsed = time.perf_counter() - wall_start
+        self._record_run(steps, elapsed, moves_before, swaps_before, trace_start)
+        return self
+
+    def _record_run(
+        self,
+        steps: int,
+        elapsed: float,
+        moves_before: int,
+        swaps_before: int,
+        trace_start: float,
+    ) -> None:
+        """Publish one run()'s worth of observability data (cold path)."""
+        delta_moves = self.accepted_moves - moves_before
+        delta_swaps = self.accepted_swaps - swaps_before
+        metrics = self._obs_metrics
+        if metrics is not None:
+            metrics.counter("chain.steps").inc(steps)
+            metrics.counter("chain.moves_accepted").inc(delta_moves)
+            metrics.counter("chain.swaps_accepted").inc(delta_swaps)
+            metrics.histogram("chain.run_seconds").observe(elapsed)
+            if elapsed > 0.0:
+                metrics.gauge("chain.steps_per_sec").set(steps / elapsed)
+            metrics.gauge("chain.perimeter").set(self.system.perimeter())
+            metrics.gauge("chain.hetero_edges").set(self.system.hetero_total)
+            metrics.gauge("chain.edge_total").set(self.system.edge_total)
+            if self.iterations:
+                metrics.gauge("chain.acceptance_rate").set(
+                    (self.accepted_moves + self.accepted_swaps) / self.iterations
+                )
+        trace = self._obs_trace
+        if trace is not None:
+            trace.complete(
+                "chain.run",
+                trace_start,
+                steps=steps,
+                accepted_moves=delta_moves,
+                accepted_swaps=delta_swaps,
+            )
+        logger = self._obs_logger
+        if logger is not None:
+            logger.debug(
+                "chain.run",
+                steps=steps,
+                seconds=elapsed,
+                accepted_moves=delta_moves,
+                accepted_swaps=delta_swaps,
+                iterations=self.iterations,
+            )
+
+    def _run_steps(self, steps: int) -> "SeparationChain":
+        """The uninstrumented run loop (reference + batched fast path)."""
         if steps < 0:
             raise ValueError(f"steps must be non-negative, got {steps}")
         if not self._batch_rng:
@@ -528,9 +635,15 @@ class SeparationChain:
         self._positions = list(self.system.colors)
 
     def acceptance_rate(self) -> float:
-        """Fraction of iterations that changed the configuration."""
+        """Fraction of iterations that changed the configuration.
+
+        Returns ``float("nan")`` before any iteration: a chain that has
+        not run yet is *not* the same as one that ran and froze, and a
+        silent ``0.0`` made the two indistinguishable to monitoring.
+        Callers rendering the value should show NaN as ``n/a``.
+        """
         if self.iterations == 0:
-            return 0.0
+            return float("nan")
         return (self.accepted_moves + self.accepted_swaps) / self.iterations
 
     def __repr__(self) -> str:

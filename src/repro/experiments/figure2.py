@@ -23,12 +23,18 @@ from __future__ import annotations
 
 import math
 import os
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.compression_metric import alpha_of
-from repro.experiments.parallel import CellTask, execute_cells
+from repro.experiments.parallel import (
+    CellTask,
+    ProgressCallback,
+    execute_cells,
+)
 from repro.experiments.phases import PhaseThresholds, classify_phase
+from repro.obs import Instrumentation
 from repro.experiments.render import render_ascii
 from repro.system.configuration import ParticleSystem
 from repro.system.initializers import random_blob_system
@@ -106,6 +112,8 @@ def run_figure2(
     workers: Optional[int] = None,
     checkpoint_dir: Optional[os.PathLike] = None,
     resume: bool = False,
+    progress: Optional[ProgressCallback] = None,
+    obs: Optional[Instrumentation] = None,
 ) -> Figure2Result:
     """Regenerate the Figure 2 trajectory.
 
@@ -116,6 +124,12 @@ def run_figure2(
     defaults.  Replica 0 keeps the historical seed so single-replica
     runs reproduce earlier releases exactly; additional replicas get
     deterministically derived seeds and can run on the process backend.
+
+    ``progress`` and ``obs`` are forwarded to the execution engine
+    (see :func:`repro.experiments.parallel.execute_cells`); the whole
+    regeneration is additionally wrapped in a ``figure2`` trace span,
+    and worker spans cover each inter-checkpoint chain segment — the
+    burn-in/run/measure phasing of the figure.
     """
     if replicas < 1:
         raise ValueError(f"replicas must be positive, got {replicas}")
@@ -142,13 +156,29 @@ def run_figure2(
         )
         for replica in range(replicas)
     ]
-    results = execute_cells(
-        tasks,
-        backend=backend,
-        workers=workers,
-        checkpoint_dir=checkpoint_dir,
-        resume=resume,
-    )
+    if obs is not None:
+        obs = obs.bind(run="figure2")
+        obs.log(
+            "figure2.start",
+            replicas=replicas,
+            steps=steps,
+            checkpoints=len(checkpoints),
+            backend=backend,
+        )
+    with obs.span("figure2", replicas=replicas) if obs is not None else (
+        nullcontext()
+    ):
+        results = execute_cells(
+            tasks,
+            backend=backend,
+            workers=workers,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+            progress=progress,
+            obs=obs,
+        )
+    if obs is not None:
+        obs.log("figure2.done", replicas=replicas, steps=steps)
 
     thresholds = PhaseThresholds()
     per_replica_rows: List[List[Dict[str, float]]] = []

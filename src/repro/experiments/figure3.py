@@ -20,6 +20,7 @@ same seed.
 from __future__ import annotations
 
 import os
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -30,6 +31,7 @@ from repro.experiments.parallel import (
     group_by_cell,
 )
 from repro.experiments.phases import PhaseThresholds, classify_phase, phase_metrics
+from repro.obs import Instrumentation
 from repro.system.configuration import ParticleSystem
 from repro.system.initializers import random_blob_system
 from repro.util.rng import RngLike, seed_entropy
@@ -100,6 +102,7 @@ def run_figure3(
     checkpoint_dir: Optional[os.PathLike] = None,
     resume: bool = False,
     progress: Optional[ProgressCallback] = None,
+    obs: Optional[Instrumentation] = None,
 ) -> Figure3Result:
     """Regenerate the Figure 3 phase grid.
 
@@ -114,7 +117,10 @@ def run_figure3(
     + 7919·replica``) so existing diagrams reproduce exactly; other
     ``RngLike`` seeds contribute fresh entropy instead of silently
     collapsing to zero.  ``backend``/``workers``/``checkpoint_dir``/
-    ``resume`` are forwarded to the parallel execution engine.
+    ``resume``/``progress``/``obs`` are forwarded to the parallel
+    execution engine; with ``obs`` attached the grid is wrapped in a
+    ``figure3`` trace span and every cell reports wall-time and
+    throughput (see :mod:`repro.obs`).
     """
     if replicas < 1:
         raise ValueError(f"replicas must be positive, got {replicas}")
@@ -138,14 +144,29 @@ def run_figure3(
         for lam, gamma in cells
         for replica in range(replicas)
     ]
-    results = execute_cells(
-        tasks,
-        backend=backend,
-        workers=workers,
-        checkpoint_dir=checkpoint_dir,
-        resume=resume,
-        progress=progress,
-    )
+    if obs is not None:
+        obs = obs.bind(run="figure3")
+        obs.log(
+            "figure3.start",
+            cells=len(cells),
+            replicas=replicas,
+            iterations=iterations,
+            backend=backend,
+        )
+    with obs.span("figure3", cells=len(cells)) if obs is not None else (
+        nullcontext()
+    ):
+        results = execute_cells(
+            tasks,
+            backend=backend,
+            workers=workers,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+            progress=progress,
+            obs=obs,
+        )
+    if obs is not None:
+        obs.log("figure3.done", cells=len(cells), replicas=replicas)
 
     phases: Dict[Tuple[float, float], str] = {}
     metrics: Dict[Tuple[float, float], Dict[str, float]] = {}

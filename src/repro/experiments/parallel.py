@@ -26,12 +26,23 @@ this module factors the execution out of the individual harnesses:
 Because each task carries its own deterministically derived seed (see
 :func:`repro.util.rng.derive_seed`), the two backends produce identical
 results for the same inputs; the test suite asserts this cell by cell.
+
+Observability (:mod:`repro.obs`) threads through both backends: pass an
+:class:`repro.obs.Instrumentation` to :func:`execute_cells` and workers
+buffer structured log events, chain metrics, and pid-tagged trace spans
+inside their result payloads; the parent merges the streams, counts
+checkpoint hits/misses/recomputes, and records per-cell wall-time and
+throughput.  Instrumentation is excluded from task identity and
+stripped from checkpoint files, so instrumented and uninstrumented
+sweeps are interchangeable on disk and bit-identical in trajectory.
 """
 
 from __future__ import annotations
 
 import hashlib
 import os
+import sys
+import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
@@ -39,6 +50,14 @@ from pathlib import Path
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.separation_chain import SeparationChain
+from repro.obs import (
+    Instrumentation,
+    JsonLogger,
+    MetricsRegistry,
+    TraceRecorder,
+    merge_records,
+    run_profiled,
+)
 from repro.system.configuration import ParticleSystem
 from repro.util.serialization import (
     configuration_from_json,
@@ -123,7 +142,13 @@ class CellTask:
 
 @dataclass
 class CellResult:
-    """Outcome of one cell: final system, snapshots, and chain counters."""
+    """Outcome of one cell: final system, snapshots, and chain counters.
+
+    ``wall_time`` is the worker-measured execution time in seconds
+    (zero for legacy checkpoints written before it was recorded);
+    ``profile`` carries the cProfile report text when per-cell
+    profiling was requested.
+    """
 
     task: CellTask
     system: ParticleSystem
@@ -132,11 +157,26 @@ class CellResult:
     accepted_moves: int = 0
     accepted_swaps: int = 0
     from_checkpoint: bool = False
+    wall_time: float = 0.0
+    profile: Optional[str] = None
 
 
-def task_payload(task: CellTask) -> Dict[str, Any]:
-    """The JSON-able payload shipped to worker processes for ``task``."""
-    return {
+#: Observability-only payload keys: stripped before checkpointing so
+#: instrumented and uninstrumented sweeps write identical checkpoints.
+_OBS_PAYLOAD_KEYS = ("events", "trace_events", "metrics", "profile", "instrument")
+
+
+def task_payload(
+    task: CellTask, instrument: Optional[Dict[str, bool]] = None
+) -> Dict[str, Any]:
+    """The JSON-able payload shipped to worker processes for ``task``.
+
+    ``instrument`` is the optional observability request (see
+    :meth:`repro.obs.Instrumentation.worker_flags`); it rides outside
+    the task identity, so instrumentation never changes checkpoint
+    keys or trajectories.
+    """
+    payload = {
         "key": task.key(),
         "lam": task.lam,
         "gamma": task.gamma,
@@ -148,6 +188,9 @@ def task_payload(task: CellTask) -> Dict[str, Any]:
         "checkpoints": list(task.checkpoints),
         "label": task.label,
     }
+    if instrument:
+        payload["instrument"] = dict(instrument)
+    return payload
 
 
 def run_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -157,7 +200,49 @@ def run_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
     configuration from its order-preserving JSON, runs the chain with
     the task's derived seed, snapshots at each requested checkpoint,
     and serializes everything back to plain JSON-able data.
+
+    When the payload carries an ``instrument`` request the worker
+    builds *local* buffering instruments (list-sink logger, its own
+    metrics registry and trace recorder — trace events tagged with the
+    worker's pid) and returns their contents in the result payload for
+    the parent to merge.  A ``profile`` request wraps the whole cell in
+    cProfile and attaches the report text.
     """
+    instrument = payload.get("instrument") or {}
+    if instrument.get("profile"):
+        result, profile_text = run_profiled(_run_cell_body, payload, instrument)
+        result["profile"] = profile_text
+        return result
+    return _run_cell_body(payload, instrument)
+
+
+def _run_cell_body(
+    payload: Dict[str, Any], instrument: Dict[str, Any]
+) -> Dict[str, Any]:
+    context = {
+        "cell": payload["key"],
+        "lam": payload["lam"],
+        "gamma": payload["gamma"],
+        "replica": payload["replica"],
+        "label": payload["label"],
+    }
+    logger = (
+        JsonLogger.collecting(context=context)
+        if instrument.get("events")
+        else None
+    )
+    metrics = MetricsRegistry() if instrument.get("metrics") else None
+    trace = (
+        TraceRecorder(process_name="repro-worker")
+        if instrument.get("trace")
+        else None
+    )
+
+    wall_start = time.perf_counter()
+    cell_span_start = trace.now() if trace is not None else 0.0
+    if logger is not None:
+        logger.debug("cell.start", steps=payload["steps"])
+
     system = configuration_from_json(payload["system"])
     chain = SeparationChain(
         system,
@@ -166,6 +251,8 @@ def run_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
         swaps=payload["swaps"],
         seed=payload["seed"],
     )
+    if logger is not None or metrics is not None or trace is not None:
+        chain.instrument(metrics=metrics, trace=trace, logger=logger)
     snapshots: List[str] = []
     current = 0
     for checkpoint in payload["checkpoints"]:
@@ -173,7 +260,9 @@ def run_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
         current = checkpoint
         snapshots.append(configuration_to_json(system, sort_nodes=False))
     chain.run(payload["steps"] - current)
-    return {
+    wall_time = time.perf_counter() - wall_start
+
+    result = {
         "version": CHECKPOINT_VERSION,
         "key": payload["key"],
         "snapshots": snapshots,
@@ -181,7 +270,19 @@ def run_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
         "iterations": chain.iterations,
         "accepted_moves": chain.accepted_moves,
         "accepted_swaps": chain.accepted_swaps,
+        "wall_time": wall_time,
     }
+    if trace is not None:
+        trace.complete("cell", cell_span_start, **context)
+        result["trace_events"] = trace.events
+    if logger is not None:
+        logger.debug(
+            "cell.end", seconds=wall_time, iterations=chain.iterations
+        )
+        result["events"] = logger.records
+    if metrics is not None:
+        result["metrics"] = metrics.snapshot()
+    return result
 
 
 def _decode_result(
@@ -197,6 +298,8 @@ def _decode_result(
         accepted_moves=int(payload["accepted_moves"]),
         accepted_swaps=int(payload["accepted_swaps"]),
         from_checkpoint=from_checkpoint,
+        wall_time=float(payload.get("wall_time", 0.0)),
+        profile=payload.get("profile"),
     )
 
 
@@ -205,15 +308,24 @@ def checkpoint_path(directory: Path, task: CellTask) -> Path:
     return directory / f"cell-{task.key()}.json"
 
 
-def _load_checkpoint(directory: Path, task: CellTask) -> Optional[CellResult]:
+def _load_checkpoint(
+    directory: Path,
+    task: CellTask,
+    metrics: Optional[MetricsRegistry] = None,
+) -> Optional[CellResult]:
     """Load a completed cell from disk, or ``None`` if absent/unusable.
 
     Unreadable or mismatched files are treated as missing (with a
     warning) so that a checkpoint corrupted by a hard kill forces a
-    recompute instead of poisoning the resumed sweep.
+    recompute instead of poisoning the resumed sweep.  With ``metrics``
+    attached, the outcome is counted under ``engine.checkpoint_hits``
+    (usable), ``engine.checkpoint_misses`` (absent), or
+    ``engine.checkpoint_recomputes`` (present but unusable).
     """
     path = checkpoint_path(directory, task)
     if not path.exists():
+        if metrics is not None:
+            metrics.counter("engine.checkpoint_misses").inc()
         return None
     try:
         payload = load_payload(path)
@@ -223,8 +335,13 @@ def _load_checkpoint(directory: Path, task: CellTask) -> Optional[CellResult]:
             )
         if payload.get("key") != task.key():
             raise ValueError("checkpoint key does not match task identity")
-        return _decode_result(task, payload, from_checkpoint=True)
+        result = _decode_result(task, payload, from_checkpoint=True)
+        if metrics is not None:
+            metrics.counter("engine.checkpoint_hits").inc()
+        return result
     except (ValueError, KeyError, OSError) as error:
+        if metrics is not None:
+            metrics.counter("engine.checkpoint_recomputes").inc()
         warnings.warn(
             f"ignoring unusable checkpoint {path.name}: {error}",
             RuntimeWarning,
@@ -245,6 +362,7 @@ def execute_cells(
     checkpoint_dir: Optional[os.PathLike] = None,
     resume: bool = False,
     progress: Optional[ProgressCallback] = None,
+    obs: Optional[Instrumentation] = None,
 ) -> List[CellResult]:
     """Run every task and return results in task order.
 
@@ -269,6 +387,17 @@ def execute_cells(
     progress:
         Optional callback ``(completed_count, total, result)`` invoked
         after every cell, including cells restored from checkpoints.
+        (:class:`repro.obs.ProgressReporter` is a ready-made stderr
+        implementation with EWMA cell time and ETA.)
+    obs:
+        Optional :class:`repro.obs.Instrumentation`.  Workers then
+        collect structured log events, chain/cell metrics, pid-tagged
+        trace spans, and (with ``obs.profile``) a cProfile report; the
+        parent merges worker streams, counts checkpoint hits/misses/
+        recomputes, and records per-cell wall-time and throughput
+        under the ``engine.*`` metric names.  Instrumentation rides
+        outside the task identity: checkpoints and trajectories are
+        unchanged.
     """
     if backend not in BACKENDS:
         raise ValueError(
@@ -278,6 +407,8 @@ def execute_cells(
         raise ValueError("resume=True requires a checkpoint_dir")
     if workers is not None and workers < 1:
         raise ValueError(f"workers must be positive, got {workers}")
+    if obs is not None and not obs.enabled():
+        obs = None
 
     task_list = list(tasks)
     for task in task_list:
@@ -289,25 +420,55 @@ def execute_cells(
         directory.mkdir(parents=True, exist_ok=True)
 
     total = len(task_list)
+    engine_started = time.perf_counter()
+    engine_span_start = 0.0
+    if obs is not None:
+        if obs.trace is not None:
+            engine_span_start = obs.trace.now()
+        obs.log(
+            "engine.start",
+            cells=total,
+            backend=backend,
+            workers=workers,
+            resume=resume,
+        )
+
     results: List[Optional[CellResult]] = [None] * total
     completed = 0
     pending: List[int] = []
     for index, task in enumerate(task_list):
-        restored = _load_checkpoint(directory, task) if resume else None
+        restored = (
+            _load_checkpoint(
+                directory, task, metrics=obs.metrics if obs else None
+            )
+            if resume
+            else None
+        )
         if restored is not None:
             results[index] = restored
             completed += 1
+            if obs is not None:
+                _absorb_cell(obs, task, {"key": task.key()}, restored)
             if progress is not None:
                 progress(completed, total, restored)
         else:
             pending.append(index)
 
+    instrument = obs.worker_flags() if obs is not None else None
+
     def finish(index: int, payload: Dict[str, Any]) -> None:
         nonlocal completed
         task = task_list[index]
         if directory is not None:
-            save_payload(payload, checkpoint_path(directory, task))
+            disk_payload = {
+                key: value
+                for key, value in payload.items()
+                if key not in _OBS_PAYLOAD_KEYS
+            }
+            save_payload(disk_payload, checkpoint_path(directory, task))
         result = _decode_result(task, payload)
+        if obs is not None:
+            _absorb_cell(obs, task, payload, result)
         results[index] = result
         completed += 1
         if progress is not None:
@@ -315,19 +476,103 @@ def execute_cells(
 
     if backend == "serial":
         for index in pending:
-            finish(index, run_cell(task_payload(task_list[index])))
+            finish(index, run_cell(task_payload(task_list[index], instrument)))
     else:
         pool_size = workers if workers is not None else default_workers()
         with ProcessPoolExecutor(max_workers=pool_size) as pool:
             futures = {
-                pool.submit(run_cell, task_payload(task_list[index])): index
+                pool.submit(
+                    run_cell, task_payload(task_list[index], instrument)
+                ): index
                 for index in pending
             }
             for future in as_completed(futures):
                 finish(futures[future], future.result())
 
+    if obs is not None:
+        elapsed = time.perf_counter() - engine_started
+        if obs.metrics is not None:
+            obs.metrics.gauge("engine.wall_seconds").set(elapsed)
+            obs.metrics.gauge("engine.cells_total").set(total)
+        if obs.trace is not None:
+            obs.trace.complete(
+                "execute_cells",
+                engine_span_start,
+                cells=total,
+                backend=backend,
+            )
+        obs.log("engine.done", cells=total, seconds=elapsed)
+
     assert all(result is not None for result in results)
     return results  # type: ignore[return-value]
+
+
+def _absorb_cell(
+    obs: Instrumentation,
+    task: CellTask,
+    payload: Dict[str, Any],
+    result: CellResult,
+) -> None:
+    """Fold one finished (or restored) cell into parent instrumentation.
+
+    Worker log events are re-emitted in timestamp order with their
+    original pid, worker trace events are stitched into the parent
+    recorder, and worker metrics merge into the parent registry; the
+    parent then adds its own per-cell engine metrics — a histogram of
+    wall-times, throughput gauges, and one ``engine.cells`` series
+    entry carrying the cell's identity, wall-time, and steps/sec.
+    """
+    wall = result.wall_time
+    throughput = result.iterations / wall if wall > 0.0 else None
+    key = payload.get("key", "")
+    if obs.metrics is not None:
+        worker_snapshot = payload.get("metrics")
+        if worker_snapshot:
+            obs.metrics.merge(worker_snapshot)
+        obs.metrics.counter("engine.cells_completed").inc()
+        obs.metrics.counter("engine.steps").inc(result.iterations)
+        if wall > 0.0:
+            obs.metrics.histogram("engine.cell_seconds").observe(wall)
+            obs.metrics.gauge("engine.last_cell_steps_per_sec").set(throughput)
+        obs.metrics.series("engine.cells").append(
+            {
+                "cell": key,
+                "label": task.label,
+                "lam": task.lam,
+                "gamma": task.gamma,
+                "replica": task.replica,
+                "iterations": result.iterations,
+                "accepted_moves": result.accepted_moves,
+                "accepted_swaps": result.accepted_swaps,
+                "wall_time": wall,
+                "steps_per_sec": throughput,
+                "from_checkpoint": result.from_checkpoint,
+            }
+        )
+    if obs.trace is not None and payload.get("trace_events"):
+        obs.trace.extend(payload["trace_events"])
+    if obs.logger is not None:
+        worker_events = payload.get("events")
+        if worker_events:
+            for record in merge_records(worker_events):
+                obs.logger.emit(record)
+        obs.logger.info(
+            "cell.done",
+            cell=key,
+            label=task.label,
+            lam=task.lam,
+            gamma=task.gamma,
+            replica=task.replica,
+            iterations=result.iterations,
+            wall_time=wall,
+            steps_per_sec=throughput,
+            from_checkpoint=result.from_checkpoint,
+        )
+    if result.profile:
+        if obs.logger is not None:
+            obs.logger.info("cell.profile", cell=key, profile=result.profile)
+        else:
+            sys.stderr.write(result.profile)
 
 
 def resolve_backend(backend: Optional[str], workers: Optional[int]) -> str:

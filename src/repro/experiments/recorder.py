@@ -30,8 +30,14 @@ class RunRecorder:
         return row
 
     def series(self, name: str) -> List[float]:
-        """The time series of one observable (or of ``iteration``)."""
-        if self.rows and name not in self.rows[0]:
+        """The time series of one observable (or of ``iteration``).
+
+        The name is validated against the *declared* observables, so an
+        unknown name raises ``KeyError`` whether or not any row has
+        been recorded yet — an empty recorder used to return ``[]`` for
+        arbitrary names, silently hiding typos until data arrived.
+        """
+        if name != "iteration" and name not in self.observables:
             raise KeyError(f"unknown observable {name!r}")
         return [row[name] for row in self.rows]
 

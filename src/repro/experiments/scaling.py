@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import math
 import os
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence  # noqa: F401
 
@@ -28,6 +29,7 @@ from repro.experiments.parallel import (
     execute_cells,
     group_by_cell,
 )
+from repro.obs import Instrumentation
 from repro.system.initializers import random_blob_system
 from repro.util.rng import RngLike, seed_entropy
 from repro.util.serialization import configuration_to_json
@@ -66,6 +68,7 @@ def scaling_study(
     checkpoint_dir: Optional[os.PathLike] = None,
     resume: bool = False,
     progress: Optional[ProgressCallback] = None,
+    obs: Optional[Instrumentation] = None,
 ) -> List[ScalingPoint]:
     """Measure endpoint quality and time-to-separation across sizes.
 
@@ -108,14 +111,29 @@ def scaling_study(
                     label=f"n={n} replica={replica}",
                 )
             )
-    results = execute_cells(
-        tasks,
-        backend=backend,
-        workers=workers,
-        checkpoint_dir=checkpoint_dir,
-        resume=resume,
-        progress=progress,
-    )
+    if obs is not None:
+        obs = obs.bind(run="scaling")
+        obs.log(
+            "scaling.start",
+            sizes=list(sizes),
+            replicas=replicas,
+            steps_per_particle=steps_per_particle,
+            backend=backend,
+        )
+    with obs.span("scaling", sizes=len(list(sizes))) if obs is not None else (
+        nullcontext()
+    ):
+        results = execute_cells(
+            tasks,
+            backend=backend,
+            workers=workers,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+            progress=progress,
+            obs=obs,
+        )
+    if obs is not None:
+        obs.log("scaling.done", sizes=list(sizes), replicas=replicas)
 
     points: List[ScalingPoint] = []
     for n, size_results in zip(sizes, group_by_cell(results, replicas)):

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import math
 import os
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional
 
@@ -22,6 +23,7 @@ from repro.experiments.parallel import (
     execute_cells,
     group_by_cell,
 )
+from repro.obs import Instrumentation
 from repro.system.configuration import ParticleSystem
 from repro.system.initializers import random_blob_system
 from repro.util.rng import RngLike, derive_seed, seed_entropy
@@ -61,6 +63,7 @@ def run_sweep(
     checkpoint_dir: Optional[os.PathLike] = None,
     resume: bool = False,
     progress: Optional[ProgressCallback] = None,
+    obs: Optional[Instrumentation] = None,
 ) -> List[SweepPoint]:
     """Run the chain over a parameter grid, measuring the endpoints.
 
@@ -76,6 +79,12 @@ def run_sweep(
     ``checkpoint_dir``/``resume`` persist completed cells and skip them
     on re-run (see :func:`repro.experiments.parallel.execute_cells`).
     Both backends produce identical metrics for the same ``seed``.
+
+    ``obs`` threads :class:`repro.obs.Instrumentation` through the
+    engine: structured cell-scoped log events, ``chain.*``/``engine.*``
+    metrics with per-cell wall-times, and a ``sweep`` trace span
+    wrapping the whole grid.  Instrumentation never perturbs the
+    trajectories (the RNG stream is untouched).
     """
     if replicas < 1:
         raise ValueError(f"replicas must be positive, got {replicas}")
@@ -83,6 +92,8 @@ def run_sweep(
         initial = random_blob_system(n, seed=seed)
     base = seed_entropy(seed)
     initial_json = configuration_to_json(initial, sort_nodes=False)
+    if obs is not None:
+        obs = obs.bind(run="sweep")
 
     cells = [dict(params) for params in param_grid]
     tasks: List[CellTask] = []
@@ -102,14 +113,28 @@ def run_sweep(
                 )
             )
 
-    results = execute_cells(
-        tasks,
-        backend=backend,
-        workers=workers,
-        checkpoint_dir=checkpoint_dir,
-        resume=resume,
-        progress=progress,
-    )
+    if obs is not None:
+        obs.log(
+            "sweep.start",
+            cells=len(cells),
+            replicas=replicas,
+            n=initial.n,
+            iterations=iterations,
+            backend=backend,
+        )
+    with (obs.span("sweep", cells=len(cells), replicas=replicas)
+          if obs is not None else nullcontext()):
+        results = execute_cells(
+            tasks,
+            backend=backend,
+            workers=workers,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+            progress=progress,
+            obs=obs,
+        )
+    if obs is not None:
+        obs.log("sweep.done", cells=len(cells), replicas=replicas)
 
     points: List[SweepPoint] = []
     for params, cell_results in zip(cells, group_by_cell(results, replicas)):

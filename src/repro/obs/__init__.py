@@ -1,0 +1,114 @@
+"""Observability: structured logs, metrics, trace spans, progress.
+
+This package is the measurement substrate for every execution layer:
+
+* :mod:`repro.obs.log` — JSON-lines event logging with bound context
+  that survives process-pool boundaries (workers buffer, the parent
+  merges);
+* :mod:`repro.obs.metrics` — a registry of counters, gauges,
+  fixed-bucket histograms, and per-item series with snapshot/merge/
+  file-export APIs;
+* :mod:`repro.obs.trace` — Chrome trace-event spans (perfetto
+  viewable) with worker-process stitching by pid;
+* :mod:`repro.obs.progress` — a live stderr progress/heartbeat
+  reporter for :func:`repro.experiments.parallel.execute_cells` and
+  the opt-in cProfile hook.
+
+:class:`Instrumentation` bundles the four into one optional handle the
+harnesses thread through; everything is null-safe, so uninstrumented
+runs pay a single ``is None`` check per hook point and the chain's
+batched-RNG fast path stays bit-identical (instrumentation never
+touches the RNG stream — the regression test asserts this).
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from dataclasses import dataclass, replace
+from typing import Any, ContextManager, Dict, Optional
+
+from repro.obs.log import JsonLogger, merge_records, read_jsonl
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Series,
+)
+from repro.obs.progress import ProgressReporter, run_profiled
+from repro.obs.trace import TraceRecorder, validate_trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Instrumentation",
+    "JsonLogger",
+    "MetricsRegistry",
+    "ProgressReporter",
+    "Series",
+    "TraceRecorder",
+    "merge_records",
+    "read_jsonl",
+    "run_profiled",
+    "validate_trace",
+]
+
+
+@dataclass
+class Instrumentation:
+    """One optional handle bundling logger, metrics, trace, and profiling.
+
+    Every member may be ``None``; the convenience methods no-op (or
+    return null context managers) in that case, so call sites stay
+    branch-free.  Harnesses accept ``obs: Optional[Instrumentation]``
+    and treat ``None`` as fully disabled.
+    """
+
+    logger: Optional[JsonLogger] = None
+    metrics: Optional[MetricsRegistry] = None
+    trace: Optional[TraceRecorder] = None
+    profile: bool = False
+
+    def enabled(self) -> bool:
+        """Whether any instrument is active."""
+        return (
+            self.logger is not None
+            or self.metrics is not None
+            or self.trace is not None
+            or self.profile
+        )
+
+    def bind(self, **context: Any) -> "Instrumentation":
+        """A copy whose logger carries extra context fields.
+
+        Metrics and trace are shared (they aggregate globally); only
+        the logger is rebound, mirroring structured-logging practice.
+        """
+        if self.logger is None:
+            return self
+        return replace(self, logger=self.logger.bind(**context))
+
+    def log(self, event: str, level: str = "info", **fields: Any) -> None:
+        if self.logger is not None:
+            self.logger.log(event, level=level, **fields)
+
+    def span(self, name: str, **args: Any) -> ContextManager[None]:
+        if self.trace is not None:
+            return self.trace.span(name, **args)
+        return nullcontext()
+
+    def worker_flags(self) -> Dict[str, bool]:
+        """The JSON-able instrumentation request shipped to workers.
+
+        Workers rebuild local (buffering) instruments from these flags
+        and return their records in the result payload; identity-
+        relevant task fields are untouched, so instrumented and
+        uninstrumented runs share checkpoint keys and trajectories.
+        """
+        return {
+            "events": self.logger is not None,
+            "metrics": self.metrics is not None,
+            "trace": self.trace is not None,
+            "profile": bool(self.profile),
+        }

@@ -1,0 +1,194 @@
+"""Structured JSON-lines event logging.
+
+The experiment layers (chain, parallel engine, sweep harnesses, CLI)
+emit *events* rather than formatted strings: each event is one JSON
+object per line with a timestamp, a level, an event name, the emitting
+process id, and whatever context fields were bound onto the logger.
+
+Design constraints, in order:
+
+* **zero dependencies** — plain ``json`` + file objects;
+* **cheap when silent** — harness hot paths hold ``None`` instead of a
+  logger and skip the call entirely (see
+  :class:`repro.obs.Instrumentation`);
+* **multiprocess-friendly** — worker processes cannot share the
+  parent's file handle, so a worker logs into a plain ``list`` sink
+  and ships the records back inside its result payload; the parent
+  re-emits them with :meth:`JsonLogger.emit`, preserving the worker's
+  original timestamps and pid.  :func:`merge_records` merge-sorts
+  several such streams by timestamp (stable, so intra-worker order is
+  never reordered) for post-hoc analysis of a whole run.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional, Union
+
+#: Numeric severities, lowest first (mirrors the stdlib convention).
+LEVELS: Dict[str, int] = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+#: A sink is either a writable text stream or a list collecting records.
+Sink = Union[io.TextIOBase, List[Dict[str, Any]], Any]
+
+
+class JsonLogger:
+    """Emit structured events to a stream or an in-memory list.
+
+    Parameters
+    ----------
+    sink:
+        A text stream (each record is written as one JSON line and
+        flushed) or a ``list`` (records are appended as dictionaries —
+        the buffering mode worker processes use).
+    context:
+        Fields merged into every record.  :meth:`bind` derives child
+        loggers with extra context without copying the sink.
+    level:
+        Minimum severity emitted (``"debug"`` … ``"error"``).
+    clock:
+        Timestamp source (unix seconds); injectable for tests.
+    """
+
+    def __init__(
+        self,
+        sink: Sink,
+        context: Optional[Dict[str, Any]] = None,
+        level: str = "debug",
+        clock: Callable[[], float] = time.time,
+    ):
+        if level not in LEVELS:
+            raise ValueError(
+                f"unknown level {level!r}; expected one of {sorted(LEVELS)}"
+            )
+        self._sink = sink
+        self._context: Dict[str, Any] = dict(context or {})
+        self._threshold = LEVELS[level]
+        self._clock = clock
+        self._owns_sink = False
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls, path: Union[str, Path], level: str = "debug", **kwargs: Any
+    ) -> "JsonLogger":
+        """Logger appending JSON lines to ``path`` (parents created)."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        logger = cls(target.open("a", encoding="utf-8"), level=level, **kwargs)
+        logger._owns_sink = True
+        return logger
+
+    @classmethod
+    def collecting(cls, **kwargs: Any) -> "JsonLogger":
+        """Logger buffering records in memory (see :attr:`records`)."""
+        return cls([], **kwargs)
+
+    @property
+    def records(self) -> List[Dict[str, Any]]:
+        """The buffered records of a list-sink logger."""
+        if not isinstance(self._sink, list):
+            raise TypeError("records are only available on list-sink loggers")
+        return self._sink
+
+    def bind(self, **fields: Any) -> "JsonLogger":
+        """A child logger whose records carry ``fields`` as context.
+
+        The child shares this logger's sink, threshold, and clock; the
+        parent's context is merged under the new fields.
+        """
+        child = JsonLogger.__new__(JsonLogger)
+        child._sink = self._sink
+        child._context = {**self._context, **fields}
+        child._threshold = self._threshold
+        child._clock = self._clock
+        child._owns_sink = False
+        return child
+
+    # ------------------------------------------------------------------
+
+    def log(self, event: str, level: str = "info", **fields: Any) -> Dict[str, Any]:
+        """Emit one event; returns the record (or ``{}`` if filtered)."""
+        severity = LEVELS.get(level)
+        if severity is None:
+            raise ValueError(
+                f"unknown level {level!r}; expected one of {sorted(LEVELS)}"
+            )
+        if severity < self._threshold:
+            return {}
+        record: Dict[str, Any] = {
+            "ts": self._clock(),
+            "level": level,
+            "event": event,
+            "pid": os.getpid(),
+        }
+        record.update(self._context)
+        record.update(fields)
+        self.emit(record)
+        return record
+
+    def debug(self, event: str, **fields: Any) -> Dict[str, Any]:
+        return self.log(event, level="debug", **fields)
+
+    def info(self, event: str, **fields: Any) -> Dict[str, Any]:
+        return self.log(event, level="info", **fields)
+
+    def warning(self, event: str, **fields: Any) -> Dict[str, Any]:
+        return self.log(event, level="warning", **fields)
+
+    def error(self, event: str, **fields: Any) -> Dict[str, Any]:
+        return self.log(event, level="error", **fields)
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        """Write a pre-built record unchanged.
+
+        Used when the parent process re-emits records a worker already
+        stamped: the worker's timestamp and pid survive, which is what
+        lets a single JSONL file interleave the whole process tree.
+        """
+        sink = self._sink
+        if isinstance(sink, list):
+            sink.append(record)
+            return
+        sink.write(json.dumps(record, default=str) + "\n")
+        flush = getattr(sink, "flush", None)
+        if flush is not None:
+            flush()
+
+    def close(self) -> None:
+        """Close the sink if this logger opened it (see :meth:`open`)."""
+        if self._owns_sink:
+            self._sink.close()
+            self._owns_sink = False
+
+
+def merge_records(
+    *streams: Iterable[Dict[str, Any]]
+) -> List[Dict[str, Any]]:
+    """Merge event streams into one list ordered by timestamp.
+
+    The sort is **stable**: records with equal ``ts`` keep their
+    within-stream order, and earlier streams win ties against later
+    ones — so merging the parent stream with per-worker buffers never
+    reorders causally-ordered events inside any single process.
+    """
+    merged: List[Dict[str, Any]] = []
+    for stream in streams:
+        merged.extend(stream)
+    merged.sort(key=lambda record: record.get("ts", 0.0))
+    return merged
+
+
+def read_jsonl(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Parse a JSON-lines event file back into records (blank-safe)."""
+    records = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line:
+            records.append(json.loads(line))
+    return records

@@ -1,0 +1,254 @@
+"""Counters, gauges, histograms, and series — the metrics registry.
+
+A :class:`MetricsRegistry` is a named bag of four instrument kinds:
+
+* :class:`Counter` — monotonically increasing totals (steps proposed,
+  moves accepted, checkpoint hits);
+* :class:`Gauge` — last-written values (current perimeter, steps/sec of
+  the most recent run);
+* :class:`Histogram` — fixed-bucket distributions with Prometheus-style
+  ``le`` (less-or-equal) upper bounds plus an implicit overflow bucket
+  (cell wall-times, per-run durations);
+* :class:`Series` — append-only lists of records (one entry per sweep
+  cell, carrying its wall-time and throughput) for per-item detail that
+  aggregate instruments deliberately discard.
+
+The registry round-trips through plain JSON (:meth:`snapshot` /
+:meth:`MetricsRegistry.from_snapshot`), merges worker snapshots into a
+parent (:meth:`merge` — counters add, gauges last-write-wins,
+histograms add bucket-wise, series concatenate), and exports to disk
+with the same versioned payload envelope the sweep checkpoints use, so
+metrics files sit alongside sweep payloads with one loader.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.util.serialization import load_payload, save_payload
+
+#: Schema version of registry snapshots.
+METRICS_FORMAT_VERSION = 1
+
+#: Default histogram buckets for durations in seconds (log-ish spacing).
+DEFAULT_TIME_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0, 300.0
+)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: float = 0.0):
+        self.name = name
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only increase; got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: float = 0.0):
+        self.name = name
+        self.value = value
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram with ``le`` upper bounds.
+
+    ``buckets`` are strictly increasing finite upper bounds; a value
+    ``v`` lands in the first bucket with ``v <= bound``, and values
+    above the last bound land in the implicit ``+inf`` overflow bucket
+    (``counts`` has ``len(buckets) + 1`` entries).  ``sum`` and
+    ``count`` track totals for mean computation.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "sum", "count")
+
+    def __init__(self, name: str, buckets: Sequence[float]):
+        bounds = [float(b) for b in buckets]
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b != b or b in (float("inf"), float("-inf")) for b in bounds):
+            raise ValueError("bucket bounds must be finite")
+        if any(hi <= lo for lo, hi in zip(bounds, bounds[1:])):
+            raise ValueError(
+                f"bucket bounds must be strictly increasing, got {bounds}"
+            )
+        self.name = name
+        self.buckets: List[float] = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record ``value`` (boundary values land in the lower bucket)."""
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else float("nan")
+
+
+class Series:
+    """Append-only list of per-item records (e.g. one entry per cell)."""
+
+    __slots__ = ("name", "entries")
+
+    def __init__(self, name: str, entries: Optional[List[Any]] = None):
+        self.name = name
+        self.entries: List[Any] = list(entries or [])
+
+    def append(self, entry: Any) -> None:
+        self.entries.append(entry)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named instruments with JSON round-trip."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._series: Dict[str, Series] = {}
+
+    # -- get-or-create accessors ---------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        self._check_free(name, self._counters)
+        return self._counters.setdefault(name, Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        self._check_free(name, self._gauges)
+        return self._gauges.setdefault(name, Gauge(name))
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_TIME_BUCKETS
+    ) -> Histogram:
+        self._check_free(name, self._histograms)
+        existing = self._histograms.get(name)
+        if existing is not None:
+            return existing
+        histogram = Histogram(name, buckets)
+        self._histograms[name] = histogram
+        return histogram
+
+    def series(self, name: str) -> Series:
+        self._check_free(name, self._series)
+        return self._series.setdefault(name, Series(name))
+
+    def _check_free(self, name: str, own: Mapping[str, Any]) -> None:
+        """Reject reuse of one name across different instrument kinds."""
+        for table in (self._counters, self._gauges, self._histograms, self._series):
+            if table is not own and name in table:
+                raise ValueError(
+                    f"metric {name!r} already registered as a different kind"
+                )
+
+    # -- snapshot / restore / merge ------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A plain-JSON view of every instrument (deep-copied)."""
+        return {
+            "version": METRICS_FORMAT_VERSION,
+            "counters": {
+                name: counter.value for name, counter in self._counters.items()
+            },
+            "gauges": {name: gauge.value for name, gauge in self._gauges.items()},
+            "histograms": {
+                name: {
+                    "buckets": list(histogram.buckets),
+                    "counts": list(histogram.counts),
+                    "sum": histogram.sum,
+                    "count": histogram.count,
+                }
+                for name, histogram in self._histograms.items()
+            },
+            "series": {
+                name: list(series.entries)
+                for name, series in self._series.items()
+            },
+        }
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Mapping[str, Any]) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`snapshot` output."""
+        version = snapshot.get("version")
+        if version != METRICS_FORMAT_VERSION:
+            raise ValueError(f"unsupported metrics snapshot version: {version}")
+        registry = cls()
+        for name, value in snapshot.get("counters", {}).items():
+            registry.counter(name).value = float(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            registry.gauge(name).set(value)
+        for name, payload in snapshot.get("histograms", {}).items():
+            histogram = registry.histogram(name, payload["buckets"])
+            counts = [int(c) for c in payload["counts"]]
+            if len(counts) != len(histogram.counts):
+                raise ValueError(
+                    f"histogram {name!r} snapshot has {len(counts)} counts "
+                    f"for {len(histogram.buckets)} buckets"
+                )
+            histogram.counts = counts
+            histogram.sum = float(payload["sum"])
+            histogram.count = int(payload["count"])
+        for name, entries in snapshot.get("series", {}).items():
+            registry._series[name] = Series(name, list(entries))
+        return registry
+
+    def merge(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold a worker snapshot into this registry.
+
+        Counters and histogram buckets add; gauges take the incoming
+        value (last write wins — the worker observed it more recently);
+        series concatenate.  Histogram bucket layouts must match.
+        """
+        version = snapshot.get("version")
+        if version != METRICS_FORMAT_VERSION:
+            raise ValueError(f"unsupported metrics snapshot version: {version}")
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).value += float(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, payload in snapshot.get("histograms", {}).items():
+            histogram = self.histogram(name, payload["buckets"])
+            if list(histogram.buckets) != [float(b) for b in payload["buckets"]]:
+                raise ValueError(
+                    f"histogram {name!r} bucket layouts differ; cannot merge"
+                )
+            for index, count in enumerate(payload["counts"]):
+                histogram.counts[index] += int(count)
+            histogram.sum += float(payload["sum"])
+            histogram.count += int(payload["count"])
+        for name, entries in snapshot.get("series", {}).items():
+            self.series(name).entries.extend(entries)
+
+    # -- persistence ----------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Atomically write the snapshot with the shared payload envelope."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        save_payload(self.snapshot(), target)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "MetricsRegistry":
+        """Read a registry previously written by :meth:`save`."""
+        return cls.from_snapshot(load_payload(path))

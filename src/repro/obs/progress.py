@@ -1,0 +1,171 @@
+"""Live progress/heartbeat reporting and the per-cell profiling hook.
+
+:class:`ProgressReporter` is a drop-in
+:data:`repro.experiments.parallel.ProgressCallback`: the engine calls
+it after every completed cell and it prints a one-line status to
+stderr — cells done/total, the last cell's wall-time and throughput, an
+exponentially weighted moving average (EWMA) of the inter-completion
+time, and the ETA it implies.  The EWMA tracks *arrival* spacing rather
+than per-cell wall-time, so the ETA stays honest under a process pool
+(k workers finishing cells in parallel shrink the spacing k-fold).
+
+An optional background heartbeat thread reports "still alive" lines at
+a fixed interval even when no cell completes — the operational answer
+to "is it converging or stuck?" during multi-minute cells.
+
+:func:`run_profiled` is the opt-in cProfile hook: it wraps a callable,
+returning its result alongside a formatted top-N cumulative-time
+report.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import sys
+import threading
+import time
+from typing import Any, Callable, Optional, TextIO, Tuple
+
+
+class ProgressReporter:
+    """Stderr progress lines with EWMA cell time and ETA.
+
+    Parameters
+    ----------
+    stream:
+        Output stream (default: ``sys.stderr`` resolved at call time so
+        pytest capture works).
+    label:
+        Noun printed in each line (``"cells"``).
+    smoothing:
+        EWMA weight of the newest inter-completion interval, in (0, 1].
+    clock:
+        Monotonic time source; injectable for tests.
+    """
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        label: str = "cells",
+        smoothing: float = 0.3,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError(f"smoothing must be in (0, 1], got {smoothing}")
+        self._stream = stream
+        self._label = label
+        self._smoothing = smoothing
+        self._clock = clock
+        self._start = clock()
+        self._last_arrival: Optional[float] = None
+        self._ewma: Optional[float] = None
+        self._completed = 0
+        self._total = 0
+        self._stop = threading.Event()
+        self._heartbeat_thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+
+    def _out(self) -> TextIO:
+        return self._stream if self._stream is not None else sys.stderr
+
+    def __call__(self, completed: int, total: int, result: Any = None) -> None:
+        """ProgressCallback entrypoint: one line per finished cell."""
+        now = self._clock()
+        previous = self._last_arrival if self._last_arrival is not None else self._start
+        interval = now - previous
+        self._last_arrival = now
+        if self._ewma is None:
+            self._ewma = interval
+        else:
+            alpha = self._smoothing
+            self._ewma = alpha * interval + (1.0 - alpha) * self._ewma
+        self._completed = completed
+        self._total = total
+        remaining = max(0, total - completed)
+        eta = remaining * self._ewma
+        percent = 100.0 * completed / total if total else 100.0
+
+        detail = ""
+        wall = getattr(result, "wall_time", 0.0) or 0.0
+        iterations = getattr(result, "iterations", 0) or 0
+        if wall > 0.0:
+            detail = f"  cell {wall:.2f}s"
+            if iterations:
+                detail += f" ({iterations / wall:,.0f} steps/s)"
+        if getattr(result, "from_checkpoint", False):
+            detail += "  [checkpoint]"
+        label = getattr(getattr(result, "task", None), "label", "") or ""
+        if label:
+            detail += f"  {label}"
+
+        self._out().write(
+            f"[repro] {self._label} {completed}/{total} ({percent:.0f}%)"
+            f"{detail}  ewma {self._ewma:.2f}s  eta {eta:.1f}s\n"
+        )
+        self._flush()
+
+    # ------------------------------------------------------------------
+
+    def start_heartbeat(self, interval: float = 30.0) -> None:
+        """Start a daemon thread printing liveness lines every ``interval`` s."""
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        if self._heartbeat_thread is not None:
+            return
+
+        def beat() -> None:
+            while not self._stop.wait(interval):
+                elapsed = self._clock() - self._start
+                self._out().write(
+                    f"[repro] heartbeat: {self._completed}/{self._total or '?'} "
+                    f"{self._label} done, {elapsed:.0f}s elapsed\n"
+                )
+                self._flush()
+
+        self._stop.clear()
+        self._heartbeat_thread = threading.Thread(
+            target=beat, name="repro-heartbeat", daemon=True
+        )
+        self._heartbeat_thread.start()
+
+    def stop(self) -> None:
+        """Stop the heartbeat thread (idempotent)."""
+        self._stop.set()
+        thread = self._heartbeat_thread
+        if thread is not None:
+            thread.join(timeout=1.0)
+            self._heartbeat_thread = None
+
+    def __enter__(self) -> "ProgressReporter":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    def _flush(self) -> None:
+        flush = getattr(self._out(), "flush", None)
+        if flush is not None:
+            try:
+                flush()
+            except ValueError:  # stream closed mid-run (e.g. test teardown)
+                pass
+
+
+def run_profiled(
+    fn: Callable[..., Any], *args: Any, top: int = 25, **kwargs: Any
+) -> Tuple[Any, str]:
+    """Run ``fn`` under cProfile; return ``(result, stats_text)``.
+
+    The report is the top ``top`` entries by cumulative time — enough
+    to see where a slow cell spends its steps without shipping raw
+    profile dumps across process boundaries.
+    """
+    profiler = cProfile.Profile()
+    result = profiler.runcall(fn, *args, **kwargs)
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(top)
+    return result, buffer.getvalue()

@@ -1,0 +1,177 @@
+"""Chrome trace-event recording (perfetto / ``chrome://tracing`` viewable).
+
+A :class:`TraceRecorder` accumulates *complete* events (``"ph": "X"``)
+in the Chrome Trace Event Format — each event carries a name, category,
+microsecond start timestamp, duration, process id, and thread id, so a
+saved file opens directly in Perfetto (https://ui.perfetto.dev) or
+Chrome's ``about:tracing`` with one lane per process.
+
+The :meth:`span` context manager wraps a phase of work (sweep → cell →
+per-segment chain runs); nesting works naturally because the viewer
+stacks time-contained events on the same thread lane.  Worker processes
+record into their own recorder (their events carry the worker's pid)
+and ship ``recorder.events`` back in the result payload; the parent
+stitches them in with :meth:`extend` — no clock translation needed
+because timestamps are absolute epoch microseconds everywhere.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Union
+
+#: Keys every complete ("X") event must carry for the viewer to load it.
+REQUIRED_EVENT_KEYS = ("name", "ph", "ts", "dur", "pid", "tid")
+
+
+class TraceRecorder:
+    """Collects Chrome trace events in memory; zero dependencies.
+
+    Parameters
+    ----------
+    process_name:
+        Optional label for this process's lane (emitted as a metadata
+        event, e.g. ``"repro"`` for the parent, ``"repro-worker"`` for
+        pool processes).
+    clock:
+        Epoch-seconds time source; injectable for tests.
+    """
+
+    def __init__(
+        self,
+        process_name: Optional[str] = None,
+        clock: Any = time.time,
+    ):
+        self.events: List[Dict[str, Any]] = []
+        self._clock = clock
+        self._lock = threading.Lock()
+        if process_name is not None:
+            self.events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": os.getpid(),
+                    "tid": 0,
+                    "args": {"name": process_name},
+                }
+            )
+
+    # ------------------------------------------------------------------
+
+    def now(self) -> float:
+        """Current time in microseconds (the trace format's unit)."""
+        return self._clock() * 1e6
+
+    def complete(
+        self,
+        name: str,
+        start_us: float,
+        end_us: Optional[float] = None,
+        category: str = "repro",
+        **args: Any,
+    ) -> Dict[str, Any]:
+        """Record a finished phase as one complete ("X") event."""
+        if end_us is None:
+            end_us = self.now()
+        event: Dict[str, Any] = {
+            "name": name,
+            "cat": category,
+            "ph": "X",
+            "ts": start_us,
+            "dur": max(0.0, end_us - start_us),
+            "pid": os.getpid(),
+            "tid": threading.get_ident() % 1_000_000,
+        }
+        if args:
+            event["args"] = args
+        with self._lock:
+            self.events.append(event)
+        return event
+
+    def instant(self, name: str, **args: Any) -> Dict[str, Any]:
+        """Record a zero-duration marker event."""
+        event: Dict[str, Any] = {
+            "name": name,
+            "cat": "repro",
+            "ph": "i",
+            "s": "p",
+            "ts": self.now(),
+            "pid": os.getpid(),
+            "tid": threading.get_ident() % 1_000_000,
+        }
+        if args:
+            event["args"] = args
+        with self._lock:
+            self.events.append(event)
+        return event
+
+    @contextmanager
+    def span(self, name: str, **args: Any) -> Iterator[None]:
+        """Context manager recording the enclosed block as a span.
+
+        Spans record on exit (including via exception), so nested
+        spans appear inner-first in :attr:`events` but the viewer
+        re-stacks them by time containment.
+        """
+        start = self.now()
+        try:
+            yield
+        finally:
+            self.complete(name, start, **args)
+
+    def extend(self, events: Iterable[Dict[str, Any]]) -> None:
+        """Stitch in events recorded by another process (same format).
+
+        Worker events keep their own ``pid``, so the viewer renders
+        each pool process as a separate lane under the same timeline.
+        """
+        with self._lock:
+            self.events.extend(events)
+
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> Dict[str, Any]:
+        """The Chrome trace file object (``traceEvents`` + time unit)."""
+        return {"traceEvents": list(self.events), "displayTimeUnit": "ms"}
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write a viewer-loadable trace JSON file (parents created)."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(self.to_json()), encoding="utf-8")
+
+
+def validate_trace(document: Dict[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``document`` is viewer-loadable.
+
+    Checks the ``traceEvents`` envelope and, for every complete event,
+    the required keys and non-negative duration.  Used by the test
+    suite and the CI artifact step to guarantee traces actually open.
+    """
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace document is missing its traceEvents list")
+    for event in events:
+        phase = event.get("ph")
+        if phase == "M":
+            continue
+        if phase == "X":
+            missing = [key for key in REQUIRED_EVENT_KEYS if key not in event]
+            if missing:
+                raise ValueError(
+                    f"complete event {event.get('name')!r} missing {missing}"
+                )
+            if event["dur"] < 0:
+                raise ValueError(
+                    f"complete event {event.get('name')!r} has negative duration"
+                )
+        elif phase == "i":
+            if "ts" not in event or "pid" not in event:
+                raise ValueError("instant event missing ts/pid")
+        else:
+            raise ValueError(f"unexpected event phase {phase!r}")

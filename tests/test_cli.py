@@ -1,10 +1,13 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs import read_jsonl, validate_trace
 from repro.system.initializers import hexagon_system
-from repro.util.serialization import save_configuration
+from repro.util.serialization import load_payload, save_configuration
 
 
 class TestParser:
@@ -55,7 +58,25 @@ class TestSimulate:
              "--seed", "3"]
         )
         assert code == 0
-        assert "swaps=False" in capsys.readouterr().out
+        # Diagnostics (run header) go to stderr; tables stay on stdout.
+        assert "swaps=False" in capsys.readouterr().err
+
+    def test_quiet_silences_stderr_only(self, capsys):
+        code = main(
+            ["simulate", "-n", "15", "--steps", "1000", "--seed", "3",
+             "--quiet"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert captured.err == ""
+        assert "perimeter" in captured.out  # result table survives
+
+    def test_zero_steps_reports_na_acceptance(self, capsys):
+        code = main(
+            ["simulate", "-n", "15", "--steps", "0", "--seed", "3"]
+        )
+        assert code == 0
+        assert "acceptance rate: n/a" in capsys.readouterr().err
 
 
 class TestFigures:
@@ -104,9 +125,68 @@ class TestIllustrations:
     def test_writes_four_svgs(self, tmp_path, capsys):
         code = main(["illustrations", str(tmp_path / "figs")])
         assert code == 0
-        out = capsys.readouterr().out
-        assert out.count("wrote") == 4
+        # "wrote ..." confirmations are diagnostics: stderr, not stdout.
+        assert capsys.readouterr().err.count("wrote") == 4
         assert len(list((tmp_path / "figs").glob("*.svg"))) == 4
+
+
+class TestObservabilityFlags:
+    def test_sweep_writes_log_metrics_trace(self, tmp_path, capsys):
+        log_path = tmp_path / "run.jsonl"
+        metrics_path = tmp_path / "metrics.json"
+        trace_path = tmp_path / "trace.json"
+        code = main(
+            [
+                "sweep", "--lambdas", "2", "4", "--gammas", "1",
+                "--iterations", "2000", "-n", "16", "--workers", "2",
+                "--log-json", str(log_path),
+                "--metrics-out", str(metrics_path),
+                "--trace-out", str(trace_path),
+            ]
+        )
+        assert code == 0
+
+        # JSONL: every line parses; cell events carry bound context.
+        records = read_jsonl(log_path)
+        events = [record["event"] for record in records]
+        assert "cli.start" in events
+        assert "sweep.start" in events and "sweep.done" in events
+        cell_records = [r for r in records if r["event"] == "cell.done"]
+        assert len(cell_records) == 2
+        for record in cell_records:
+            assert record["run"] == "sweep"
+            assert "cell" in record and "lam" in record
+
+        # Metrics: versioned snapshot with per-cell wall-time/throughput.
+        payload = load_payload(metrics_path)
+        assert payload["counters"]["engine.cells_completed"] == 2.0
+        for entry in payload["series"]["engine.cells"]:
+            assert entry["wall_time"] > 0.0
+            assert entry["steps_per_sec"] > 0.0
+
+        # Trace: loads and validates as Chrome trace-event JSON.
+        document = json.loads(trace_path.read_text())
+        validate_trace(document)
+        names = {event.get("name") for event in document["traceEvents"]}
+        assert {"sweep", "execute_cells", "cell"} <= names
+
+        # Result table still clean on stdout; progress on stderr.
+        captured = capsys.readouterr()
+        assert "lambda" in captured.out or "lam" in captured.out
+        assert "[repro]" in captured.err
+
+    def test_simulate_profile_flag(self, tmp_path, capsys):
+        log_path = tmp_path / "run.jsonl"
+        code = main(
+            [
+                "simulate", "-n", "15", "--steps", "500", "--seed", "3",
+                "--profile", "--log-json", str(log_path),
+            ]
+        )
+        assert code == 0
+        assert "cumulative" in capsys.readouterr().err
+        events = [record["event"] for record in read_jsonl(log_path)]
+        assert "simulate.profile" in events
 
 
 class TestRender:
