@@ -18,6 +18,12 @@ Commands
 ``render``
     Draw a saved configuration as ASCII or SVG.
 
+``simulate`` and the experiment commands accept ``--kernel
+auto|grid|dict`` to select the chain's step kernel (flat-arena integer
+kernel vs historical hash-map kernel); the choice changes throughput
+only — trajectories and checkpoints are identical (see
+``docs/performance.md``).
+
 Output discipline: result tables go to **stdout** (so piped output
 stays machine-readable); diagnostics, progress lines, and profiling
 reports go to **stderr** via the structured logger and are silenced by
@@ -34,7 +40,7 @@ import sys
 from typing import Callable, List, Optional, Tuple
 
 from repro.analysis.compression_metric import alpha_of
-from repro.core.separation_chain import SeparationChain
+from repro.core.separation_chain import KERNEL_BACKENDS, SeparationChain
 from repro.experiments.phases import classify_phase
 from repro.experiments.render import render_ascii, render_svg
 from repro.obs import (
@@ -87,6 +93,18 @@ def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--resume", action="store_true",
         help="skip cells whose checkpoints already exist in --checkpoint DIR",
+    )
+    _add_kernel_argument(parser)
+
+
+def _add_kernel_argument(parser: argparse.ArgumentParser) -> None:
+    """The step-kernel knob (shared by simulate + experiment commands)."""
+    parser.add_argument(
+        "--kernel", choices=KERNEL_BACKENDS, default="auto",
+        help="chain step kernel: 'grid' = flat-arena integer kernel, "
+             "'dict' = historical hash-map kernel, 'auto' picks per run; "
+             "trajectories are bit-identical either way "
+             "(see docs/performance.md)",
     )
 
 
@@ -180,6 +198,7 @@ def _parallel_kwargs(args: argparse.Namespace) -> dict:
         "workers": args.workers,
         "checkpoint_dir": args.checkpoint,
         "resume": args.resume,
+        "kernel": getattr(args, "kernel", "auto"),
     }
     obs = getattr(args, "_obs", None)
     if obs is not None:
@@ -224,6 +243,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--ascii", action="store_true", help="print the final configuration"
     )
+    _add_kernel_argument(simulate)
     _add_observability_arguments(simulate)
 
     figure2 = commands.add_parser("figure2", help="regenerate Figure 2")
@@ -287,6 +307,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         gamma=args.gamma,
         swaps=not args.no_swaps,
         seed=args.seed,
+        backend=args.kernel,
     )
     obs = getattr(args, "_obs", None)
     if obs is not None:

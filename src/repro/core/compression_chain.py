@@ -40,6 +40,11 @@ class CompressionChain(SeparationChain):
     the same ``chain.*`` metrics, trace spans, and log events as the
     heterogeneous chain (with ``chain.swaps_accepted`` pinned at zero),
     so compression baselines and separation runs share dashboards.
+
+    The flat-grid step kernel is likewise inherited: pass
+    ``backend="grid"|"dict"|"auto"`` to select it, with the same
+    bit-identical-trajectory guarantee as the heterogeneous chain (the
+    local rule is shared, so one fast kernel speeds both).
     """
 
     def __init__(
@@ -47,6 +52,7 @@ class CompressionChain(SeparationChain):
         system: ParticleSystem,
         lam: float,
         seed: RngLike = None,
+        backend: str = "auto",
     ):
         distinct = set(system.colors.values())
         if len(distinct) > 1:
@@ -54,23 +60,30 @@ class CompressionChain(SeparationChain):
                 "CompressionChain requires a homogeneous system; "
                 f"found colors {sorted(distinct)}"
             )
-        super().__init__(system, lam=lam, gamma=1.0, swaps=False, seed=seed)
+        super().__init__(
+            system,
+            lam=lam,
+            gamma=1.0,
+            swaps=False,
+            seed=seed,
+            backend=backend,
+        )
 
     @classmethod
     def from_line(
-        cls, n: int, lam: float, seed: RngLike = None
+        cls, n: int, lam: float, seed: RngLike = None, backend: str = "auto"
     ) -> "CompressionChain":
         """Chain started from the maximum-perimeter (line) configuration."""
         system = line_system(n, counts=[n, 0], num_colors=2, shuffle=False)
-        return cls(system, lam=lam, seed=seed)
+        return cls(system, lam=lam, seed=seed, backend=backend)
 
     @classmethod
     def from_hexagon(
-        cls, n: int, lam: float, seed: RngLike = None
+        cls, n: int, lam: float, seed: RngLike = None, backend: str = "auto"
     ) -> "CompressionChain":
         """Chain started from the near-minimum-perimeter configuration."""
         system = hexagon_system(n, counts=[n, 0], num_colors=2, shuffle=False)
-        return cls(system, lam=lam, seed=seed)
+        return cls(system, lam=lam, seed=seed, backend=backend)
 
 
 def compression_ratio(system: ParticleSystem) -> float:

@@ -22,6 +22,28 @@ calls by caching the color map, precomputing the edge-ring offsets per
 direction, table-driving the Property 4/5 check over the 256 ring
 occupancy bitmasks, and table-driving the bias powers
 :math:`\\lambda^{\\Delta e} \\gamma^{\\Delta e_i}`.
+
+Two interchangeable kernels execute the batched ``run()`` loop (the
+``backend`` constructor knob selects one; see ``docs/performance.md``):
+
+* ``"dict"`` — the historical hash-map kernel: the configuration lives
+  in ``ParticleSystem.colors`` and every step hashes ~9 coordinate
+  tuples against it;
+* ``"grid"`` — a flat-arena kernel: the configuration is embedded in a
+  padded bounded list indexed by ``node_id = (y - oy) * W + (x - ox)``
+  (``0`` = empty, ``c + 1`` = color ``c``), ring neighborhoods become
+  precomputed *integer deltas*, and the hot loop does pure integer
+  indexing — no tuple construction, no hashing.  The arena regrows
+  (amortized, margin doubling) when the blob nears its border, and the
+  canonical ``ParticleSystem.colors`` dict is lazily re-synced — with
+  the exact insertion order the dict kernel would have produced — at
+  every run boundary.
+
+Both kernels consume the *same* ``random.Random`` stream in the same
+order, so trajectories are bit-identical for the same seed (regression
+tested in ``tests/test_core_grid_kernel.py``).  ``"auto"`` (the
+default) picks the grid kernel for runs long enough to amortize the
+arena build/sync and falls back to the dict kernel otherwise.
 """
 
 from __future__ import annotations
@@ -29,6 +51,7 @@ from __future__ import annotations
 import math
 import random as _random
 import time
+from functools import lru_cache
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -90,9 +113,36 @@ _DST_MASK = sum(1 << i for i in DST_RING_INDICES)
 E_SRC: Tuple[int, ...] = tuple(bin(mask & _SRC_MASK).count("1") for mask in range(256))
 E_DST: Tuple[int, ...] = tuple(bin(mask & _DST_MASK).count("1") for mask in range(256))
 
+#: Sentinel marking a ring mask whose move proposal is always rejected
+#: (source has five neighbors, or Properties 4/5 fail).
+_MOVE_REJECT = 99
+
+#: Collapsed move table for the grid kernel: ``Δe = e' - e`` per ring
+#: mask, or ``_MOVE_REJECT`` when the move is disallowed.  Folds the
+#: three dict-kernel lookups (``E_SRC``/``MOVE_OK``/``E_DST``) and two
+#: branches into one lookup and one compare in the hot loop.
+MOVE_DELTA: Tuple[int, ...] = tuple(
+    (E_DST[mask] - E_SRC[mask])
+    if (E_SRC[mask] != 5 and MOVE_OK[mask])
+    else _MOVE_REJECT
+    for mask in range(256)
+)
+
 
 #: Uniform draws per refill of the batched run() fast path.
 _RNG_CHUNK = 4096
+
+#: Kernel backends understood by :class:`SeparationChain`.
+KERNEL_BACKENDS = ("auto", "grid", "dict")
+
+#: Initial empty margin (cells) around the bounding box of the
+#: configuration when the flat arena is (re)built.  Must be >= 3 so
+#: that every particle starts outside the 2-cell danger band.
+_GRID_MARGIN = 8
+
+#: Under ``backend="auto"``, runs shorter than this take the dict
+#: kernel: the O(n + arena) grid build/sync would not amortize.
+_GRID_MIN_STEPS = 256
 
 
 def _clamped_power(base: float, exponent: int) -> float:
@@ -110,16 +160,24 @@ def _clamped_power(base: float, exponent: int) -> float:
         return math.inf
 
 
-def _power_table(base: float, max_abs_exponent: int) -> List[float]:
+@lru_cache(maxsize=None)
+def _power_table(base: float, max_abs_exponent: int) -> Tuple[float, ...]:
     """``table[k + max_abs_exponent] == base ** k`` for |k| <= max.
 
     Entries overflowing the float range clamp to ``math.inf`` (and
     underflow naturally to ``0.0``) instead of raising at construction.
+
+    Memoized on ``(base, max_abs_exponent)``: sweeps construct
+    thousands of chains over a handful of distinct biases, and
+    rebuilding identical tables per chain was pure waste.  The cache
+    needs no invalidation — tables are immutable tuples, and a given
+    key always maps to the same values.  Entries are tiny (11 or 21
+    floats), so the cache is unbounded.
     """
-    return [
+    return tuple(
         _clamped_power(base, k)
         for k in range(-max_abs_exponent, max_abs_exponent + 1)
-    ]
+    )
 
 
 def bias_ratio(lam: float, gamma: float, delta_e: int, delta_ei: int) -> float:
@@ -158,6 +216,15 @@ class SeparationChain:
         quantifies this.
     seed:
         Integer seed or ``random.Random`` for reproducibility.
+    backend:
+        Step-kernel selection: ``"grid"`` forces the flat-arena integer
+        kernel, ``"dict"`` forces the historical hash-map kernel, and
+        ``"auto"`` (default) uses the grid kernel for batched runs long
+        enough to amortize the arena build/sync.  Both kernels consume
+        the RNG stream identically, so the choice never changes a
+        trajectory — only its speed.  The grid kernel engages on the
+        batched ``run()`` path only; ``step()`` and subclassed-RNG
+        chains always use the reference dict path.
 
     Attributes
     ----------
@@ -174,11 +241,17 @@ class SeparationChain:
         gamma: float,
         swaps: bool = True,
         seed: RngLike = None,
+        backend: str = "auto",
     ):
         if lam <= 0:
             raise ValueError(f"lambda must be positive, got {lam}")
         if gamma <= 0:
             raise ValueError(f"gamma must be positive, got {gamma}")
+        if backend not in KERNEL_BACKENDS:
+            raise ValueError(
+                f"unknown kernel backend {backend!r}; "
+                f"expected one of {KERNEL_BACKENDS}"
+            )
         self.system = system
         self.lam = float(lam)
         self.gamma = float(gamma)
@@ -202,6 +275,29 @@ class SeparationChain:
         # coupling diagnostics) rely on draw-by-draw consumption, so they
         # take the reference single-step path.
         self._batch_rng = type(self.rng) is _random.Random
+        # Flat-grid kernel state (built lazily on first grid run; see
+        # _grid_build).  The arena embeds the configuration in a padded
+        # bounded list (0 = empty, c + 1 = color c); _grid_valid tracks
+        # whether it still mirrors system.colors.
+        self.backend = backend
+        self._grid_enabled = backend != "dict" and self._batch_rng
+        self._grid_force = backend == "grid"
+        self._grid_margin = _GRID_MARGIN
+        self._grid_valid = False
+        self._grid_regrows = 0
+        self._arena: List[int] = []
+        self._gdanger = bytearray()
+        self._gpos: List[int] = []
+        self._gW = 0
+        self._gH = 0
+        self._gox = 0
+        self._goy = 0
+        self._gmove: Tuple[int, ...] = ()
+        self._gring: Tuple[Tuple[int, ...], ...] = ()
+        self._gring_swap: Tuple[Tuple[int, ...], ...] = ()
+        self._gswap_contrib: List[List[List[int]]] = []
+        self._grid_rank: List[int] = []
+        self._grid_last: List[int] = []
         # Observability hooks (see instrument()).  Disabled by default;
         # run() pays exactly one boolean check when uninstrumented, and
         # the hooks never touch the RNG stream, so instrumented and
@@ -240,6 +336,9 @@ class SeparationChain:
         positions = self._positions
         random = self._uniform
         self.iterations += 1
+        # step() mutates the canonical dict directly, so any flat arena
+        # built by a previous grid run no longer mirrors it.
+        self._grid_valid = False
 
         idx = int(random() * len(positions))
         src = positions[idx]
@@ -430,7 +529,12 @@ class SeparationChain:
             )
 
     def _run_steps(self, steps: int) -> "SeparationChain":
-        """The uninstrumented run loop (reference + batched fast path)."""
+        """The uninstrumented run loop (reference + batched fast paths).
+
+        Dispatches between the flat-grid kernel and the dict kernel
+        according to the ``backend`` knob; both consume the RNG stream
+        identically, so the dispatch never affects the trajectory.
+        """
         if steps < 0:
             raise ValueError(f"steps must be non-negative, got {steps}")
         if not self._batch_rng:
@@ -440,8 +544,13 @@ class SeparationChain:
             return self
         if steps == 0:
             return self
+        if self._grid_enabled and (
+            self._grid_force or steps >= _GRID_MIN_STEPS
+        ):
+            return self._run_steps_grid(steps)
 
-        # --- Batched fast path (inlined step(); see tests for identity) ---
+        # --- Batched dict fast path (inlined step(); tests pin identity) ---
+        self._grid_valid = False  # about to mutate the dict directly
         system = self.system
         colors = system.colors
         colors_get = colors.get
@@ -474,11 +583,18 @@ class SeparationChain:
                 # Refill with at most the worst-case demand of the rest
                 # of this run (3 draws/step) so over-draw stays bounded;
                 # leftovers persist in self._buffer for the next call.
+                # The consumed prefix is dropped in place (O(leftover),
+                # at most 2 elements here) instead of slicing the buffer
+                # into a fresh list, so no O(buffered) copy ever happens.
                 need = 3 * remaining - (size - pos)
-                buffer = buffer[pos:] + uniform_chunk(
-                    rng, need if need < _RNG_CHUNK else _RNG_CHUNK
+                if pos:
+                    del buffer[:pos]
+                    pos = 0
+                buffer.extend(
+                    uniform_chunk(
+                        rng, need if need < _RNG_CHUNK else _RNG_CHUNK
+                    )
                 )
-                pos = 0
                 size = len(buffer)
 
             idx = int(buffer[pos] * n_particles)
@@ -579,6 +695,311 @@ class SeparationChain:
         return self
 
     # ------------------------------------------------------------------
+    # Flat-grid kernel (integer-indexed arena backend)
+    # ------------------------------------------------------------------
+
+    def _grid_alloc(self, nodes: List[Node], values: List[int]) -> None:
+        """(Re)build the arena around ``nodes`` with the current margin.
+
+        ``values[i]`` is the arena value (color + 1) of ``nodes[i]``;
+        ``self._gpos`` is rebuilt in the same order, so particle slot
+        indices survive reallocation.  A parallel ``danger`` bytearray
+        flags the 2-cell band along the border: ring reads reach at most
+        2 cells from a particle, so as long as every particle stays out
+        of the band all integer indexing is in bounds (and never wraps a
+        row, because x-offsets are bounded by the same 2 < margin).
+        """
+        pad = self._grid_margin
+        xs = [x for x, _ in nodes]
+        ys = [y for _, y in nodes]
+        ox = min(xs) - pad
+        oy = min(ys) - pad
+        width = max(xs) - min(xs) + 1 + 2 * pad
+        height = max(ys) - min(ys) + 1 + 2 * pad
+        arena = [0] * (width * height)
+        danger = bytearray(width * height)
+        for gy in (0, 1, height - 2, height - 1):
+            base = gy * width
+            for gx in range(width):
+                danger[base + gx] = 1
+        for gy in range(height):
+            base = gy * width
+            danger[base] = danger[base + 1] = 1
+            danger[base + width - 2] = danger[base + width - 1] = 1
+        gpos = []
+        for (x, y), value in zip(nodes, values):
+            node_id = (y - oy) * width + (x - ox)
+            arena[node_id] = value
+            gpos.append(node_id)
+        self._arena = arena
+        self._gdanger = danger
+        self._gpos = gpos
+        self._gW = width
+        self._gH = height
+        self._gox = ox
+        self._goy = oy
+        self._gmove = tuple(dy * width + dx for dx, dy in NEIGHBOR_OFFSETS)
+        self._gring = tuple(
+            tuple(rdy * width + rdx for rdx, rdy in RING_OFFSETS[d])
+            for d in range(6)
+        )
+        # Swap proposals only read the six *exclusive* ring positions
+        # (the two common neighbors cancel in the exponent), so give
+        # them a dedicated 6-tuple to unpack.
+        self._gring_swap = tuple(
+            (r[1], r[2], r[3], r[5], r[6], r[7]) for r in self._gring
+        )
+        # Per-(ci, cj) swap-exponent contribution of one ring value v:
+        # +1 if v is ci, -1 if v is cj, 0 otherwise (arena encoding:
+        # 0 = empty, c + 1 = color c).  Replaces twelve comparisons per
+        # swap proposal with six table reads.
+        k = self.system.num_colors + 1
+        table = [[[0] * k for _ in range(k)] for _ in range(k)]
+        for civ in range(1, k):
+            for cjv in range(1, k):
+                if civ != cjv:
+                    table[civ][cjv][civ] = 1
+                    table[civ][cjv][cjv] = -1
+        self._gswap_contrib = table
+
+    def _grid_build(self) -> None:
+        """Embed the current configuration into a fresh flat arena.
+
+        Also records each particle slot's rank in the *dict iteration
+        order* (``self._grid_rank``): the sync-back uses it to
+        reconstruct the exact insertion order the dict kernel would
+        have produced, so downstream consumers of dict order (e.g.
+        ``refresh_positions`` or order-preserving serialization) cannot
+        tell the kernels apart.
+        """
+        colors = self.system.colors
+        positions = self._positions
+        self._grid_alloc(
+            positions, [colors[node] + 1 for node in positions]
+        )
+        rank_of = {node: rank for rank, node in enumerate(colors)}
+        self._grid_rank = [rank_of[node] for node in positions]
+        self._grid_last = [0] * len(positions)
+        self._grid_valid = True
+
+    def _grid_regrow(self) -> None:
+        """Double the margin and re-embed after a border-band landing.
+
+        Called from the hot loop when an accepted move enters the
+        danger band.  Margin doubling keeps the total regrow work
+        amortized: each regrow at least doubles the number of moves a
+        particle needs to reach the new band.
+        """
+        width = self._gW
+        ox = self._gox
+        oy = self._goy
+        arena = self._arena
+        nodes = []
+        values = []
+        for node_id in self._gpos:
+            nodes.append((node_id % width + ox, node_id // width + oy))
+            values.append(arena[node_id])
+        self._grid_margin *= 2
+        self._grid_regrows += 1
+        self._grid_alloc(nodes, values)
+
+    def _grid_sync(self) -> None:
+        """Write the arena state back into ``ParticleSystem.colors``.
+
+        Reproduces the dict kernel's insertion order exactly: a dict
+        move is ``del colors[src]; colors[dst] = c`` — the particle is
+        re-inserted at the *end* — so the final order is the particles
+        untouched this run (in their pre-run dict order) followed by
+        the moved ones in order of their last accepted move.  Swaps
+        assign existing keys and never reorder.  ``self._positions`` is
+        refreshed alongside, and the new order becomes the rank
+        baseline for the next grid run.
+        """
+        gpos = self._gpos
+        arena = self._arena
+        width = self._gW
+        ox = self._gox
+        oy = self._goy
+        last = self._grid_last
+        rank = self._grid_rank
+        order = sorted(
+            range(len(gpos)), key=lambda i: (last[i], rank[i])
+        )
+        colors = self.system.colors
+        colors.clear()
+        positions = self._positions
+        for new_rank, i in enumerate(order):
+            node_id = gpos[i]
+            node = (node_id % width + ox, node_id // width + oy)
+            colors[node] = arena[node_id] - 1
+            positions[i] = node
+            rank[i] = new_rank
+            last[i] = 0
+
+    def _run_steps_grid(self, steps: int) -> "SeparationChain":
+        """The flat-grid batched run loop (bit-identical to the dict path).
+
+        Pure integer indexing: particle slots hold arena ids, moves add
+        per-direction deltas, and the 8-node edge ring is read through
+        precomputed integer offsets — no tuple construction, no
+        hashing.  RNG consumption (index, direction, and q only when
+        the bias ratio is below 1) mirrors the dict kernel draw for
+        draw.  The canonical dict is re-synced on exit.
+        """
+        if not self._grid_valid:
+            self._grid_build()
+        system = self.system
+        arena = self._arena
+        danger = self._gdanger
+        gpos = self._gpos
+        move_deltas = self._gmove
+        ring_deltas = self._gring
+        swap_rings = self._gring_swap
+        swap_contrib = self._gswap_contrib
+        last_moved = self._grid_last
+        n_particles = len(gpos)
+        int_ = int  # local alias: the hot loop calls it 2-3x per step
+        no_swaps = not self.swaps
+        lam_pow = self._lam_pow
+        gam_pow = self._gam_pow
+        gam_pow_swap = self._gam_pow_swap
+        log_lam = self._log_lam
+        log_gam = self._log_gam
+        move_delta = MOVE_DELTA
+        reject = _MOVE_REJECT
+        rng = self.rng
+        buffer = self._buffer
+        pos = self._buffer_pos
+        # `limit` is the last buffer index from which a full step's worst
+        # case (3 draws) can be served; hoisting it saves a subtraction
+        # on every iteration of the hot loop.
+        limit = len(buffer) - 3
+        edge_total = system.edge_total
+        hetero_total = system.hetero_total
+        accepted_moves = 0
+        accepted_swaps = 0
+
+        for remaining in range(steps, 0, -1):
+            if pos > limit:
+                # Same consumed-prefix refill as the dict kernel; the
+                # carried buffer keeps mixed kernel/step() sequences on
+                # one sequentially-consumed stream.
+                need = 3 * remaining - (len(buffer) - pos)
+                if pos:
+                    del buffer[:pos]
+                    pos = 0
+                buffer.extend(
+                    uniform_chunk(
+                        rng, need if need < _RNG_CHUNK else _RNG_CHUNK
+                    )
+                )
+                limit = len(buffer) - 3
+
+            idx = int_(buffer[pos] * n_particles)
+            src = gpos[idx]
+            civ = arena[src]
+            d = int_(buffer[pos + 1] * 6)
+            pos += 2
+            dst = src + move_deltas[d]
+            dstv = arena[dst]
+            if dstv:
+                # Same-color first: it is the single most common outcome
+                # in well-mixed configurations, so it short-circuits.
+                if dstv == civ or no_swaps:
+                    continue  # occupied target, no swap possible: no-op
+
+                # --- Swap move (Algorithm 1, lines 9-10) ---
+                # The two common neighbors (ring 0 and 4) contribute to
+                # both endpoint counts and cancel in the exponent, so
+                # only the six exclusive ring positions are read.
+                r1, r2, r3, r5, r6, r7 = swap_rings[d]
+                contrib = swap_contrib[civ][dstv]
+                expo = (
+                    contrib[arena[src + r1]]
+                    + contrib[arena[src + r2]]
+                    + contrib[arena[src + r3]]
+                    - contrib[arena[src + r5]]
+                    - contrib[arena[src + r6]]
+                    - contrib[arena[src + r7]]
+                )
+                ratio = gam_pow_swap[expo + 10]
+                if ratio < 1.0:
+                    q = buffer[pos]
+                    pos += 1
+                    if q >= ratio:
+                        continue
+                arena[src] = dstv
+                arena[dst] = civ
+                hetero_total -= expo
+                accepted_swaps += 1
+                continue
+
+            # --- Expansion move (Algorithm 1, lines 3-8) ---
+            r0, r1, r2, r3, r4, r5, r6, r7 = ring_deltas[d]
+            v0 = arena[src + r0]
+            v1 = arena[src + r1]
+            v2 = arena[src + r2]
+            v3 = arena[src + r3]
+            v4 = arena[src + r4]
+            v5 = arena[src + r5]
+            v6 = arena[src + r6]
+            v7 = arena[src + r7]
+            de = move_delta[
+                (v0 > 0)
+                | (v1 > 0) << 1
+                | (v2 > 0) << 2
+                | (v3 > 0) << 3
+                | (v4 > 0) << 4
+                | (v5 > 0) << 5
+                | (v6 > 0) << 6
+                | (v7 > 0) << 7
+            ]
+            if de == reject:
+                continue
+            common = (v0 == civ) + (v4 == civ)
+            ei_src = common + (v5 == civ) + (v6 == civ) + (v7 == civ)
+            ei_dst = common + (v1 == civ) + (v2 == civ) + (v3 == civ)
+            dei = ei_dst - ei_src
+            ratio = lam_pow[de + 5] * gam_pow[dei + 5]
+            if ratio != ratio:  # inf * 0 under extreme biases
+                log_ratio = de * log_lam + dei * log_gam
+                ratio = math.inf if log_ratio > 0.0 else math.exp(log_ratio)
+            if ratio < 1.0:
+                q = buffer[pos]
+                pos += 1
+                if q >= ratio:
+                    continue
+            # Accept: move the particle and update counters locally.
+            arena[src] = 0
+            arena[dst] = civ
+            gpos[idx] = dst
+            last_moved[idx] = steps - remaining + 1
+            edge_total += de
+            hetero_total += de - dei
+            accepted_moves += 1
+            if danger[dst]:
+                # The blob reached the border band: regrow (margin
+                # doubles, everything re-embeds) and reload locals.
+                self._grid_regrow()
+                arena = self._arena
+                danger = self._gdanger
+                gpos = self._gpos
+                move_deltas = self._gmove
+                ring_deltas = self._gring
+                swap_rings = self._gring_swap
+                swap_contrib = self._gswap_contrib
+
+        system.edge_total = edge_total
+        system.hetero_total = hetero_total
+        self.iterations += steps
+        self.accepted_moves += accepted_moves
+        self.accepted_swaps += accepted_swaps
+        self._buffer = buffer
+        self._buffer_pos = pos
+        self._grid_sync()
+        return self
+
+    # ------------------------------------------------------------------
     # Exact per-proposal probabilities (used by repro.markov.exact)
     # ------------------------------------------------------------------
 
@@ -630,9 +1051,13 @@ class SeparationChain:
         """Re-sync the internal particle list with the system state.
 
         Call after mutating ``self.system`` outside the chain (the chain
-        otherwise assumes exclusive ownership while running).
+        otherwise assumes exclusive ownership while running).  Any flat
+        arena built by a previous grid run is invalidated alongside: the
+        external mutation may have moved, added, or removed particles the
+        arena still reflects.
         """
         self._positions = list(self.system.colors)
+        self._grid_valid = False
 
     def acceptance_rate(self) -> float:
         """Fraction of iterations that changed the configuration.

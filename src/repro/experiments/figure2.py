@@ -114,6 +114,7 @@ def run_figure2(
     resume: bool = False,
     progress: Optional[ProgressCallback] = None,
     obs: Optional[Instrumentation] = None,
+    kernel: str = "auto",
 ) -> Figure2Result:
     """Regenerate the Figure 2 trajectory.
 
@@ -130,6 +131,9 @@ def run_figure2(
     regeneration is additionally wrapped in a ``figure2`` trace span,
     and worker spans cover each inter-checkpoint chain segment — the
     burn-in/run/measure phasing of the figure.
+
+    ``kernel`` picks the step kernel (``"auto"``/``"grid"``/``"dict"``)
+    without affecting the trajectory or checkpoint identity.
     """
     if replicas < 1:
         raise ValueError(f"replicas must be positive, got {replicas}")
@@ -153,6 +157,7 @@ def run_figure2(
             system_json=initial_json,
             checkpoints=tuple(checkpoints),
             label=f"figure2 replica={replica}",
+            kernel=kernel,
         )
         for replica in range(replicas)
     ]

@@ -103,6 +103,7 @@ def run_figure3(
     resume: bool = False,
     progress: Optional[ProgressCallback] = None,
     obs: Optional[Instrumentation] = None,
+    kernel: str = "auto",
 ) -> Figure3Result:
     """Regenerate the Figure 3 phase grid.
 
@@ -120,7 +121,8 @@ def run_figure3(
     ``resume``/``progress``/``obs`` are forwarded to the parallel
     execution engine; with ``obs`` attached the grid is wrapped in a
     ``figure3`` trace span and every cell reports wall-time and
-    throughput (see :mod:`repro.obs`).
+    throughput (see :mod:`repro.obs`).  ``kernel`` picks the step
+    kernel per cell without affecting trajectories or checkpoints.
     """
     if replicas < 1:
         raise ValueError(f"replicas must be positive, got {replicas}")
@@ -140,6 +142,7 @@ def run_figure3(
             swaps=swaps,
             system_json=initial_json,
             label=f"lam={lam} gamma={gamma}",
+            kernel=kernel,
         )
         for lam, gamma in cells
         for replica in range(replicas)

@@ -49,7 +49,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.core.separation_chain import SeparationChain
+from repro.core.separation_chain import KERNEL_BACKENDS, SeparationChain
 from repro.obs import (
     Instrumentation,
     JsonLogger,
@@ -84,7 +84,12 @@ class CellTask:
     ``<= steps``) at which the worker snapshots the configuration; the
     final configuration after ``steps`` iterations is always returned.
     ``label`` is free-form metadata for reporting and does not affect
-    the task identity (it is excluded from :meth:`key`).
+    the task identity (it is excluded from :meth:`key`).  ``kernel``
+    selects the chain's step kernel (``"auto"``/``"grid"``/``"dict"``,
+    see :class:`repro.core.separation_chain.SeparationChain`); both
+    kernels are bit-identical in trajectory, so — like ``label`` — it
+    rides *outside* the task identity and checkpoints written under one
+    kernel resume cleanly under another.
     """
 
     lam: float
@@ -96,6 +101,7 @@ class CellTask:
     system_json: str = ""
     checkpoints: Tuple[int, ...] = ()
     label: str = ""
+    kernel: str = "auto"
 
     def key(self) -> str:
         """Stable identity digest used to name checkpoint files.
@@ -103,7 +109,10 @@ class CellTask:
         Covers every field that affects the trajectory (including a
         digest of the initial configuration), so resuming against a
         checkpoint directory written by a *different* sweep recomputes
-        rather than silently reusing stale cells.
+        rather than silently reusing stale cells.  ``kernel`` is
+        deliberately excluded: the grid and dict kernels are
+        trajectory-identical, so cells checkpointed before the grid
+        kernel existed stay valid under it (and vice versa).
         """
         system_digest = hashlib.sha256(self.system_json.encode()).hexdigest()
         blob = "|".join(
@@ -124,6 +133,11 @@ class CellTask:
         """Raise ``ValueError`` on malformed tasks before any fan-out."""
         if not self.system_json:
             raise ValueError("task is missing its initial configuration")
+        if self.kernel not in KERNEL_BACKENDS:
+            raise ValueError(
+                f"unknown kernel {self.kernel!r}; "
+                f"expected one of {KERNEL_BACKENDS}"
+            )
         if self.steps < 0:
             raise ValueError(f"steps must be non-negative, got {self.steps}")
         previous = -1
@@ -187,6 +201,7 @@ def task_payload(
         "system": task.system_json,
         "checkpoints": list(task.checkpoints),
         "label": task.label,
+        "kernel": task.kernel,
     }
     if instrument:
         payload["instrument"] = dict(instrument)
@@ -250,6 +265,9 @@ def _run_cell_body(
         gamma=payload["gamma"],
         swaps=payload["swaps"],
         seed=payload["seed"],
+        # Older payloads (pre-kernel) default to "auto"; either way the
+        # trajectory is identical, only the throughput differs.
+        backend=payload.get("kernel", "auto"),
     )
     if logger is not None or metrics is not None or trace is not None:
         chain.instrument(metrics=metrics, trace=trace, logger=logger)

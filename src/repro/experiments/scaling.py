@@ -69,6 +69,7 @@ def scaling_study(
     resume: bool = False,
     progress: Optional[ProgressCallback] = None,
     obs: Optional[Instrumentation] = None,
+    kernel: str = "auto",
 ) -> List[ScalingPoint]:
     """Measure endpoint quality and time-to-separation across sizes.
 
@@ -82,6 +83,8 @@ def scaling_study(
     :mod:`repro.experiments.parallel`: ``backend="process"`` fans them
     out over ``workers`` processes, and ``checkpoint_dir``/``resume``
     allow restarting a killed study without redoing finished runs.
+    ``kernel`` picks the step kernel per run without affecting
+    trajectories or checkpoint identity.
     """
     if replicas < 1:
         raise ValueError(f"replicas must be positive, got {replicas}")
@@ -109,6 +112,7 @@ def scaling_study(
                     ),
                     checkpoints=ticks,
                     label=f"n={n} replica={replica}",
+                    kernel=kernel,
                 )
             )
     if obs is not None:

@@ -64,6 +64,7 @@ def run_sweep(
     resume: bool = False,
     progress: Optional[ProgressCallback] = None,
     obs: Optional[Instrumentation] = None,
+    kernel: str = "auto",
 ) -> List[SweepPoint]:
     """Run the chain over a parameter grid, measuring the endpoints.
 
@@ -85,6 +86,11 @@ def run_sweep(
     metrics with per-cell wall-times, and a ``sweep`` trace span
     wrapping the whole grid.  Instrumentation never perturbs the
     trajectories (the RNG stream is untouched).
+
+    ``kernel`` selects the chain's step kernel per cell
+    (``"auto"``/``"grid"``/``"dict"``); trajectories are identical
+    either way, and the choice is excluded from checkpoint identity, so
+    a sweep checkpointed under one kernel resumes under another.
     """
     if replicas < 1:
         raise ValueError(f"replicas must be positive, got {replicas}")
@@ -110,6 +116,7 @@ def run_sweep(
                     swaps=swaps,
                     system_json=initial_json,
                     label=f"lam={params['lam']} gamma={params['gamma']}",
+                    kernel=kernel,
                 )
             )
 

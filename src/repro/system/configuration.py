@@ -20,6 +20,7 @@ move sequences.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.lattice.boundary import perimeter as walk_perimeter
@@ -29,6 +30,12 @@ from repro.lattice.holes import has_holes
 from repro.lattice.triangular import NEIGHBOR_OFFSETS, Node, canonical_form
 
 Coloring = Mapping[Node, int]
+
+#: Debug cross-check of the O(1) perimeter identity against the exact
+#: boundary walk (see :meth:`ParticleSystem.perimeter`).  Read once at
+#: import from the ``REPRO_DEBUG_PERIMETER`` environment variable;
+#: tests may monkeypatch the module attribute directly.
+_PERIMETER_DEBUG = os.environ.get("REPRO_DEBUG_PERIMETER", "") not in ("", "0")
 
 
 class ParticleSystem:
@@ -202,13 +209,39 @@ class ParticleSystem:
     def perimeter(self, exact: bool = False) -> int:
         """Perimeter :math:`p(\\sigma)`.
 
-        With ``exact=False`` (default) uses the O(1) hole-free identity
-        :math:`p = 3n - 3 - e`; with ``exact=True`` traces the outer
-        boundary walk, which is correct even in the presence of holes.
+        With ``exact=False`` (default) uses the O(1) identity
+        :math:`p = 3n - 3 - e`, which is exact **only for connected,
+        hole-free configurations** (the chain's reachable state space —
+        Property 4/5 moves preserve both invariants).  When the occupied
+        set encloses holes the identity *overcounts*: missing interior
+        edges around each hole inflate ``3n - 3 - e`` relative to the
+        outer perimeter (e.g. a 6-node ring around one empty center has
+        outer perimeter 6 but ``3·6 - 3 - 6 = 9``).  With ``exact=True``
+        the outer
+        boundary walk is traced instead, which is correct regardless of
+        holes — use it whenever the configuration was built or mutated
+        outside the chain.
+
+        Setting the ``REPRO_DEBUG_PERIMETER`` environment variable to a
+        non-empty value (other than ``0``) turns on a debug
+        cross-check: every default-path call also runs the boundary
+        walk and raises ``AssertionError`` on mismatch, catching silent
+        miscounts from holed configurations at their source.  The check
+        is O(perimeter) per call, so it is opt-in.
         """
         if exact:
             return walk_perimeter(set(self.colors))
-        return perimeter_from_edges(self.n, self.edge_total)
+        fast = perimeter_from_edges(self.n, self.edge_total)
+        if _PERIMETER_DEBUG:
+            walked = walk_perimeter(set(self.colors))
+            if fast != walked:
+                raise AssertionError(
+                    f"perimeter identity 3n-3-e = {fast} disagrees with "
+                    f"the boundary walk = {walked}: the configuration "
+                    "is holed or disconnected, so the O(1) identity "
+                    "does not apply — call perimeter(exact=True)"
+                )
+        return fast
 
     def homogeneous_edges(self) -> int:
         """Number of homogeneous edges :math:`a(\\sigma) = e - h`."""

@@ -378,3 +378,69 @@ class TestHarnessBackends:
             serial = scaling_study(**kwargs)
             parallel = scaling_study(backend="process", workers=2, **kwargs)
         assert serial == parallel
+
+
+class TestKernelKnob:
+    """The kernel backend is an engineering choice, not a trajectory one.
+
+    Because trajectories are bit-identical across kernels, the kernel is
+    deliberately excluded from ``CellTask.key()``: checkpoints written by
+    a dict-kernel sweep resume under the grid kernel (and vice versa)
+    without recomputation.
+    """
+
+    def test_key_is_kernel_agnostic(self):
+        base = make_task()
+        assert base.key() == make_task(kernel="grid").key()
+        assert base.key() == make_task(kernel="dict").key()
+
+    def test_validate_rejects_unknown_kernel(self):
+        with pytest.raises(ValueError):
+            make_task(kernel="numpy").validate()
+
+    def test_worker_results_identical_across_kernels(self):
+        payloads = [
+            run_cell(task_payload(make_task(steps=3_000, kernel=kernel)))
+            for kernel in ("dict", "grid")
+        ]
+        d, g = payloads
+        assert d["final"] == g["final"]
+        assert d["accepted_moves"] == g["accepted_moves"]
+        assert d["accepted_swaps"] == g["accepted_swaps"]
+        assert d["snapshots"] == g["snapshots"]
+
+    def test_dict_checkpoints_resume_under_grid(self, tmp_path):
+        dict_tasks = [
+            make_task(seed=s, steps=600, kernel="dict") for s in (1, 2)
+        ]
+        first = execute_cells(dict_tasks, checkpoint_dir=tmp_path)
+
+        grid_tasks = [
+            make_task(seed=s, steps=600, kernel="grid") for s in (1, 2)
+        ]
+        flags = []
+        second = execute_cells(
+            grid_tasks,
+            checkpoint_dir=tmp_path,
+            resume=True,
+            progress=lambda done, total, r: flags.append(r.from_checkpoint),
+        )
+        assert flags == [True, True]
+        for a, b in zip(first, second):
+            assert a.system.colors == b.system.colors
+            assert a.iterations == b.iterations
+
+    def test_sweep_metrics_identical_across_kernels(self):
+        kwargs = dict(
+            param_grid=grid([2.0, 4.0], [4.0]),
+            metrics=METRICS,
+            n=20,
+            iterations=2_000,
+            seed=7,
+        )
+        dict_points = run_sweep(kernel="dict", **kwargs)
+        grid_points = run_sweep(kernel="grid", **kwargs)
+        for d, g in zip(dict_points, grid_points):
+            assert d.params == g.params
+            assert d.metrics == g.metrics
+            assert d.system.colors == g.system.colors

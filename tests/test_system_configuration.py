@@ -143,6 +143,42 @@ class TestPerimeter:
         system = ParticleSystem.from_nodes([(0, 0), (1, 0)], [0, 1])
         assert system.perimeter() == 2
 
+    @staticmethod
+    def _holed_ring() -> ParticleSystem:
+        """Six particles ringing an empty center: the smallest holed set."""
+        from repro.lattice.triangular import NEIGHBOR_OFFSETS
+
+        nodes = list(NEIGHBOR_OFFSETS)
+        return ParticleSystem.from_nodes(nodes, [0] * len(nodes))
+
+    def test_identity_overcounts_on_holed_configuration(self):
+        """p = 3n - 3 - e is only exact for hole-free configurations.
+
+        The 6-ring has outer perimeter 6 but e = 6, so the identity
+        yields 3*6 - 3 - 6 = 9 — the documented overcount.
+        """
+        system = self._holed_ring()
+        assert system.has_holes()
+        assert system.perimeter(exact=True) == 6
+        assert system.perimeter() == 9  # identity path, silently wrong
+
+    def test_debug_mode_catches_holed_identity(self, monkeypatch):
+        from repro.system import configuration
+
+        monkeypatch.setattr(configuration, "_PERIMETER_DEBUG", True)
+        system = self._holed_ring()
+        # The exact path never cross-checks — always safe.
+        assert system.perimeter(exact=True) == 6
+        with pytest.raises(AssertionError, match="perimeter identity"):
+            system.perimeter()
+
+    def test_debug_mode_passes_on_hole_free(self, monkeypatch):
+        from repro.system import configuration
+
+        monkeypatch.setattr(configuration, "_PERIMETER_DEBUG", True)
+        system = hexagon_system(30, seed=1)
+        assert system.perimeter() == system.perimeter(exact=True)
+
 
 class TestCopyAndKeys:
     def test_copy_is_independent(self):
