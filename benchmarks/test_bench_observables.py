@@ -1,0 +1,144 @@
+"""Measurement-path microbenchmarks: observables, counters, dense traces.
+
+The measurement hot path matters as soon as ``measure_every`` gets
+small: a dense Figure-2 trace at n = 400 reads observables hundreds of
+times per run, so every read must be O(1) counter arithmetic rather
+than an O(n) rescan.  This module times the three layers of that path:
+
+- the O(1) incremental counter reads (``edge_count``,
+  ``heterogeneous_edge_count``, the perimeter identity) against the
+  from-scratch O(n) rescans they replace;
+- the single-pass ``monochromatic_cluster_sizes`` traversal (the one
+  genuinely O(n) observable left in the dense path) and
+  ``largest_cluster_fraction`` on top of it;
+- the end-to-end dense measurement mode, ``measure_figure2``, with
+  incremental counters on vs off — guarded at ≥
+  ``REPRO_MEASURE_SPEEDUP_MIN`` (default 1.5; the incremental path
+  measures ~5x on quiet hardware at n = 400, measure_every = 100).
+
+Like the other wall-clock guards, the assertion uses best-of-N timing
+and also runs under ``--benchmark-disable`` in CI.
+"""
+
+import os
+import time
+
+from conftest import write_result
+from repro.core.separation_chain import SeparationChain
+from repro.experiments.figure2 import measure_figure2
+from repro.system.initializers import random_blob_system
+from repro.system.observables import (
+    edge_count,
+    edge_count_scratch,
+    heterogeneous_edge_count,
+    heterogeneous_edge_count_scratch,
+    largest_cluster_fraction,
+    monochromatic_cluster_sizes,
+)
+
+#: System size of the observable microbenchmarks (matches the dense
+#: measurement acceptance scenario).
+N = 400
+
+#: Default floor on the incremental/from-scratch dense-measurement
+#: speedup (override with ``REPRO_MEASURE_SPEEDUP_MIN``).
+DEFAULT_MEASURE_SPEEDUP_MIN = 1.5
+
+
+def _evolved_system(n: int = N, steps: int = 20_000):
+    """A mid-separation configuration: realistic cluster structure."""
+    system = random_blob_system(n, seed=7)
+    chain = SeparationChain(system, lam=4.0, gamma=4.0, seed=7)
+    chain.run(steps)
+    return system
+
+
+def test_cluster_sizes_cost(benchmark):
+    """Single-pass same-color component traversal (O(n) by necessity)."""
+    system = _evolved_system()
+    sizes = benchmark(monochromatic_cluster_sizes, system)
+    assert sum(sum(s) for s in sizes.values()) == system.n
+
+
+def test_largest_cluster_fraction_cost(benchmark):
+    system = _evolved_system()
+    fraction = benchmark(largest_cluster_fraction, system)
+    assert 0.0 < fraction <= 1.0
+
+
+def test_incremental_counter_read_cost(benchmark):
+    """The O(1) reads the dense measurement path performs per row."""
+    system = _evolved_system()
+
+    def read_all():
+        return (
+            edge_count(system),
+            heterogeneous_edge_count(system),
+            system.perimeter(),
+        )
+
+    e, h, p = benchmark(read_all)
+    assert e >= h >= 0 and p == 3 * system.n - 3 - e
+
+
+def test_scratch_counter_read_cost(benchmark):
+    """The O(n) rescans those reads replace (the honest baseline)."""
+    system = _evolved_system()
+
+    def read_all():
+        return (
+            edge_count_scratch(system),
+            heterogeneous_edge_count_scratch(system),
+        )
+
+    e, h = benchmark(read_all)
+    assert e == system.edge_total and h == system.hetero_total
+
+
+def test_dense_measurement_speedup_guard():
+    """measure_figure2 incremental vs from-scratch at n=400, K=100.
+
+    Best-of-3 wall timing per mode; asserts the acceptance floor
+    (incremental ≥ 1.5x faster) and writes the measured ratio to
+    ``benchmarks/results/observable_speedup.txt``.
+    """
+    threshold = float(
+        os.environ.get(
+            "REPRO_MEASURE_SPEEDUP_MIN", DEFAULT_MEASURE_SPEEDUP_MIN
+        )
+    )
+    steps = 10_000
+    measure_every = 100
+
+    def best_wall(incremental: bool) -> float:
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            trace = measure_figure2(
+                n=N,
+                steps=steps,
+                measure_every=measure_every,
+                seed=2018,
+                incremental=incremental,
+            )
+            best = min(best, time.perf_counter() - start)
+            assert len(trace.rows) == steps // measure_every + 1
+        return best
+
+    scratch = best_wall(False)
+    incremental = best_wall(True)
+    ratio = scratch / incremental
+    write_result(
+        "observable_speedup",
+        (
+            f"dense measurement, n={N}, steps={steps}, "
+            f"measure_every={measure_every}\n"
+            f"from-scratch rescan per row: {scratch:.3f}s\n"
+            f"incremental O(1) counters:   {incremental:.3f}s\n"
+            f"speedup: {ratio:.2f}x (floor {threshold:.2f}x)"
+        ),
+    )
+    assert ratio >= threshold, (
+        f"incremental measurement speedup {ratio:.2f}x is below the "
+        f"{threshold:.2f}x floor (REPRO_MEASURE_SPEEDUP_MIN overrides)"
+    )

@@ -6,24 +6,34 @@ incremental-counter advantage over recomputation.  These are classic
 pytest-benchmark microbenchmarks (multiple rounds, statistics reported
 in the benchmark table).
 
-The dict-vs-grid kernel comparison additionally exports a
-machine-readable perf baseline, ``benchmarks/results/
-BENCH_throughput.json`` (versioned payload envelope; see
-``docs/performance.md`` for the schema), and *asserts* the grid
-kernel's speedup at n = 100: at least ``REPRO_KERNEL_SPEEDUP_MIN``
-(default 1.5 — chosen to absorb shared-runner noise below the ~2x the
-kernel delivers on quiet hardware).  Like the observability overhead
-guard, the assertion uses best-of-N wall timing so it also runs under
-``--benchmark-disable`` in CI.
+The kernel comparison additionally exports a machine-readable perf
+baseline, ``benchmarks/results/BENCH_throughput.json`` (versioned
+payload envelope; see ``docs/performance.md`` for the schema), and
+*asserts* two floors at n = 100:
+
+- grid over dict (scalar steps/sec): at least
+  ``REPRO_KERNEL_SPEEDUP_MIN`` (default 1.5 — chosen to absorb
+  shared-runner noise below the ~2x the kernel delivers on quiet
+  hardware);
+- batch *aggregate replica throughput* at R = 32 over the grid
+  kernel's scalar throughput: at least ``REPRO_BATCH_SPEEDUP_MIN``
+  (default 2.5, below the ~3x+ the replica-batched NumPy kernel
+  delivers on quiet hardware).
+
+Like the observability overhead guard, the assertions use best-of-N
+wall timing so they also run under ``--benchmark-disable`` in CI.
 """
 
 import os
+import subprocess
 import sys
 import time
 
+import numpy as np
 import pytest
 
 from conftest import RESULTS_DIR
+from repro.core.batch_kernel import BatchKernel
 from repro.core.separation_chain import SeparationChain
 from repro.distributed import ConcurrentRunner, DistributedRunner
 from repro.system.initializers import hexagon_system
@@ -31,19 +41,44 @@ from repro.util.serialization import save_payload
 
 STEPS = 20_000
 
-#: System sizes of the dict-vs-grid kernel comparison.
+#: System sizes of the kernel comparison.
 KERNEL_SIZES = (25, 100, 400)
 
-#: Kernel backends compared by the perf baseline.
+#: Scalar kernel backends compared by the perf baseline.
 KERNEL_BACKENDS = ("dict", "grid")
+
+#: Replica count of the batch-kernel rows (matches the acceptance
+#: criterion: aggregate replica throughput at n = 100, R = 32).
+BATCH_REPLICAS = 32
 
 #: Default floor on grid/dict steps-per-second at n=100 (override with
 #: the ``REPRO_KERNEL_SPEEDUP_MIN`` environment variable).
 DEFAULT_SPEEDUP_MIN = 1.5
 
+#: Default floor on batch-aggregate/grid throughput at n=100, R=32
+#: (override with ``REPRO_BATCH_SPEEDUP_MIN``).
+DEFAULT_BATCH_SPEEDUP_MIN = 2.5
+
 #: Schema version of the BENCH_throughput.json payload body (the
-#: envelope's ``format_version`` is versioned separately).
-BENCH_VERSION = 1
+#: envelope's ``format_version`` is versioned separately).  Version 2
+#: adds the batch-kernel rows (``replica_steps_per_sec``), the numpy
+#: version, and the git commit hash.
+BENCH_VERSION = 2
+
+
+def _git_commit() -> str:
+    """Short commit hash of the working tree, or ``"unknown"``."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        )
+        return out.stdout.strip() or "unknown"
+    except Exception:
+        return "unknown"
 
 
 def _kernel_chain(n: int, kernel: str) -> SeparationChain:
@@ -71,6 +106,33 @@ def _steps_per_sec(n: int, kernel: str, steps: int, rounds: int = 5) -> float:
         chain.run(steps)
         best = min(best, time.perf_counter() - start)
     return steps / best
+
+
+#: Per-replica steps per timed round of the batch guard; at R = 32 each
+#: round advances 32x this many aggregate steps, so a round lasts a few
+#: hundred milliseconds — long enough to amortize the vectorized
+#: pipeline's per-call overheads the way production sweeps do.
+BATCH_GUARD_STEPS = 60_000
+
+
+def _batch_replica_steps_per_sec(
+    n: int, replicas: int, steps: int, rounds: int = 3
+) -> float:
+    """Best-of-``rounds`` *aggregate* replica-steps/second.
+
+    The batch kernel advances all ``replicas`` trajectories in lock
+    step; its unit of useful work is a replica-step, so throughput is
+    ``steps * replicas / wall``.
+    """
+    best = float("inf")
+    for _ in range(rounds):
+        system = hexagon_system(n, seed=1)
+        kernel = BatchKernel(system, 4.0, 4.0, replicas=replicas, seed=1)
+        kernel.run(2_000)  # warm the arena, tables, and RNG buffers
+        start = time.perf_counter()
+        kernel.run(steps)
+        best = min(best, time.perf_counter() - start)
+    return steps * replicas / best
 
 
 def test_separation_chain_throughput(benchmark):
@@ -130,7 +192,7 @@ def test_exact_perimeter_walk_cost(benchmark):
 
 
 # ----------------------------------------------------------------------
-# Dict-vs-grid kernel comparison (perf baseline + guard)
+# Kernel comparison: dict vs grid vs batch (perf baseline + guards)
 # ----------------------------------------------------------------------
 
 
@@ -144,18 +206,39 @@ def test_kernel_throughput(benchmark, n, kernel):
     assert chain.system.is_connected()
 
 
+@pytest.mark.parametrize("n", KERNEL_SIZES)
+def test_batch_kernel_throughput(benchmark, n):
+    """pytest-benchmark row for the replica-batched kernel at R = 32.
+
+    Note the unit mismatch against the scalar rows above: one call here
+    advances ``STEPS`` steps in *each* of the 32 replicas, so divide
+    the reported time by 32 before comparing per-replica cost.
+    """
+    system = hexagon_system(n, seed=1)
+    kernel = BatchKernel(system, 4.0, 4.0, replicas=BATCH_REPLICAS, seed=1)
+    kernel.run(2_000)
+    benchmark(kernel.run, STEPS)
+    check = kernel.export_system(0)
+    assert check.is_connected()
+
+
 def test_kernel_speedup_guard_and_baseline():
-    """Measure both kernels, export BENCH_throughput.json, assert the floor.
+    """Measure all kernels, export BENCH_throughput.json, assert floors.
 
     The exported payload is the machine-readable perf trajectory future
-    PRs diff against: per-(n, kernel) steps/sec plus per-size speedups,
-    wrapped in the repo's versioned payload envelope.
+    PRs diff against: per-(n, kernel) steps/sec (aggregate
+    ``replica_steps_per_sec`` for the batch rows) plus per-size
+    speedups, wrapped in the repo's versioned payload envelope.
     """
     threshold = float(
         os.environ.get("REPRO_KERNEL_SPEEDUP_MIN", DEFAULT_SPEEDUP_MIN)
     )
+    batch_threshold = float(
+        os.environ.get("REPRO_BATCH_SPEEDUP_MIN", DEFAULT_BATCH_SPEEDUP_MIN)
+    )
     cells = []
     speedups = {}
+    batch_speedups = {}
     for n in KERNEL_SIZES:
         rates = {
             kernel: _steps_per_sec(n, kernel, GUARD_STEPS)
@@ -170,7 +253,20 @@ def test_kernel_speedup_guard_and_baseline():
                     "steps_per_sec": rate,
                 }
             )
+        batch_rate = _batch_replica_steps_per_sec(
+            n, BATCH_REPLICAS, BATCH_GUARD_STEPS
+        )
+        cells.append(
+            {
+                "n": n,
+                "kernel": "batch",
+                "replicas": BATCH_REPLICAS,
+                "steps": BATCH_GUARD_STEPS,
+                "replica_steps_per_sec": batch_rate,
+            }
+        )
         speedups[str(n)] = rates["grid"] / rates["dict"]
+        batch_speedups[str(n)] = batch_rate / rates["grid"]
 
     payload = {
         "benchmark": "kernel_throughput",
@@ -181,23 +277,34 @@ def test_kernel_speedup_guard_and_baseline():
         "rounds": 5,
         "timing": "best-of-rounds wall clock",
         "python": sys.version.split()[0],
+        "numpy": np.__version__,
         "platform": sys.platform,
+        "git_commit": _git_commit(),
+        "batch_replicas": BATCH_REPLICAS,
         "cells": cells,
         "speedups": speedups,
+        "batch_speedups": batch_speedups,
         "speedup_min": threshold,
+        "batch_speedup_min": batch_threshold,
     }
     RESULTS_DIR.mkdir(exist_ok=True)
     save_payload(payload, RESULTS_DIR / "BENCH_throughput.json")
 
     table = [
-        f"n={cell['n']:>4} kernel={cell['kernel']:<4} "
-        f"{cell['steps_per_sec']:>12,.0f} steps/s"
+        f"n={cell['n']:>4} kernel={cell['kernel']:<5} "
+        f"{cell.get('steps_per_sec', cell.get('replica_steps_per_sec')):>12,.0f}"
+        f" {'replica-' if cell['kernel'] == 'batch' else ''}steps/s"
         for cell in cells
     ]
     summary = "\n".join(
         table
         + [
-            f"speedup n={n}: {speedups[str(n)]:.2f}x"
+            f"grid/dict speedup n={n}: {speedups[str(n)]:.2f}x"
+            for n in KERNEL_SIZES
+        ]
+        + [
+            f"batch/grid speedup n={n} (R={BATCH_REPLICAS}): "
+            f"{batch_speedups[str(n)]:.2f}x"
             for n in KERNEL_SIZES
         ]
     )
@@ -208,4 +315,11 @@ def test_kernel_speedup_guard_and_baseline():
         f"grid kernel speedup {measured:.2f}x at n=100 is below the "
         f"{threshold:.2f}x floor (REPRO_KERNEL_SPEEDUP_MIN overrides); "
         f"see BENCH_throughput.json for the full measurement"
+    )
+    batch_measured = batch_speedups["100"]
+    assert batch_measured >= batch_threshold, (
+        f"batch kernel aggregate speedup {batch_measured:.2f}x at n=100, "
+        f"R={BATCH_REPLICAS} is below the {batch_threshold:.2f}x floor "
+        f"(REPRO_BATCH_SPEEDUP_MIN overrides); see BENCH_throughput.json "
+        f"for the full measurement"
     )

@@ -19,10 +19,15 @@ Commands
     Draw a saved configuration as ASCII or SVG.
 
 ``simulate`` and the experiment commands accept ``--kernel
-auto|grid|dict`` to select the chain's step kernel (flat-arena integer
-kernel vs historical hash-map kernel); the choice changes throughput
-only — trajectories and checkpoints are identical (see
-``docs/performance.md``).
+auto|grid|dict|batch`` to select the chain's step kernel.  The scalar
+kernels (``auto``/``grid``/``dict``) produce bit-identical
+trajectories and differ only in throughput; ``batch`` is the
+replica-batched NumPy kernel — statistically equivalent but on its own
+RNG regime (see ``docs/performance.md``).  The experiment commands
+additionally take ``--replicas-per-task N`` to cap how many replicas
+share one vectorized batch task (0 = no cap), and ``figure2
+--measure-every K`` switches to the dense measurement mode built on
+the O(1) incremental observables.
 
 Output discipline: result tables go to **stdout** (so piped output
 stays machine-readable); diagnostics, progress lines, and profiling
@@ -40,7 +45,7 @@ import sys
 from typing import Callable, List, Optional, Tuple
 
 from repro.analysis.compression_metric import alpha_of
-from repro.core.separation_chain import KERNEL_BACKENDS, SeparationChain
+from repro.core.separation_chain import CHAIN_BACKENDS, SeparationChain
 from repro.experiments.phases import classify_phase
 from repro.experiments.render import render_ascii, render_svg
 from repro.obs import (
@@ -72,10 +77,41 @@ INITIALIZERS = {
 HEARTBEAT_SECONDS = 30.0
 
 
+def positive_int(value: str) -> int:
+    """Argparse type: a strictly positive integer.
+
+    Rejects zero, negatives, and non-integers at parse time with a
+    proper usage error instead of letting a bad ``--steps 0`` or
+    ``--replicas -3`` surface as a confusing downstream exception.
+    """
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {value!r}")
+    if parsed <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {parsed}"
+        )
+    return parsed
+
+
+def nonnegative_int(value: str) -> int:
+    """Argparse type: an integer >= 0 (0 often means 'no cap')."""
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {value!r}")
+    if parsed < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a non-negative integer, got {parsed}"
+        )
+    return parsed
+
+
 def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
     """Shared parallel-execution flags for the experiment subcommands."""
     parser.add_argument(
-        "--replicas", type=int, default=1,
+        "--replicas", type=positive_int, default=1,
         help="independent runs per cell (means come with _std metrics)",
     )
     parser.add_argument(
@@ -94,17 +130,24 @@ def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
         "--resume", action="store_true",
         help="skip cells whose checkpoints already exist in --checkpoint DIR",
     )
+    parser.add_argument(
+        "--replicas-per-task", type=nonnegative_int, default=0,
+        dest="replicas_per_task", metavar="N",
+        help="with --kernel batch: cap replicas grouped into one "
+             "vectorized task (0 = group a whole cell together)",
+    )
     _add_kernel_argument(parser)
 
 
 def _add_kernel_argument(parser: argparse.ArgumentParser) -> None:
     """The step-kernel knob (shared by simulate + experiment commands)."""
     parser.add_argument(
-        "--kernel", choices=KERNEL_BACKENDS, default="auto",
+        "--kernel", choices=CHAIN_BACKENDS, default="auto",
         help="chain step kernel: 'grid' = flat-arena integer kernel, "
-             "'dict' = historical hash-map kernel, 'auto' picks per run; "
-             "trajectories are bit-identical either way "
-             "(see docs/performance.md)",
+             "'dict' = historical hash-map kernel, 'auto' picks per run "
+             "(these three are bit-identical); 'batch' = replica-batched "
+             "NumPy kernel, statistically equivalent on its own RNG "
+             "regime (see docs/performance.md)",
     )
 
 
@@ -199,6 +242,7 @@ def _parallel_kwargs(args: argparse.Namespace) -> dict:
         "checkpoint_dir": args.checkpoint,
         "resume": args.resume,
         "kernel": getattr(args, "kernel", "auto"),
+        "replicas_per_task": getattr(args, "replicas_per_task", 0),
     }
     obs = getattr(args, "_obs", None)
     if obs is not None:
@@ -228,7 +272,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("-n", type=int, default=100, help="particles")
     simulate.add_argument("--lam", type=float, default=4.0, help="lambda bias")
     simulate.add_argument("--gamma", type=float, default=4.0, help="gamma bias")
-    simulate.add_argument("--steps", type=int, default=1_000_000)
+    simulate.add_argument("--steps", type=positive_int, default=1_000_000)
     simulate.add_argument("--seed", type=int, default=None)
     simulate.add_argument(
         "--init", choices=sorted(INITIALIZERS), default="blob"
@@ -250,6 +294,18 @@ def build_parser() -> argparse.ArgumentParser:
     figure2.add_argument("--scale", type=float, default=0.02)
     figure2.add_argument("-n", type=int, default=100)
     figure2.add_argument("--seed", type=int, default=2018)
+    figure2.add_argument(
+        "--measure-every", type=positive_int, default=None,
+        dest="measure_every", metavar="K",
+        help="dense measurement mode: sample every K steps via the O(1) "
+             "incremental observables and print the trace instead of the "
+             "snapshot table",
+    )
+    figure2.add_argument(
+        "--steps", type=positive_int, default=50_000,
+        help="total chain steps of the dense measurement mode "
+             "(only with --measure-every)",
+    )
     _add_parallel_arguments(figure2)
     _add_observability_arguments(figure2)
 
@@ -375,12 +431,49 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _cmd_figure2(args: argparse.Namespace) -> int:
     from repro.experiments.figure2 import run_figure2
 
+    if args.measure_every is not None:
+        return _cmd_figure2_measure(args)
     result = run_figure2(
         n=args.n, scale=args.scale, seed=args.seed, **_parallel_kwargs(args)
     )
     print(result.summary_table())
     print()
     print(result.snapshots[-1])
+    return 0
+
+
+def _cmd_figure2_measure(args: argparse.Namespace) -> int:
+    """``figure2 --measure-every K``: dense incremental-observable trace."""
+    from repro.experiments.figure2 import measure_figure2
+
+    trace = measure_figure2(
+        n=args.n,
+        steps=args.steps,
+        measure_every=args.measure_every,
+        seed=args.seed,
+        replicas=args.replicas,
+        kernel=getattr(args, "kernel", "auto"),
+        obs=getattr(args, "_obs", None),
+    )
+    _diag(
+        args,
+        f"measured {len(trace.rows)} rows "
+        f"(every {trace.measure_every} of {trace.steps} steps, "
+        f"{trace.replicas} replica(s)) in {trace.wall_time:.2f}s",
+        event="figure2.measure.summary",
+        rows=len(trace.rows),
+        wall_time=trace.wall_time,
+    )
+    print(
+        f"{'iteration':>12}  {'perimeter':>9}  {'alpha':>6}  "
+        f"{'hetero':>6}  {'h/e':>6}"
+    )
+    for row in trace.rows:
+        print(
+            f"{int(row['iteration']):>12,}  {row['perimeter']:>9.1f}  "
+            f"{row['alpha']:>6.2f}  {row['hetero_edges']:>6.1f}  "
+            f"{row['hetero_density']:>6.3f}"
+        )
     return 0
 
 

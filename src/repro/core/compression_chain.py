@@ -45,6 +45,10 @@ class CompressionChain(SeparationChain):
     ``backend="grid"|"dict"|"auto"`` to select it, with the same
     bit-identical-trajectory guarantee as the heterogeneous chain (the
     local rule is shared, so one fast kernel speeds both).
+    ``backend="batch"`` selects the replica-batched NumPy kernel (swaps
+    are disabled here, so it runs its move-only fast path); like the
+    heterogeneous chain this is a distinct RNG regime, statistically —
+    not bit-wise — equivalent to the reference kernels.
     """
 
     def __init__(

@@ -132,8 +132,17 @@ MOVE_DELTA: Tuple[int, ...] = tuple(
 #: Uniform draws per refill of the batched run() fast path.
 _RNG_CHUNK = 4096
 
-#: Kernel backends understood by :class:`SeparationChain`.
+#: Scalar kernel backends (shared ``random.Random`` regime; the grid and
+#: dict kernels produce bit-identical trajectories for a given seed).
 KERNEL_BACKENDS = ("auto", "grid", "dict")
+
+#: All backends understood by :class:`SeparationChain`: the scalar
+#: kernels plus the replica-batched NumPy kernel.  ``"batch"`` is a
+#: distinct RNG regime (per-replica PCG64 streams; see
+#: :mod:`repro.core.batch_kernel`), so it is deliberately *not* part of
+#: :data:`KERNEL_BACKENDS` — code that relies on bit-identical
+#: trajectories across backends iterates the scalar tuple only.
+CHAIN_BACKENDS = KERNEL_BACKENDS + ("batch",)
 
 #: Initial empty margin (cells) around the bounding box of the
 #: configuration when the flat arena is (re)built.  Must be >= 3 so
@@ -247,10 +256,10 @@ class SeparationChain:
             raise ValueError(f"lambda must be positive, got {lam}")
         if gamma <= 0:
             raise ValueError(f"gamma must be positive, got {gamma}")
-        if backend not in KERNEL_BACKENDS:
+        if backend not in CHAIN_BACKENDS:
             raise ValueError(
                 f"unknown kernel backend {backend!r}; "
-                f"expected one of {KERNEL_BACKENDS}"
+                f"expected one of {CHAIN_BACKENDS}"
             )
         self.system = system
         self.lam = float(lam)
@@ -280,8 +289,14 @@ class SeparationChain:
         # bounded list (0 = empty, c + 1 = color c); _grid_valid tracks
         # whether it still mirrors system.colors.
         self.backend = backend
-        self._grid_enabled = backend != "dict" and self._batch_rng
+        self._grid_enabled = backend not in ("dict", "batch") and self._batch_rng
         self._grid_force = backend == "grid"
+        # Replica-batched NumPy kernel (backend="batch"): a persistent
+        # single-replica BatchKernel owns the hot-loop state; the dict is
+        # re-synced after every run().  Distinct RNG regime — see
+        # repro.core.batch_kernel.  Built lazily on first batch run.
+        self._batch_kernel = None
+        self._batch_valid = False
         self._grid_margin = _GRID_MARGIN
         self._grid_valid = False
         self._grid_regrows = 0
@@ -337,8 +352,10 @@ class SeparationChain:
         random = self._uniform
         self.iterations += 1
         # step() mutates the canonical dict directly, so any flat arena
-        # built by a previous grid run no longer mirrors it.
+        # built by a previous grid run — or a live batch kernel — no
+        # longer mirrors it.
         self._grid_valid = False
+        self._batch_valid = False
 
         idx = int(random() * len(positions))
         src = positions[idx]
@@ -537,6 +554,8 @@ class SeparationChain:
         """
         if steps < 0:
             raise ValueError(f"steps must be non-negative, got {steps}")
+        if self.backend == "batch":
+            return self._run_steps_batch(steps)
         if not self._batch_rng:
             step = self.step
             for _ in range(steps):
@@ -551,6 +570,7 @@ class SeparationChain:
 
         # --- Batched dict fast path (inlined step(); tests pin identity) ---
         self._grid_valid = False  # about to mutate the dict directly
+        self._batch_valid = False
         system = self.system
         colors = system.colors
         colors_get = colors.get
@@ -697,6 +717,66 @@ class SeparationChain:
     # ------------------------------------------------------------------
     # Flat-grid kernel (integer-indexed arena backend)
     # ------------------------------------------------------------------
+
+    def _run_steps_batch(self, steps: int) -> "SeparationChain":
+        """Advance via the replica-batched NumPy kernel (R = 1).
+
+        The kernel persists across run() calls so its proposal streams
+        continue uninterrupted; any external mutation of ``system``
+        (``step()``, ``refresh_positions()``) invalidates it, and the
+        next run rebuilds from the current dict state with a fresh
+        child seed drawn from the chain's ``random.Random`` stream.
+
+        This is a **different RNG regime** from the dict/grid kernels:
+        trajectories are statistically, not bit-wise, equivalent (see
+        :mod:`repro.core.batch_kernel` and the statistical-equivalence
+        suite).
+        """
+        if steps == 0:
+            return self
+        from repro.core.batch_kernel import BatchKernel
+
+        kernel = self._batch_kernel
+        if kernel is None or not self._batch_valid:
+            kernel = BatchKernel(
+                self.system,
+                self.lam,
+                self.gamma,
+                replicas=1,
+                seed=self.rng,
+                swaps=self.swaps,
+            )
+            self._batch_kernel = kernel
+            self._batch_valid = True
+        iters0 = int(kernel.iters[0])
+        moves0 = int(kernel.acc_moves[0])
+        swaps0 = int(kernel.acc_swaps[0])
+        kernel.run(steps)
+        self.iterations += int(kernel.iters[0]) - iters0
+        self.accepted_moves += int(kernel.acc_moves[0]) - moves0
+        self.accepted_swaps += int(kernel.acc_swaps[0]) - swaps0
+        self._batch_sync()
+        return self
+
+    def _batch_sync(self) -> None:
+        """Write the batch kernel's replica 0 back into ``system``.
+
+        Counters come from the kernel's incremental arrays (cross-checked
+        against from-scratch recomputation by the fuzz suite), so the
+        sync is O(n) with no edge scan.
+        """
+        kernel = self._batch_kernel
+        arena = kernel.arena
+        colors = self.system.colors
+        colors.clear()
+        positions = kernel.positions(0)
+        gp = kernel.gpos[: kernel.n]
+        for node, gid in zip(positions, gp):
+            colors[node] = int(arena[gid]) - 1
+        self.system.edge_total = int(kernel.edge[0])
+        self.system.hetero_total = int(kernel.het[0])
+        self._positions = positions
+        self._grid_valid = False  # arena (if any) no longer mirrors the dict
 
     def _grid_alloc(self, nodes: List[Node], values: List[int]) -> None:
         """(Re)build the arena around ``nodes`` with the current margin.
@@ -1046,6 +1126,8 @@ class SeparationChain:
             self._gam_pow = _power_table(self.gamma, 5)
             self._gam_pow_swap = _power_table(self.gamma, 10)
             self._log_gam = math.log(self.gamma)
+        if self._batch_kernel is not None:
+            self._batch_kernel.set_parameters(self.lam, self.gamma)
 
     def refresh_positions(self) -> None:
         """Re-sync the internal particle list with the system state.
@@ -1058,6 +1140,7 @@ class SeparationChain:
         """
         self._positions = list(self.system.colors)
         self._grid_valid = False
+        self._batch_valid = False
 
     def acceptance_rate(self) -> float:
         """Fraction of iterations that changed the configuration.

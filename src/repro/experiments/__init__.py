@@ -13,16 +13,24 @@
 """
 
 from repro.experiments.parallel import (
+    BatchRunner,
     CellResult,
     CellTask,
+    dispatch_cells,
     execute_cells,
     resolve_backend,
+    run_batch_group,
     run_cell,
 )
 from repro.experiments.phases import PhaseThresholds, classify_phase
 from repro.experiments.recorder import RunRecorder
 from repro.experiments.render import render_ascii, render_svg
-from repro.experiments.figure2 import Figure2Result, run_figure2
+from repro.experiments.figure2 import (
+    Figure2Result,
+    Figure2Trace,
+    measure_figure2,
+    run_figure2,
+)
 from repro.experiments.figure3 import Figure3Result, run_figure3
 from repro.experiments.sweep import SweepPoint, run_sweep
 from repro.experiments.lemmas import (
@@ -36,10 +44,13 @@ from repro.experiments.scaling import (
 )
 
 __all__ = [
+    "BatchRunner",
     "CellResult",
     "CellTask",
+    "dispatch_cells",
     "execute_cells",
     "resolve_backend",
+    "run_batch_group",
     "run_cell",
     "classify_phase",
     "PhaseThresholds",
@@ -48,6 +59,8 @@ __all__ = [
     "render_svg",
     "run_figure2",
     "Figure2Result",
+    "measure_figure2",
+    "Figure2Trace",
     "run_figure3",
     "Figure3Result",
     "run_sweep",

@@ -31,26 +31,32 @@ from repro.analysis.compression_metric import alpha_of
 from repro.experiments.parallel import (
     CellTask,
     ProgressCallback,
-    execute_cells,
+    dispatch_cells,
 )
 from repro.experiments.phases import PhaseThresholds, classify_phase
 from repro.obs import Instrumentation
 from repro.experiments.render import render_ascii
 from repro.system.configuration import ParticleSystem
 from repro.system.initializers import random_blob_system
+from repro.system.observables import edge_count, heterogeneous_edge_count
 from repro.util.rng import RngLike, derive_seed, seed_entropy
 from repro.util.serialization import configuration_to_json
 
 #: The iteration counts at which Figure 2 shows snapshots.
 PAPER_CHECKPOINTS = (0, 50_000, 1_050_000, 17_050_000, 68_250_000)
 
-#: The observables reported per checkpoint row.
+#: The observables reported per checkpoint row.  All four read O(1)
+#: incremental counters (``perimeter()`` uses the edge identity;
+#: :func:`repro.system.observables.heterogeneous_edge_count` and
+#: :func:`repro.system.observables.edge_count` read the running
+#: counters) — setting ``REPRO_DEBUG_OBSERVABLES`` cross-checks every
+#: read against a from-scratch recomputation.
 OBSERVABLES = {
     "perimeter": lambda s: float(s.perimeter()),
     "alpha": lambda s: float(alpha_of(s)),
-    "hetero_edges": lambda s: float(s.hetero_total),
+    "hetero_edges": lambda s: float(heterogeneous_edge_count(s)),
     "hetero_density": lambda s: (
-        s.hetero_total / s.edge_total if s.edge_total else 0.0
+        heterogeneous_edge_count(s) / edge_count(s) if s.edge_total else 0.0
     ),
 }
 
@@ -115,6 +121,7 @@ def run_figure2(
     progress: Optional[ProgressCallback] = None,
     obs: Optional[Instrumentation] = None,
     kernel: str = "auto",
+    replicas_per_task: int = 0,
 ) -> Figure2Result:
     """Regenerate the Figure 2 trajectory.
 
@@ -173,7 +180,7 @@ def run_figure2(
     with obs.span("figure2", replicas=replicas) if obs is not None else (
         nullcontext()
     ):
-        results = execute_cells(
+        results = dispatch_cells(
             tasks,
             backend=backend,
             workers=workers,
@@ -181,6 +188,7 @@ def run_figure2(
             resume=resume,
             progress=progress,
             obs=obs,
+            replicas_per_task=replicas_per_task,
         )
     if obs is not None:
         obs.log("figure2.done", replicas=replicas, steps=steps)
@@ -233,4 +241,245 @@ def run_figure2(
         system=results[0].system,
         replicas=replicas,
         rows_std=rows_std,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Dense measured traces (the measurement hot path)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Figure2Trace:
+    """A dense observable trace: one row every ``measure_every`` steps.
+
+    ``rows``/``rows_std`` are replica means and standard deviations of
+    the :data:`OBSERVABLES` quantities (plus ``iteration``);
+    ``wall_time`` is the total run-plus-measure time in seconds, the
+    quantity the incremental-vs-scratch measurement benchmark compares.
+    """
+
+    measure_every: int
+    steps: int
+    replicas: int
+    incremental: bool
+    rows: List[Dict[str, float]]
+    rows_std: List[Dict[str, float]]
+    wall_time: float = 0.0
+
+
+def _trace_row(
+    iteration: int,
+    perimeters: Sequence[float],
+    het_edges: Sequence[float],
+    edge_totals: Sequence[float],
+    p_min: int,
+) -> Dict[str, List[float]]:
+    """Per-replica observable samples for one measurement row."""
+    samples: Dict[str, List[float]] = {
+        "perimeter": [float(p) for p in perimeters],
+        "alpha": [
+            float(p) / p_min if p_min else 1.0 for p in perimeters
+        ],
+        "hetero_edges": [float(h) for h in het_edges],
+        "hetero_density": [
+            float(h) / e if e else 0.0
+            for h, e in zip(het_edges, edge_totals)
+        ],
+    }
+    samples["iteration"] = [float(iteration)]
+    return samples
+
+
+def measure_figure2(
+    n: int = 100,
+    lam: float = 4.0,
+    gamma: float = 4.0,
+    steps: int = 50_000,
+    measure_every: int = 100,
+    swaps: bool = True,
+    seed: RngLike = 2018,
+    system: Optional[ParticleSystem] = None,
+    replicas: int = 1,
+    kernel: str = "auto",
+    incremental: bool = True,
+    obs: Optional[Instrumentation] = None,
+) -> Figure2Trace:
+    """Run the Figure 2 cell and measure observables *densely*.
+
+    Unlike :func:`run_figure2` (few checkpoints, full configuration
+    snapshots), this is the measurement hot path: one observable row
+    every ``measure_every`` iterations, with **no** configuration
+    serialization.
+
+    ``incremental=True`` (default) reads the O(1) running counters —
+    perimeter via the edge identity, heterogeneous edges and edge
+    totals directly; with ``REPRO_DEBUG_OBSERVABLES`` set every row is
+    cross-checked against from-scratch recomputation.
+    ``incremental=False`` recomputes every observable from scratch at
+    every row (O(n) neighbor scans) — the honest baseline the
+    measurement benchmark compares against.
+
+    ``kernel="batch"`` advances all replicas lock-step inside one
+    :class:`~repro.core.batch_kernel.BatchKernel` and reads whole
+    counter *arrays* per row; scalar kernels run one chain per replica.
+    Replica seeds match :func:`run_figure2` (replica 0 keeps the
+    historical seed).
+    """
+    from repro.analysis.compression_metric import minimum_perimeter
+    from repro.lattice.boundary import perimeter as perimeter_scratch
+    from repro.system.observables import (
+        edge_count_scratch,
+        heterogeneous_edge_count_scratch,
+    )
+    from repro.system import observables as _observables
+
+    if replicas < 1:
+        raise ValueError(f"replicas must be positive, got {replicas}")
+    if measure_every < 1:
+        raise ValueError(
+            f"measure_every must be positive, got {measure_every}"
+        )
+    if steps < 0:
+        raise ValueError(f"steps must be non-negative, got {steps}")
+    if system is None:
+        system = random_blob_system(n, seed=seed)
+    n = system.n
+    base = seed_entropy(seed)
+    seeds = [
+        base if replica == 0 else derive_seed(base, "figure2", replica)
+        for replica in range(replicas)
+    ]
+    p_min = minimum_perimeter(n)
+
+    if obs is not None:
+        obs = obs.bind(run="figure2.measure")
+        obs.log(
+            "figure2.measure.start",
+            replicas=replicas,
+            steps=steps,
+            measure_every=measure_every,
+            incremental=incremental,
+            kernel=kernel,
+        )
+
+    import time as _time
+
+    wall_start = _time.perf_counter()
+
+    batch_kernel = None
+    chains = None
+    if kernel == "batch":
+        from repro.core.batch_kernel import BatchKernel
+
+        batch_kernel = BatchKernel(
+            system,
+            lam,
+            gamma,
+            replicas=replicas,
+            seed=seeds,
+            swaps=swaps,
+        )
+    else:
+        from repro.core.separation_chain import SeparationChain
+
+        chains = [
+            SeparationChain(
+                system.copy(),
+                lam=lam,
+                gamma=gamma,
+                swaps=swaps,
+                seed=seeds[replica],
+                backend=kernel,
+            )
+            for replica in range(replicas)
+        ]
+
+    def measure(iteration: int) -> Dict[str, List[float]]:
+        if incremental:
+            if batch_kernel is not None:
+                perimeters = batch_kernel.perimeters()
+                het = batch_kernel.het_edges()
+                edges = batch_kernel.edge_totals()
+                if _observables._OBSERVABLES_DEBUG:
+                    for replica in range(replicas):
+                        exported = batch_kernel.export_system(replica)
+                        if (
+                            exported.edge_total != int(edges[replica])
+                            or exported.hetero_total != int(het[replica])
+                        ):
+                            raise RuntimeError(
+                                "batch kernel incremental counters diverged "
+                                f"from recomputation at replica {replica} "
+                                f"(REPRO_DEBUG_OBSERVABLES cross-check)"
+                            )
+            else:
+                # edge_count()/heterogeneous_edge_count() carry their
+                # own REPRO_DEBUG_OBSERVABLES cross-check.
+                from repro.system.observables import (
+                    edge_count,
+                    heterogeneous_edge_count,
+                )
+
+                perimeters = [c.system.perimeter() for c in chains]
+                het = [heterogeneous_edge_count(c.system) for c in chains]
+                edges = [edge_count(c.system) for c in chains]
+        else:
+            exported = (
+                [
+                    batch_kernel.export_system(replica)
+                    for replica in range(replicas)
+                ]
+                if batch_kernel is not None
+                else [c.system for c in chains]
+            )
+            perimeters = [
+                perimeter_scratch(set(s.colors)) for s in exported
+            ]
+            het = [heterogeneous_edge_count_scratch(s) for s in exported]
+            edges = [edge_count_scratch(s) for s in exported]
+        return _trace_row(iteration, perimeters, het, edges, p_min)
+
+    sample_rows = [measure(0)]
+    current = 0
+    while current < steps:
+        delta = min(measure_every, steps - current)
+        if batch_kernel is not None:
+            batch_kernel.run(delta)
+        else:
+            for chain in chains:
+                chain.run(delta)
+        current += delta
+        sample_rows.append(measure(current))
+    wall_time = _time.perf_counter() - wall_start
+
+    rows: List[Dict[str, float]] = []
+    rows_std: List[Dict[str, float]] = []
+    for samples in sample_rows:
+        mean_row: Dict[str, float] = {}
+        std_row: Dict[str, float] = {}
+        for name, values in samples.items():
+            mean = sum(values) / len(values)
+            mean_row[name] = mean
+            std_row[name] = math.sqrt(
+                sum((v - mean) ** 2 for v in values) / len(values)
+            )
+        rows.append(mean_row)
+        rows_std.append(std_row)
+
+    if obs is not None:
+        obs.log(
+            "figure2.measure.done",
+            rows=len(rows),
+            seconds=wall_time,
+            incremental=incremental,
+        )
+    return Figure2Trace(
+        measure_every=measure_every,
+        steps=steps,
+        replicas=replicas,
+        incremental=incremental,
+        rows=rows,
+        rows_std=rows_std,
+        wall_time=wall_time,
     )

@@ -27,7 +27,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.experiments.parallel import (
     CellTask,
     ProgressCallback,
-    execute_cells,
+    dispatch_cells,
     group_by_cell,
 )
 from repro.experiments.phases import PhaseThresholds, classify_phase, phase_metrics
@@ -104,6 +104,7 @@ def run_figure3(
     progress: Optional[ProgressCallback] = None,
     obs: Optional[Instrumentation] = None,
     kernel: str = "auto",
+    replicas_per_task: int = 0,
 ) -> Figure3Result:
     """Regenerate the Figure 3 phase grid.
 
@@ -159,7 +160,7 @@ def run_figure3(
     with obs.span("figure3", cells=len(cells)) if obs is not None else (
         nullcontext()
     ):
-        results = execute_cells(
+        results = dispatch_cells(
             tasks,
             backend=backend,
             workers=workers,
@@ -167,6 +168,7 @@ def run_figure3(
             resume=resume,
             progress=progress,
             obs=obs,
+            replicas_per_task=replicas_per_task,
         )
     if obs is not None:
         obs.log("figure3.done", cells=len(cells), replicas=replicas)

@@ -49,7 +49,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.core.separation_chain import KERNEL_BACKENDS, SeparationChain
+from repro.core.separation_chain import CHAIN_BACKENDS, SeparationChain
 from repro.obs import (
     Instrumentation,
     JsonLogger,
@@ -85,11 +85,15 @@ class CellTask:
     final configuration after ``steps`` iterations is always returned.
     ``label`` is free-form metadata for reporting and does not affect
     the task identity (it is excluded from :meth:`key`).  ``kernel``
-    selects the chain's step kernel (``"auto"``/``"grid"``/``"dict"``,
-    see :class:`repro.core.separation_chain.SeparationChain`); both
+    selects the chain's step kernel (``"auto"``/``"grid"``/``"dict"``/
+    ``"batch"``, see
+    :class:`repro.core.separation_chain.SeparationChain`); the scalar
     kernels are bit-identical in trajectory, so — like ``label`` — it
     rides *outside* the task identity and checkpoints written under one
-    kernel resume cleanly under another.
+    kernel resume cleanly under another.  ``"batch"`` is a distinct RNG
+    regime (statistically, not bit-wise, equivalent); its checkpoints
+    are still valid chain samples, so cross-kernel resume remains
+    sound for ensemble statistics.
     """
 
     lam: float
@@ -133,10 +137,10 @@ class CellTask:
         """Raise ``ValueError`` on malformed tasks before any fan-out."""
         if not self.system_json:
             raise ValueError("task is missing its initial configuration")
-        if self.kernel not in KERNEL_BACKENDS:
+        if self.kernel not in CHAIN_BACKENDS:
             raise ValueError(
                 f"unknown kernel {self.kernel!r}; "
-                f"expected one of {KERNEL_BACKENDS}"
+                f"expected one of {CHAIN_BACKENDS}"
             )
         if self.steps < 0:
             raise ValueError(f"steps must be non-negative, got {self.steps}")
@@ -373,6 +377,201 @@ def default_workers() -> int:
     return os.cpu_count() or 1
 
 
+# ---------------------------------------------------------------------------
+# Replica-batched scheduling (kernel="batch")
+# ---------------------------------------------------------------------------
+
+
+def _batch_signature(task: CellTask) -> Tuple:
+    """Cell identity ignoring replica/seed/label: tasks sharing it can
+    run lock-step inside one :class:`~repro.core.batch_kernel.BatchKernel`."""
+    return (
+        task.lam,
+        task.gamma,
+        task.steps,
+        task.swaps,
+        task.checkpoints,
+        task.system_json,
+    )
+
+
+def group_batch_tasks(
+    task_list: Sequence[CellTask],
+    indices: Iterable[int],
+    replicas_per_task: int = 0,
+) -> List[List[int]]:
+    """Partition pending task indices into batch groups.
+
+    Consecutive tasks with the same :func:`_batch_signature` share a
+    group (harnesses emit replicas innermost, so whole cells coalesce);
+    ``replicas_per_task > 0`` caps the group size, trading kernel
+    efficiency for process-pool granularity.  Because each replica
+    roots its own RNG stream from its own task seed, the grouping
+    *never* affects trajectories — only scheduling.
+    """
+    if replicas_per_task < 0:
+        raise ValueError(
+            f"replicas_per_task must be >= 0, got {replicas_per_task}"
+        )
+    groups: List[List[int]] = []
+    last_sig = None
+    for index in indices:
+        sig = _batch_signature(task_list[index])
+        full = bool(
+            groups
+            and replicas_per_task > 0
+            and len(groups[-1]) >= replicas_per_task
+        )
+        if groups and sig == last_sig and not full:
+            groups[-1].append(index)
+        else:
+            groups.append([index])
+            last_sig = sig
+    return groups
+
+
+def batch_group_payload(
+    tasks: Sequence[CellTask],
+    instrument: Optional[Dict[str, bool]] = None,
+) -> Dict[str, Any]:
+    """JSON-able payload for one batch group (R replicas of one cell)."""
+    head = tasks[0]
+    payload: Dict[str, Any] = {
+        "lam": head.lam,
+        "gamma": head.gamma,
+        "steps": head.steps,
+        "swaps": head.swaps,
+        "system": head.system_json,
+        "checkpoints": list(head.checkpoints),
+        "members": [
+            {
+                "key": task.key(),
+                "replica": task.replica,
+                "seed": task.seed,
+                "label": task.label,
+            }
+            for task in tasks
+        ],
+    }
+    if instrument:
+        payload["instrument"] = dict(instrument)
+    return payload
+
+
+def run_batch_group(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Worker entrypoint: advance R replicas of one cell lock-step.
+
+    Builds a single :class:`~repro.core.batch_kernel.BatchKernel` with
+    one PCG64 stream per member (rooted at the member's own task seed),
+    runs checkpoint segment by checkpoint segment, and returns one
+    result payload per member in member order — the same schema
+    :func:`run_cell` produces, so checkpointing, decoding, and
+    aggregation are shared with the scalar path.  The group's wall time
+    is split evenly across members (the replicas genuinely ran
+    concurrently, so per-replica attribution is a convention).
+
+    With an ``instrument`` request, per-batch metrics (``batch.*``),
+    one ``batch_cell`` trace span, and ``batch.start``/``batch.end``
+    log events are attached to the *first* member's payload for the
+    parent to merge.
+    """
+    from repro.core.batch_kernel import BatchKernel
+
+    instrument = payload.get("instrument") or {}
+    members = payload["members"]
+    replicas = len(members)
+    context = {
+        "lam": payload["lam"],
+        "gamma": payload["gamma"],
+        "replicas": replicas,
+        "label": members[0]["label"],
+    }
+    logger = (
+        JsonLogger.collecting(context=context)
+        if instrument.get("events")
+        else None
+    )
+    metrics = MetricsRegistry() if instrument.get("metrics") else None
+    trace = (
+        TraceRecorder(process_name="repro-batch-worker")
+        if instrument.get("trace")
+        else None
+    )
+
+    wall_start = time.perf_counter()
+    span_start = trace.now() if trace is not None else 0.0
+    if logger is not None:
+        logger.debug(
+            "batch.start", steps=payload["steps"], replicas=replicas
+        )
+
+    system = configuration_from_json(payload["system"])
+    kernel = BatchKernel(
+        system,
+        payload["lam"],
+        payload["gamma"],
+        replicas=replicas,
+        seed=[member["seed"] for member in members],
+        swaps=payload["swaps"],
+    )
+    snapshots: List[List[str]] = [[] for _ in range(replicas)]
+    current = 0
+    for checkpoint in payload["checkpoints"]:
+        kernel.run(checkpoint - current)
+        current = checkpoint
+        for r in range(replicas):
+            snapshots[r].append(
+                configuration_to_json(
+                    kernel.export_system(r), sort_nodes=False
+                )
+            )
+    kernel.run(payload["steps"] - current)
+    wall_time = time.perf_counter() - wall_start
+
+    results: List[Dict[str, Any]] = []
+    for r, member in enumerate(members):
+        results.append(
+            {
+                "version": CHECKPOINT_VERSION,
+                "key": member["key"],
+                "snapshots": snapshots[r],
+                "final": configuration_to_json(
+                    kernel.export_system(r), sort_nodes=False
+                ),
+                "iterations": int(kernel.iters[r]),
+                "accepted_moves": int(kernel.acc_moves[r]),
+                "accepted_swaps": int(kernel.acc_swaps[r]),
+                "wall_time": wall_time / replicas,
+            }
+        )
+
+    aggregate_steps = int(kernel.iters.sum())
+    if metrics is not None:
+        metrics.counter("batch.groups").inc()
+        metrics.counter("batch.replicas").inc(replicas)
+        metrics.counter("batch.steps").inc(aggregate_steps)
+        if wall_time > 0.0:
+            metrics.gauge("batch.last_replica_steps_per_sec").set(
+                aggregate_steps / wall_time
+            )
+        metrics.histogram("batch.group_seconds").observe(wall_time)
+        results[0]["metrics"] = metrics.snapshot()
+    if trace is not None:
+        trace.complete("batch_cell", span_start, **context)
+        results[0]["trace_events"] = trace.events
+    if logger is not None:
+        logger.debug(
+            "batch.end",
+            seconds=wall_time,
+            replicas=replicas,
+            replica_steps_per_sec=(
+                aggregate_steps / wall_time if wall_time > 0.0 else None
+            ),
+        )
+        results[0]["events"] = logger.records
+    return results
+
+
 def execute_cells(
     tasks: Iterable[CellTask],
     backend: str = "serial",
@@ -591,6 +790,207 @@ def _absorb_cell(
             obs.logger.info("cell.profile", cell=key, profile=result.profile)
         else:
             sys.stderr.write(result.profile)
+
+
+@dataclass
+class BatchRunner:
+    """Schedule whole cells (R replicas each) onto batch kernels.
+
+    The scalar engine (:func:`execute_cells`) fans out one process task
+    per *replica*; this runner fans out one task per *cell group*, each
+    advancing up to ``replicas_per_task`` replicas lock-step inside one
+    :class:`~repro.core.batch_kernel.BatchKernel` (0 = no cap: one
+    kernel per cell).  Everything else — per-replica checkpoint files,
+    resume semantics, result ordering, progress callbacks, and the
+    ``engine.*`` observability stream — matches the scalar engine, so
+    harnesses can swap runners without changing aggregation.  Batch
+    workers additionally report per-batch ``batch.*`` metrics and a
+    ``batch_cell`` trace span per group.
+    """
+
+    backend: str = "serial"
+    workers: Optional[int] = None
+    replicas_per_task: int = 0
+    checkpoint_dir: Optional[os.PathLike] = None
+    resume: bool = False
+    progress: Optional[ProgressCallback] = None
+    obs: Optional[Instrumentation] = None
+
+    def run(self, tasks: Iterable[CellTask]) -> List[CellResult]:
+        """Execute every task and return results in task order."""
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; "
+                f"expected one of {BACKENDS}"
+            )
+        if self.resume and self.checkpoint_dir is None:
+            raise ValueError("resume=True requires a checkpoint_dir")
+        if self.workers is not None and self.workers < 1:
+            raise ValueError(f"workers must be positive, got {self.workers}")
+        obs = self.obs
+        if obs is not None and not obs.enabled():
+            obs = None
+
+        task_list = list(tasks)
+        for task in task_list:
+            task.validate()
+
+        directory: Optional[Path] = None
+        if self.checkpoint_dir is not None:
+            directory = Path(self.checkpoint_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+
+        total = len(task_list)
+        engine_started = time.perf_counter()
+        engine_span_start = 0.0
+        if obs is not None:
+            if obs.trace is not None:
+                engine_span_start = obs.trace.now()
+            obs.log(
+                "engine.start",
+                cells=total,
+                backend=self.backend,
+                workers=self.workers,
+                resume=self.resume,
+                mode="batch",
+                replicas_per_task=self.replicas_per_task,
+            )
+
+        results: List[Optional[CellResult]] = [None] * total
+        completed = 0
+        pending: List[int] = []
+        for index, task in enumerate(task_list):
+            restored = (
+                _load_checkpoint(
+                    directory, task, metrics=obs.metrics if obs else None
+                )
+                if self.resume
+                else None
+            )
+            if restored is not None:
+                results[index] = restored
+                completed += 1
+                if obs is not None:
+                    _absorb_cell(obs, task, {"key": task.key()}, restored)
+                if self.progress is not None:
+                    self.progress(completed, total, restored)
+            else:
+                pending.append(index)
+
+        instrument = obs.worker_flags() if obs is not None else None
+        groups = group_batch_tasks(
+            task_list, pending, self.replicas_per_task
+        )
+
+        def finish(group: List[int], payloads: List[Dict[str, Any]]) -> None:
+            nonlocal completed
+            for index, payload in zip(group, payloads):
+                task = task_list[index]
+                if directory is not None:
+                    disk_payload = {
+                        key: value
+                        for key, value in payload.items()
+                        if key not in _OBS_PAYLOAD_KEYS
+                    }
+                    save_payload(disk_payload, checkpoint_path(directory, task))
+                result = _decode_result(task, payload)
+                if obs is not None:
+                    _absorb_cell(obs, task, payload, result)
+                results[index] = result
+                completed += 1
+                if self.progress is not None:
+                    self.progress(completed, total, result)
+
+        if self.backend == "serial":
+            for group in groups:
+                finish(
+                    group,
+                    run_batch_group(
+                        batch_group_payload(
+                            [task_list[i] for i in group], instrument
+                        )
+                    ),
+                )
+        else:
+            pool_size = (
+                self.workers if self.workers is not None else default_workers()
+            )
+            with ProcessPoolExecutor(max_workers=pool_size) as pool:
+                futures = {
+                    pool.submit(
+                        run_batch_group,
+                        batch_group_payload(
+                            [task_list[i] for i in group], instrument
+                        ),
+                    ): group
+                    for group in groups
+                }
+                for future in as_completed(futures):
+                    finish(futures[future], future.result())
+
+        if obs is not None:
+            elapsed = time.perf_counter() - engine_started
+            if obs.metrics is not None:
+                obs.metrics.gauge("engine.wall_seconds").set(elapsed)
+                obs.metrics.gauge("engine.cells_total").set(total)
+                obs.metrics.gauge("engine.batch_groups").set(len(groups))
+            if obs.trace is not None:
+                obs.trace.complete(
+                    "execute_cells",
+                    engine_span_start,
+                    cells=total,
+                    backend=self.backend,
+                    mode="batch",
+                )
+            obs.log("engine.done", cells=total, seconds=elapsed)
+
+        assert all(result is not None for result in results)
+        return results  # type: ignore[return-value]
+
+
+def dispatch_cells(
+    tasks: Iterable[CellTask],
+    backend: str = "serial",
+    workers: Optional[int] = None,
+    checkpoint_dir: Optional[os.PathLike] = None,
+    resume: bool = False,
+    progress: Optional[ProgressCallback] = None,
+    obs: Optional[Instrumentation] = None,
+    replicas_per_task: int = 0,
+) -> List[CellResult]:
+    """Route tasks to the scalar engine or the batch runner by kernel.
+
+    Harness-facing front door: tasks whose ``kernel`` is ``"batch"``
+    run through :class:`BatchRunner` (whole cells per task), everything
+    else through :func:`execute_cells` (one replica per task).  Mixed
+    batches are rejected — a harness emits one kernel per run.
+    """
+    task_list = list(tasks)
+    batch_flags = {task.kernel == "batch" for task in task_list}
+    if batch_flags == {True}:
+        return BatchRunner(
+            backend=backend,
+            workers=workers,
+            replicas_per_task=replicas_per_task,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+            progress=progress,
+            obs=obs,
+        ).run(task_list)
+    if True in batch_flags:
+        raise ValueError(
+            "cannot mix kernel='batch' tasks with scalar-kernel tasks "
+            "in one dispatch"
+        )
+    return execute_cells(
+        task_list,
+        backend=backend,
+        workers=workers,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+        progress=progress,
+        obs=obs,
+    )
 
 
 def resolve_backend(backend: Optional[str], workers: Optional[int]) -> str:

@@ -26,7 +26,7 @@ from repro.analysis.estimators import time_to_threshold
 from repro.experiments.parallel import (
     CellTask,
     ProgressCallback,
-    execute_cells,
+    dispatch_cells,
     group_by_cell,
 )
 from repro.obs import Instrumentation
@@ -70,6 +70,7 @@ def scaling_study(
     progress: Optional[ProgressCallback] = None,
     obs: Optional[Instrumentation] = None,
     kernel: str = "auto",
+    replicas_per_task: int = 0,
 ) -> List[ScalingPoint]:
     """Measure endpoint quality and time-to-separation across sizes.
 
@@ -127,7 +128,7 @@ def scaling_study(
     with obs.span("scaling", sizes=len(list(sizes))) if obs is not None else (
         nullcontext()
     ):
-        results = execute_cells(
+        results = dispatch_cells(
             tasks,
             backend=backend,
             workers=workers,
@@ -135,6 +136,7 @@ def scaling_study(
             resume=resume,
             progress=progress,
             obs=obs,
+            replicas_per_task=replicas_per_task,
         )
     if obs is not None:
         obs.log("scaling.done", sizes=list(sizes), replicas=replicas)

@@ -20,7 +20,7 @@ from typing import Callable, Dict, Iterable, List, Optional
 from repro.experiments.parallel import (
     CellTask,
     ProgressCallback,
-    execute_cells,
+    dispatch_cells,
     group_by_cell,
 )
 from repro.obs import Instrumentation
@@ -65,6 +65,7 @@ def run_sweep(
     progress: Optional[ProgressCallback] = None,
     obs: Optional[Instrumentation] = None,
     kernel: str = "auto",
+    replicas_per_task: int = 0,
 ) -> List[SweepPoint]:
     """Run the chain over a parameter grid, measuring the endpoints.
 
@@ -131,7 +132,7 @@ def run_sweep(
         )
     with (obs.span("sweep", cells=len(cells), replicas=replicas)
           if obs is not None else nullcontext()):
-        results = execute_cells(
+        results = dispatch_cells(
             tasks,
             backend=backend,
             workers=workers,
@@ -139,6 +140,7 @@ def run_sweep(
             resume=resume,
             progress=progress,
             obs=obs,
+            replicas_per_task=replicas_per_task,
         )
     if obs is not None:
         obs.log("sweep.done", cells=len(cells), replicas=replicas)

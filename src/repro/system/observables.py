@@ -8,20 +8,83 @@ snapshots, and enumerated small configurations.
 from __future__ import annotations
 
 import math
-from collections import deque
+import os
 from typing import Dict, List
 
 from repro.lattice.triangular import NEIGHBOR_OFFSETS
 from repro.system.configuration import ParticleSystem
 
+#: When the ``REPRO_DEBUG_OBSERVABLES`` environment variable is set (to
+#: anything but ``"0"``), every counter-backed observable read is
+#: cross-checked against a from-scratch recomputation and raises
+#: ``RuntimeError`` on mismatch.  Read once at import (the same pattern
+#: as ``REPRO_DEBUG_PERIMETER`` in :mod:`repro.system.configuration`);
+#: tests toggle the module attribute directly.
+_OBSERVABLES_DEBUG = os.environ.get("REPRO_DEBUG_OBSERVABLES", "") not in ("", "0")
+
+
+def edge_count_scratch(system: ParticleSystem) -> int:
+    """:math:`e(\\sigma)` recomputed from scratch (O(n) neighbor scan).
+
+    Reference implementation for the incremental ``edge_total`` counter;
+    the debug cross-check and the measurement benchmarks use it, and it
+    is the honest "from-scratch measurement" baseline that the O(1)
+    counter path is compared against.
+    """
+    colors = system.colors
+    half_edges = 0
+    for x, y in colors:
+        for dx, dy in NEIGHBOR_OFFSETS:
+            if (x + dx, y + dy) in colors:
+                half_edges += 1
+    return half_edges // 2
+
+
+def heterogeneous_edge_count_scratch(system: ParticleSystem) -> int:
+    """:math:`h(\\sigma)` recomputed from scratch (O(n) neighbor scan)."""
+    colors = system.colors
+    half_edges = 0
+    for (x, y), color in colors.items():
+        for dx, dy in NEIGHBOR_OFFSETS:
+            nbr_color = colors.get((x + dx, y + dy))
+            if nbr_color is not None and nbr_color != color:
+                half_edges += 1
+    return half_edges // 2
+
+
+def _check_counter(name: str, counter: int, scratch: int) -> None:
+    if counter != scratch:
+        raise RuntimeError(
+            f"incremental {name} counter {counter} != from-scratch value "
+            f"{scratch}; an update path desynchronized the counters "
+            "(REPRO_DEBUG_OBSERVABLES cross-check)"
+        )
+
 
 def edge_count(system: ParticleSystem) -> int:
-    """:math:`e(\\sigma)` — occupied-occupied lattice edges."""
+    """:math:`e(\\sigma)` — occupied-occupied lattice edges.
+
+    Reads the O(1) incremental counter; with ``REPRO_DEBUG_OBSERVABLES``
+    set, cross-checks it against :func:`edge_count_scratch`.
+    """
+    if _OBSERVABLES_DEBUG:
+        _check_counter("edge", system.edge_total, edge_count_scratch(system))
     return system.edge_total
 
 
 def heterogeneous_edge_count(system: ParticleSystem) -> int:
-    """:math:`h(\\sigma)` — edges whose endpoints have different colors."""
+    """:math:`h(\\sigma)` — edges whose endpoints have different colors.
+
+    Reads the O(1) incremental counter; with ``REPRO_DEBUG_OBSERVABLES``
+    set, cross-checks it against
+    :func:`heterogeneous_edge_count_scratch`.
+    """
+    if _OBSERVABLES_DEBUG:
+        _check_counter(
+            "hetero-edge",
+            system.hetero_total,
+            heterogeneous_edge_count_scratch(system),
+        )
     return system.hetero_total
 
 
@@ -74,24 +137,34 @@ def monochromatic_cluster_sizes(system: ParticleSystem) -> Dict[int, List[int]]:
 
     A crude but fast separation signal: a separated system has one giant
     cluster per color; an integrated system has many small ones.
+
+    Single-pass traversal: unvisited nodes live in one ``remaining``
+    dict (a copy of ``colors``) that doubles as the visited set *and*
+    the color lookup — each neighbor probe is one ``dict.get`` instead
+    of the former separate visited-set test plus color fetch — and the
+    frontier is a LIFO list (order does not matter for component
+    sizes).  Output is identical to the previous BFS implementation:
+    clusters are discovered in the same ``colors`` iteration order and
+    each color's sizes are sorted descending.
     """
     colors = system.colors
-    seen = set()
+    remaining = dict(colors)
     result: Dict[int, List[int]] = {c: [] for c in range(system.num_colors)}
+    offsets = NEIGHBOR_OFFSETS
     for start, color in colors.items():
-        if start in seen:
+        if start not in remaining:
             continue
-        seen.add(start)
+        del remaining[start]
         size = 1
-        queue = deque([start])
-        while queue:
-            x, y = queue.popleft()
-            for dx, dy in NEIGHBOR_OFFSETS:
+        stack = [start]
+        while stack:
+            x, y = stack.pop()
+            for dx, dy in offsets:
                 nbr = (x + dx, y + dy)
-                if nbr not in seen and colors.get(nbr) == color:
-                    seen.add(nbr)
+                if remaining.get(nbr) == color:
+                    del remaining[nbr]
                     size += 1
-                    queue.append(nbr)
+                    stack.append(nbr)
         result[color].append(size)
     for sizes in result.values():
         sizes.sort(reverse=True)

@@ -1,0 +1,220 @@
+"""Statistical-equivalence suite: batch kernel vs. the scalar dict kernel.
+
+The replica-batched NumPy kernel (:mod:`repro.core.batch_kernel`) consumes
+its randomness through per-replica ``numpy`` PCG64 streams, while the
+scalar kernels draw from ``random.Random``; the two are therefore
+*statistically* equivalent samplers of the same Markov chain, not bit-wise
+identical ones.  This file pins down both halves of that claim:
+
+**Exactness tests** — properties that must hold bit-for-bit:
+
+- the speculative window is an implementation detail: ``window=1`` (the
+  sequential reference, which evaluates one proposal at a time) and the
+  default wide window produce identical trajectories for the same seeds;
+- grouping invariance: one R-replica kernel seeded with a per-replica
+  seed list equals R independent single-replica kernels — the property
+  that makes :class:`~repro.experiments.parallel.BatchRunner`'s task
+  grouping sound;
+- the incremental edge/heterogeneous-edge counters agree with
+  from-scratch recomputation on exported systems.
+
+**Statistical tests** — ensemble moments of the paper's observables
+(perimeter, heterogeneous edges, compression ratio :math:`\\alpha`,
+largest monochromatic cluster fraction) must match the dict kernel within
+tolerance bands at two :math:`(\\lambda, \\gamma)` points spanning the
+separated (:math:`\\lambda=\\gamma=4`) and integrated
+(:math:`\\lambda=4, \\gamma=0.5`) regimes.  Seeds are fixed, so the tests
+are deterministic; the bands are a few pooled standard errors wide plus a
+KS-style cap on the empirical-CDF distance.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.compression_metric import alpha_of
+from repro.core.batch_kernel import BatchKernel, DEFAULT_WINDOW
+from repro.core.separation_chain import SeparationChain
+from repro.system.initializers import random_blob_system
+from repro.system.observables import (
+    edge_count_scratch,
+    heterogeneous_edge_count_scratch,
+    largest_cluster_fraction,
+)
+
+N = 48
+SEED_BASE = 7100
+
+
+def _make_system():
+    # One fixed initial configuration shared by every ensemble member so
+    # the comparison isolates the kernels' dynamics.
+    return random_blob_system(N, seed=2018)
+
+
+def _observe(system):
+    return (
+        float(system.perimeter()),
+        float(system.hetero_total),
+        float(alpha_of(system)),
+        float(largest_cluster_fraction(system)),
+    )
+
+
+OBS_NAMES = ("perimeter", "het_edges", "alpha", "largest_cluster_fraction")
+
+
+def _ensemble_dict(lam, gamma, seeds, steps, swaps=True):
+    rows = []
+    for seed in seeds:
+        system = _make_system()
+        chain = SeparationChain(
+            system, lam=lam, gamma=gamma, seed=seed, swaps=swaps, backend="dict"
+        )
+        chain.run(steps)
+        rows.append(_observe(system))
+    return np.asarray(rows)
+
+
+def _ensemble_batch(lam, gamma, seeds, steps, swaps=True):
+    system = _make_system()
+    kernel = BatchKernel(
+        system, lam, gamma, replicas=len(seeds), seed=list(seeds), swaps=swaps
+    )
+    kernel.run(steps)
+    return np.asarray(
+        [_observe(kernel.export_system(r)) for r in range(len(seeds))]
+    )
+
+
+def _ks_distance(a, b):
+    """Two-sample Kolmogorov-Smirnov statistic (no SciPy dependency)."""
+    a = np.sort(a)
+    b = np.sort(b)
+    grid = np.concatenate([a, b])
+    cdf_a = np.searchsorted(a, grid, side="right") / a.size
+    cdf_b = np.searchsorted(b, grid, side="right") / b.size
+    return float(np.max(np.abs(cdf_a - cdf_b)))
+
+
+class TestExactness:
+    """Bit-level properties of the speculative-window implementation."""
+
+    def test_window_one_matches_default_window(self):
+        """The wide speculative window is a pure optimization.
+
+        ``window=1`` evaluates a single proposal per vectorized pass —
+        the sequential reference — so identical seeds must give identical
+        trajectories regardless of window width.
+        """
+        seeds = list(range(SEED_BASE, SEED_BASE + 4))
+        base = _make_system()
+        k1 = BatchKernel(base, 4.0, 4.0, replicas=4, seed=seeds, window=1)
+        kw = BatchKernel(_make_system(), 4.0, 4.0, replicas=4, seed=seeds,
+                         window=DEFAULT_WINDOW)
+        k1.run(4000)
+        kw.run(4000)
+        assert np.array_equal(k1.edge, kw.edge)
+        assert np.array_equal(k1.het, kw.het)
+        assert np.array_equal(k1.acc_moves, kw.acc_moves)
+        assert np.array_equal(k1.acc_swaps, kw.acc_swaps)
+        for r in range(4):
+            assert sorted(k1.positions(r)) == sorted(kw.positions(r))
+
+    def test_grouping_invariance(self):
+        """R-replica kernel == R single-replica kernels (same seed list)."""
+        seeds = list(range(SEED_BASE, SEED_BASE + 6))
+        grouped = BatchKernel(_make_system(), 4.0, 2.0, replicas=6, seed=seeds)
+        grouped.run(3000)
+        for r, seed in enumerate(seeds):
+            solo = BatchKernel(_make_system(), 4.0, 2.0, replicas=1, seed=[seed])
+            solo.run(3000)
+            assert int(solo.edge[0]) == int(grouped.edge[r])
+            assert int(solo.het[0]) == int(grouped.het[r])
+            assert sorted(solo.positions(0)) == sorted(grouped.positions(r))
+
+    @pytest.mark.parametrize("swaps", [True, False])
+    def test_incremental_counters_match_scratch(self, swaps):
+        seeds = list(range(SEED_BASE, SEED_BASE + 4))
+        kernel = BatchKernel(
+            _make_system(), 4.0, 4.0, replicas=4, seed=seeds, swaps=swaps
+        )
+        kernel.run(5000)
+        for r in range(4):
+            system = kernel.export_system(r)
+            assert int(kernel.edge[r]) == edge_count_scratch(system)
+            assert int(kernel.het[r]) == heterogeneous_edge_count_scratch(system)
+            assert int(kernel.perimeters()[r]) == system.perimeter()
+            assert system.is_connected()
+            assert not system.has_holes()
+
+
+@pytest.mark.parametrize(
+    "lam,gamma,regime",
+    [
+        (4.0, 4.0, "separated"),
+        (4.0, 0.5, "integrated"),
+    ],
+)
+class TestMomentMatching:
+    """Ensemble moments of batch vs. dict kernels at matched parameters.
+
+    Both ensembles start from the same configuration and run the same
+    number of steps, so any systematic discrepancy in the dynamics would
+    shift the ensemble means apart.  The band is
+    ``3 * pooled standard error + epsilon`` — wide enough to be stable
+    under the fixed seeds, tight enough to catch a broken acceptance
+    ratio (which moves means by many standard deviations).
+    """
+
+    REPLICAS = 16
+    STEPS = 15_000
+    _cache: dict = {}
+
+    def _ensembles(self, lam, gamma):
+        key = (lam, gamma)
+        if key not in self._cache:
+            seeds_b = [SEED_BASE + 10 * i for i in range(self.REPLICAS)]
+            seeds_d = [SEED_BASE + 10 * i + 5 for i in range(self.REPLICAS)]
+            batch = _ensemble_batch(lam, gamma, seeds_b, self.STEPS)
+            ref = _ensemble_dict(lam, gamma, seeds_d, self.STEPS)
+            self._cache[key] = (batch, ref)
+        return self._cache[key]
+
+    def test_means_within_tolerance(self, lam, gamma, regime):
+        batch, ref = self._ensembles(lam, gamma)
+        for j, name in enumerate(OBS_NAMES):
+            mb, md = batch[:, j].mean(), ref[:, j].mean()
+            se = math.sqrt(
+                batch[:, j].var(ddof=1) / batch.shape[0]
+                + ref[:, j].var(ddof=1) / ref.shape[0]
+            )
+            eps = 0.05 * max(abs(md), 1.0)
+            assert abs(mb - md) <= 3.0 * se + eps, (
+                f"{regime} {name}: batch mean {mb:.3f} vs dict mean {md:.3f} "
+                f"(band {3.0 * se + eps:.3f})"
+            )
+
+    def test_ks_distance_within_tolerance(self, lam, gamma, regime):
+        batch, ref = self._ensembles(lam, gamma)
+        n1 = batch.shape[0]
+        n2 = ref.shape[0]
+        # KS critical value at alpha=0.001 for a smoke-level gate.
+        crit = 1.95 * math.sqrt((n1 + n2) / (n1 * n2))
+        for j, name in enumerate(OBS_NAMES):
+            d = _ks_distance(batch[:, j], ref[:, j])
+            assert d <= crit, (
+                f"{regime} {name}: KS distance {d:.3f} exceeds {crit:.3f}"
+            )
+
+    def test_regime_signature(self, lam, gamma, regime):
+        """Sanity check that the two parameter points really span regimes."""
+        batch, _ = self._ensembles(lam, gamma)
+        lcf = batch[:, 3].mean()
+        if regime == "separated":
+            assert lcf > 0.35
+        else:
+            assert lcf < 0.35

@@ -71,12 +71,52 @@ class TestSimulate:
         assert captured.err == ""
         assert "perimeter" in captured.out  # result table survives
 
-    def test_zero_steps_reports_na_acceptance(self, capsys):
-        code = main(
-            ["simulate", "-n", "15", "--steps", "0", "--seed", "3"]
+    def test_zero_steps_rejected_at_parse_time(self, capsys):
+        # --steps is validated by the positive_int argparse type now, so
+        # a zero/negative budget is a usage error (exit code 2), not a
+        # silent no-op run.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["simulate", "-n", "15", "--steps", "0", "--seed", "3"])
+        assert excinfo.value.code == 2
+        assert "positive integer" in capsys.readouterr().err
+
+
+class TestArgumentValidation:
+    """positive_int / nonnegative_int argparse types reject bad values."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["simulate", "--steps", "-5"],
+            ["simulate", "--steps", "1.5"],
+            ["figure2", "--measure-every", "0"],
+            ["figure2", "--measure-every", "-1"],
+            ["figure2", "--measure-every", "10", "--steps", "0"],
+            ["sweep", "--replicas", "0"],
+            ["sweep", "--replicas", "-3"],
+            ["figure3", "--replicas", "zebra"],
+            ["sweep", "--replicas-per-task", "-2"],
+        ],
+    )
+    def test_nonpositive_values_exit_with_usage_error(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "integer" in err or "invalid" in err
+
+    def test_valid_values_parse(self):
+        args = build_parser().parse_args(
+            ["sweep", "--replicas", "4", "--replicas-per-task", "0"]
         )
-        assert code == 0
-        assert "acceptance rate: n/a" in capsys.readouterr().err
+        assert args.replicas == 4
+        assert args.replicas_per_task == 0
+
+    def test_kernel_choices_include_batch(self):
+        args = build_parser().parse_args(["sweep", "--kernel", "batch"])
+        assert args.kernel == "batch"
+        args = build_parser().parse_args(["simulate", "--kernel", "batch"])
+        assert args.kernel == "batch"
 
 
 class TestFigures:
@@ -94,6 +134,36 @@ class TestFigures:
         code = main(["figure3", "-n", "20", "--iterations", "2000"])
         assert code == 0
         assert "lambda\\gamma" in capsys.readouterr().out
+
+
+class TestBatchKernelCli:
+    def test_figure2_measure_mode_prints_trace(self, capsys):
+        code = main(
+            [
+                "figure2", "-n", "24", "--measure-every", "250",
+                "--steps", "1000", "--seed", "4", "--kernel", "batch",
+                "--replicas", "2", "--quiet",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "iteration" in out
+        # 1000 steps / 250 per row + the t=0 row = 5 printed rows.
+        assert out.count("\n") == 6  # header + 5 rows
+
+    def test_sweep_batch_kernel_with_grouping(self, capsys):
+        code = main(
+            [
+                "sweep", "--lambdas", "4", "--gammas", "4",
+                "--iterations", "2000", "-n", "20", "--replicas", "3",
+                "--kernel", "batch", "--replicas-per-task", "2",
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "alpha" in out
+        assert out.count("\n") >= 2  # header + one row
 
 
 class TestStationary:

@@ -8,15 +8,21 @@ suite.
 
 import math
 
+import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.analysis.compression_metric import minimum_perimeter
 from repro.analysis.separation_metric import best_certificate, evaluate_region
+from repro.core.batch_kernel import BatchKernel
 from repro.core.separation_chain import SeparationChain
 from repro.lattice.boundary import boundary_walk, turning_number
 from repro.system.initializers import random_blob_system
-from repro.system.observables import color_counts
+from repro.system.observables import (
+    color_counts,
+    edge_count_scratch,
+    heterogeneous_edge_count_scratch,
+)
 from repro.util.serialization import (
     configuration_from_json,
     configuration_to_json,
@@ -62,6 +68,94 @@ class TestChainFuzz:
             SeparationChain(system, lam=3.0, gamma=2.0, seed=seed).run(1_500)
             outcomes.append(sorted(system.colors.items()))
         assert outcomes[0] == outcomes[1]
+
+
+#: Randomized interleavings of chain operations: batched runs, single
+#: scalar steps, and on-the-fly parameter changes.
+_op_st = st.lists(
+    st.one_of(
+        st.tuples(st.just("run"), st.integers(1, 400)),
+        st.tuples(st.just("step"), st.just(0)),
+        st.tuples(st.just("set"), st.integers(0, 3)),
+    ),
+    min_size=3,
+    max_size=8,
+)
+
+_PARAM_POINTS = ((4.0, 4.0), (0.7, 2.0), (2.0, 0.7), (1.0, 1.0))
+
+
+class TestCounterFuzz:
+    """Incremental counters == from-scratch observables, always.
+
+    The O(1) measurement path (PR 4) rests entirely on the edge and
+    heterogeneous-edge counters staying exact through every update
+    path: scalar steps, grid-kernel batched runs, batch-kernel runs,
+    ``set_parameters`` rebuilds, and arena regrowth.  These fuzz tests
+    interleave those paths randomly and re-derive the counters from
+    scratch after every operation.
+    """
+
+    @pytest.mark.parametrize("backend", ["grid", "batch"])
+    @given(
+        st.integers(min_value=3, max_value=40),
+        st.integers(0, 10_000),
+        st.booleans(),
+        _op_st,
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_interleaved_ops_keep_counters_exact(
+        self, backend, n, seed, swaps, ops
+    ):
+        system = random_blob_system(n, seed=seed)
+        chain = SeparationChain(
+            system, lam=4.0, gamma=4.0, swaps=swaps, seed=seed,
+            backend=backend,
+        )
+        for op, arg in ops:
+            if op == "run":
+                chain.run(arg)
+            elif op == "step":
+                chain.step()
+            else:
+                lam, gamma = _PARAM_POINTS[arg]
+                chain.set_parameters(lam, gamma)
+            assert system.edge_total == edge_count_scratch(system)
+            assert system.hetero_total == heterogeneous_edge_count_scratch(
+                system
+            )
+            assert system.perimeter() == system.perimeter(exact=True)
+        assert system.is_connected()
+        assert not system.has_holes()
+
+    @given(
+        st.integers(min_value=3, max_value=40),
+        st.integers(0, 10_000),
+        st.booleans(),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_batch_kernel_counters_survive_regrow(self, n, seed, swaps):
+        """Forced arena regrowth (the rebuild path a drifting replica
+        triggers naturally) must preserve every replica's counters."""
+        system = random_blob_system(n, seed=seed)
+        seeds = [seed, seed + 1, seed + 2]
+        kernel = BatchKernel(
+            system, 4.0, 4.0, replicas=3, seed=seeds, swaps=swaps
+        )
+        kernel.run(600)
+        kernel._regrow()
+        kernel.run(600)
+        kernel.set_parameters(0.7, 2.0)
+        kernel.run(600)
+        for r in range(3):
+            exported = kernel.export_system(r)
+            assert int(kernel.edge[r]) == edge_count_scratch(exported)
+            assert int(kernel.het[r]) == heterogeneous_edge_count_scratch(
+                exported
+            )
+            assert int(kernel.perimeters()[r]) == exported.perimeter()
+            assert exported.is_connected()
+            assert not exported.has_holes()
 
 
 class TestGeometryFuzz:
