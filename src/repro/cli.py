@@ -29,6 +29,13 @@ share one vectorized batch task (0 = no cap), and ``figure2
 --measure-every K`` switches to the dense measurement mode built on
 the O(1) incremental observables.
 
+Fault tolerance: ``--max-retries K``, ``--task-timeout SECONDS``,
+``--on-failure raise|retry|quarantine``, and ``--max-pool-restarts K``
+configure the engine's resilience layer (retries with deterministic
+backoff, a per-cell timeout watchdog, bounded process-pool rebuilds,
+and quarantine-with-``failures.json`` partial results — see
+``docs/resilience.md``).
+
 Output discipline: result tables go to **stdout** (so piped output
 stays machine-readable); diagnostics, progress lines, and profiling
 reports go to **stderr** via the structured logger and are silenced by
@@ -136,6 +143,33 @@ def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
         help="with --kernel batch: cap replicas grouped into one "
              "vectorized task (0 = group a whole cell together)",
     )
+    parser.add_argument(
+        "--max-retries", type=nonnegative_int, default=0,
+        dest="max_retries", metavar="K",
+        help="re-run a failing cell up to K times (with --on-failure "
+             "retry or quarantine; see docs/resilience.md)",
+    )
+    parser.add_argument(
+        "--task-timeout", type=float, default=None,
+        dest="task_timeout", metavar="SECONDS",
+        help="treat a cell attempt exceeding SECONDS as failed "
+             "(process backend cancels/terminates the hung worker; "
+             "serial backend checks after the fact)",
+    )
+    parser.add_argument(
+        "--on-failure", choices=("raise", "retry", "quarantine"),
+        default="raise", dest="on_failure",
+        help="failure policy: 'raise' aborts on the first failure "
+             "(default), 'retry' retries then aborts, 'quarantine' "
+             "retries then records the cell in failures.json and "
+             "completes the sweep with partial results",
+    )
+    parser.add_argument(
+        "--max-pool-restarts", type=nonnegative_int, default=3,
+        dest="max_pool_restarts", metavar="K",
+        help="rebuild a broken process pool at most K times "
+             "before giving up",
+    )
     _add_kernel_argument(parser)
 
 
@@ -234,6 +268,7 @@ def _diag(args: argparse.Namespace, message: str, event: str = "cli.diag",
 def _parallel_kwargs(args: argparse.Namespace) -> dict:
     """Translate parsed parallel flags into harness keyword arguments."""
     from repro.experiments.parallel import resolve_backend
+    from repro.experiments.resilience import FailurePolicy, RetryPolicy
 
     kwargs = {
         "replicas": args.replicas,
@@ -243,6 +278,14 @@ def _parallel_kwargs(args: argparse.Namespace) -> dict:
         "resume": args.resume,
         "kernel": getattr(args, "kernel", "auto"),
         "replicas_per_task": getattr(args, "replicas_per_task", 0),
+        "retry": RetryPolicy(
+            max_retries=getattr(args, "max_retries", 0),
+            task_timeout=getattr(args, "task_timeout", None),
+        ),
+        "failure": FailurePolicy(
+            mode=getattr(args, "on_failure", "raise"),
+            max_pool_restarts=getattr(args, "max_pool_restarts", 3),
+        ),
     }
     obs = getattr(args, "_obs", None)
     if obs is not None:
@@ -526,7 +569,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     spread = "  alpha_sd  h/e_sd" if with_spread else ""
     print(f"{'lambda':>7}  {'gamma':>7}  {'alpha':>6}  {'h/e':>6}{spread}  phase")
     for point in points:
-        phase = classify_phase(point.system)
+        phase = (
+            classify_phase(point.system)
+            if point.system is not None
+            else "failed"  # every replica quarantined (--on-failure)
+        )
         columns = (
             f"{point.params['lam']:>7.2f}  {point.params['gamma']:>7.2f}  "
             f"{point.metrics['alpha']:>6.2f}  "

@@ -34,6 +34,12 @@ from repro.experiments.parallel import (
     dispatch_cells,
 )
 from repro.experiments.phases import PhaseThresholds, classify_phase
+from repro.experiments.resilience import (
+    CellFailedError,
+    FailurePolicy,
+    RetryPolicy,
+    surviving,
+)
 from repro.obs import Instrumentation
 from repro.experiments.render import render_ascii
 from repro.system.configuration import ParticleSystem
@@ -122,6 +128,9 @@ def run_figure2(
     obs: Optional[Instrumentation] = None,
     kernel: str = "auto",
     replicas_per_task: int = 0,
+    retry: Optional[RetryPolicy] = None,
+    failure: Optional[FailurePolicy] = None,
+    fault_spec: Optional[dict] = None,
 ) -> Figure2Result:
     """Regenerate the Figure 2 trajectory.
 
@@ -141,6 +150,12 @@ def run_figure2(
 
     ``kernel`` picks the step kernel (``"auto"``/``"grid"``/``"dict"``)
     without affecting the trajectory or checkpoint identity.
+
+    ``retry``/``failure`` configure the resilience layer.  Quarantined
+    replicas are excluded from the means/votes; if *every* replica
+    fails, :class:`repro.experiments.resilience.CellFailedError` is
+    raised (a trajectory figure with zero trajectories has no partial
+    result worth returning).
     """
     if replicas < 1:
         raise ValueError(f"replicas must be positive, got {replicas}")
@@ -189,14 +204,23 @@ def run_figure2(
             progress=progress,
             obs=obs,
             replicas_per_task=replicas_per_task,
+            retry=retry,
+            failure=failure,
+            fault_spec=fault_spec,
         )
     if obs is not None:
         obs.log("figure2.done", replicas=replicas, steps=steps)
 
+    survivors = surviving(results)
+    if not survivors:
+        raise CellFailedError(
+            "figure2: every replica was quarantined; nothing to aggregate"
+        )
+
     thresholds = PhaseThresholds()
     per_replica_rows: List[List[Dict[str, float]]] = []
     per_replica_phases: List[List[str]] = []
-    for result in results:
+    for result in survivors:
         rows = []
         phase_row = []
         for checkpoint, snapshot in zip(checkpoints, result.snapshots):
@@ -208,6 +232,7 @@ def run_figure2(
         per_replica_rows.append(rows)
         per_replica_phases.append(phase_row)
 
+    alive = len(survivors)
     rows: List[Dict[str, float]] = []
     rows_std: List[Dict[str, float]] = []
     phases: List[str] = []
@@ -216,20 +241,20 @@ def run_figure2(
         std_row: Dict[str, float] = {"iteration": float(checkpoint)}
         for name in OBSERVABLES:
             samples = [
-                per_replica_rows[r][position][name] for r in range(replicas)
+                per_replica_rows[r][position][name] for r in range(alive)
             ]
-            mean = sum(samples) / replicas
+            mean = sum(samples) / alive
             mean_row[name] = mean
             std_row[name] = math.sqrt(
-                sum((value - mean) ** 2 for value in samples) / replicas
+                sum((value - mean) ** 2 for value in samples) / alive
             )
         rows.append(mean_row)
         rows_std.append(std_row)
-        votes = [per_replica_phases[r][position] for r in range(replicas)]
+        votes = [per_replica_phases[r][position] for r in range(alive)]
         phases.append(max(votes, key=votes.count))
 
     snapshots = (
-        [render_ascii(snapshot) for snapshot in results[0].snapshots]
+        [render_ascii(snapshot) for snapshot in survivors[0].snapshots]
         if keep_snapshots
         else []
     )
@@ -238,8 +263,8 @@ def run_figure2(
         rows=rows,
         phases=phases,
         snapshots=snapshots,
-        system=results[0].system,
-        replicas=replicas,
+        system=survivors[0].system,
+        replicas=alive,
         rows_std=rows_std,
     )
 

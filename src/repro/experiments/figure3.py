@@ -31,6 +31,7 @@ from repro.experiments.parallel import (
     group_by_cell,
 )
 from repro.experiments.phases import PhaseThresholds, classify_phase, phase_metrics
+from repro.experiments.resilience import FailurePolicy, RetryPolicy, surviving
 from repro.obs import Instrumentation
 from repro.system.configuration import ParticleSystem
 from repro.system.initializers import random_blob_system
@@ -45,12 +46,14 @@ DEFAULT_GAMMAS = (0.8, 1.0, 2.0, 4.0, 6.0)
 #: Iterations per cell in the paper.
 PAPER_ITERATIONS = 50_000_000
 
-#: Abbreviations used in the printed grid.
+#: Abbreviations used in the printed grid.  ``failed`` marks a cell
+#: whose replicas were all quarantined by the resilience layer.
 PHASE_ABBREVIATIONS = {
     "compressed-separated": "CS",
     "compressed-integrated": "CI",
     "expanded-separated": "ES",
     "expanded-integrated": "EI",
+    "failed": "??",
 }
 
 
@@ -78,7 +81,7 @@ class Figure3Result:
             lines.append(f"{lam:>12.2f}  " + "  ".join(cells))
         lines.append(
             "(CS=compressed-separated, CI=compressed-integrated, "
-            "ES=expanded-separated, EI=expanded-integrated)"
+            "ES=expanded-separated, EI=expanded-integrated, ??=failed)"
         )
         return "\n".join(lines)
 
@@ -105,6 +108,9 @@ def run_figure3(
     obs: Optional[Instrumentation] = None,
     kernel: str = "auto",
     replicas_per_task: int = 0,
+    retry: Optional[RetryPolicy] = None,
+    failure: Optional[FailurePolicy] = None,
+    fault_spec: Optional[dict] = None,
 ) -> Figure3Result:
     """Regenerate the Figure 3 phase grid.
 
@@ -124,6 +130,11 @@ def run_figure3(
     ``figure3`` trace span and every cell reports wall-time and
     throughput (see :mod:`repro.obs`).  ``kernel`` picks the step
     kernel per cell without affecting trajectories or checkpoints.
+
+    ``retry``/``failure`` configure the resilience layer.  Under
+    ``FailurePolicy(mode="quarantine")`` failed replicas are dropped
+    from the vote and metric averages; a cell whose replicas all failed
+    is reported with phase ``"failed"`` (``??`` in the printed grid).
     """
     if replicas < 1:
         raise ValueError(f"replicas must be positive, got {replicas}")
@@ -169,6 +180,9 @@ def run_figure3(
             progress=progress,
             obs=obs,
             replicas_per_task=replicas_per_task,
+            retry=retry,
+            failure=failure,
+            fault_spec=fault_spec,
         )
     if obs is not None:
         obs.log("figure3.done", cells=len(cells), replicas=replicas)
@@ -178,13 +192,14 @@ def run_figure3(
     for key, cell_results in zip(cells, group_by_cell(results, replicas)):
         votes: List[str] = []
         accumulated: Dict[str, float] = {}
-        for result in cell_results:
+        survivors = surviving(cell_results)
+        for result in survivors:
             votes.append(classify_phase(result.system, thresholds))
             for name, value in phase_metrics(result.system).items():
                 accumulated[name] = accumulated.get(name, 0.0) + value
-        phases[key] = max(votes, key=votes.count)
+        phases[key] = max(votes, key=votes.count) if votes else "failed"
         metrics[key] = {
-            name: value / replicas for name, value in accumulated.items()
+            name: value / len(survivors) for name, value in accumulated.items()
         }
     return Figure3Result(
         lambdas=list(lambdas),

@@ -35,6 +35,17 @@ checkpoint hits/misses/recomputes, and records per-cell wall-time and
 throughput.  Instrumentation is excluded from task identity and
 stripped from checkpoint files, so instrumented and uninstrumented
 sweeps are interchangeable on disk and bit-identical in trajectory.
+
+Fault tolerance (:mod:`repro.experiments.resilience`) threads through
+the same way: a :class:`~repro.experiments.resilience.RetryPolicy` and
+:class:`~repro.experiments.resilience.FailurePolicy` control per-cell
+retries with backoff, a per-task timeout watchdog, bounded process-pool
+rebuilds on ``BrokenProcessPool``, and — under ``quarantine`` — partial
+completion with :class:`~repro.experiments.resilience.FailedCell`
+placeholders plus a ``failures.json`` manifest in the checkpoint dir.
+Because retried cells re-run identical payloads with identical derived
+seeds, a sweep that survives worker crashes is bit-identical to an
+undisturbed one.
 """
 
 from __future__ import annotations
@@ -44,12 +55,26 @@ import os
 import sys
 import time
 import warnings
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.separation_chain import CHAIN_BACKENDS, SeparationChain
+from repro.experiments.resilience import (
+    FailedCell,
+    FailurePolicy,
+    ResilientExecutor,
+    ResultValidationError,
+    RetryPolicy,
+    TaskFailure,
+    WorkUnit,
+    clear_failures_manifest,
+    corrupt_batch_payloads,
+    corrupt_result_payload,
+    inject_preemptive_fault,
+    plan_fault,
+    write_failures_manifest,
+)
 from repro.obs import (
     Instrumentation,
     JsonLogger,
@@ -64,6 +89,7 @@ from repro.util.serialization import (
     configuration_to_json,
     load_payload,
     save_payload,
+    sweep_stale_temp_files,
 )
 
 #: Execution backends understood by :func:`execute_cells`.
@@ -179,9 +205,17 @@ class CellResult:
     profile: Optional[str] = None
 
 
-#: Observability-only payload keys: stripped before checkpointing so
-#: instrumented and uninstrumented sweeps write identical checkpoints.
-_OBS_PAYLOAD_KEYS = ("events", "trace_events", "metrics", "profile", "instrument")
+#: Side-channel payload keys (observability and fault injection):
+#: stripped before checkpointing so instrumented, fault-injected, and
+#: plain sweeps all write identical checkpoints.
+_OBS_PAYLOAD_KEYS = (
+    "events",
+    "trace_events",
+    "metrics",
+    "profile",
+    "instrument",
+    "fault",
+)
 
 
 def task_payload(
@@ -226,13 +260,20 @@ def run_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
     worker's pid) and returns their contents in the result payload for
     the parent to merge.  A ``profile`` request wraps the whole cell in
     cProfile and attaches the report text.
+
+    Fault injection (a ``fault`` payload key or the
+    :data:`repro.experiments.resilience.FAULT_ENV` environment
+    variable) can crash, kill, hang, or corrupt this worker for chaos
+    testing; like ``instrument`` it rides outside the task identity.
     """
+    fault = plan_fault(payload, payload["key"], payload.get("label", ""))
+    inject_preemptive_fault(fault)
     instrument = payload.get("instrument") or {}
     if instrument.get("profile"):
         result, profile_text = run_profiled(_run_cell_body, payload, instrument)
         result["profile"] = profile_text
-        return result
-    return _run_cell_body(payload, instrument)
+        return corrupt_result_payload(fault, result)
+    return corrupt_result_payload(fault, _run_cell_body(payload, instrument))
 
 
 def _run_cell_body(
@@ -323,6 +364,60 @@ def _decode_result(
         wall_time=float(payload.get("wall_time", 0.0)),
         profile=payload.get("profile"),
     )
+
+
+#: Keys a well-formed result payload must carry (checkpoint schema).
+_RESULT_PAYLOAD_KEYS = (
+    "key",
+    "final",
+    "snapshots",
+    "iterations",
+    "accepted_moves",
+    "accepted_swaps",
+)
+
+
+def _validated_result(task: CellTask, payload: Any) -> CellResult:
+    """Decode a worker result payload, validating it against ``task``.
+
+    Raises :class:`ResultValidationError` on any structural problem —
+    a non-dict return, missing keys, a key that does not match the task
+    identity, an iteration count that disagrees with the step budget,
+    or snapshot/final JSON that fails to deserialize (the corrupt-result
+    case).  Validation runs *before* the payload is checkpointed, so a
+    corrupted result can never poison the checkpoint directory.
+    """
+    if not isinstance(payload, dict):
+        raise ResultValidationError(
+            f"cell {task.key()} worker returned "
+            f"{type(payload).__name__}, expected a payload dict"
+        )
+    missing = [key for key in _RESULT_PAYLOAD_KEYS if key not in payload]
+    if missing:
+        raise ResultValidationError(
+            f"cell {task.key()} result payload missing keys {missing}"
+        )
+    if payload["key"] != task.key():
+        raise ResultValidationError(
+            f"result key {payload['key']!r} does not match "
+            f"task {task.key()!r}"
+        )
+    if int(payload["iterations"]) != task.steps:
+        raise ResultValidationError(
+            f"cell {task.key()} ran {payload['iterations']} iterations, "
+            f"expected {task.steps}"
+        )
+    if len(payload["snapshots"]) != len(task.checkpoints):
+        raise ResultValidationError(
+            f"cell {task.key()} returned {len(payload['snapshots'])} "
+            f"snapshots, expected {len(task.checkpoints)}"
+        )
+    try:
+        return _decode_result(task, payload)
+    except (ValueError, KeyError, TypeError) as error:
+        raise ResultValidationError(
+            f"cell {task.key()} result payload is corrupt: {error}"
+        ) from error
 
 
 def checkpoint_path(directory: Path, task: CellTask) -> Path:
@@ -474,9 +569,19 @@ def run_batch_group(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
     one ``batch_cell`` trace span, and ``batch.start``/``batch.end``
     log events are attached to the *first* member's payload for the
     parent to merge.
+
+    Fault injection matches against the group's first member key (and
+    its label); the ``truncate`` mode drops the last member's payload
+    to exercise the engine's payload-count validation.
     """
     from repro.core.batch_kernel import BatchKernel
 
+    fault = plan_fault(
+        payload,
+        payload["members"][0]["key"],
+        payload["members"][0].get("label", ""),
+    )
+    inject_preemptive_fault(fault)
     instrument = payload.get("instrument") or {}
     members = payload["members"]
     replicas = len(members)
@@ -569,7 +674,24 @@ def run_batch_group(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
             ),
         )
         results[0]["events"] = logger.records
-    return results
+    return corrupt_batch_payloads(fault, results)
+
+
+def _finalize_failures(
+    directory: Optional[Path], failures: List[TaskFailure]
+) -> None:
+    """Persist (or clear) the quarantine manifest after an engine run.
+
+    A run that quarantined cells leaves ``failures.json`` beside the
+    checkpoints; a fully successful run removes any stale manifest so
+    a ``--resume`` that recomputed every quarantined cell ends clean.
+    """
+    if directory is None:
+        return
+    if failures:
+        write_failures_manifest(directory, failures)
+    else:
+        clear_failures_manifest(directory)
 
 
 def execute_cells(
@@ -580,6 +702,9 @@ def execute_cells(
     resume: bool = False,
     progress: Optional[ProgressCallback] = None,
     obs: Optional[Instrumentation] = None,
+    retry: Optional[RetryPolicy] = None,
+    failure: Optional[FailurePolicy] = None,
+    fault_spec: Optional[Any] = None,
 ) -> List[CellResult]:
     """Run every task and return results in task order.
 
@@ -596,11 +721,13 @@ def execute_cells(
     checkpoint_dir:
         When given, each completed cell is written there as one JSON
         file (atomically, so killing the sweep never leaves truncated
-        checkpoints).
+        checkpoints).  Stale ``*.tmp`` leftovers from hard-killed runs
+        are swept on engine start.
     resume:
         Skip tasks whose checkpoint files already exist in
         ``checkpoint_dir`` (required when ``resume=True``), loading
-        their recorded results instead of recomputing.
+        their recorded results instead of recomputing.  Quarantined
+        cells have no checkpoints, so a resume recomputes exactly them.
     progress:
         Optional callback ``(completed_count, total, result)`` invoked
         after every cell, including cells restored from checkpoints.
@@ -615,6 +742,20 @@ def execute_cells(
         under the ``engine.*`` metric names.  Instrumentation rides
         outside the task identity: checkpoints and trajectories are
         unchanged.
+    retry:
+        Optional :class:`~repro.experiments.resilience.RetryPolicy`
+        (attempt budget, backoff, per-task timeout).  The default
+        performs no retries.
+    failure:
+        Optional :class:`~repro.experiments.resilience.FailurePolicy`.
+        The default (``"raise"``) aborts on the first failure — the
+        historical behavior; ``"quarantine"`` completes with
+        :class:`~repro.experiments.resilience.FailedCell` placeholders
+        and a ``failures.json`` manifest instead.
+    fault_spec:
+        Optional fault-injection spec attached to worker payloads (see
+        :mod:`repro.experiments.resilience`); for chaos testing only.
+        Rides outside task identity, like ``obs``.
     """
     if backend not in BACKENDS:
         raise ValueError(
@@ -626,6 +767,8 @@ def execute_cells(
         raise ValueError(f"workers must be positive, got {workers}")
     if obs is not None and not obs.enabled():
         obs = None
+    retry = retry if retry is not None else RetryPolicy()
+    failure = failure if failure is not None else FailurePolicy()
 
     task_list = list(tasks)
     for task in task_list:
@@ -635,6 +778,7 @@ def execute_cells(
     if checkpoint_dir is not None:
         directory = Path(checkpoint_dir)
         directory.mkdir(parents=True, exist_ok=True)
+        sweep_stale_temp_files(directory)
 
     total = len(task_list)
     engine_started = time.perf_counter()
@@ -648,6 +792,8 @@ def execute_cells(
             backend=backend,
             workers=workers,
             resume=resume,
+            on_failure=failure.mode,
+            max_retries=retry.max_retries,
         )
 
     results: List[Optional[CellResult]] = [None] * total
@@ -673,9 +819,29 @@ def execute_cells(
 
     instrument = obs.worker_flags() if obs is not None else None
 
-    def finish(index: int, payload: Dict[str, Any]) -> None:
+    units = []
+    for index in pending:
+        payload = task_payload(task_list[index], instrument)
+        if fault_spec is not None:
+            payload["fault"] = fault_spec
+        units.append(
+            WorkUnit(
+                uid=index,
+                fn=run_cell,
+                payload=payload,
+                tasks=[task_list[index]],
+            )
+        )
+
+    def decode(unit: WorkUnit, raw: Any) -> Tuple[Dict[str, Any], CellResult]:
+        return raw, _validated_result(unit.tasks[0], raw)
+
+    def commit(
+        unit: WorkUnit, decoded: Tuple[Dict[str, Any], CellResult]
+    ) -> None:
         nonlocal completed
-        task = task_list[index]
+        payload, result = decoded
+        task = unit.tasks[0]
         if directory is not None:
             disk_payload = {
                 key: value
@@ -683,28 +849,43 @@ def execute_cells(
                 if key not in _OBS_PAYLOAD_KEYS
             }
             save_payload(disk_payload, checkpoint_path(directory, task))
-        result = _decode_result(task, payload)
         if obs is not None:
             _absorb_cell(obs, task, payload, result)
-        results[index] = result
+        results[unit.uid] = result
         completed += 1
         if progress is not None:
             progress(completed, total, result)
 
-    if backend == "serial":
-        for index in pending:
-            finish(index, run_cell(task_payload(task_list[index], instrument)))
-    else:
-        pool_size = workers if workers is not None else default_workers()
-        with ProcessPoolExecutor(max_workers=pool_size) as pool:
-            futures = {
-                pool.submit(
-                    run_cell, task_payload(task_list[index], instrument)
-                ): index
-                for index in pending
-            }
-            for future in as_completed(futures):
-                finish(futures[future], future.result())
+    def quarantine(unit: WorkUnit, records: List[TaskFailure]) -> None:
+        nonlocal completed
+        (record,) = records
+        placeholder = FailedCell(
+            task=unit.tasks[0],
+            error=record.error,
+            kind=record.kind,
+            attempts=record.attempts,
+        )
+        results[unit.uid] = placeholder
+        completed += 1
+        if progress is not None:
+            progress(completed, total, placeholder)
+
+    executor = ResilientExecutor(
+        backend=backend,
+        workers=workers if workers is not None else default_workers(),
+        retry=retry,
+        failure=failure,
+        obs=obs,
+    )
+    try:
+        executor.run(units, decode, commit, quarantine)
+    except BaseException:
+        # Aborted runs persist whatever was already quarantined but
+        # never *clear* a manifest they did not complete.
+        if directory is not None and executor.failures:
+            write_failures_manifest(directory, executor.failures)
+        raise
+    _finalize_failures(directory, executor.failures)
 
     if obs is not None:
         elapsed = time.perf_counter() - engine_started
@@ -718,7 +899,12 @@ def execute_cells(
                 cells=total,
                 backend=backend,
             )
-        obs.log("engine.done", cells=total, seconds=elapsed)
+        obs.log(
+            "engine.done",
+            cells=total,
+            seconds=elapsed,
+            failed=len(executor.failures),
+        )
 
     assert all(result is not None for result in results)
     return results  # type: ignore[return-value]
@@ -815,9 +1001,21 @@ class BatchRunner:
     resume: bool = False
     progress: Optional[ProgressCallback] = None
     obs: Optional[Instrumentation] = None
+    retry: Optional[RetryPolicy] = None
+    failure: Optional[FailurePolicy] = None
+    fault_spec: Optional[Any] = None
 
     def run(self, tasks: Iterable[CellTask]) -> List[CellResult]:
-        """Execute every task and return results in task order."""
+        """Execute every task and return results in task order.
+
+        The retry/failure policies apply at *group* granularity: a
+        worker exception, timeout, or malformed return (including the
+        historical silent-truncation bug — a worker returning fewer
+        payloads than the group has members, now a hard
+        :class:`~repro.experiments.resilience.ResultValidationError`)
+        fails the whole group, which is then recomputed or quarantined
+        as a unit.
+        """
         if self.backend not in BACKENDS:
             raise ValueError(
                 f"unknown backend {self.backend!r}; "
@@ -830,6 +1028,8 @@ class BatchRunner:
         obs = self.obs
         if obs is not None and not obs.enabled():
             obs = None
+        retry = self.retry if self.retry is not None else RetryPolicy()
+        failure = self.failure if self.failure is not None else FailurePolicy()
 
         task_list = list(tasks)
         for task in task_list:
@@ -839,6 +1039,7 @@ class BatchRunner:
         if self.checkpoint_dir is not None:
             directory = Path(self.checkpoint_dir)
             directory.mkdir(parents=True, exist_ok=True)
+            sweep_stale_temp_files(directory)
 
         total = len(task_list)
         engine_started = time.perf_counter()
@@ -854,6 +1055,8 @@ class BatchRunner:
                 resume=self.resume,
                 mode="batch",
                 replicas_per_task=self.replicas_per_task,
+                on_failure=failure.mode,
+                max_retries=retry.max_retries,
             )
 
         results: List[Optional[CellResult]] = [None] * total
@@ -882,9 +1085,47 @@ class BatchRunner:
             task_list, pending, self.replicas_per_task
         )
 
-        def finish(group: List[int], payloads: List[Dict[str, Any]]) -> None:
+        units = []
+        for uid, group in enumerate(groups):
+            payload = batch_group_payload(
+                [task_list[i] for i in group], instrument
+            )
+            if self.fault_spec is not None:
+                payload["fault"] = self.fault_spec
+            units.append(
+                WorkUnit(
+                    uid=uid,
+                    fn=run_batch_group,
+                    payload=payload,
+                    tasks=[task_list[i] for i in group],
+                )
+            )
+
+        def decode(unit: WorkUnit, raw: Any) -> List[Tuple[Dict, CellResult]]:
+            group = groups[unit.uid]
+            if not isinstance(raw, list):
+                raise ResultValidationError(
+                    f"batch group {unit.key} worker returned "
+                    f"{type(raw).__name__}, expected a payload list"
+                )
+            if len(raw) != len(group):
+                # Previously this mismatch was silently zip-truncated,
+                # leaving None results that only tripped the final
+                # assert; now the whole group is recomputed.
+                raise ResultValidationError(
+                    f"batch group {unit.key} returned {len(raw)} payloads "
+                    f"for {len(group)} members"
+                )
+            return [
+                (payload, _validated_result(task_list[index], payload))
+                for index, payload in zip(group, raw)
+            ]
+
+        def commit(
+            unit: WorkUnit, decoded: List[Tuple[Dict, CellResult]]
+        ) -> None:
             nonlocal completed
-            for index, payload in zip(group, payloads):
+            for index, (payload, result) in zip(groups[unit.uid], decoded):
                 task = task_list[index]
                 if directory is not None:
                     disk_payload = {
@@ -892,8 +1133,9 @@ class BatchRunner:
                         for key, value in payload.items()
                         if key not in _OBS_PAYLOAD_KEYS
                     }
-                    save_payload(disk_payload, checkpoint_path(directory, task))
-                result = _decode_result(task, payload)
+                    save_payload(
+                        disk_payload, checkpoint_path(directory, task)
+                    )
                 if obs is not None:
                     _absorb_cell(obs, task, payload, result)
                 results[index] = result
@@ -901,32 +1143,36 @@ class BatchRunner:
                 if self.progress is not None:
                     self.progress(completed, total, result)
 
-        if self.backend == "serial":
-            for group in groups:
-                finish(
-                    group,
-                    run_batch_group(
-                        batch_group_payload(
-                            [task_list[i] for i in group], instrument
-                        )
-                    ),
+        def quarantine(unit: WorkUnit, records: List[TaskFailure]) -> None:
+            nonlocal completed
+            for index, record in zip(groups[unit.uid], records):
+                placeholder = FailedCell(
+                    task=task_list[index],
+                    error=record.error,
+                    kind=record.kind,
+                    attempts=record.attempts,
                 )
-        else:
-            pool_size = (
+                results[index] = placeholder
+                completed += 1
+                if self.progress is not None:
+                    self.progress(completed, total, placeholder)
+
+        executor = ResilientExecutor(
+            backend=self.backend,
+            workers=(
                 self.workers if self.workers is not None else default_workers()
-            )
-            with ProcessPoolExecutor(max_workers=pool_size) as pool:
-                futures = {
-                    pool.submit(
-                        run_batch_group,
-                        batch_group_payload(
-                            [task_list[i] for i in group], instrument
-                        ),
-                    ): group
-                    for group in groups
-                }
-                for future in as_completed(futures):
-                    finish(futures[future], future.result())
+            ),
+            retry=retry,
+            failure=failure,
+            obs=obs,
+        )
+        try:
+            executor.run(units, decode, commit, quarantine)
+        except BaseException:
+            if directory is not None and executor.failures:
+                write_failures_manifest(directory, executor.failures)
+            raise
+        _finalize_failures(directory, executor.failures)
 
         if obs is not None:
             elapsed = time.perf_counter() - engine_started
@@ -942,7 +1188,12 @@ class BatchRunner:
                     backend=self.backend,
                     mode="batch",
                 )
-            obs.log("engine.done", cells=total, seconds=elapsed)
+            obs.log(
+                "engine.done",
+                cells=total,
+                seconds=elapsed,
+                failed=len(executor.failures),
+            )
 
         assert all(result is not None for result in results)
         return results  # type: ignore[return-value]
@@ -957,6 +1208,9 @@ def dispatch_cells(
     progress: Optional[ProgressCallback] = None,
     obs: Optional[Instrumentation] = None,
     replicas_per_task: int = 0,
+    retry: Optional[RetryPolicy] = None,
+    failure: Optional[FailurePolicy] = None,
+    fault_spec: Optional[Any] = None,
 ) -> List[CellResult]:
     """Route tasks to the scalar engine or the batch runner by kernel.
 
@@ -964,6 +1218,8 @@ def dispatch_cells(
     run through :class:`BatchRunner` (whole cells per task), everything
     else through :func:`execute_cells` (one replica per task).  Mixed
     batches are rejected — a harness emits one kernel per run.
+    ``retry``/``failure``/``fault_spec`` configure the resilience layer
+    on either path (see :mod:`repro.experiments.resilience`).
     """
     task_list = list(tasks)
     batch_flags = {task.kernel == "batch" for task in task_list}
@@ -976,6 +1232,9 @@ def dispatch_cells(
             resume=resume,
             progress=progress,
             obs=obs,
+            retry=retry,
+            failure=failure,
+            fault_spec=fault_spec,
         ).run(task_list)
     if True in batch_flags:
         raise ValueError(
@@ -990,6 +1249,9 @@ def dispatch_cells(
         resume=resume,
         progress=progress,
         obs=obs,
+        retry=retry,
+        failure=failure,
+        fault_spec=fault_spec,
     )
 
 

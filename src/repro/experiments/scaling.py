@@ -29,6 +29,12 @@ from repro.experiments.parallel import (
     dispatch_cells,
     group_by_cell,
 )
+from repro.experiments.resilience import (
+    CellFailedError,
+    FailurePolicy,
+    RetryPolicy,
+    surviving,
+)
 from repro.obs import Instrumentation
 from repro.system.initializers import random_blob_system
 from repro.util.rng import RngLike, seed_entropy
@@ -71,6 +77,9 @@ def scaling_study(
     obs: Optional[Instrumentation] = None,
     kernel: str = "auto",
     replicas_per_task: int = 0,
+    retry: Optional[RetryPolicy] = None,
+    failure: Optional[FailurePolicy] = None,
+    fault_spec: Optional[dict] = None,
 ) -> List[ScalingPoint]:
     """Measure endpoint quality and time-to-separation across sizes.
 
@@ -86,6 +95,12 @@ def scaling_study(
     allow restarting a killed study without redoing finished runs.
     ``kernel`` picks the step kernel per run without affecting
     trajectories or checkpoint identity.
+
+    ``retry``/``failure`` configure the resilience layer.  Quarantined
+    replicas are excluded from each size's aggregates (the reported
+    ``replicas`` counts survivors); a size whose replicas *all* failed
+    raises :class:`repro.experiments.resilience.CellFailedError`, since
+    a scaling point with zero samples would silently distort the fit.
     """
     if replicas < 1:
         raise ValueError(f"replicas must be positive, got {replicas}")
@@ -137,6 +152,9 @@ def scaling_study(
             progress=progress,
             obs=obs,
             replicas_per_task=replicas_per_task,
+            retry=retry,
+            failure=failure,
+            fault_spec=fault_spec,
         )
     if obs is not None:
         obs.log("scaling.done", sizes=list(sizes), replicas=replicas)
@@ -145,11 +163,17 @@ def scaling_study(
     for n, size_results in zip(sizes, group_by_cell(results, replicas)):
         block = blocks[n]
         ticks = [(i + 1) * block for i in range(checkpoint_count)]
+        survivors = surviving(size_results)
+        if not survivors:
+            raise CellFailedError(
+                f"scaling: every replica at n={n} was quarantined; "
+                "a zero-sample point would distort the fit"
+            )
         alphas: List[float] = []
         interfaces: List[float] = []
         times: List[float] = []
         separated = 0
-        for result in size_results:
+        for result in survivors:
             values = [
                 snapshot.hetero_total / snapshot.edge_total
                 if snapshot.edge_total
@@ -170,7 +194,7 @@ def scaling_study(
         points.append(
             ScalingPoint(
                 n=n,
-                replicas=replicas,
+                replicas=len(survivors),
                 mean_alpha=mean_alpha,
                 std_alpha=std_alpha,
                 mean_normalized_interface=mean_interface,
@@ -178,7 +202,7 @@ def scaling_study(
                 mean_time_to_separation=(
                     sum(times) / len(times) if times else None
                 ),
-                fraction_separated_in_budget=separated / replicas,
+                fraction_separated_in_budget=separated / len(survivors),
             )
         )
     return points

@@ -23,6 +23,7 @@ from repro.experiments.parallel import (
     dispatch_cells,
     group_by_cell,
 )
+from repro.experiments.resilience import FailurePolicy, RetryPolicy, surviving
 from repro.obs import Instrumentation
 from repro.system.configuration import ParticleSystem
 from repro.system.initializers import random_blob_system
@@ -39,13 +40,14 @@ class SweepPoint:
     under ``name + "_std"`` (zero for a single replica), plus a
     ``_replicas`` count — enough to draw error bars on Figure 3-style
     diagrams.  ``system`` is the final configuration of the last
-    replica; ``replica_values`` retains the raw per-replica metric
+    surviving replica (``None`` when every replica of the cell was
+    quarantined); ``replica_values`` retains the raw per-replica metric
     values behind the aggregates.
     """
 
     params: Dict[str, float]
     metrics: Dict[str, float]
-    system: ParticleSystem
+    system: Optional[ParticleSystem]
     replica_values: Dict[str, List[float]] = field(default_factory=dict)
 
 
@@ -66,6 +68,9 @@ def run_sweep(
     obs: Optional[Instrumentation] = None,
     kernel: str = "auto",
     replicas_per_task: int = 0,
+    retry: Optional[RetryPolicy] = None,
+    failure: Optional[FailurePolicy] = None,
+    fault_spec: Optional[dict] = None,
 ) -> List[SweepPoint]:
     """Run the chain over a parameter grid, measuring the endpoints.
 
@@ -92,6 +97,13 @@ def run_sweep(
     (``"auto"``/``"grid"``/``"dict"``); trajectories are identical
     either way, and the choice is excluded from checkpoint identity, so
     a sweep checkpointed under one kernel resumes under another.
+
+    ``retry``/``failure`` configure the engine's resilience layer (see
+    :mod:`repro.experiments.resilience`).  Under
+    ``FailurePolicy(mode="quarantine")`` failed replicas are excluded
+    from the aggregates: each point's ``_replicas`` counts survivors,
+    and a cell whose replicas *all* failed yields NaN metrics with
+    ``system=None``.
     """
     if replicas < 1:
         raise ValueError(f"replicas must be positive, got {replicas}")
@@ -141,29 +153,37 @@ def run_sweep(
             progress=progress,
             obs=obs,
             replicas_per_task=replicas_per_task,
+            retry=retry,
+            failure=failure,
+            fault_spec=fault_spec,
         )
     if obs is not None:
         obs.log("sweep.done", cells=len(cells), replicas=replicas)
 
     points: List[SweepPoint] = []
     for params, cell_results in zip(cells, group_by_cell(results, replicas)):
+        survivors = surviving(cell_results)
         values = {
-            name: [float(fn(result.system)) for result in cell_results]
+            name: [float(fn(result.system)) for result in survivors]
             for name, fn in metrics.items()
         }
         measured: Dict[str, float] = {}
         for name, samples in values.items():
-            mean = sum(samples) / replicas
+            if not samples:  # every replica of this cell quarantined
+                measured[name] = math.nan
+                measured[name + "_std"] = math.nan
+                continue
+            mean = sum(samples) / len(samples)
             measured[name] = mean
             measured[name + "_std"] = math.sqrt(
-                sum((value - mean) ** 2 for value in samples) / replicas
+                sum((value - mean) ** 2 for value in samples) / len(samples)
             )
-        measured["_replicas"] = float(replicas)
+        measured["_replicas"] = float(len(survivors))
         points.append(
             SweepPoint(
                 params=dict(params),
                 metrics=measured,
-                system=cell_results[-1].system,
+                system=survivors[-1].system if survivors else None,
                 replica_values=values,
             )
         )

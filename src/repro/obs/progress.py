@@ -8,6 +8,10 @@ exponentially weighted moving average (EWMA) of the inter-completion
 time, and the ETA it implies.  The EWMA tracks *arrival* spacing rather
 than per-cell wall-time, so the ETA stays honest under a process pool
 (k workers finishing cells in parallel shrink the spacing k-fold).
+Checkpoint-restored cells complete in microseconds and are therefore
+*excluded* from the EWMA — a ``--resume`` run's ETA for the remaining
+live cells would otherwise be wildly optimistic.  A lock serializes
+progress and heartbeat writes so the two never interleave mid-line.
 
 An optional background heartbeat thread reports "still alive" lines at
 a fixed interval even when no cell completes — the operational answer
@@ -65,6 +69,7 @@ class ProgressReporter:
         self._total = 0
         self._stop = threading.Event()
         self._heartbeat_thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
 
@@ -72,40 +77,61 @@ class ProgressReporter:
         return self._stream if self._stream is not None else sys.stderr
 
     def __call__(self, completed: int, total: int, result: Any = None) -> None:
-        """ProgressCallback entrypoint: one line per finished cell."""
+        """ProgressCallback entrypoint: one line per finished cell.
+
+        Checkpoint-restored cells are reported but excluded from the
+        EWMA/ETA estimate: they arrive in a microsecond burst at the
+        start of a ``--resume`` run and would otherwise make the ETA
+        for the remaining *live* cells wildly optimistic.
+        """
         now = self._clock()
-        previous = self._last_arrival if self._last_arrival is not None else self._start
-        interval = now - previous
-        self._last_arrival = now
-        if self._ewma is None:
-            self._ewma = interval
-        else:
-            alpha = self._smoothing
-            self._ewma = alpha * interval + (1.0 - alpha) * self._ewma
-        self._completed = completed
-        self._total = total
-        remaining = max(0, total - completed)
-        eta = remaining * self._ewma
-        percent = 100.0 * completed / total if total else 100.0
+        with self._lock:
+            restored = bool(getattr(result, "from_checkpoint", False))
+            if not restored:
+                previous = (
+                    self._last_arrival
+                    if self._last_arrival is not None
+                    else self._start
+                )
+                interval = now - previous
+                self._last_arrival = now
+                if self._ewma is None:
+                    self._ewma = interval
+                else:
+                    alpha = self._smoothing
+                    self._ewma = alpha * interval + (1.0 - alpha) * self._ewma
+            self._completed = completed
+            self._total = total
+            remaining = max(0, total - completed)
+            percent = 100.0 * completed / total if total else 100.0
+            if self._ewma is not None:
+                estimate = (
+                    f"  ewma {self._ewma:.2f}s"
+                    f"  eta {remaining * self._ewma:.1f}s"
+                )
+            else:  # only restored cells so far: no live estimate yet
+                estimate = "  eta n/a"
 
-        detail = ""
-        wall = getattr(result, "wall_time", 0.0) or 0.0
-        iterations = getattr(result, "iterations", 0) or 0
-        if wall > 0.0:
-            detail = f"  cell {wall:.2f}s"
-            if iterations:
-                detail += f" ({iterations / wall:,.0f} steps/s)"
-        if getattr(result, "from_checkpoint", False):
-            detail += "  [checkpoint]"
-        label = getattr(getattr(result, "task", None), "label", "") or ""
-        if label:
-            detail += f"  {label}"
+            detail = ""
+            wall = getattr(result, "wall_time", 0.0) or 0.0
+            iterations = getattr(result, "iterations", 0) or 0
+            if wall > 0.0:
+                detail = f"  cell {wall:.2f}s"
+                if iterations:
+                    detail += f" ({iterations / wall:,.0f} steps/s)"
+            if restored:
+                detail += "  [checkpoint]"
+            if getattr(result, "failed", False):
+                detail += "  [FAILED]"
+            label = getattr(getattr(result, "task", None), "label", "") or ""
+            if label:
+                detail += f"  {label}"
 
-        self._out().write(
-            f"[repro] {self._label} {completed}/{total} ({percent:.0f}%)"
-            f"{detail}  ewma {self._ewma:.2f}s  eta {eta:.1f}s\n"
-        )
-        self._flush()
+            self._out().write(
+                f"[repro] {self._label} {completed}/{total} ({percent:.0f}%)"
+                f"{detail}{estimate}\n"
+            )
+            self._flush()
 
     # ------------------------------------------------------------------
 
@@ -119,11 +145,13 @@ class ProgressReporter:
         def beat() -> None:
             while not self._stop.wait(interval):
                 elapsed = self._clock() - self._start
-                self._out().write(
-                    f"[repro] heartbeat: {self._completed}/{self._total or '?'} "
-                    f"{self._label} done, {elapsed:.0f}s elapsed\n"
-                )
-                self._flush()
+                with self._lock:  # never interleave with a progress line
+                    self._out().write(
+                        f"[repro] heartbeat: "
+                        f"{self._completed}/{self._total or '?'} "
+                        f"{self._label} done, {elapsed:.0f}s elapsed\n"
+                    )
+                    self._flush()
 
         self._stop.clear()
         self._heartbeat_thread = threading.Thread(

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 from pathlib import Path
 from typing import Any, Dict, Mapping, Union
 
@@ -103,14 +104,49 @@ def payload_from_json(text: str) -> Dict[str, Any]:
 def save_payload(payload: Mapping[str, Any], path: Union[str, Path]) -> None:
     """Atomically write a payload envelope to ``path``.
 
-    Writes to a sibling temp file then ``os.replace``\\ s it into place so
-    a checkpoint killed mid-write never leaves a truncated JSON file for
-    ``--resume`` to trip over.
+    Writes to a *uniquely named* sibling temp file (``mkstemp`` in the
+    target directory — a fixed ``<name>.tmp`` let two sweeps sharing a
+    checkpoint dir, or a retried task racing its first attempt, clobber
+    each other's half-written bytes), fsyncs, then ``os.replace``\\ s it
+    into place, so a checkpoint killed mid-write never leaves a
+    truncated JSON file for ``--resume`` to trip over.  Leftover temp
+    files from hard kills are removed by
+    :func:`sweep_stale_temp_files` on engine start.
     """
     target = Path(path)
-    temporary = target.with_name(target.name + ".tmp")
-    temporary.write_text(payload_to_json(payload))
-    os.replace(temporary, target)
+    descriptor, temp_name = tempfile.mkstemp(
+        dir=target.parent, prefix=target.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(descriptor, "w") as handle:
+            handle.write(payload_to_json(payload))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_name, target)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+
+
+def sweep_stale_temp_files(directory: Union[str, Path]) -> int:
+    """Remove leftover ``*.tmp`` files from hard-killed payload writes.
+
+    Returns the number of files removed.  Safe to call concurrently
+    with live writers only at engine *start* (before any checkpoints
+    are written); races with another engine's in-flight temp files are
+    tolerated (a vanished file is simply skipped).
+    """
+    removed = 0
+    for stale in Path(directory).glob("*.tmp"):
+        try:
+            stale.unlink()
+            removed += 1
+        except OSError:
+            continue
+    return removed
 
 
 def load_payload(path: Union[str, Path]) -> Dict[str, Any]:
