@@ -9,11 +9,16 @@ variants side by side (so the pytest-benchmark table shows the gap) and
 5 % throughput, which is the regression this subsystem promised not to
 introduce.
 
-The assertion uses best-of-N wall timing rather than the benchmark
-fixture so it also runs (and guards) under ``--benchmark-disable`` in
-CI.  On noisy shared runners the threshold can be relaxed via the
-``REPRO_OBS_OVERHEAD_MAX`` environment variable (fractional, e.g.
-``0.10`` for 10 %).
+The assertion uses best-of-N CPU timing on a *single* chain that
+alternates between detached and attached hooks each round, rather
+than the benchmark fixture, so it also runs (and guards) under
+``--benchmark-disable`` in CI.  Timing one object sidesteps the
+allocation-layout luck that makes two "identical" chains differ by
+several percent, and the attach/detach alternation works because the
+hooks are bit-identity-preserving: the trajectory is the same either
+way, so the comparison is pure overhead.  On noisy shared runners the
+threshold can be relaxed via the ``REPRO_OBS_OVERHEAD_MAX``
+environment variable (fractional, e.g. ``0.10`` for 10 %).
 """
 
 import os
@@ -43,14 +48,50 @@ def _make_chain(instrumented: bool) -> SeparationChain:
     return chain
 
 
-def _best_of(chain: SeparationChain, rounds: int = 5) -> float:
-    """Minimum wall time of ``rounds`` runs (robust to scheduler noise)."""
-    best = float("inf")
+def _toggled_overhead(attach, rounds: int = 10) -> "tuple[float, float]":
+    """Best-of-N CPU times of one chain, hooks toggled every round.
+
+    ``attach`` receives the chain and wires the variant under test;
+    ``chain.instrument()`` detaches everything for the baseline
+    rounds.  Using a single chain keeps the memory layout identical
+    across variants (two separately allocated chains can differ by
+    several percent from cache-line luck alone), CPU time ignores
+    co-tenant load, and the round-robin toggle spreads frequency
+    drift over both variants.  Returns (plain_best, attached_best).
+    """
+    chain = _make_chain(instrumented=False)
+    chain.run(STEPS)  # warm the caches and the RNG buffer
+    best_plain = best_attached = float("inf")
     for _ in range(rounds):
-        start = time.perf_counter()
+        chain.instrument()  # detach all hooks
+        start = time.process_time()
         chain.run(STEPS)
-        best = min(best, time.perf_counter() - start)
-    return best
+        best_plain = min(best_plain, time.process_time() - start)
+        attach(chain)
+        start = time.process_time()
+        chain.run(STEPS)
+        best_attached = min(best_attached, time.process_time() - start)
+    chain.instrument()
+    return best_plain, best_attached
+
+
+def _assert_overhead(attach, threshold: float, what: str) -> None:
+    """Measure toggled overhead, re-measuring once on a miss.
+
+    A single measurement can land a few percent high purely from a
+    co-tenant burst; retries shrink that flake probability
+    geometrically while a genuine regression fails every pass.
+    """
+    for attempt in range(3):
+        plain_time, attached_time = _toggled_overhead(attach)
+        overhead = (attached_time - plain_time) / plain_time
+        if overhead < threshold:
+            return
+    raise AssertionError(
+        f"{what} overhead {overhead:.1%} exceeds {threshold:.1%} "
+        f"(plain {STEPS / plain_time:,.0f} steps/s, "
+        f"attached {STEPS / attached_time:,.0f} steps/s)"
+    )
 
 
 def test_instrumented_chain_throughput(benchmark):
@@ -63,19 +104,13 @@ def test_instrumentation_overhead_guard():
     threshold = float(
         os.environ.get("REPRO_OBS_OVERHEAD_MAX", DEFAULT_OVERHEAD_MAX)
     )
-    # Interleave a warmup so both variants run on a warm cache.
-    plain = _make_chain(instrumented=False)
-    wired = _make_chain(instrumented=True)
-    plain.run(STEPS)
-    wired.run(STEPS)
-
-    plain_time = _best_of(plain)
-    wired_time = _best_of(wired)
-    overhead = (wired_time - plain_time) / plain_time
-    assert overhead < threshold, (
-        f"instrumentation overhead {overhead:.1%} exceeds {threshold:.1%} "
-        f"(plain {STEPS / plain_time:,.0f} steps/s, "
-        f"instrumented {STEPS / wired_time:,.0f} steps/s)"
+    obs = Instrumentation(
+        logger=JsonLogger.collecting(level="debug"),
+        metrics=MetricsRegistry(),
+        trace=TraceRecorder(process_name="bench"),
+    )
+    _assert_overhead(
+        lambda chain: chain.instrument(obs), threshold, "instrumentation"
     )
 
 
@@ -88,3 +123,66 @@ def test_instrumented_trajectory_matches_plain():
     assert dict(plain.system.colors) == dict(wired.system.colors)
     assert plain.accepted_moves == wired.accepted_moves
     assert plain.accepted_swaps == wired.accepted_swaps
+
+
+def _make_diagnosed_chain(diag_every: int = 2_000) -> SeparationChain:
+    """Fully wired chain *plus* streaming convergence diagnostics."""
+    from repro.obs.convergence import ChainDiagnostics, DiagnosticsConfig
+
+    chain = _make_chain(instrumented=False)
+    chain.instrument(
+        Instrumentation(
+            logger=JsonLogger.collecting(level="debug"),
+            metrics=MetricsRegistry(),
+            trace=TraceRecorder(process_name="bench"),
+        ),
+        diagnostics=ChainDiagnostics(DiagnosticsConfig(stride=diag_every)),
+    )
+    return chain
+
+
+def test_diagnosed_chain_throughput(benchmark):
+    chain = _make_diagnosed_chain()
+    benchmark(chain.run, STEPS)
+    assert chain.system.is_connected()
+
+
+def test_diagnostics_overhead_guard():
+    """Convergence sampling at the default-ish stride stays under 5%.
+
+    The diagnostics segment each ``run()`` at stride boundaries (with
+    the refill horizon preserving RNG draw-ahead), so the cost scales
+    with STEPS/stride ticks — estimator pushes per tick plus a full
+    verdict every ``verdict_every`` ticks, far off the per-step hot
+    path.  The attached variant carries the full logger + metrics +
+    trace bundle *and* the diagnostics, so this bounds the complete
+    observability stack, not just the sampler.
+    """
+    from repro.obs.convergence import ChainDiagnostics, DiagnosticsConfig
+
+    threshold = float(
+        os.environ.get("REPRO_OBS_OVERHEAD_MAX", DEFAULT_OVERHEAD_MAX)
+    )
+    obs = Instrumentation(
+        logger=JsonLogger.collecting(level="debug"),
+        metrics=MetricsRegistry(),
+        trace=TraceRecorder(process_name="bench"),
+    )
+    diag = ChainDiagnostics(DiagnosticsConfig(stride=2_000))
+    _assert_overhead(
+        lambda chain: chain.instrument(obs, diagnostics=diag),
+        threshold,
+        "diagnostics",
+    )
+
+
+def test_diagnosed_trajectory_matches_plain():
+    """Diagnostics at any stride leave the trajectory bit-identical."""
+    plain = _make_chain(instrumented=False)
+    diagnosed = _make_diagnosed_chain(diag_every=777)
+    plain.run(STEPS)
+    diagnosed.run(STEPS)
+    assert dict(plain.system.colors) == dict(diagnosed.system.colors)
+    assert plain.accepted_moves == diagnosed.accepted_moves
+    assert plain.accepted_swaps == diagnosed.accepted_swaps
+    assert plain.rng.getstate() == diagnosed.rng.getstate()

@@ -17,6 +17,10 @@ Commands
     (``--checkpoint DIR``) and ``--resume`` for killed runs.
 ``render``
     Draw a saved configuration as ASCII or SVG.
+``report``
+    Fold a run directory's obs artifacts (metrics snapshots, JSONL
+    logs, failures.json, checkpoints) into one self-contained HTML +
+    markdown run report with convergence verdicts per cell.
 
 ``simulate`` and the experiment commands accept ``--kernel
 auto|grid|dict|batch`` to select the chain's step kernel.  The scalar
@@ -42,7 +46,10 @@ reports go to **stderr** via the structured logger and are silenced by
 ``--quiet``.  The observability flags — ``--log-json``,
 ``--metrics-out``, ``--trace-out``, ``--profile`` — export structured
 run logs (JSONL), a metrics snapshot, and a Chrome/perfetto trace; see
-``docs/observability.md``.
+``docs/observability.md``.  ``--diag-every K`` samples streaming
+convergence diagnostics (ESS, autocorrelation time, Geweke, split R̂)
+every K steps without perturbing trajectories; the verdicts land in
+the metrics snapshot and the run report (``docs/convergence.md``).
 """
 
 from __future__ import annotations
@@ -204,6 +211,14 @@ def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
         "--profile", action="store_true",
         help="profile each cell (or run) with cProfile; report to stderr/log",
     )
+    parser.add_argument(
+        "--diag-every", type=nonnegative_int, default=0, dest="diag_every",
+        metavar="K",
+        help="sample streaming convergence diagnostics (ESS, tau, "
+             "Geweke, split R-hat, stall detection) every K steps; "
+             "0 disables (trajectories are bit-identical either way; "
+             "see docs/convergence.md)",
+    )
     _add_quiet_argument(parser)
 
 
@@ -228,14 +243,16 @@ def _build_observability(
     metrics_out = getattr(args, "metrics_out", None)
     trace_out = getattr(args, "trace_out", None)
     profile = bool(getattr(args, "profile", False))
-    if not (log_json or metrics_out or trace_out or profile):
+    diag_every = int(getattr(args, "diag_every", 0) or 0)
+    if not (log_json or metrics_out or trace_out or profile or diag_every):
         return None, lambda: None
 
     logger = JsonLogger.open(log_json) if log_json else None
     metrics = MetricsRegistry() if metrics_out else None
     trace = TraceRecorder(process_name="repro") if trace_out else None
     obs = Instrumentation(
-        logger=logger, metrics=metrics, trace=trace, profile=profile
+        logger=logger, metrics=metrics, trace=trace, profile=profile,
+        diag_every=diag_every,
     )
     obs.log("cli.start", command=args.command, argv=sys.argv[1:])
 
@@ -385,6 +402,24 @@ def build_parser() -> argparse.ArgumentParser:
     render.add_argument("--svg", metavar="FILE", help="write SVG here")
     _add_quiet_argument(render)
 
+    report = commands.add_parser(
+        "report",
+        help="render a run directory's obs artifacts as one HTML+md report",
+    )
+    report.add_argument(
+        "rundir",
+        help="directory holding metrics snapshots / JSONL logs / "
+             "failures.json / checkpoints (scanned recursively)",
+    )
+    report.add_argument(
+        "--out", metavar="DIR", default=None,
+        help="write report.md / report.html here (default: RUNDIR)",
+    )
+    report.add_argument(
+        "--title", default=None, help="report title (default: RUNDIR name)"
+    )
+    _add_quiet_argument(report)
+
     illustrations = commands.add_parser(
         "illustrations", help="write the Figure 1/4 illustration SVGs"
     )
@@ -409,8 +444,18 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         backend=args.kernel,
     )
     obs = getattr(args, "_obs", None)
+    diag = None
     if obs is not None:
-        chain.instrument(obs)
+        if obs.diag_every > 0:
+            from repro.obs.convergence import (
+                ChainDiagnostics,
+                DiagnosticsConfig,
+            )
+
+            diag = ChainDiagnostics(
+                DiagnosticsConfig(stride=obs.diag_every), label="simulate"
+            )
+        chain.instrument(obs, diagnostics=diag)
     _diag(
         args,
         f"n={args.n} lam={args.lam} gamma={args.gamma} "
@@ -457,6 +502,18 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         acceptance_rate=None if rate != rate else rate,
         iterations=chain.iterations,
     )
+    if diag is not None:
+        verdict = diag.summary()
+        ess = verdict.get("ess")
+        ess_text = "n/a" if ess is None else f"{ess:.1f}"
+        _diag(
+            args,
+            f"convergence: converged={verdict['converged']} "
+            f"stalled={verdict['stalled']} ESS={ess_text} "
+            f"(threshold {verdict['ess_min']:g})",
+            event="simulate.convergence",
+            **{k: verdict[k] for k in ("converged", "stalled", "samples")},
+        )
     if args.ascii:
         print()
         print(render_ascii(system))
@@ -566,8 +623,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         **_parallel_kwargs(args),
     )
     with_spread = args.replicas > 1
+    with_diag = any(point.diagnostics for point in points)
     spread = "  alpha_sd  h/e_sd" if with_spread else ""
-    print(f"{'lambda':>7}  {'gamma':>7}  {'alpha':>6}  {'h/e':>6}{spread}  phase")
+    diag_head = "  " + f"{'ess':>8}  {'conv':>4}" if with_diag else ""
+    print(
+        f"{'lambda':>7}  {'gamma':>7}  {'alpha':>6}  {'h/e':>6}"
+        f"{spread}{diag_head}  phase"
+    )
     for point in points:
         phase = (
             classify_phase(point.system)
@@ -576,16 +638,34 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
         columns = (
             f"{point.params['lam']:>7.2f}  {point.params['gamma']:>7.2f}  "
-            f"{point.metrics['alpha']:>6.2f}  "
-            f"{point.metrics['hetero_density']:>6.3f}"
+            f"{_num(point.metrics['alpha'], 6, 2)}  "
+            f"{_num(point.metrics['hetero_density'], 6, 3)}"
         )
         if with_spread:
             columns += (
-                f"  {point.metrics['alpha_std']:>8.2f}"
-                f"  {point.metrics['hetero_density_std']:>6.3f}"
+                f"  {_num(point.metrics['alpha_std'], 8, 2)}"
+                f"  {_num(point.metrics['hetero_density_std'], 6, 3)}"
             )
+        if with_diag:
+            diag = point.diagnostics or {}
+            ess = diag.get("min_ess")
+            conv = "n/a" if not diag else ("yes" if diag.get("converged")
+                                           else "no")
+            columns += f"  {_num(ess, 8, 1)}  {conv:>4}"
         print(f"{columns}  {phase}")
     return 0
+
+
+def _num(value: Optional[float], width: int, digits: int) -> str:
+    """Fixed-width number for result tables; ``n/a`` for NaN/None.
+
+    A cell whose replicas were all quarantined has *no* measurement —
+    printing ``nan`` there reads like a computed value (the FailedCell
+    convention; see docs/resilience.md).
+    """
+    if value is None or value != value:
+        return "n/a".rjust(width)
+    return f"{value:>{width}.{digits}f}"
 
 
 def _cmd_render(args: argparse.Namespace) -> int:
@@ -594,6 +674,34 @@ def _cmd_render(args: argparse.Namespace) -> int:
     if args.svg:
         render_svg(system, args.svg)
         _diag(args, f"wrote {args.svg}", event="render.wrote", path=args.svg)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import collect_run, render_html, render_markdown
+    from pathlib import Path
+
+    try:
+        report = collect_run(args.rundir, title=args.title)
+    except FileNotFoundError as error:
+        print(f"repro report: {error}", file=sys.stderr)
+        return 2
+    target = Path(args.out) if args.out else Path(args.rundir)
+    target.mkdir(parents=True, exist_ok=True)
+    md_path = target / "report.md"
+    html_path = target / "report.html"
+    md_path.write_text(render_markdown(report), encoding="utf-8")
+    html_path.write_text(render_html(report), encoding="utf-8")
+    _diag(
+        args,
+        f"report: {len(report.metrics_files)} metrics file(s), "
+        f"{len(report.event_files)} log(s), {len(report.failures)} "
+        f"quarantined cell(s), {len(report.checkpoints)} checkpoint(s)",
+        event="report.collected",
+        rundir=str(args.rundir),
+    )
+    print(md_path)
+    print(html_path)
     return 0
 
 
@@ -612,6 +720,7 @@ _HANDLERS = {
     "stationary": _cmd_stationary,
     "sweep": _cmd_sweep,
     "render": _cmd_render,
+    "report": _cmd_report,
     "illustrations": _cmd_illustrations,
 }
 

@@ -211,6 +211,13 @@ class BatchKernel:
         self.acc_swaps = np.zeros(R, dtype=np.int64)
         self.rowT = np.arange(R, dtype=np.int64) * T
         self.WIN = np.arange(self.window, dtype=np.int64)
+        # Optional round-level observer (duck-typed: anything with a
+        # ``maybe_observe(kernel)`` method, e.g. the streaming
+        # convergence diagnostics in repro.obs.convergence).  Called
+        # once per vectorized round with read-only access to the
+        # incremental counter arrays; it must not touch the proposal
+        # streams, so attaching one leaves trajectories bit-identical.
+        self.observer = None
 
     # -- arena construction -------------------------------------------------
 
@@ -391,6 +398,14 @@ class BatchKernel:
             self.cursor += consumed
             self.iters += consumed
             remaining -= consumed
+            # Diagnostics hook: rounds are the natural sampling grain
+            # here — chunking run() itself would shift the proposal
+            # streams' refill points (the tail of each regenerated
+            # stream is discarded), changing trajectories.  The
+            # observer only reads counters, so the streams are
+            # untouched.
+            if self.observer is not None:
+                self.observer.maybe_observe(self)
 
     def _regrow(self) -> None:
         """Rebuild every replica's arena with a doubled safety margin."""

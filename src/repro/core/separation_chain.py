@@ -321,6 +321,7 @@ class SeparationChain:
         self._obs_metrics: Optional["MetricsRegistry"] = None
         self._obs_trace: Optional["TraceRecorder"] = None
         self._obs_logger: Optional["JsonLogger"] = None
+        self._obs_diag = None
         self._obs_active = False
 
     # ------------------------------------------------------------------
@@ -447,6 +448,7 @@ class SeparationChain:
         metrics: Optional["MetricsRegistry"] = None,
         trace: Optional["TraceRecorder"] = None,
         logger: Optional["JsonLogger"] = None,
+        diagnostics=None,
     ) -> "SeparationChain":
         """Attach observability hooks; returns ``self`` for chaining.
 
@@ -456,6 +458,17 @@ class SeparationChain:
         counter deltas, and do not consume randomness — trajectories
         stay bit-identical to uninstrumented runs.  Passing nothing
         detaches all hooks.
+
+        ``diagnostics`` attaches a streaming convergence monitor (see
+        :class:`repro.obs.convergence.ChainDiagnostics`): :meth:`run`
+        then samples the chain's incremental observables every
+        ``diagnostics.config.stride`` iterations.  Sampling segments
+        the run at stride boundaries with a refill horizon that
+        reproduces the unsegmented draw-ahead exactly (scalar kernels)
+        or hooks the batch kernel's round loop (batch backend) — in
+        both cases trajectories *and the final RNG state* stay
+        bit-identical (regression tested).  A diagnostics object whose
+        sinks are unset inherits the chain's metrics/logger/trace.
         """
         if obs is not None:
             metrics = metrics or obs.metrics
@@ -464,8 +477,21 @@ class SeparationChain:
         self._obs_metrics = metrics
         self._obs_trace = trace
         self._obs_logger = logger
+        if diagnostics is not None:
+            if diagnostics.metrics is None:
+                diagnostics.metrics = metrics
+            if diagnostics.logger is None:
+                diagnostics.logger = logger
+            if diagnostics.trace is None:
+                diagnostics.trace = trace
+        self._obs_diag = diagnostics
+        if self._batch_kernel is not None:
+            self._batch_kernel.observer = diagnostics
         self._obs_active = (
-            metrics is not None or trace is not None or logger is not None
+            metrics is not None
+            or trace is not None
+            or logger is not None
+            or diagnostics is not None
         )
         return self
 
@@ -494,7 +520,10 @@ class SeparationChain:
         moves_before = self.accepted_moves
         swaps_before = self.accepted_swaps
         wall_start = time.perf_counter()
-        self._run_steps(steps)
+        if self._obs_diag is not None:
+            self._run_diagnosed(steps)
+        else:
+            self._run_steps(steps)
         elapsed = time.perf_counter() - wall_start
         self._record_run(steps, elapsed, moves_before, swaps_before, trace_start)
         return self
@@ -567,8 +596,78 @@ class SeparationChain:
             self._grid_force or steps >= _GRID_MIN_STEPS
         ):
             return self._run_steps_grid(steps)
+        return self._run_steps_dict(steps)
 
-        # --- Batched dict fast path (inlined step(); tests pin identity) ---
+    def _run_diagnosed(self, steps: int) -> "SeparationChain":
+        """Run ``steps`` iterations with convergence sampling attached.
+
+        Segments the run at the diagnostics stride so samples land on
+        exact iteration boundaries, while keeping the trajectory — and
+        the final RNG state — bit-identical to an unsegmented run:
+
+        * The kernel choice (grid vs dict) is made **once** from the
+          total step count, because per-segment dispatch would hand
+          short tail segments to the dict kernel and change the final
+          colors-dict insertion order.
+        * Each segment passes the outer remaining step count as its
+          refill ``horizon``, so the draw-ahead buffer evolves exactly
+          as in one big call (the refill trigger depends only on
+          buffer state, which then matches step for step).
+        * The batch backend is not segmented at all — chunking its
+          run() would shift proposal-stream refills — and relies on
+          the kernel's round-level observer hook instead, so its
+          samples land on round (not stride) boundaries.
+        """
+        diag = self._obs_diag
+        if steps < 0:
+            raise ValueError(f"steps must be non-negative, got {steps}")
+        if self.backend == "batch":
+            return self._run_steps_batch(steps)
+        if not self._batch_rng:
+            step = self.step
+            done = 0
+            while done < steps:
+                seg = min(steps - done, diag.steps_until_tick(self.iterations))
+                for _ in range(seg):
+                    step()
+                done += seg
+                diag.observe_chain(self)
+            return self
+        use_grid = self._grid_enabled and (
+            self._grid_force or steps >= _GRID_MIN_STEPS
+        )
+        remaining = steps
+        while remaining > 0:
+            seg = min(remaining, diag.steps_until_tick(self.iterations))
+            if use_grid:
+                # Deferred sync: only the final segment pays the dict
+                # write-back; `sync_base` keeps last-move indices on
+                # the whole-run step axis (see _run_steps_grid).
+                self._run_steps_grid(
+                    seg,
+                    horizon=remaining,
+                    sync=seg == remaining,
+                    sync_base=steps - remaining,
+                )
+            else:
+                self._run_steps_dict(seg, horizon=remaining)
+            remaining -= seg
+            diag.observe_chain(self)
+        return self
+
+    def _run_steps_dict(
+        self, steps: int, horizon: Optional[int] = None
+    ) -> "SeparationChain":
+        """The batched dict fast path (inlined step(); tests pin identity).
+
+        ``horizon`` widens the worst-case refill demand to a longer
+        enclosing run: passing the outer remaining step count makes a
+        sequence of segmented calls draw ahead exactly as one
+        ``run(horizon)`` would, so segmentation (used by the
+        convergence diagnostics) leaves the final RNG state
+        bit-identical too.
+        """
+        extra = 0 if horizon is None else horizon - steps
         self._grid_valid = False  # about to mutate the dict directly
         self._batch_valid = False
         system = self.system
@@ -606,7 +705,7 @@ class SeparationChain:
                 # The consumed prefix is dropped in place (O(leftover),
                 # at most 2 elements here) instead of slicing the buffer
                 # into a fresh list, so no O(buffered) copy ever happens.
-                need = 3 * remaining - (size - pos)
+                need = 3 * (remaining + extra) - (size - pos)
                 if pos:
                     del buffer[:pos]
                     pos = 0
@@ -748,6 +847,9 @@ class SeparationChain:
             )
             self._batch_kernel = kernel
             self._batch_valid = True
+        # Round-level convergence sampling (None detaches); the hook
+        # reads counters only, so the proposal streams are untouched.
+        kernel.observer = self._obs_diag
         iters0 = int(kernel.iters[0])
         moves0 = int(kernel.acc_moves[0])
         swaps0 = int(kernel.acc_swaps[0])
@@ -916,7 +1018,13 @@ class SeparationChain:
             rank[i] = new_rank
             last[i] = 0
 
-    def _run_steps_grid(self, steps: int) -> "SeparationChain":
+    def _run_steps_grid(
+        self,
+        steps: int,
+        horizon: Optional[int] = None,
+        sync: bool = True,
+        sync_base: int = 0,
+    ) -> "SeparationChain":
         """The flat-grid batched run loop (bit-identical to the dict path).
 
         Pure integer indexing: particle slots hold arena ids, moves add
@@ -924,8 +1032,21 @@ class SeparationChain:
         precomputed integer offsets — no tuple construction, no
         hashing.  RNG consumption (index, direction, and q only when
         the bias ratio is below 1) mirrors the dict kernel draw for
-        draw.  The canonical dict is re-synced on exit.
+        draw.  The canonical dict is re-synced on exit.  ``horizon``
+        has the same segmented-refill semantics as in
+        :meth:`_run_steps_dict`.
+
+        ``sync=False`` defers the dict write-back: segmented callers
+        (the convergence diagnostics) sync only once, on the final
+        segment, because the between-segment observers read counters
+        rather than colors.  ``sync_base`` then offsets the recorded
+        last-move step indices by the steps already executed in the
+        enclosing run, so the deferred sync sorts by *absolute* step
+        of last move — reproducing the exact insertion order a single
+        unsegmented call would have produced.
         """
+        extra = 0 if horizon is None else horizon - steps
+        last_base = sync_base + 1
         if not self._grid_valid:
             self._grid_build()
         system = self.system
@@ -964,7 +1085,7 @@ class SeparationChain:
                 # Same consumed-prefix refill as the dict kernel; the
                 # carried buffer keeps mixed kernel/step() sequences on
                 # one sequentially-consumed stream.
-                need = 3 * remaining - (len(buffer) - pos)
+                need = 3 * (remaining + extra) - (len(buffer) - pos)
                 if pos:
                     del buffer[:pos]
                     pos = 0
@@ -1053,7 +1174,7 @@ class SeparationChain:
             arena[src] = 0
             arena[dst] = civ
             gpos[idx] = dst
-            last_moved[idx] = steps - remaining + 1
+            last_moved[idx] = last_base + steps - remaining
             edge_total += de
             hetero_total += de - dei
             accepted_moves += 1
@@ -1076,7 +1197,8 @@ class SeparationChain:
         self.accepted_swaps += accepted_swaps
         self._buffer = buffer
         self._buffer_pos = pos
-        self._grid_sync()
+        if sync:
+            self._grid_sync()
         return self
 
     # ------------------------------------------------------------------

@@ -40,7 +40,7 @@ from repro.experiments.resilience import (
     RetryPolicy,
     surviving,
 )
-from repro.obs import Instrumentation
+from repro.obs import Instrumentation, aggregate_summaries
 from repro.experiments.render import render_ascii
 from repro.system.configuration import ParticleSystem
 from repro.system.initializers import random_blob_system
@@ -78,6 +78,11 @@ class Figure2Result:
     system: Optional[ParticleSystem] = None
     replicas: int = 1
     rows_std: Optional[List[Dict[str, float]]] = None
+    #: Folded convergence summary over surviving replicas when the run
+    #: sampled diagnostics (``obs.diag_every > 0``); ``low_ess`` marks
+    #: a trace whose worst replica had too few effective samples for
+    #: its points to be trusted.  ``None`` without diagnostics.
+    diagnostics: Optional[Dict[str, object]] = None
 
     def summary_table(self) -> str:
         """Text table matching the figure's progression."""
@@ -266,6 +271,9 @@ def run_figure2(
         system=survivors[0].system,
         replicas=alive,
         rows_std=rows_std,
+        diagnostics=aggregate_summaries(
+            getattr(result, "diag", None) for result in survivors
+        ),
     )
 
 

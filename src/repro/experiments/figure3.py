@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import os
 from contextlib import nullcontext
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.parallel import (
@@ -32,7 +32,7 @@ from repro.experiments.parallel import (
 )
 from repro.experiments.phases import PhaseThresholds, classify_phase, phase_metrics
 from repro.experiments.resilience import FailurePolicy, RetryPolicy, surviving
-from repro.obs import Instrumentation
+from repro.obs import Instrumentation, aggregate_summaries
 from repro.system.configuration import ParticleSystem
 from repro.system.initializers import random_blob_system
 from repro.util.rng import RngLike, seed_entropy
@@ -66,6 +66,12 @@ class Figure3Result:
     iterations: int
     phases: Dict[Tuple[float, float], str]
     metrics: Dict[Tuple[float, float], Dict[str, float]]
+    #: Per-cell folded convergence summaries (``None`` values when the
+    #: run sampled no diagnostics or every replica was quarantined);
+    #: a cell's ``low_ess`` flag questions its phase classification.
+    diagnostics: Dict[Tuple[float, float], Optional[dict]] = field(
+        default_factory=dict
+    )
 
     def grid_table(self) -> str:
         """The phase diagram as a text grid (rows = λ, columns = γ)."""
@@ -189,6 +195,7 @@ def run_figure3(
 
     phases: Dict[Tuple[float, float], str] = {}
     metrics: Dict[Tuple[float, float], Dict[str, float]] = {}
+    diagnostics: Dict[Tuple[float, float], Optional[dict]] = {}
     for key, cell_results in zip(cells, group_by_cell(results, replicas)):
         votes: List[str] = []
         accumulated: Dict[str, float] = {}
@@ -201,10 +208,14 @@ def run_figure3(
         metrics[key] = {
             name: value / len(survivors) for name, value in accumulated.items()
         }
+        diagnostics[key] = aggregate_summaries(
+            getattr(result, "diag", None) for result in survivors
+        )
     return Figure3Result(
         lambdas=list(lambdas),
         gammas=list(gammas),
         iterations=iterations,
         phases=phases,
         metrics=metrics,
+        diagnostics=diagnostics,
     )

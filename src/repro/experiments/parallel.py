@@ -76,9 +76,12 @@ from repro.experiments.resilience import (
     write_failures_manifest,
 )
 from repro.obs import (
+    ChainDiagnostics,
+    DiagnosticsConfig,
     Instrumentation,
     JsonLogger,
     MetricsRegistry,
+    ReplicaSetDiagnostics,
     TraceRecorder,
     merge_records,
     run_profiled,
@@ -191,7 +194,11 @@ class CellResult:
     ``wall_time`` is the worker-measured execution time in seconds
     (zero for legacy checkpoints written before it was recorded);
     ``profile`` carries the cProfile report text when per-cell
-    profiling was requested.
+    profiling was requested; ``diag`` carries the worker's streaming
+    convergence summary (:mod:`repro.obs.convergence`) when a
+    ``diag_every`` stride was requested — ``None`` otherwise, and for
+    results restored from checkpoints (diagnostics ride outside the
+    checkpoint schema).
     """
 
     task: CellTask
@@ -203,6 +210,7 @@ class CellResult:
     from_checkpoint: bool = False
     wall_time: float = 0.0
     profile: Optional[str] = None
+    diag: Optional[Dict[str, Any]] = None
 
 
 #: Side-channel payload keys (observability and fault injection):
@@ -215,6 +223,7 @@ _OBS_PAYLOAD_KEYS = (
     "profile",
     "instrument",
     "fault",
+    "diag",
 )
 
 
@@ -314,8 +323,25 @@ def _run_cell_body(
         # trajectory is identical, only the throughput differs.
         backend=payload.get("kernel", "auto"),
     )
-    if logger is not None or metrics is not None or trace is not None:
-        chain.instrument(metrics=metrics, trace=trace, logger=logger)
+    diag = None
+    diag_every = int(instrument.get("diag_every") or 0)
+    if diag_every > 0:
+        diag = ChainDiagnostics(
+            DiagnosticsConfig(stride=diag_every),
+            metrics=metrics,
+            logger=logger,
+            trace=trace,
+            label=payload["label"] or payload["key"],
+        )
+    if (
+        logger is not None
+        or metrics is not None
+        or trace is not None
+        or diag is not None
+    ):
+        chain.instrument(
+            metrics=metrics, trace=trace, logger=logger, diagnostics=diag
+        )
     snapshots: List[str] = []
     current = 0
     for checkpoint in payload["checkpoints"]:
@@ -345,6 +371,8 @@ def _run_cell_body(
         result["events"] = logger.records
     if metrics is not None:
         result["metrics"] = metrics.snapshot()
+    if diag is not None:
+        result["diag"] = diag.summary()
     return result
 
 
@@ -363,6 +391,7 @@ def _decode_result(
         from_checkpoint=from_checkpoint,
         wall_time=float(payload.get("wall_time", 0.0)),
         profile=payload.get("profile"),
+        diag=payload.get("diag"),
     )
 
 
@@ -619,6 +648,23 @@ def run_batch_group(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
         seed=[member["seed"] for member in members],
         swaps=payload["swaps"],
     )
+    diag = None
+    diag_every = int(instrument.get("diag_every") or 0)
+    if diag_every > 0:
+        # Round-level observer: the kernel samples all R replicas in
+        # lock step once per vectorized round, feeding per-replica
+        # streams plus the cross-replica split R-hat.  Attaching it
+        # never touches the proposal streams (trajectories stay
+        # bit-identical; regression tested).
+        diag = ReplicaSetDiagnostics(
+            replicas,
+            DiagnosticsConfig(stride=diag_every),
+            metrics=metrics,
+            logger=logger,
+            trace=trace,
+            label=members[0]["label"] or members[0]["key"],
+        )
+        kernel.observer = diag
     snapshots: List[List[str]] = [[] for _ in range(replicas)]
     current = 0
     for checkpoint in payload["checkpoints"]:
@@ -649,6 +695,8 @@ def run_batch_group(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
                 "wall_time": wall_time / replicas,
             }
         )
+        if diag is not None:
+            results[r]["diag"] = diag.member_summary(r)
 
     aggregate_steps = int(kernel.iters.sum())
     if metrics is not None:
@@ -951,6 +999,38 @@ def _absorb_cell(
                 "steps_per_sec": throughput,
                 "from_checkpoint": result.from_checkpoint,
             }
+        )
+        diag = result.diag
+        if diag:
+            obs.metrics.series("diag.cells").append(
+                {
+                    "cell": key,
+                    "label": task.label,
+                    "lam": task.lam,
+                    "gamma": task.gamma,
+                    "replica": task.replica,
+                    "iteration": diag.get("iteration"),
+                    "samples": diag.get("samples"),
+                    "ess": diag.get("ess"),
+                    "tau": diag.get("tau"),
+                    "geweke": diag.get("geweke"),
+                    "rhat": diag.get("rhat"),
+                    "acceptance_rate": diag.get("acceptance_rate"),
+                    "stalled": diag.get("stalled"),
+                    "converged": diag.get("converged"),
+                    "ess_min": diag.get("ess_min"),
+                }
+            )
+    if result.diag and obs.logger is not None:
+        obs.logger.info(
+            "cell.convergence",
+            cell=key,
+            label=task.label,
+            converged=result.diag.get("converged"),
+            stalled=result.diag.get("stalled"),
+            ess=result.diag.get("ess"),
+            rhat=result.diag.get("rhat"),
+            reasons=result.diag.get("reasons"),
         )
     if obs.trace is not None and payload.get("trace_events"):
         obs.trace.extend(payload["trace_events"])

@@ -268,6 +268,7 @@ class FailedCell:
     from_checkpoint: bool = False
     wall_time: float = 0.0
     profile: Optional[str] = None
+    diag: Optional[dict] = None
     failed: bool = True
 
 

@@ -35,7 +35,7 @@ from repro.experiments.resilience import (
     RetryPolicy,
     surviving,
 )
-from repro.obs import Instrumentation
+from repro.obs import Instrumentation, aggregate_summaries
 from repro.system.initializers import random_blob_system
 from repro.util.rng import RngLike, seed_entropy
 from repro.util.serialization import configuration_to_json
@@ -53,6 +53,9 @@ class ScalingPoint:
     std_normalized_interface: float
     mean_time_to_separation: Optional[float]
     fraction_separated_in_budget: float
+    #: Folded convergence summary over this size's surviving replicas
+    #: (``None`` when the study ran without ``diag_every`` sampling).
+    diagnostics: Optional[dict] = None
 
 
 def _mean_std(values: Sequence[float]) -> tuple:
@@ -203,6 +206,9 @@ def scaling_study(
                     sum(times) / len(times) if times else None
                 ),
                 fraction_separated_in_budget=separated / len(survivors),
+                diagnostics=aggregate_summaries(
+                    getattr(result, "diag", None) for result in survivors
+                ),
             )
         )
     return points

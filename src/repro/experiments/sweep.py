@@ -24,7 +24,7 @@ from repro.experiments.parallel import (
     group_by_cell,
 )
 from repro.experiments.resilience import FailurePolicy, RetryPolicy, surviving
-from repro.obs import Instrumentation
+from repro.obs import Instrumentation, aggregate_summaries
 from repro.system.configuration import ParticleSystem
 from repro.system.initializers import random_blob_system
 from repro.util.rng import RngLike, derive_seed, seed_entropy
@@ -42,13 +42,18 @@ class SweepPoint:
     diagrams.  ``system`` is the final configuration of the last
     surviving replica (``None`` when every replica of the cell was
     quarantined); ``replica_values`` retains the raw per-replica metric
-    values behind the aggregates.
+    values behind the aggregates.  ``diagnostics`` is the folded
+    convergence summary over surviving replicas (see
+    :func:`repro.obs.aggregate_summaries`) when the sweep ran with a
+    ``diag_every`` stride — ``None`` otherwise; its ``low_ess`` flag
+    marks points whose worst replica has too few effective samples.
     """
 
     params: Dict[str, float]
     metrics: Dict[str, float]
     system: Optional[ParticleSystem]
     replica_values: Dict[str, List[float]] = field(default_factory=dict)
+    diagnostics: Optional[Dict[str, object]] = None
 
 
 def run_sweep(
@@ -185,6 +190,9 @@ def run_sweep(
                 metrics=measured,
                 system=survivors[-1].system if survivors else None,
                 replica_values=values,
+                diagnostics=aggregate_summaries(
+                    getattr(result, "diag", None) for result in survivors
+                ),
             )
         )
     return points

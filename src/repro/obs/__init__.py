@@ -12,7 +12,14 @@ This package is the measurement substrate for every execution layer:
   viewable) with worker-process stitching by pid;
 * :mod:`repro.obs.progress` — a live stderr progress/heartbeat
   reporter for :func:`repro.experiments.parallel.execute_cells` and
-  the opt-in cProfile hook.
+  the opt-in cProfile hook;
+* :mod:`repro.obs.convergence` — streaming convergence/mixing
+  diagnostics (autocorrelation, batch-means ESS, Geweke, split-chain
+  R̂, stall detection) sampled at a ``diag_every`` stride;
+* :mod:`repro.obs.report` — the ``repro report`` generator that folds
+  a run directory's obs artifacts into one HTML + markdown run report
+  (imported lazily by the CLI, not re-exported here: it reads
+  experiment-layer artifacts and a package-level import would cycle).
 
 :class:`Instrumentation` bundles the four into one optional handle the
 harnesses thread through; everything is null-safe, so uninstrumented
@@ -27,6 +34,12 @@ from contextlib import nullcontext
 from dataclasses import dataclass, replace
 from typing import Any, ContextManager, Dict, Optional
 
+from repro.obs.convergence import (
+    ChainDiagnostics,
+    DiagnosticsConfig,
+    ReplicaSetDiagnostics,
+    aggregate_summaries,
+)
 from repro.obs.log import JsonLogger, merge_records, read_jsonl
 from repro.obs.metrics import (
     Counter,
@@ -39,15 +52,19 @@ from repro.obs.progress import ProgressReporter, run_profiled
 from repro.obs.trace import TraceRecorder, validate_trace
 
 __all__ = [
+    "ChainDiagnostics",
     "Counter",
+    "DiagnosticsConfig",
     "Gauge",
     "Histogram",
     "Instrumentation",
     "JsonLogger",
     "MetricsRegistry",
     "ProgressReporter",
+    "ReplicaSetDiagnostics",
     "Series",
     "TraceRecorder",
+    "aggregate_summaries",
     "merge_records",
     "read_jsonl",
     "run_profiled",
@@ -69,6 +86,10 @@ class Instrumentation:
     metrics: Optional[MetricsRegistry] = None
     trace: Optional[TraceRecorder] = None
     profile: bool = False
+    #: Convergence-diagnostics sampling stride in chain iterations;
+    #: 0 disables.  Workers build per-cell streaming diagnostics (see
+    #: :mod:`repro.obs.convergence`) sampling at this interval.
+    diag_every: int = 0
 
     def enabled(self) -> bool:
         """Whether any instrument is active."""
@@ -77,6 +98,7 @@ class Instrumentation:
             or self.metrics is not None
             or self.trace is not None
             or self.profile
+            or self.diag_every > 0
         )
 
     def bind(self, **context: Any) -> "Instrumentation":
@@ -98,7 +120,7 @@ class Instrumentation:
             return self.trace.span(name, **args)
         return nullcontext()
 
-    def worker_flags(self) -> Dict[str, bool]:
+    def worker_flags(self) -> Dict[str, Any]:
         """The JSON-able instrumentation request shipped to workers.
 
         Workers rebuild local (buffering) instruments from these flags
@@ -111,4 +133,5 @@ class Instrumentation:
             "metrics": self.metrics is not None,
             "trace": self.trace is not None,
             "profile": bool(self.profile),
+            "diag_every": int(self.diag_every),
         }

@@ -1,0 +1,975 @@
+"""Streaming convergence and mixing diagnostics for the chain.
+
+Cannon et al. state separation and integration *asymptotically* — the
+paper gives no finite-time mixing bound, so every regenerated figure
+rests on a "ran long enough" assumption.  :mod:`repro.markov.diagnostics`
+can verify stationarity exactly, but only on enumerable state spaces; at
+experiment scale the best available evidence is *online* diagnostics
+computed from the trajectory itself.  This module provides them as
+streaming estimators with O(1) memory per sample:
+
+* **Windowed autocorrelation** — lag-``k`` autocorrelations over a fixed
+  ring buffer of recent samples, plus the truncated integrated
+  autocorrelation time τ (Geyer-style: stop at the first non-positive
+  lag).
+* **Batch-means ESS** — the effective sample size ``n·Var(x)/(b·Var(x̄_b))``
+  from collapsing batch means: when the bounded store of batch means
+  fills, adjacent pairs merge and the batch size doubles, so memory stays
+  bounded no matter how long the run.
+* **Geweke burn-in z-score** — the classic first-fraction vs
+  last-fraction mean comparison, computed over the (approximately
+  independent) batch means instead of raw samples.
+* **Split-chain Gelman–Rubin R̂** — across the batch kernel's R replicas,
+  each replica's batch-mean stream split in half, giving 2R segments in
+  the standard between/within variance ratio.
+* **Stall detector** — flags flat-lining energy (both monitored
+  observables frozen over a whole recent window) or acceptance-rate
+  collapse below a floor.
+
+Feeding happens at a configurable ``diag_every`` stride via
+:meth:`repro.core.separation_chain.SeparationChain.instrument`
+(``diagnostics=``) and the batch kernel's round-level ``observer`` hook.
+Neither path touches the RNG stream, so diagnosed trajectories — and the
+final RNG state — are bit-identical to undiagnosed runs (regression
+tested on the grid and batch kernels).
+
+Results flow three ways: gauges/series in a
+:class:`~repro.obs.metrics.MetricsRegistry` (``diag.*``),
+``chain.converged``/``chain.stalled`` log events and trace instants at
+state transitions, and a JSON-able :meth:`ChainDiagnostics.summary` dict
+that rides worker result payloads into sweep/figure aggregation and the
+``repro report`` generator.  Offline NumPy references for every
+estimator live at the bottom of the module; the test suite pins the
+streaming implementations against them on recorded trajectories.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, Iterable, List, Optional, Sequence
+
+__all__ = [
+    "DEFAULT_DIAG_EVERY",
+    "BatchMeans",
+    "ChainDiagnostics",
+    "DiagnosticsConfig",
+    "ReplicaSetDiagnostics",
+    "RunningMoments",
+    "StreamDiagnostics",
+    "WindowedAutocorrelation",
+    "aggregate_summaries",
+    "offline_autocorrelation",
+    "offline_batch_means",
+    "offline_ess",
+    "offline_geweke",
+    "split_rhat",
+]
+
+#: Default sampling stride (chain iterations between diagnostic samples).
+DEFAULT_DIAG_EVERY = 1_000
+
+_NAN = float("nan")
+
+
+def _isnan(value: float) -> bool:
+    return value != value
+
+
+@dataclass(frozen=True)
+class DiagnosticsConfig:
+    """Knobs for the streaming diagnostics.
+
+    ``stride`` is the ``diag_every`` sampling interval in chain
+    iterations.  ``verdict_every`` is the verdict cadence in samples:
+    estimator state and the raw ``diag.samples`` series update on
+    every sample, but the full verdict — gauges plus the stall /
+    convergence events — is evaluated only every ``verdict_every``-th
+    sample, because it is by far the expensive part of a tick.
+    :meth:`ChainDiagnostics.summary` always computes a fresh verdict
+    regardless of the cadence.  The thresholds define the convergence
+    verdict (see
+    ``docs/convergence.md`` for how each was chosen): a stream is
+    *converged* when it has at least ``min_batches`` completed batch
+    means, ESS ≥ ``ess_min``, |Geweke z| ≤ ``geweke_max``, R̂ ≤
+    ``rhat_max`` (when replicas are available), and the stall detector
+    is quiet.  ``stall_window`` is the number of recent samples the
+    stall detector inspects; a window whose acceptance rate drops below
+    ``acceptance_floor``, or whose monitored observables are all exactly
+    constant, flags the chain as stalled.
+    """
+
+    stride: int = DEFAULT_DIAG_EVERY
+    verdict_every: int = 8
+    maxlag: int = 32
+    batch_capacity: int = 64
+    min_batches: int = 8
+    ess_min: float = 100.0
+    rhat_max: float = 1.1
+    geweke_max: float = 2.0
+    stall_window: int = 32
+    acceptance_floor: float = 1e-4
+    first_fraction: float = 0.1
+    last_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.stride < 1:
+            raise ValueError(f"stride must be positive, got {self.stride}")
+        if self.verdict_every < 1:
+            raise ValueError(
+                f"verdict_every must be positive, got {self.verdict_every}"
+            )
+        if self.maxlag < 1:
+            raise ValueError(f"maxlag must be positive, got {self.maxlag}")
+        if self.batch_capacity < 4 or self.batch_capacity % 2:
+            raise ValueError(
+                "batch_capacity must be an even integer >= 4, "
+                f"got {self.batch_capacity}"
+            )
+        if self.min_batches < 2:
+            raise ValueError(
+                f"min_batches must be >= 2, got {self.min_batches}"
+            )
+        if self.stall_window < 2:
+            raise ValueError(
+                f"stall_window must be >= 2, got {self.stall_window}"
+            )
+
+
+class RunningMoments:
+    """Welford's online mean/variance (population convention)."""
+
+    __slots__ = ("count", "mean", "_m2")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+
+    def push(self, value: float) -> None:
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+
+    @property
+    def variance(self) -> float:
+        """Population variance (NaN before the first sample)."""
+        if self.count == 0:
+            return _NAN
+        return self._m2 / self.count
+
+
+class WindowedAutocorrelation:
+    """Lag-1..maxlag autocorrelations from O(maxlag) streaming state.
+
+    Maintains a ring buffer of the last ``maxlag`` samples and the
+    running cross-product sums ``Σ x_t·x_{t−k}``; the estimator is the
+    naive ``ρ_k = (Σ x_t·x_{t−k}/(n−k) − μ²)/σ²`` with the full-stream
+    mean/variance supplied by the caller (so a single
+    :class:`RunningMoments` is shared across estimators).
+    """
+
+    __slots__ = ("maxlag", "_ring", "_lagsums", "_count")
+
+    def __init__(self, maxlag: int = 32):
+        if maxlag < 1:
+            raise ValueError(f"maxlag must be positive, got {maxlag}")
+        self.maxlag = maxlag
+        self._ring = [0.0] * maxlag
+        self._lagsums = [0.0] * maxlag
+        self._count = 0
+
+    def push(self, value: float) -> None:
+        count = self._count
+        ring = self._ring
+        maxlag = self.maxlag
+        lagsums = self._lagsums
+        for lag in range(1, min(count, maxlag) + 1):
+            lagsums[lag - 1] += value * ring[(count - lag) % maxlag]
+        ring[count % maxlag] = value
+        self._count = count + 1
+
+    def rho(self, lag: int, mean: float, variance: float) -> float:
+        """Autocorrelation at ``lag`` (NaN when not estimable)."""
+        if not 1 <= lag <= self.maxlag:
+            raise ValueError(f"lag must be in [1, {self.maxlag}], got {lag}")
+        pairs = self._count - lag
+        if pairs < 1 or not variance > 0.0:
+            return _NAN
+        return (self._lagsums[lag - 1] / pairs - mean * mean) / variance
+
+    def tau(self, mean: float, variance: float) -> float:
+        """Truncated integrated autocorrelation time.
+
+        ``τ = 1 + 2·Σ ρ_k``, summing while ρ stays positive (a
+        lightweight Geyer initial-positive-sequence rule); NaN until the
+        first lag is estimable.  The ρ loop is inlined (no per-lag
+        :meth:`rho` calls): this runs on every diagnostics tick and
+        counts against the <5% overhead budget.
+        """
+        count = self._count
+        if count < 2 or not variance > 0.0:
+            return _NAN  # rho(1) not estimable
+        lagsums = self._lagsums
+        mean_sq = mean * mean
+        total = 1.0
+        for lag in range(1, self.maxlag + 1):
+            pairs = count - lag
+            if pairs < 1:
+                break
+            rho = (lagsums[lag - 1] / pairs - mean_sq) / variance
+            if not rho > 0.0:  # <= 0 stops the sum (Geyer truncation)
+                break
+            total += 2.0 * rho
+        return total
+
+
+class BatchMeans:
+    """Collapsing batch means: bounded memory for unbounded streams.
+
+    Samples accumulate into batches of ``batch_size``; completed batch
+    means are stored.  When the store reaches ``capacity`` entries,
+    adjacent pairs merge and the batch size doubles — so at most
+    ``capacity`` floats are ever held, yet every sample contributes.
+    The collapse schedule is deterministic, which lets the offline
+    reference recompute the exact same means from a recorded trajectory.
+    """
+
+    __slots__ = ("capacity", "batch_size", "means", "_acc", "_acc_count")
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 4 or capacity % 2:
+            raise ValueError(
+                f"capacity must be an even integer >= 4, got {capacity}"
+            )
+        self.capacity = capacity
+        self.batch_size = 1
+        self.means: List[float] = []
+        self._acc = 0.0
+        self._acc_count = 0
+
+    def push(self, value: float) -> None:
+        self._acc += value
+        self._acc_count += 1
+        if self._acc_count == self.batch_size:
+            self.means.append(self._acc / self.batch_size)
+            self._acc = 0.0
+            self._acc_count = 0
+            if len(self.means) >= self.capacity:
+                self.means = [
+                    (self.means[i] + self.means[i + 1]) / 2.0
+                    for i in range(0, len(self.means), 2)
+                ]
+                self.batch_size *= 2
+
+    @property
+    def used(self) -> int:
+        """Samples inside completed batches (the tail waits in the acc)."""
+        return len(self.means) * self.batch_size
+
+
+def _sample_variance(values: Sequence[float]) -> float:
+    count = len(values)
+    if count < 2:
+        return _NAN
+    mean = sum(values) / count
+    return sum((v - mean) ** 2 for v in values) / (count - 1)
+
+
+def _ess_from_batches(
+    variance: float,
+    means: Sequence[float],
+    batch_size: int,
+    min_batches: int,
+    var_batches: Optional[float] = None,
+) -> float:
+    """ESS = n·Var(x) / (b·Var(batch means)); NaN until estimable.
+
+    ``var_batches`` lets a caller supply the (cached) batch-mean
+    variance — it only changes when a batch completes, while the
+    full-stream ``variance`` moves every sample.
+    """
+    count = len(means)
+    if count < min_batches:
+        return _NAN
+    if _isnan(variance):
+        return _NAN
+    used = count * batch_size
+    if not variance > 0.0:
+        return 0.0  # a constant stream carries no information
+    if var_batches is None:
+        var_batches = _sample_variance(means)
+    if not var_batches > 0.0:
+        return float(used)  # batch means indistinguishable: no memory left
+    return used * variance / (batch_size * var_batches)
+
+
+def _geweke_from_batches(
+    means: Sequence[float],
+    min_batches: int,
+    first_fraction: float,
+    last_fraction: float,
+) -> float:
+    """Geweke z over batch means (≈ independent for mature batches)."""
+    count = len(means)
+    if count < min_batches:
+        return _NAN
+    head = max(2, int(count * first_fraction))
+    tail = max(2, int(count * last_fraction))
+    if head + tail > count:
+        return _NAN
+    first = means[:head]
+    last = means[count - tail:]
+    mean_first = sum(first) / head
+    mean_last = sum(last) / tail
+    var_first = _sample_variance(first)
+    var_last = _sample_variance(last)
+    denom = math.sqrt(var_first / head + var_last / tail)
+    if _isnan(denom):
+        return _NAN
+    if denom == 0.0:
+        return 0.0 if mean_first == mean_last else math.inf
+    return (mean_first - mean_last) / denom
+
+
+def split_rhat(chains: Sequence[Sequence[float]]) -> float:
+    """Split-chain Gelman–Rubin R̂ over per-chain sample sequences.
+
+    Each chain is split into its first and last halves (the middle
+    element of an odd-length chain is dropped), giving ``2·len(chains)``
+    segments of equal length ``h``; the statistic is the standard
+    ``sqrt(((h−1)/h·W + B/h) / W)`` with between-segment variance ``B``
+    and mean within-segment variance ``W``.  NaN until every chain has
+    at least 4 samples.  Used both streaming (over each replica's batch
+    means) and offline (the NumPy reference applies it to recorded
+    trajectories) — the implementations are the same function.
+    """
+    if len(chains) < 1:
+        return _NAN
+    length = min(len(chain) for chain in chains)
+    half = length // 2
+    if half < 2:
+        return _NAN
+    segments: List[Sequence[float]] = []
+    for chain in chains:
+        count = len(chain)
+        segments.append(list(chain[:half]))
+        segments.append(list(chain[count - half:]))
+    if len(segments) < 2:
+        return _NAN
+    seg_means = [sum(seg) / half for seg in segments]
+    seg_vars = [_sample_variance(seg) for seg in segments]
+    within = sum(seg_vars) / len(seg_vars)
+    grand = sum(seg_means) / len(seg_means)
+    between = (
+        half
+        * sum((m - grand) ** 2 for m in seg_means)
+        / (len(seg_means) - 1)
+    )
+    if not within > 0.0:
+        return 1.0 if between == 0.0 else math.inf
+    var_hat = (half - 1) / half * within + between / half
+    return math.sqrt(var_hat / within)
+
+
+class StreamDiagnostics:
+    """All single-stream estimators for one scalar observable.
+
+    The batch-mean dependent statistics (batch-mean variance, Geweke z)
+    are cached against the ``(len(means), batch_size)`` pair — that key
+    changes exactly when a batch completes or collapses and never
+    repeats, so between completions the per-tick cost is just the
+    pushes plus O(maxlag) for τ.  This caching is what keeps the
+    diagnostics within the <5% overhead budget at sane strides.
+    """
+
+    __slots__ = (
+        "config", "moments", "autocorr", "batches", "recent",
+        "_batch_key", "_var_batches", "_geweke",
+    )
+
+    def __init__(self, config: DiagnosticsConfig):
+        self.config = config
+        self.moments = RunningMoments()
+        self.autocorr = WindowedAutocorrelation(config.maxlag)
+        self.batches = BatchMeans(config.batch_capacity)
+        self.recent: Deque[float] = deque(maxlen=config.stall_window)
+        self._batch_key = (0, 0)
+        self._var_batches = _NAN
+        self._geweke = _NAN
+
+    def push(self, value: float) -> None:
+        value = float(value)
+        self.moments.push(value)
+        self.autocorr.push(value)
+        self.batches.push(value)
+        self.recent.append(value)
+
+    def _refresh_batch_stats(self) -> None:
+        batches = self.batches
+        key = (len(batches.means), batches.batch_size)
+        if key != self._batch_key:
+            self._batch_key = key
+            self._var_batches = _sample_variance(batches.means)
+            self._geweke = _geweke_from_batches(
+                batches.means,
+                self.config.min_batches,
+                self.config.first_fraction,
+                self.config.last_fraction,
+            )
+
+    def ess(self) -> float:
+        self._refresh_batch_stats()
+        return _ess_from_batches(
+            self.moments.variance,
+            self.batches.means,
+            self.batches.batch_size,
+            self.config.min_batches,
+            var_batches=self._var_batches,
+        )
+
+    def tau(self) -> float:
+        return self.autocorr.tau(self.moments.mean, self.moments.variance)
+
+    def geweke(self) -> float:
+        self._refresh_batch_stats()
+        return self._geweke
+
+    def flat(self) -> bool:
+        """Whether the recent window is full and exactly constant."""
+        recent = self.recent
+        size = len(recent)
+        if size < self.config.stall_window or recent[-1] != recent[0]:
+            return False
+        return recent.count(recent[0]) == size
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "samples": self.moments.count,
+            "mean": _finite(self.moments.mean),
+            "ess": _finite(self.ess()),
+            "tau": _finite(self.tau()),
+            "geweke": _finite(self.geweke()),
+            "flat": self.flat(),
+        }
+
+
+def _finite(value: Optional[float]) -> Optional[float]:
+    """NaN/inf → None so summaries serialize as strict JSON."""
+    # NaN != NaN; the comparisons are inlined (no _isnan call) because
+    # this runs ~10x per diagnostics tick.
+    if value is None or value != value or value in (math.inf, -math.inf):
+        return None
+    return float(value)
+
+
+def _worst(values: Iterable[Optional[float]], best: float) -> Optional[float]:
+    """The farthest value from ``best`` among the non-None entries."""
+    present = [v for v in values if v is not None]
+    if not present:
+        return None
+    return max(present, key=lambda v: abs(v - best))
+
+
+#: The chain observables every diagnostics instance monitors: total edge
+#: count (the λ energy term) and heterogeneous edges (the γ term).
+MONITORED_STREAMS = ("edges", "hetero")
+
+
+class _DiagnosticsBase:
+    """Shared tick bookkeeping, verdicts, and sink publishing."""
+
+    def __init__(
+        self,
+        config: Optional[DiagnosticsConfig],
+        metrics,
+        logger,
+        trace,
+        label: str,
+    ):
+        self.config = config or DiagnosticsConfig()
+        self.metrics = metrics
+        self.logger = logger
+        self.trace = trace
+        self.label = label
+        self.samples = 0
+        self.iteration = 0
+        self._tick_index = 0
+        self._acc_rates: Deque[float] = deque(maxlen=self.config.stall_window)
+        self._last_acceptance: Optional[float] = None
+        self._was_converged = False
+        self._was_stalled = False
+
+    # -- verdicts -------------------------------------------------------
+
+    def _verdict(
+        self,
+        streams: Dict[str, StreamDiagnostics],
+        rhat: Optional[float],
+    ) -> Dict[str, Any]:
+        config = self.config
+        # Each stream's estimators are evaluated exactly once per
+        # verdict; both the worst-of folding and the per-stream
+        # breakdown read the same stats (this sits on the sampling hot
+        # path — the <5% overhead guard counts every microsecond here).
+        stats = {name: s.summary() for name, s in streams.items()}
+        ess = _worst((st["ess"] for st in stats.values()), math.inf)
+        tau = _worst((st["tau"] for st in stats.values()), 0.0)
+        geweke = _worst((st["geweke"] for st in stats.values()), 0.0)
+        stalled, stall_reasons = self._stall(stats)
+        reasons = list(stall_reasons)
+        if ess is None:
+            reasons.append("insufficient samples for ESS")
+        elif ess < config.ess_min:
+            reasons.append(f"ESS {ess:.1f} < {config.ess_min:g}")
+        if geweke is not None and abs(geweke) > config.geweke_max:
+            reasons.append(
+                f"|Geweke z| {abs(geweke):.2f} > {config.geweke_max:g}"
+            )
+        if rhat is not None and rhat > config.rhat_max:
+            reasons.append(f"R-hat {rhat:.3f} > {config.rhat_max:g}")
+        converged = (
+            not stalled
+            and ess is not None
+            and ess >= config.ess_min
+            and (geweke is None or abs(geweke) <= config.geweke_max)
+            and (rhat is None or rhat <= config.rhat_max)
+        )
+        return {
+            "stride": config.stride,
+            "iteration": self.iteration,
+            "samples": self.samples,
+            "ess": ess,
+            "tau": tau,
+            "geweke": geweke,
+            "rhat": _finite(rhat) if rhat is not None else None,
+            "acceptance_rate": _finite(
+                self._last_acceptance
+                if self._last_acceptance is not None
+                else _NAN
+            ),
+            "stalled": stalled,
+            "converged": converged,
+            "reasons": reasons,
+            "ess_min": config.ess_min,
+            "streams": stats,
+        }
+
+    def _stall(
+        self, stats: Dict[str, Dict[str, Any]]
+    ) -> "tuple[bool, List[str]]":
+        reasons: List[str] = []
+        rates = self._acc_rates
+        if len(rates) == self.config.stall_window:
+            mean_rate = sum(rates) / len(rates)
+            if mean_rate < self.config.acceptance_floor:
+                reasons.append(
+                    f"acceptance rate {mean_rate:.2e} below floor "
+                    f"{self.config.acceptance_floor:g}"
+                )
+        if all(st["flat"] for st in stats.values()):
+            reasons.append(
+                "energy flat-lined: monitored observables constant over "
+                f"the last {self.config.stall_window} samples"
+            )
+        return bool(reasons), reasons
+
+    # -- sink publishing ------------------------------------------------
+
+    def _record_sample(self, sample: Dict[str, Any]) -> None:
+        """Per-sample sink update (cheap: one series append)."""
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.series("diag.samples").append(sample)
+
+    def _verdict_due(self) -> bool:
+        """Whether this sample is on the verdict cadence."""
+        return self.samples % self.config.verdict_every == 0
+
+    def _publish(self, verdict: Dict[str, Any]) -> None:
+        metrics = self.metrics
+        if metrics is not None:
+            for key in ("ess", "tau", "geweke", "rhat", "acceptance_rate"):
+                value = verdict.get(key)
+                if value is not None:
+                    metrics.gauge(f"diag.{key}").set(value)
+        self._transitions(verdict)
+
+    def _transitions(self, verdict: Dict[str, Any]) -> None:
+        """Emit events / trace instants on verdict state changes."""
+        logger = self.logger
+        trace = self.trace
+        if verdict["stalled"] and not self._was_stalled:
+            if logger is not None:
+                logger.warning(
+                    "chain.stalled",
+                    label=self.label,
+                    iteration=self.iteration,
+                    reasons=verdict["reasons"],
+                    acceptance_rate=verdict["acceptance_rate"],
+                )
+            if trace is not None:
+                trace.instant("chain.stalled", iteration=self.iteration)
+        if verdict["converged"] and not self._was_converged:
+            if logger is not None:
+                logger.info(
+                    "chain.converged",
+                    label=self.label,
+                    iteration=self.iteration,
+                    ess=verdict["ess"],
+                    tau=verdict["tau"],
+                    geweke=verdict["geweke"],
+                    rhat=verdict["rhat"],
+                )
+            if trace is not None:
+                trace.instant("chain.converged", iteration=self.iteration)
+        self._was_stalled = verdict["stalled"]
+        self._was_converged = verdict["converged"]
+
+    def _tick(self, iteration: int) -> bool:
+        """Whether ``iteration`` crosses into a new stride interval."""
+        index = iteration // self.config.stride
+        if index <= self._tick_index:
+            return False
+        self._tick_index = index
+        return True
+
+
+class ChainDiagnostics(_DiagnosticsBase):
+    """Streaming diagnostics for one :class:`SeparationChain`.
+
+    Attach via ``chain.instrument(diagnostics=ChainDiagnostics(...))``;
+    the chain then samples its O(1) incremental counters every
+    ``config.stride`` iterations.  The scalar kernels segment the run at
+    stride boundaries with a refill *horizon* that reproduces the
+    undiagnosed draw-ahead exactly; the batch kernel calls
+    :meth:`maybe_observe` once per vectorized round.  Either way the RNG
+    stream is untouched.
+    """
+
+    def __init__(
+        self,
+        config: Optional[DiagnosticsConfig] = None,
+        *,
+        metrics=None,
+        logger=None,
+        trace=None,
+        label: str = "chain",
+    ):
+        super().__init__(config, metrics, logger, trace, label)
+        self.streams: Dict[str, StreamDiagnostics] = {
+            name: StreamDiagnostics(self.config)
+            for name in MONITORED_STREAMS
+        }
+        self._last_iteration = 0
+        self._last_accepted = 0
+
+    def steps_until_tick(self, iteration: int) -> int:
+        """Steps from ``iteration`` to the next stride boundary."""
+        stride = self.config.stride
+        return stride - (iteration % stride)
+
+    def observe_chain(self, chain) -> None:
+        """Sample a chain's incremental counters (scalar-kernel path)."""
+        self.maybe_record(
+            chain.iterations,
+            chain.system.edge_total,
+            chain.system.hetero_total,
+            chain.accepted_moves + chain.accepted_swaps,
+        )
+
+    def maybe_observe(self, kernel) -> None:
+        """Round-level observer for a single-replica batch kernel."""
+        self.maybe_record(
+            int(kernel.iters[0]),
+            int(kernel.edge[0]),
+            int(kernel.het[0]),
+            int(kernel.acc_moves[0]) + int(kernel.acc_swaps[0]),
+        )
+
+    def maybe_record(
+        self, iteration: int, edges: float, hetero: float, accepted: int
+    ) -> None:
+        if not self._tick(iteration):
+            return
+        interval = iteration - self._last_iteration
+        rate = (
+            (accepted - self._last_accepted) / interval
+            if interval > 0
+            else _NAN
+        )
+        self._last_iteration = iteration
+        self._last_accepted = accepted
+        self.iteration = iteration
+        self.samples += 1
+        self._last_acceptance = rate
+        if not _isnan(rate):
+            self._acc_rates.append(rate)
+        self.streams["edges"].push(edges)
+        self.streams["hetero"].push(hetero)
+        self._record_sample(
+            {
+                "label": self.label,
+                "iteration": iteration,
+                "edges": float(edges),
+                "hetero": float(hetero),
+                "acceptance": _finite(rate),
+            }
+        )
+        if self._verdict_due():
+            self._publish(self._verdict(self.streams, rhat=None))
+
+    def summary(self) -> Dict[str, Any]:
+        """The JSON-able verdict (rides worker result payloads)."""
+        return self._verdict(self.streams, rhat=None)
+
+
+class ReplicaSetDiagnostics(_DiagnosticsBase):
+    """Diagnostics across the batch kernel's R lock-step replicas.
+
+    Per-replica streams feed the same single-stream estimators as
+    :class:`ChainDiagnostics`; in addition, the per-replica batch-mean
+    sequences give the split-chain Gelman–Rubin R̂ (2R segments).  The
+    group verdict takes the *worst* replica for ESS/Geweke and the
+    cross-replica R̂; :meth:`member_summary` produces a per-replica dict
+    with the shared R̂ attached, matching the per-cell payload schema.
+    """
+
+    def __init__(
+        self,
+        replicas: int,
+        config: Optional[DiagnosticsConfig] = None,
+        *,
+        metrics=None,
+        logger=None,
+        trace=None,
+        label: str = "batch",
+    ):
+        if replicas < 1:
+            raise ValueError(f"replicas must be positive, got {replicas}")
+        super().__init__(config, metrics, logger, trace, label)
+        self.replicas = replicas
+        self.streams_per_replica: List[Dict[str, StreamDiagnostics]] = [
+            {
+                name: StreamDiagnostics(self.config)
+                for name in MONITORED_STREAMS
+            }
+            for _ in range(replicas)
+        ]
+        self._last_iteration = 0
+        self._last_accepted = [0] * replicas
+
+    def maybe_observe(self, kernel) -> None:
+        """Round-level observer hook (BatchKernel calls this)."""
+        iteration = int(kernel.iters.min())
+        if iteration // self.config.stride <= self._tick_index:
+            return  # cheap pre-check before materializing arrays
+        self.maybe_record(
+            iteration,
+            [int(v) for v in kernel.edge],
+            [int(v) for v in kernel.het],
+            [
+                int(m) + int(s)
+                for m, s in zip(kernel.acc_moves, kernel.acc_swaps)
+            ],
+        )
+
+    def maybe_record(
+        self,
+        iteration: int,
+        edges: Sequence[float],
+        hetero: Sequence[float],
+        accepted: Sequence[int],
+    ) -> None:
+        if not self._tick(iteration):
+            return
+        interval = iteration - self._last_iteration
+        if interval > 0:
+            rates = [
+                (now - before) / interval
+                for now, before in zip(accepted, self._last_accepted)
+            ]
+            rate = sum(rates) / len(rates)
+            self._acc_rates.append(rate)
+            self._last_acceptance = rate
+        self._last_iteration = iteration
+        self._last_accepted = list(accepted)
+        self.iteration = iteration
+        self.samples += 1
+        for replica, streams in enumerate(self.streams_per_replica):
+            streams["edges"].push(edges[replica])
+            streams["hetero"].push(hetero[replica])
+        mean_edges = sum(edges) / len(edges)
+        mean_hetero = sum(hetero) / len(hetero)
+        self._record_sample(
+            {
+                "label": self.label,
+                "iteration": iteration,
+                "edges": float(mean_edges),
+                "hetero": float(mean_hetero),
+                "acceptance": _finite(
+                    self._last_acceptance
+                    if self._last_acceptance is not None
+                    else _NAN
+                ),
+            }
+        )
+        if self._verdict_due():
+            # R̂ (split chains across replicas) is only evaluated on
+            # verdict ticks — it walks every replica's batch means.
+            self._publish(
+                self._verdict(self._worst_streams(), rhat=self.rhat())
+            )
+
+    def _worst_streams(self) -> Dict[str, StreamDiagnostics]:
+        """Per-observable, the replica stream with the lowest ESS."""
+        worst: Dict[str, StreamDiagnostics] = {}
+        for name in MONITORED_STREAMS:
+            candidates = [
+                streams[name] for streams in self.streams_per_replica
+            ]
+
+            def _key(stream: StreamDiagnostics) -> float:
+                ess = stream.ess()
+                return math.inf if _isnan(ess) else ess
+
+            worst[name] = min(candidates, key=_key)
+        return worst
+
+    def rhat(self, stream: str = "hetero") -> float:
+        """Split-chain R̂ of ``stream`` across the replicas' batch means."""
+        if stream not in MONITORED_STREAMS:
+            raise ValueError(f"unknown stream {stream!r}")
+        return split_rhat(
+            [
+                streams[stream].batches.means
+                for streams in self.streams_per_replica
+            ]
+        )
+
+    def summary(self) -> Dict[str, Any]:
+        """Group verdict: worst replica + cross-replica R̂."""
+        return self._verdict(self._worst_streams(), rhat=self.rhat())
+
+    def member_summary(self, replica: int) -> Dict[str, Any]:
+        """Per-replica verdict carrying the shared cross-replica R̂."""
+        if not 0 <= replica < self.replicas:
+            raise ValueError(
+                f"replica must be in [0, {self.replicas}), got {replica}"
+            )
+        streams = self.streams_per_replica[replica]
+        verdict = self._verdict(streams, rhat=self.rhat())
+        verdict["replica"] = replica
+        verdict["replicas"] = self.replicas
+        return verdict
+
+
+def aggregate_summaries(
+    summaries: Iterable[Optional[Dict[str, Any]]],
+) -> Optional[Dict[str, Any]]:
+    """Fold per-cell diagnostic summaries into one harness-level view.
+
+    ``None`` entries (cells restored from checkpoints, or runs without
+    diagnostics) are skipped; returns ``None`` when nothing carried a
+    summary.  The aggregate reports the *worst* cell on each axis plus a
+    ``low_ess`` flag — the bit figure-2/figure-3/scaling points use to
+    mark measurements that rest on too few effective samples.
+    """
+    present = [s for s in summaries if s]
+    if not present:
+        return None
+
+    def _collect(key: str) -> List[float]:
+        return [s[key] for s in present if s.get(key) is not None]
+
+    ess_values = _collect("ess")
+    rhat_values = _collect("rhat")
+    geweke_values = [abs(v) for v in _collect("geweke")]
+    ess_min = present[0].get("ess_min", DiagnosticsConfig.ess_min)
+    min_ess = min(ess_values) if ess_values else None
+    return {
+        "cells": len(present),
+        "min_ess": min_ess,
+        "max_rhat": max(rhat_values) if rhat_values else None,
+        "max_abs_geweke": max(geweke_values) if geweke_values else None,
+        "stalled_cells": sum(1 for s in present if s.get("stalled")),
+        "converged": all(s.get("converged") for s in present),
+        "low_ess": min_ess is None or min_ess < ess_min,
+        "ess_min": ess_min,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Offline NumPy references (tests pin the streaming estimators to these)
+# ---------------------------------------------------------------------------
+
+
+def offline_autocorrelation(
+    samples: Sequence[float], maxlag: int
+) -> List[float]:
+    """Direct lag-1..maxlag autocorrelations of a recorded trajectory.
+
+    Same estimator as :class:`WindowedAutocorrelation`:
+    ``ρ_k = (Σ x_t·x_{t−k}/(n−k) − μ²)/σ²`` with population mean and
+    variance over the full series.
+    """
+    import numpy as np
+
+    xs = np.asarray(samples, dtype=float)
+    mean = float(xs.mean()) if xs.size else _NAN
+    variance = float(xs.var()) if xs.size else _NAN
+    rhos: List[float] = []
+    for lag in range(1, maxlag + 1):
+        pairs = xs.size - lag
+        if pairs < 1 or not variance > 0.0:
+            rhos.append(_NAN)
+            continue
+        cross = float((xs[lag:] * xs[:-lag]).sum()) / pairs
+        rhos.append((cross - mean * mean) / variance)
+    return rhos
+
+
+def offline_batch_means(
+    samples: Sequence[float], batch_size: int
+) -> List[float]:
+    """Means of the complete ``batch_size`` batches of a trajectory."""
+    import numpy as np
+
+    xs = np.asarray(samples, dtype=float)
+    complete = (xs.size // batch_size) * batch_size
+    if complete == 0:
+        return []
+    return [
+        float(v)
+        for v in xs[:complete].reshape(-1, batch_size).mean(axis=1)
+    ]
+
+
+def offline_ess(
+    samples: Sequence[float],
+    batch_size: int,
+    min_batches: int = DiagnosticsConfig.min_batches,
+) -> float:
+    """Batch-means ESS of a recorded trajectory (reference formula)."""
+    import numpy as np
+
+    xs = np.asarray(samples, dtype=float)
+    variance = float(xs.var()) if xs.size else _NAN
+    means = offline_batch_means(samples, batch_size)
+    return _ess_from_batches(variance, means, batch_size, min_batches)
+
+
+def offline_geweke(
+    samples: Sequence[float],
+    batch_size: int,
+    min_batches: int = DiagnosticsConfig.min_batches,
+    first_fraction: float = DiagnosticsConfig.first_fraction,
+    last_fraction: float = DiagnosticsConfig.last_fraction,
+) -> float:
+    """Geweke z of a recorded trajectory over its batch means."""
+    means = offline_batch_means(samples, batch_size)
+    return _geweke_from_batches(
+        means, min_batches, first_fraction, last_fraction
+    )

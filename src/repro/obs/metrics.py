@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from bisect import bisect_left
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from repro.util.serialization import load_payload, save_payload
 
@@ -115,6 +115,20 @@ class Series:
 
     def append(self, entry: Any) -> None:
         self.entries.append(entry)
+
+    def extend(self, entries: Iterable[Any]) -> None:
+        """Ordered concatenation: append ``entries`` in iteration order.
+
+        This is the single merge primitive for series — existing
+        entries keep their positions, incoming ones follow in snapshot
+        order.  Worker series of *different lengths* therefore merge
+        without any alignment or truncation; the combined order is
+        fully determined by the sequence of :meth:`MetricsRegistry.merge`
+        calls, which the parallel engine issues in completion order
+        (deterministic for the serial backend, and stable per run for
+        the process backend).
+        """
+        self.entries.extend(entries)
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -218,7 +232,12 @@ class MetricsRegistry:
 
         Counters and histogram buckets add; gauges take the incoming
         value (last write wins — the worker observed it more recently);
-        series concatenate.  Histogram bucket layouts must match.
+        series concatenate via :meth:`Series.extend` — ordered concat,
+        never element-wise alignment, so per-worker series of differing
+        lengths (e.g. per-replica diagnostic samples at different
+        strides) merge deterministically: existing entries first, then
+        the snapshot's entries in their recorded order.  Histogram
+        bucket layouts must match.
         """
         version = snapshot.get("version")
         if version != METRICS_FORMAT_VERSION:
@@ -238,7 +257,7 @@ class MetricsRegistry:
             histogram.sum += float(payload["sum"])
             histogram.count += int(payload["count"])
         for name, entries in snapshot.get("series", {}).items():
-            self.series(name).entries.extend(entries)
+            self.series(name).extend(entries)
 
     # -- persistence ----------------------------------------------------
 

@@ -1,0 +1,633 @@
+"""Consolidated run reports from a run directory's obs artifacts.
+
+A long sweep leaves its evidence scattered: a metrics snapshot, a
+JSON-lines event log, a Chrome trace, per-cell checkpoints, and — after
+a chaotic run — a ``failures.json`` quarantine manifest.  This module
+folds whatever subset of those exists under one directory into a single
+self-contained report (markdown + HTML, no external assets), the thing
+the ``repro report`` CLI subcommand writes and CI uploads as an
+artifact:
+
+* a run summary (cells completed, steps, retries/timeouts/failures,
+  checkpoint hit/miss counts, wall time);
+* the per-cell convergence verdicts recorded by
+  :mod:`repro.obs.convergence` (ESS, τ, Geweke z, split R̂, stall and
+  convergence flags), with sub-threshold ESS flagged;
+* throughput statistics with sparkline series (unicode in markdown,
+  inline SVG in HTML);
+* the failure/quarantine table;
+* an event-log digest (counts per event, warnings and errors listed).
+
+Discovery is deliberately lenient: every ``*.jsonl`` file is read as an
+event log, every ``failures.json`` as a quarantine manifest, every
+``cell-*.json`` as a checkpoint, and every other ``*.json`` is probed
+as a metrics snapshot (files with a different payload envelope — trace
+files, fault ledgers — are skipped, not errors).  Zero-sample and
+all-quarantined quantities render as ``n/a``, never ``nan``.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+import math
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.log import merge_records, read_jsonl
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "RunReport",
+    "collect_run",
+    "fmt",
+    "render_html",
+    "render_markdown",
+    "sparkline",
+    "sparkline_svg",
+    "write_report",
+]
+
+_SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
+
+
+def fmt(value: Any, digits: int = 2) -> str:
+    """Human-safe number formatting: ``n/a`` for missing, never ``nan``.
+
+    ``None``, NaN, and infinities all render as ``n/a`` (the FailedCell
+    convention: a cell with zero samples has *no* value, and printing
+    ``nan`` reads like a computed result).  Integers keep their exact
+    form; large floats gain thousands separators.
+    """
+    if value is None:
+        return "n/a"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if value != value or value in (math.inf, -math.inf):
+            return "n/a"
+        if value.is_integer() and abs(value) < 1e15:
+            return f"{int(value):,}"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def _clean(values: Sequence[Any]) -> List[float]:
+    out = []
+    for value in values:
+        if isinstance(value, (int, float)) and value == value:
+            out.append(float(value))
+    return out
+
+
+def sparkline(values: Sequence[Any], width: int = 40) -> str:
+    """A unicode sparkline of ``values`` (empty string when no data).
+
+    Longer series are downsampled to ``width`` by striding; missing
+    entries are dropped.
+    """
+    xs = _clean(values)
+    if not xs:
+        return ""
+    if len(xs) > width:
+        stride = len(xs) / width
+        xs = [xs[int(i * stride)] for i in range(width)]
+    lo, hi = min(xs), max(xs)
+    span = hi - lo
+    if span <= 0:
+        return _SPARK_GLYPHS[0] * len(xs)
+    return "".join(
+        _SPARK_GLYPHS[
+            min(len(_SPARK_GLYPHS) - 1, int((x - lo) / span * len(_SPARK_GLYPHS)))
+        ]
+        for x in xs
+    )
+
+
+def sparkline_svg(
+    values: Sequence[Any], width: int = 220, height: int = 36
+) -> str:
+    """An inline SVG polyline sparkline (empty string when no data)."""
+    xs = _clean(values)
+    if not xs:
+        return ""
+    if len(xs) == 1:
+        xs = xs * 2
+    lo, hi = min(xs), max(xs)
+    span = hi - lo or 1.0
+    pad = 2.0
+    step = (width - 2 * pad) / (len(xs) - 1)
+    points = " ".join(
+        f"{pad + i * step:.1f},"
+        f"{height - pad - (x - lo) / span * (height - 2 * pad):.1f}"
+        for i, x in enumerate(xs)
+    )
+    return (
+        f'<svg class="spark" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" '
+        'xmlns="http://www.w3.org/2000/svg" role="img">'
+        f'<polyline fill="none" stroke="currentColor" stroke-width="1.5" '
+        f'points="{points}"/></svg>'
+    )
+
+
+@dataclass
+class RunReport:
+    """Everything :func:`collect_run` discovered under one directory."""
+
+    run_dir: str
+    title: str
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    metrics_files: List[str] = field(default_factory=list)
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    event_files: List[str] = field(default_factory=list)
+    failures: List[Dict[str, Any]] = field(default_factory=list)
+    checkpoints: List[Dict[str, Any]] = field(default_factory=list)
+    skipped_files: List[str] = field(default_factory=list)
+
+    # -- derived views --------------------------------------------------
+
+    def counters(self) -> Dict[str, float]:
+        return dict(self.metrics.snapshot()["counters"])
+
+    def gauges(self) -> Dict[str, float]:
+        return dict(self.metrics.snapshot()["gauges"])
+
+    def series(self, name: str) -> List[Any]:
+        snapshot = self.metrics.snapshot()["series"]
+        return list(snapshot.get(name, []))
+
+    def convergence_rows(self) -> List[Dict[str, Any]]:
+        """Per-cell convergence verdicts, worst ESS first."""
+        rows = [
+            dict(entry)
+            for entry in self.series("diag.cells")
+            if isinstance(entry, dict)
+        ]
+
+        def _order(row: Dict[str, Any]) -> Tuple[int, float]:
+            ess = row.get("ess")
+            missing = ess is None or (isinstance(ess, float) and ess != ess)
+            return (0 if missing else 1, ess if not missing else 0.0)
+
+        rows.sort(key=_order)
+        return rows
+
+    def throughput_rows(self) -> List[Dict[str, Any]]:
+        return [
+            dict(entry)
+            for entry in self.series("engine.cells")
+            if isinstance(entry, dict)
+        ]
+
+    def event_counts(self) -> List[Tuple[str, int]]:
+        counts: Dict[str, int] = {}
+        for record in self.events:
+            name = str(record.get("event", "?"))
+            counts[name] = counts.get(name, 0) + 1
+        return sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+
+    def problems(self) -> List[Dict[str, Any]]:
+        """Warning/error events, plus convergence alarms."""
+        return [
+            record
+            for record in self.events
+            if record.get("level") in ("warning", "error")
+            or record.get("event") in ("chain.stalled",)
+        ]
+
+
+def collect_run(
+    run_dir: os.PathLike, title: Optional[str] = None
+) -> RunReport:
+    """Scan ``run_dir`` recursively and fold its obs artifacts together.
+
+    Never raises on unrecognized or malformed files — they are listed
+    in ``skipped_files`` so the report itself records what it could not
+    read (a corrupted artifact is a *finding*, not a crash).
+    """
+    root = Path(run_dir)
+    if not root.exists():
+        raise FileNotFoundError(f"run directory {root} does not exist")
+    report = RunReport(run_dir=str(root), title=title or root.name)
+    event_batches: List[List[Dict[str, Any]]] = []
+    for path in sorted(root.rglob("*")):
+        if not path.is_file():
+            continue
+        rel = str(path.relative_to(root))
+        if path.suffix == ".jsonl":
+            try:
+                event_batches.append(read_jsonl(path))
+                report.event_files.append(rel)
+            except (OSError, ValueError):  # bad encoding / malformed JSON
+                report.skipped_files.append(rel)
+            continue
+        if path.suffix != ".json":
+            continue
+        if path.name == "failures.json":
+            try:
+                payload = json.loads(path.read_text())
+                report.failures.extend(payload.get("payload", payload).get(
+                    "failures", []
+                ))
+            except (OSError, ValueError, AttributeError):
+                report.skipped_files.append(rel)
+            continue
+        if path.name.startswith("cell-"):
+            report.checkpoints.append(_checkpoint_info(path, rel, report))
+            continue
+        try:
+            registry = MetricsRegistry.load(path)
+        except (OSError, ValueError, KeyError, TypeError):
+            # Trace files, fault ledgers, saved configurations: their
+            # envelopes/schemas differ, which is how we tell them apart.
+            report.skipped_files.append(rel)
+            continue
+        report.metrics.merge(registry.snapshot())
+        report.metrics_files.append(rel)
+    report.events = merge_records(*event_batches) if event_batches else []
+    return report
+
+
+def _checkpoint_info(
+    path: Path, rel: str, report: RunReport
+) -> Dict[str, Any]:
+    """Lenient summary of one per-cell checkpoint file."""
+    info: Dict[str, Any] = {"file": rel}
+    try:
+        from repro.util.serialization import load_payload
+
+        payload = load_payload(path)
+        info["key"] = payload.get("key")
+        info["iterations"] = payload.get("iterations")
+        info["wall_time"] = payload.get("wall_time")
+    except (OSError, ValueError, KeyError):
+        info["key"] = None
+        report.skipped_files.append(rel)
+    return info
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+_SUMMARY_COUNTERS = (
+    ("engine.cells_completed", "cells completed"),
+    ("engine.steps", "chain steps"),
+    ("engine.retries", "retries"),
+    ("engine.failures", "failures"),
+    ("engine.timeouts", "timeouts"),
+    ("engine.checkpoint_hits", "checkpoint hits"),
+    ("engine.checkpoint_misses", "checkpoint misses"),
+    ("engine.checkpoint_recomputes", "checkpoint recomputes"),
+)
+
+_CONVERGENCE_COLUMNS = (
+    ("cell", "cell"),
+    ("lam", "λ"),
+    ("gamma", "γ"),
+    ("replica", "rep"),
+    ("samples", "samples"),
+    ("ess", "ESS"),
+    ("tau", "τ"),
+    ("geweke", "Geweke z"),
+    ("rhat", "R̂"),
+    ("acceptance_rate", "acc rate"),
+    ("converged", "converged"),
+)
+
+
+def _summary_rows(report: RunReport) -> List[Tuple[str, str]]:
+    counters = report.counters()
+    gauges = report.gauges()
+    rows = [("run directory", report.run_dir)]
+    for name, label in _SUMMARY_COUNTERS:
+        if name in counters:
+            rows.append((label, fmt(counters[name])))
+    if "engine.wall_seconds" in gauges:
+        rows.append(("engine wall time (s)", fmt(gauges["engine.wall_seconds"])))
+    throughput = _clean(
+        [row.get("steps_per_sec") for row in report.throughput_rows()]
+    )
+    if throughput:
+        rows.append(
+            (
+                "cell throughput (steps/s, mean)",
+                fmt(sum(throughput) / len(throughput)),
+            )
+        )
+    if report.failures:
+        rows.append(("quarantined cells", fmt(len(report.failures))))
+    if report.checkpoints:
+        rows.append(("checkpoint files", fmt(len(report.checkpoints))))
+    if report.events:
+        rows.append(("log events", fmt(len(report.events))))
+    return rows
+
+
+def _verdict_line(report: RunReport) -> str:
+    rows = report.convergence_rows()
+    if not rows:
+        return (
+            "No convergence diagnostics recorded "
+            "(run with --diag-every to enable them)."
+        )
+    low = [r for r in rows if _is_low_ess(r)]
+    stalled = [r for r in rows if r.get("stalled")]
+    converged = [r for r in rows if r.get("converged")]
+    parts = [
+        f"{len(converged)}/{len(rows)} cells converged",
+        f"{len(low)} below the ESS threshold",
+        f"{len(stalled)} stalled",
+    ]
+    return "; ".join(parts) + "."
+
+
+def _is_low_ess(row: Dict[str, Any]) -> bool:
+    ess = row.get("ess")
+    floor = row.get("ess_min")
+    if ess is None or not isinstance(ess, (int, float)) or ess != ess:
+        return True
+    if not isinstance(floor, (int, float)) or floor != floor:
+        return False
+    return ess < floor
+
+
+def render_markdown(report: RunReport) -> str:
+    """The report as a single markdown document."""
+    lines: List[str] = [f"# Run report: {report.title}", ""]
+    lines += ["## Summary", ""]
+    for label, value in _summary_rows(report):
+        lines.append(f"- **{label}**: {value}")
+    lines += ["", "## Convergence", "", _verdict_line(report), ""]
+    conv = report.convergence_rows()
+    if conv:
+        headers = [label for _, label in _CONVERGENCE_COLUMNS] + ["flags"]
+        lines.append("| " + " | ".join(headers) + " |")
+        lines.append("|" + "---|" * len(headers))
+        for row in conv:
+            cells = [fmt(row.get(key)) for key, _ in _CONVERGENCE_COLUMNS]
+            flags = []
+            if _is_low_ess(row):
+                flags.append("LOW ESS")
+            if row.get("stalled"):
+                flags.append("STALLED")
+            cells.append(", ".join(flags) or "-")
+            lines.append("| " + " | ".join(cells) + " |")
+        lines.append("")
+    throughput = report.throughput_rows()
+    lines += ["## Throughput", ""]
+    if throughput:
+        rates = [row.get("steps_per_sec") for row in throughput]
+        walls = [row.get("wall_time") for row in throughput]
+        spark = sparkline(rates)
+        if spark:
+            lines.append(f"steps/sec per cell: `{spark}`")
+            lines.append("")
+        lines.append("| cell | iterations | wall (s) | steps/s |")
+        lines.append("|---|---|---|---|")
+        for row, rate, wall in zip(throughput, rates, walls):
+            lines.append(
+                f"| {fmt(row.get('cell'))} | {fmt(row.get('iterations'))} "
+                f"| {fmt(wall)} | {fmt(rate)} |"
+            )
+        lines.append("")
+    else:
+        lines += ["No per-cell throughput series recorded.", ""]
+    lines += ["## Failures", ""]
+    if report.failures:
+        lines.append("| cell | kind | attempts | error |")
+        lines.append("|---|---|---|---|")
+        for failure in report.failures:
+            error = str(failure.get("error", ""))[:120].replace("|", "\\|")
+            lines.append(
+                f"| {fmt(failure.get('key'))} | {fmt(failure.get('kind'))} "
+                f"| {fmt(failure.get('attempts'))} | {error} |"
+            )
+        lines.append("")
+    else:
+        lines += ["No quarantined cells.", ""]
+    lines += ["## Events", ""]
+    counts = report.event_counts()
+    if counts:
+        lines.append("| event | count |")
+        lines.append("|---|---|")
+        for name, count in counts:
+            lines.append(f"| {name} | {count} |")
+        lines.append("")
+        problems = report.problems()
+        if problems:
+            lines.append(f"{len(problems)} warning/error events:")
+            lines.append("")
+            for record in problems[:20]:
+                lines.append(
+                    f"- `{record.get('event')}` "
+                    f"[{record.get('level', '?')}] "
+                    f"{record.get('message', record.get('reasons', ''))}"
+                )
+            lines.append("")
+    else:
+        lines += ["No event logs found.", ""]
+    if report.skipped_files:
+        lines += ["## Skipped files", ""]
+        for rel in report.skipped_files:
+            lines.append(f"- `{rel}` (unrecognized or unreadable)")
+        lines.append("")
+    lines.append(
+        f"_Sources: {len(report.metrics_files)} metrics file(s), "
+        f"{len(report.event_files)} event log(s), "
+        f"{len(report.checkpoints)} checkpoint(s)._"
+    )
+    return "\n".join(lines) + "\n"
+
+
+_HTML_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 60rem; color: #1a202c; padding: 0 1rem; }
+h1 { border-bottom: 2px solid #2b6cb0; padding-bottom: .3rem; }
+h2 { color: #2b6cb0; margin-top: 2rem; }
+table { border-collapse: collapse; width: 100%; font-size: .9rem; }
+th, td { border: 1px solid #cbd5e0; padding: .3rem .5rem; text-align: left; }
+th { background: #ebf8ff; }
+tr.bad td { background: #fff5f5; }
+tr.good td { background: #f0fff4; }
+.spark { color: #2b6cb0; vertical-align: middle; }
+.flag { color: #c53030; font-weight: 600; }
+.ok { color: #2f855a; font-weight: 600; }
+.muted { color: #718096; font-size: .85rem; }
+code { background: #edf2f7; padding: .1rem .3rem; border-radius: 3px; }
+"""
+
+
+def _esc(value: Any) -> str:
+    return _html.escape(fmt(value))
+
+
+def render_html(report: RunReport) -> str:
+    """The report as one self-contained HTML document (inline CSS/SVG)."""
+    out: List[str] = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>Run report: {_html.escape(report.title)}</title>",
+        f"<style>{_HTML_CSS}</style></head><body>",
+        f"<h1>Run report: {_html.escape(report.title)}</h1>",
+        "<h2>Summary</h2><table>",
+    ]
+    for label, value in _summary_rows(report):
+        out.append(
+            f"<tr><th>{_html.escape(label)}</th>"
+            f"<td>{_html.escape(value)}</td></tr>"
+        )
+    out.append("</table>")
+
+    out.append("<h2>Convergence</h2>")
+    out.append(f"<p>{_html.escape(_verdict_line(report))}</p>")
+    conv = report.convergence_rows()
+    if conv:
+        out.append("<table><tr>")
+        for _, label in _CONVERGENCE_COLUMNS:
+            out.append(f"<th>{_html.escape(label)}</th>")
+        out.append("<th>flags</th></tr>")
+        for row in conv:
+            low = _is_low_ess(row)
+            stalled = bool(row.get("stalled"))
+            cls = "bad" if (low or stalled) else (
+                "good" if row.get("converged") else ""
+            )
+            out.append(f'<tr class="{cls}">')
+            for key, _ in _CONVERGENCE_COLUMNS:
+                out.append(f"<td>{_esc(row.get(key))}</td>")
+            flags = []
+            if low:
+                flags.append('<span class="flag">LOW ESS</span>')
+            if stalled:
+                flags.append('<span class="flag">STALLED</span>')
+            out.append(
+                "<td>" + (" ".join(flags) or '<span class="ok">ok</span>')
+                + "</td></tr>"
+            )
+        out.append("</table>")
+    samples = [
+        entry for entry in report.series("diag.samples")
+        if isinstance(entry, dict)
+    ]
+    if samples:
+        by_label: Dict[str, List[Dict[str, Any]]] = {}
+        for entry in samples:
+            by_label.setdefault(str(entry.get("label", "?")), []).append(entry)
+        out.append("<h3>Sampled observables</h3><table>")
+        out.append(
+            "<tr><th>cell</th><th>hetero edges</th><th>total edges</th></tr>"
+        )
+        for label, entries in sorted(by_label.items()):
+            het = sparkline_svg([e.get("hetero") for e in entries])
+            edges = sparkline_svg([e.get("edges") for e in entries])
+            out.append(
+                f"<tr><td>{_html.escape(label)}</td>"
+                f"<td>{het}</td><td>{edges}</td></tr>"
+            )
+        out.append("</table>")
+
+    out.append("<h2>Throughput</h2>")
+    throughput = report.throughput_rows()
+    if throughput:
+        rates = [row.get("steps_per_sec") for row in throughput]
+        svg = sparkline_svg(rates, width=480, height=48)
+        if svg:
+            out.append(f"<p>steps/sec per completed cell: {svg}</p>")
+        out.append(
+            "<table><tr><th>cell</th><th>iterations</th>"
+            "<th>wall (s)</th><th>steps/s</th><th>resumed</th></tr>"
+        )
+        for row in throughput:
+            out.append(
+                f"<tr><td>{_esc(row.get('cell'))}</td>"
+                f"<td>{_esc(row.get('iterations'))}</td>"
+                f"<td>{_esc(row.get('wall_time'))}</td>"
+                f"<td>{_esc(row.get('steps_per_sec'))}</td>"
+                f"<td>{_esc(bool(row.get('from_checkpoint')))}</td></tr>"
+            )
+        out.append("</table>")
+    else:
+        out.append("<p>No per-cell throughput series recorded.</p>")
+
+    out.append("<h2>Failures</h2>")
+    if report.failures:
+        out.append(
+            "<table><tr><th>cell</th><th>kind</th>"
+            "<th>attempts</th><th>error</th></tr>"
+        )
+        for failure in report.failures:
+            out.append(
+                f'<tr class="bad"><td>{_esc(failure.get("key"))}</td>'
+                f"<td>{_esc(failure.get('kind'))}</td>"
+                f"<td>{_esc(failure.get('attempts'))}</td>"
+                f"<td>{_html.escape(str(failure.get('error', ''))[:200])}"
+                "</td></tr>"
+            )
+        out.append("</table>")
+    else:
+        out.append("<p>No quarantined cells.</p>")
+
+    out.append("<h2>Events</h2>")
+    counts = report.event_counts()
+    if counts:
+        out.append("<table><tr><th>event</th><th>count</th></tr>")
+        for name, count in counts:
+            out.append(
+                f"<tr><td><code>{_html.escape(name)}</code></td>"
+                f"<td>{count}</td></tr>"
+            )
+        out.append("</table>")
+        problems = report.problems()
+        if problems:
+            out.append(f"<p>{len(problems)} warning/error events:</p><ul>")
+            for record in problems[:20]:
+                detail = record.get("message", record.get("reasons", ""))
+                out.append(
+                    f"<li><code>{_html.escape(str(record.get('event')))}</code> "
+                    f"[{_html.escape(str(record.get('level', '?')))}] "
+                    f"{_html.escape(str(detail))}</li>"
+                )
+            out.append("</ul>")
+    else:
+        out.append("<p>No event logs found.</p>")
+
+    if report.skipped_files:
+        out.append("<h2>Skipped files</h2><ul>")
+        for rel in report.skipped_files:
+            out.append(f"<li><code>{_html.escape(rel)}</code></li>")
+        out.append("</ul>")
+    out.append(
+        f'<p class="muted">Sources: {len(report.metrics_files)} metrics '
+        f"file(s), {len(report.event_files)} event log(s), "
+        f"{len(report.checkpoints)} checkpoint(s).</p>"
+    )
+    out.append("</body></html>")
+    return "\n".join(out) + "\n"
+
+
+def write_report(
+    run_dir: os.PathLike,
+    out_dir: Optional[os.PathLike] = None,
+    title: Optional[str] = None,
+) -> Tuple[Path, Path]:
+    """Collect ``run_dir`` and write ``report.md`` + ``report.html``.
+
+    Returns the two paths (markdown first).  ``out_dir`` defaults to
+    the run directory itself.
+    """
+    report = collect_run(run_dir, title=title)
+    target = Path(out_dir) if out_dir is not None else Path(run_dir)
+    target.mkdir(parents=True, exist_ok=True)
+    md_path = target / "report.md"
+    html_path = target / "report.html"
+    md_path.write_text(render_markdown(report), encoding="utf-8")
+    html_path.write_text(render_html(report), encoding="utf-8")
+    return md_path, html_path

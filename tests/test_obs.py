@@ -192,6 +192,47 @@ class TestMetricsRegistry:
         assert snapshot["histograms"]["t"]["count"] == 2
         assert snapshot["series"]["cells"] == ["a", "b"]  # concat
 
+    def test_series_extend_is_ordered_concat(self):
+        series = MetricsRegistry().series("s")
+        series.append({"i": 0})
+        series.extend([{"i": 1}, {"i": 2}])
+        assert [e["i"] for e in series.entries] == [0, 1, 2]
+
+    def test_merge_series_of_differing_lengths(self):
+        """Series collisions: ordered concat, no alignment or truncation.
+
+        The combined order is determined purely by the sequence of
+        merge calls — existing entries keep their positions, each
+        snapshot's entries follow in their recorded order.
+        """
+        parent = MetricsRegistry()
+        parent.series("diag.samples").append("p0")
+
+        short = MetricsRegistry()
+        short.series("diag.samples").append("s0")
+        long = MetricsRegistry()
+        for i in range(3):
+            long.series("diag.samples").append(f"l{i}")
+
+        parent.merge(long.snapshot())
+        parent.merge(short.snapshot())
+        assert parent.snapshot()["series"]["diag.samples"] == [
+            "p0", "l0", "l1", "l2", "s0",
+        ]
+        # Deterministic: replaying the same merge order reproduces it.
+        replay = MetricsRegistry()
+        replay.series("diag.samples").append("p0")
+        replay.merge(long.snapshot())
+        replay.merge(short.snapshot())
+        assert replay.snapshot() == parent.snapshot()
+
+    def test_merge_series_new_name_created(self):
+        parent = MetricsRegistry()
+        worker = MetricsRegistry()
+        worker.series("only.worker").append(1)
+        parent.merge(worker.snapshot())
+        assert parent.snapshot()["series"]["only.worker"] == [1]
+
     def test_merge_rejects_mismatched_buckets(self):
         parent = MetricsRegistry()
         parent.histogram("t", [1.0, 2.0])
@@ -369,8 +410,14 @@ class TestInstrumentation:
     def test_worker_flags(self):
         obs = Instrumentation(metrics=MetricsRegistry(), profile=True)
         assert obs.worker_flags() == {
-            "events": False, "metrics": True, "trace": False, "profile": True,
+            "events": False, "metrics": True, "trace": False,
+            "profile": True, "diag_every": 0,
         }
+
+    def test_diag_every_alone_enables_and_rides_worker_flags(self):
+        obs = Instrumentation(diag_every=500)
+        assert obs.enabled()
+        assert obs.worker_flags()["diag_every"] == 500
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,518 @@
+"""Tests for the streaming convergence diagnostics.
+
+Two pillars: (1) every streaming estimator is pinned against its direct
+NumPy reference on recorded trajectories, (2) attaching diagnostics at
+any ``diag_every`` stride leaves trajectories — and the final RNG
+state — bit-identical on the grid, dict, and batch kernels.
+"""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.separation_chain import SeparationChain
+from repro.obs import JsonLogger, MetricsRegistry
+from repro.obs.convergence import (
+    BatchMeans,
+    ChainDiagnostics,
+    DiagnosticsConfig,
+    ReplicaSetDiagnostics,
+    RunningMoments,
+    StreamDiagnostics,
+    WindowedAutocorrelation,
+    aggregate_summaries,
+    offline_autocorrelation,
+    offline_batch_means,
+    offline_ess,
+    offline_geweke,
+    split_rhat,
+)
+from repro.system.initializers import hexagon_system
+
+
+def ar1_series(n, phi=0.8, seed=7):
+    """A correlated synthetic trajectory (AR(1) noise)."""
+    rng = random.Random(seed)
+    xs, x = [], 0.0
+    for _ in range(n):
+        x = phi * x + rng.gauss(0.0, 1.0)
+        xs.append(x)
+    return xs
+
+
+def chain_trajectory(steps=6000, every=20, seed=3):
+    """A real chain's (edges, hetero) samples every ``every`` steps."""
+    chain = SeparationChain(
+        hexagon_system(60, seed=seed), lam=3.0, gamma=2.0, seed=seed
+    )
+    edges, hetero = [], []
+    for _ in range(steps // every):
+        chain.run(every)
+        edges.append(float(chain.system.edge_total))
+        hetero.append(float(chain.system.hetero_total))
+    return edges, hetero
+
+
+# ---------------------------------------------------------------------------
+# Streaming estimators vs direct NumPy references
+
+
+class TestRunningMoments:
+    def test_matches_numpy_population_moments(self):
+        xs = ar1_series(500)
+        moments = RunningMoments()
+        for x in xs:
+            moments.push(x)
+        assert moments.count == len(xs)
+        assert moments.mean == pytest.approx(np.mean(xs))
+        assert moments.variance == pytest.approx(np.var(xs))
+
+    def test_nan_before_first_sample(self):
+        assert math.isnan(RunningMoments().variance)
+
+
+class TestWindowedAutocorrelation:
+    @pytest.mark.parametrize("maxlag", [1, 5, 32])
+    def test_matches_offline_reference(self, maxlag):
+        xs = ar1_series(400)
+        moments = RunningMoments()
+        autocorr = WindowedAutocorrelation(maxlag)
+        for x in xs:
+            moments.push(x)
+            autocorr.push(x)
+        reference = offline_autocorrelation(xs, maxlag)
+        for lag in range(1, maxlag + 1):
+            assert autocorr.rho(
+                lag, moments.mean, moments.variance
+            ) == pytest.approx(reference[lag - 1], rel=1e-9, abs=1e-12)
+
+    def test_on_recorded_chain_trajectory(self):
+        edges, hetero = chain_trajectory()
+        for xs in (edges, hetero):
+            moments = RunningMoments()
+            autocorr = WindowedAutocorrelation(16)
+            for x in xs:
+                moments.push(x)
+                autocorr.push(x)
+            reference = offline_autocorrelation(xs, 16)
+            for lag in (1, 4, 16):
+                assert autocorr.rho(
+                    lag, moments.mean, moments.variance
+                ) == pytest.approx(reference[lag - 1], rel=1e-9, abs=1e-12)
+
+    def test_tau_positive_for_correlated_series(self):
+        xs = ar1_series(2000, phi=0.9)
+        moments = RunningMoments()
+        autocorr = WindowedAutocorrelation(32)
+        for x in xs:
+            moments.push(x)
+            autocorr.push(x)
+        tau = autocorr.tau(moments.mean, moments.variance)
+        assert tau > 3.0  # AR(1) with phi=0.9 has tau ~ 19
+
+    def test_nan_when_unestimable(self):
+        autocorr = WindowedAutocorrelation(4)
+        autocorr.push(1.0)
+        assert math.isnan(autocorr.rho(1, 1.0, 0.0))  # zero variance
+        assert math.isnan(autocorr.rho(2, 0.0, 1.0))  # too few pairs
+
+
+class TestBatchMeans:
+    @pytest.mark.parametrize("n", [3, 64, 200, 1000])
+    def test_collapse_matches_offline_batches(self, n):
+        xs = ar1_series(n, seed=n)
+        batches = BatchMeans(capacity=8)
+        for x in xs:
+            batches.push(x)
+        reference = offline_batch_means(xs, batches.batch_size)
+        assert batches.means == pytest.approx(reference)
+        assert batches.used == len(batches.means) * batches.batch_size
+        assert len(xs) - batches.used < batches.batch_size
+
+    def test_memory_stays_bounded(self):
+        batches = BatchMeans(capacity=8)
+        for x in ar1_series(10_000):
+            batches.push(x)
+        assert len(batches.means) < 8
+
+    def test_rejects_odd_or_tiny_capacity(self):
+        with pytest.raises(ValueError):
+            BatchMeans(capacity=7)
+        with pytest.raises(ValueError):
+            BatchMeans(capacity=2)
+
+
+class TestEssAndGeweke:
+    def test_stream_ess_matches_offline(self):
+        xs = ar1_series(777, phi=0.6)
+        config = DiagnosticsConfig(stride=1, batch_capacity=16)
+        stream = StreamDiagnostics(config)
+        for x in xs:
+            stream.push(x)
+        expected = offline_ess(
+            xs, stream.batches.batch_size, config.min_batches
+        )
+        assert stream.ess() == pytest.approx(expected, rel=1e-9)
+
+    def test_ess_much_smaller_than_n_for_correlated_data(self):
+        xs = ar1_series(4000, phi=0.95)
+        stream = StreamDiagnostics(DiagnosticsConfig(stride=1))
+        for x in xs:
+            stream.push(x)
+        assert stream.ess() < len(xs) / 4
+
+    def test_stream_geweke_matches_offline(self):
+        xs = ar1_series(600, phi=0.5, seed=11)
+        config = DiagnosticsConfig(stride=1, batch_capacity=16)
+        stream = StreamDiagnostics(config)
+        for x in xs:
+            stream.push(x)
+        expected = offline_geweke(
+            xs, stream.batches.batch_size, config.min_batches
+        )
+        assert stream.geweke() == pytest.approx(expected, rel=1e-9)
+
+    def test_on_recorded_chain_trajectory(self):
+        edges, _ = chain_trajectory()
+        config = DiagnosticsConfig(stride=1, batch_capacity=16)
+        stream = StreamDiagnostics(config)
+        for x in edges:
+            stream.push(x)
+        batch_size = stream.batches.batch_size
+        assert stream.ess() == pytest.approx(
+            offline_ess(edges, batch_size, config.min_batches), rel=1e-9
+        )
+        assert stream.geweke() == pytest.approx(
+            offline_geweke(edges, batch_size, config.min_batches), rel=1e-9
+        )
+
+    def test_constant_stream_has_zero_ess(self):
+        stream = StreamDiagnostics(DiagnosticsConfig(stride=1))
+        for _ in range(100):
+            stream.push(5.0)
+        assert stream.ess() == 0.0
+
+
+class TestSplitRhat:
+    def test_identical_chains_give_one(self):
+        xs = ar1_series(100)
+        assert split_rhat([xs, xs]) == pytest.approx(1.0, abs=0.05)
+
+    def test_divergent_chains_flagged(self):
+        a = ar1_series(200, seed=1)
+        b = [x + 50.0 for x in ar1_series(200, seed=2)]
+        assert split_rhat([a, b]) > 1.5
+
+    def test_within_chain_drift_flagged(self):
+        # A strong trend inside one chain inflates between-half variance.
+        drifting = [i * 1.0 for i in range(100)]
+        assert split_rhat([drifting]) > 1.5
+
+    def test_nan_until_enough_samples(self):
+        assert math.isnan(split_rhat([[1.0, 2.0, 3.0]]))
+        assert math.isnan(split_rhat([]))
+
+    def test_constant_chains(self):
+        assert split_rhat([[2.0] * 10, [2.0] * 10]) == 1.0
+        assert split_rhat([[1.0] * 10, [9.0] * 10]) == math.inf
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"stride": 0},
+            {"verdict_every": 0},
+            {"maxlag": 0},
+            {"batch_capacity": 5},
+            {"batch_capacity": 2},
+            {"min_batches": 1},
+            {"stall_window": 1},
+        ],
+    )
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            DiagnosticsConfig(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Bit-identity: diagnostics must not perturb trajectories or the RNG
+
+
+def _fingerprint(chain):
+    return (
+        list(chain.system.colors.items()),  # values AND insertion order
+        chain.system.edge_total,
+        chain.system.hetero_total,
+        chain.accepted_moves,
+        chain.accepted_swaps,
+        chain.iterations,
+    )
+
+
+def _make_chain(backend, seed=5):
+    return SeparationChain(
+        hexagon_system(80, seed=seed),
+        lam=4.0,
+        gamma=4.0,
+        seed=seed,
+        backend=backend,
+    )
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("backend", ["auto", "grid", "dict"])
+    @pytest.mark.parametrize("stride", [7, 333, 1000, 50_000])
+    def test_scalar_kernels_and_rng_state(self, backend, stride):
+        plain = _make_chain(backend)
+        diagnosed = _make_chain(backend)
+        diagnosed.instrument(
+            diagnostics=ChainDiagnostics(DiagnosticsConfig(stride=stride))
+        )
+        plain.run(20_000)
+        diagnosed.run(20_000)
+        assert _fingerprint(plain) == _fingerprint(diagnosed)
+        # The strongest check: identical Mersenne state means the two
+        # runs drew exactly the same randoms in the same order, so any
+        # continuation also stays identical.
+        assert plain.rng.getstate() == diagnosed.rng.getstate()
+
+    def test_batch_kernel_and_rng_state(self):
+        plain = _make_chain("batch")
+        diagnosed = _make_chain("batch")
+        diagnosed.instrument(
+            diagnostics=ChainDiagnostics(DiagnosticsConfig(stride=500))
+        )
+        plain.run(30_000)
+        diagnosed.run(30_000)
+        assert _fingerprint(plain) == _fingerprint(diagnosed)
+        states_plain = [
+            g.bit_generator.state for g in plain._batch_kernel.gens
+        ]
+        states_diag = [
+            g.bit_generator.state for g in diagnosed._batch_kernel.gens
+        ]
+        assert states_plain == states_diag
+
+    def test_identity_across_multiple_run_calls(self):
+        plain = _make_chain("auto")
+        diagnosed = _make_chain("auto")
+        diagnosed.instrument(
+            diagnostics=ChainDiagnostics(DiagnosticsConfig(stride=250))
+        )
+        for steps in (1234, 766, 3000, 11_000):
+            plain.run(steps)
+            diagnosed.run(steps)
+        assert _fingerprint(plain) == _fingerprint(diagnosed)
+        assert plain.rng.getstate() == diagnosed.rng.getstate()
+
+    def test_diagnostics_actually_sampled(self):
+        diagnosed = _make_chain("grid")
+        diag = ChainDiagnostics(DiagnosticsConfig(stride=1000))
+        diagnosed.instrument(diagnostics=diag)
+        diagnosed.run(20_000)
+        assert diag.samples == 20
+        assert diag.iteration == 20_000
+
+
+# ---------------------------------------------------------------------------
+# Chain-level behavior: sampling, verdicts, stall detection, sinks
+
+
+class TestChainDiagnostics:
+    def test_steps_until_tick(self):
+        diag = ChainDiagnostics(DiagnosticsConfig(stride=100))
+        assert diag.steps_until_tick(0) == 100
+        assert diag.steps_until_tick(70) == 30
+        assert diag.steps_until_tick(100) == 100
+
+    def test_summary_shape(self):
+        diag = ChainDiagnostics(DiagnosticsConfig(stride=10))
+        for i in range(1, 50):
+            diag.maybe_record(i * 10, 100 + i, 40 - i % 5, i * 3)
+        summary = diag.summary()
+        for key in (
+            "samples", "ess", "tau", "geweke", "rhat", "acceptance_rate",
+            "stalled", "converged", "reasons", "ess_min", "streams",
+        ):
+            assert key in summary
+        assert summary["samples"] == 49
+        assert summary["rhat"] is None  # single chain: no cross-replica R
+        assert set(summary["streams"]) == {"edges", "hetero"}
+
+    def test_stall_on_flat_observables(self):
+        config = DiagnosticsConfig(stride=10, stall_window=4)
+        diag = ChainDiagnostics(config)
+        for i in range(1, 10):
+            diag.maybe_record(i * 10, 100.0, 40.0, i)  # frozen energy
+        summary = diag.summary()
+        assert summary["stalled"]
+        assert any("flat" in reason for reason in summary["reasons"])
+        assert not summary["converged"]
+
+    def test_stall_on_acceptance_collapse(self):
+        config = DiagnosticsConfig(
+            stride=10, stall_window=4, acceptance_floor=0.05
+        )
+        diag = ChainDiagnostics(config)
+        for i in range(1, 10):
+            # accepted counter frozen -> windowed acceptance rate 0.
+            diag.maybe_record(i * 10, 100 + i, 40 - i, 500)
+        summary = diag.summary()
+        assert summary["stalled"]
+        assert any("acceptance" in r for r in summary["reasons"])
+
+    def test_no_stall_on_moving_chain(self):
+        config = DiagnosticsConfig(stride=10, stall_window=4)
+        diag = ChainDiagnostics(config)
+        for i in range(1, 10):
+            diag.maybe_record(i * 10, 100 + i, 40 - i, i * 5)
+        assert not diag.summary()["stalled"]
+
+    def test_events_and_metrics_published(self):
+        logger = JsonLogger.collecting(level="debug")
+        metrics = MetricsRegistry()
+        config = DiagnosticsConfig(stride=10, stall_window=4)
+        diag = ChainDiagnostics(config, metrics=metrics, logger=logger)
+        for i in range(1, 10):
+            diag.maybe_record(i * 10, 100.0, 40.0, i)
+        events = [r["event"] for r in logger.records]
+        assert events.count("chain.stalled") == 1  # transition, not per tick
+        snapshot = metrics.snapshot()
+        assert len(snapshot["series"]["diag.samples"]) == 9
+        # tau is NaN on a constant stream and NaN gauges are skipped.
+        assert snapshot["gauges"]["diag.ess"] == 0.0
+        assert "diag.tau" not in snapshot["gauges"]
+
+    def test_verdict_cadence_amortizes_gauge_updates(self):
+        """Gauges/events follow ``verdict_every``; the series does not."""
+        metrics = MetricsRegistry()
+        config = DiagnosticsConfig(stride=10, verdict_every=4)
+        diag = ChainDiagnostics(config, metrics=metrics)
+        for i in range(1, 4):  # 3 samples: cadence not yet reached
+            diag.maybe_record(i * 10, 100 + i, 40 - i, i * 5)
+        snapshot = metrics.snapshot()
+        assert len(snapshot["series"]["diag.samples"]) == 3
+        assert "diag.acceptance_rate" not in snapshot["gauges"]
+        diag.maybe_record(40, 104.0, 36.0, 20)  # 4th sample: verdict due
+        assert "diag.acceptance_rate" in metrics.snapshot()["gauges"]
+
+    def test_verdict_every_one_publishes_per_sample(self):
+        metrics = MetricsRegistry()
+        config = DiagnosticsConfig(stride=10, verdict_every=1)
+        diag = ChainDiagnostics(config, metrics=metrics)
+        diag.maybe_record(10, 100.0, 40.0, 5)
+        assert "diag.acceptance_rate" in metrics.snapshot()["gauges"]
+
+    def test_converged_event_on_convergent_stream(self):
+        logger = JsonLogger.collecting(level="debug")
+        rng = random.Random(0)
+        diag = ChainDiagnostics(
+            DiagnosticsConfig(stride=1, ess_min=50.0, batch_capacity=16),
+            logger=logger,
+        )
+        for i in range(1, 2000):
+            diag.maybe_record(
+                i, rng.gauss(100, 5), rng.gauss(40, 3), int(i * 0.4)
+            )
+        assert diag.summary()["converged"]
+        assert "chain.converged" in [r["event"] for r in logger.records]
+
+
+class TestReplicaSetDiagnostics:
+    def test_cross_replica_rhat_detects_divergence(self):
+        rng = random.Random(1)
+        diag = ReplicaSetDiagnostics(
+            2, DiagnosticsConfig(stride=1, batch_capacity=16)
+        )
+        for i in range(1, 600):
+            # Replica 1 orbits a different mean: R-hat must blow up.
+            diag.maybe_record(
+                i,
+                [rng.gauss(100, 2), rng.gauss(160, 2)],
+                [rng.gauss(40, 2), rng.gauss(80, 2)],
+                [int(i * 0.4), int(i * 0.4)],
+            )
+        assert diag.rhat() > 1.5
+        summary = diag.summary()
+        assert summary["rhat"] > 1.5
+        assert not summary["converged"]
+
+    def test_agreeing_replicas_pass(self):
+        rng = random.Random(2)
+        diag = ReplicaSetDiagnostics(
+            3, DiagnosticsConfig(stride=1, ess_min=50.0, batch_capacity=16)
+        )
+        for i in range(1, 2000):
+            diag.maybe_record(
+                i,
+                [rng.gauss(100, 5) for _ in range(3)],
+                [rng.gauss(40, 3) for _ in range(3)],
+                [int(i * 0.4)] * 3,
+            )
+        summary = diag.summary()
+        assert summary["rhat"] == pytest.approx(1.0, abs=0.15)
+        assert summary["converged"]
+
+    def test_member_summary_carries_shared_rhat(self):
+        rng = random.Random(3)
+        diag = ReplicaSetDiagnostics(
+            2, DiagnosticsConfig(stride=1, batch_capacity=16)
+        )
+        for i in range(1, 400):
+            diag.maybe_record(
+                i,
+                [rng.gauss(100, 2), rng.gauss(101, 2)],
+                [rng.gauss(40, 2), rng.gauss(41, 2)],
+                [i, i],
+            )
+        member = diag.member_summary(1)
+        assert member["replica"] == 1
+        assert member["replicas"] == 2
+        assert member["rhat"] == diag.summary()["rhat"]
+        with pytest.raises(ValueError):
+            diag.member_summary(5)
+
+    def test_rejects_bad_replica_count(self):
+        with pytest.raises(ValueError):
+            ReplicaSetDiagnostics(0)
+
+
+class TestAggregateSummaries:
+    def test_none_and_empty(self):
+        assert aggregate_summaries([]) is None
+        assert aggregate_summaries([None, None]) is None
+
+    def test_worst_cell_folding(self):
+        cells = [
+            {"ess": 300.0, "rhat": 1.01, "geweke": -0.5, "stalled": False,
+             "converged": True, "ess_min": 100.0},
+            {"ess": 40.0, "rhat": 1.4, "geweke": 2.5, "stalled": True,
+             "converged": False, "ess_min": 100.0},
+        ]
+        folded = aggregate_summaries(cells)
+        assert folded["cells"] == 2
+        assert folded["min_ess"] == 40.0
+        assert folded["max_rhat"] == 1.4
+        assert folded["max_abs_geweke"] == 2.5
+        assert folded["stalled_cells"] == 1
+        assert not folded["converged"]
+        assert folded["low_ess"]
+
+    def test_all_good_cells(self):
+        cells = [
+            {"ess": 300.0, "rhat": None, "geweke": 0.5, "stalled": False,
+             "converged": True, "ess_min": 100.0},
+        ] * 2
+        folded = aggregate_summaries(cells)
+        assert folded["converged"]
+        assert not folded["low_ess"]
+
+    def test_missing_ess_flags_low(self):
+        folded = aggregate_summaries(
+            [{"ess": None, "converged": False, "ess_min": 100.0}]
+        )
+        assert folded["low_ess"]
+        assert folded["min_ess"] is None

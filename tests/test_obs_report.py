@@ -1,0 +1,264 @@
+"""Tests for the consolidated run-report generator (``repro report``).
+
+The reports are generated from *real* sweep runs — including one with
+quarantined cells — and checked for the conventions the subsystem
+promises: ``n/a`` (never ``nan``) for missing values, self-contained
+HTML, and tolerant artifact discovery.
+"""
+
+import json
+from html.parser import HTMLParser
+
+import pytest
+
+from repro.analysis.compression_metric import alpha_of
+from repro.experiments.resilience import FailurePolicy, RetryPolicy
+from repro.experiments.sweep import grid, run_sweep
+from repro.obs import Instrumentation, JsonLogger, MetricsRegistry
+from repro.obs.metrics import METRICS_FORMAT_VERSION
+from repro.obs.report import (
+    RunReport,
+    collect_run,
+    fmt,
+    render_html,
+    render_markdown,
+    sparkline,
+    sparkline_svg,
+    write_report,
+)
+
+METRICS = {
+    "alpha": alpha_of,
+    "hetero_density": lambda s: (
+        s.hetero_total / s.edge_total if s.edge_total else 0.0
+    ),
+}
+
+
+def _run_sweep_dir(tmp_path, fault_spec=None, failure=None, retry=None):
+    """A real instrumented sweep leaving artifacts under tmp_path."""
+    metrics = MetricsRegistry()
+    logger = JsonLogger.open(tmp_path / "run.jsonl")
+    obs = Instrumentation(logger=logger, metrics=metrics, diag_every=500)
+    run_sweep(
+        grid([2.0], [1.0, 4.0]),
+        METRICS,
+        n=30,
+        iterations=5_000,
+        seed=9,
+        replicas=2,
+        obs=obs,
+        checkpoint_dir=tmp_path / "ckpt",
+        fault_spec=fault_spec,
+        failure=failure,
+        retry=retry,
+    )
+    logger.close()
+    metrics.save(tmp_path / "metrics.json")
+    return tmp_path
+
+
+@pytest.fixture(scope="module")
+def sweep_dir(tmp_path_factory):
+    return _run_sweep_dir(tmp_path_factory.mktemp("run"))
+
+
+@pytest.fixture(scope="module")
+def quarantined_dir(tmp_path_factory):
+    tmp_path = tmp_path_factory.mktemp("chaos")
+    return _run_sweep_dir(
+        tmp_path,
+        fault_spec={
+            "mode": "crash",
+            "match": "gamma=1",
+            "times": 99,
+            "dir": str(tmp_path / "ledger"),
+        },
+        failure=FailurePolicy(mode="quarantine"),
+        retry=RetryPolicy(max_retries=1, backoff_base=0.0),
+    )
+
+
+class TestFmt:
+    def test_missing_values_are_na_never_nan(self):
+        assert fmt(None) == "n/a"
+        assert fmt(float("nan")) == "n/a"
+        assert fmt(float("inf")) == "n/a"
+
+    def test_numbers(self):
+        assert fmt(8.0) == "8"
+        assert fmt(1234567) == "1,234,567"
+        assert fmt(0.456789) == "0.46"
+        assert fmt(True) == "yes"
+        assert fmt("x") == "x"
+
+
+class TestSparklines:
+    def test_unicode_sparkline(self):
+        line = sparkline([1, 2, 3, 4, 3, 2, 1])
+        assert len(line) == 7
+        assert line[0] == "▁" and line[3] == "█"
+
+    def test_handles_empty_flat_and_nan(self):
+        assert sparkline([]) == ""
+        assert sparkline([None, float("nan")]) == ""
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_downsamples_long_series(self):
+        assert len(sparkline(list(range(1000)), width=40)) == 40
+
+    def test_svg_is_inline_polyline(self):
+        svg = sparkline_svg([1.0, 3.0, 2.0])
+        assert svg.startswith("<svg") and svg.endswith("</svg>")
+        assert "polyline" in svg and "http://www.w3.org/2000/svg" in svg
+        assert sparkline_svg([]) == ""
+
+
+class TestCollectRun:
+    def test_discovers_all_artifact_kinds(self, sweep_dir):
+        report = collect_run(sweep_dir)
+        assert report.metrics_files == ["metrics.json"]
+        assert report.event_files == ["run.jsonl"]
+        assert len(report.checkpoints) == 4  # 2 cells x 2 replicas
+        assert report.counters()["engine.cells_completed"] == 4
+        assert len(report.convergence_rows()) == 4
+        assert len(report.throughput_rows()) == 4
+        assert any(
+            name == "sweep.done" for name, _ in report.event_counts()
+        )
+
+    def test_skips_foreign_json_without_crashing(self, tmp_path):
+        (tmp_path / "trace.json").write_text(
+            json.dumps({"traceEvents": [], "displayTimeUnit": "ms"})
+        )
+        (tmp_path / "broken.json").write_text("{not json")
+        (tmp_path / "bad.jsonl").write_bytes(b"\xff\xfe not utf8 jsonl")
+        report = collect_run(tmp_path)
+        assert "trace.json" in report.skipped_files
+        assert "broken.json" in report.skipped_files
+        assert report.metrics_files == []
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            collect_run(tmp_path / "nope")
+
+    def test_quarantined_run_collects_failures(self, quarantined_dir):
+        report = collect_run(quarantined_dir)
+        assert len(report.failures) == 2  # gamma=1 cell, both replicas
+        assert all(
+            "injected crash" in f["error"] for f in report.failures
+        )
+
+
+class _TagBalance(HTMLParser):
+    VOID = {"meta", "br", "hr", "img", "polyline", "input", "link"}
+
+    def __init__(self):
+        super().__init__(convert_charrefs=True)
+        self.stack, self.errors = [], []
+
+    def handle_starttag(self, tag, attrs):
+        if tag not in self.VOID:
+            self.stack.append(tag)
+
+    def handle_endtag(self, tag):
+        if tag in self.VOID:
+            return
+        if not self.stack or self.stack[-1] != tag:
+            self.errors.append(tag)
+        else:
+            self.stack.pop()
+
+
+class TestRendering:
+    def test_markdown_from_real_sweep(self, sweep_dir):
+        text = render_markdown(collect_run(sweep_dir, title="smoke"))
+        assert text.startswith("# Run report: smoke")
+        for section in (
+            "## Summary", "## Convergence", "## Throughput",
+            "## Failures", "## Events",
+        ):
+            assert section in text
+        assert "nan" not in text
+        assert "No quarantined cells." in text
+
+    def test_html_is_valid_and_self_contained(self, sweep_dir):
+        html = render_html(collect_run(sweep_dir))
+        parser = _TagBalance()
+        parser.feed(html)
+        assert parser.errors == [] and parser.stack == []
+        # Self-contained: inline CSS + SVG, no external fetches.
+        assert "<style>" in html and "<svg" in html
+        assert "src=" not in html and "href=" not in html
+        assert "<script" not in html
+        assert "nan" not in html.replace("xmlns", "")
+
+    def test_quarantined_run_renders_na_not_nan(self, quarantined_dir):
+        report = collect_run(quarantined_dir)
+        md = render_markdown(report)
+        html = render_html(report)
+        assert "n/a" in md
+        assert "nan" not in md and "nan" not in html.replace("xmlns", "")
+        assert "injected crash" in md and "injected crash" in html
+        # The failure table carries the FailedCell conventions.
+        assert "| exception | 2 |" in md
+
+    def test_empty_run_dir_renders(self, tmp_path):
+        report = collect_run(tmp_path)
+        md = render_markdown(report)
+        assert "No per-cell throughput series recorded." in md
+        assert "No event logs found." in md
+        assert "--diag-every" in md  # hint when diagnostics are absent
+        parser = _TagBalance()
+        parser.feed(render_html(report))
+        assert parser.errors == [] and parser.stack == []
+
+    def test_html_escapes_artifact_content(self, tmp_path):
+        logger = JsonLogger.open(tmp_path / "run.jsonl")
+        logger.warning("<script>alert(1)</script>", message="<img>")
+        logger.close()
+        html = render_html(collect_run(tmp_path))
+        assert "<script>alert" not in html
+        assert "&lt;script&gt;" in html
+
+
+class TestWriteReport:
+    def test_writes_both_files(self, sweep_dir, tmp_path):
+        md_path, html_path = write_report(sweep_dir, out_dir=tmp_path)
+        assert md_path.name == "report.md" and md_path.exists()
+        assert html_path.name == "report.html" and html_path.exists()
+        assert md_path.read_text(encoding="utf-8").startswith("# Run report")
+
+    def test_report_files_do_not_recurse(self, tmp_path):
+        # Writing into the run dir must not poison a later re-collect.
+        _run_sweep_dir(tmp_path)
+        write_report(tmp_path)
+        report = collect_run(tmp_path)
+        assert "report.html" not in report.metrics_files
+        assert "report.md" not in report.event_files
+
+
+class TestConvergenceRows:
+    def test_rows_sorted_worst_first(self):
+        report = RunReport(run_dir=".", title="t")
+        report.metrics.series("diag.cells").append(
+            {"cell": "good", "ess": 500.0, "ess_min": 100.0}
+        )
+        report.metrics.series("diag.cells").append(
+            {"cell": "bad", "ess": 3.0, "ess_min": 100.0}
+        )
+        report.metrics.series("diag.cells").append(
+            {"cell": "unknown", "ess": None, "ess_min": 100.0}
+        )
+        rows = report.convergence_rows()
+        assert [r["cell"] for r in rows] == ["unknown", "bad", "good"]
+
+
+def test_metrics_version_guard(tmp_path):
+    """Future-versioned snapshots are skipped, not misread."""
+    (tmp_path / "metrics.json").write_text(
+        json.dumps({"version": METRICS_FORMAT_VERSION + 1, "counters": {}})
+    )
+    report = collect_run(tmp_path)
+    assert report.metrics_files == []
+    assert "metrics.json" in report.skipped_files
