@@ -1,0 +1,272 @@
+"""E13 — zero-copy sweep engine: codec and checkpoint throughput.
+
+Measures the binary columnar codec (:mod:`repro.util.codec`) against
+the legacy JSON path on the engine's hot shapes: a full cell checkpoint
+(final configuration plus a snapshot stack) encoded, decoded, and fully
+materialized back into ``ParticleSystem`` objects, plus the on-disk
+write/read cycle through the engine's checkpoint helpers.
+
+The guard test exports a machine-readable perf baseline,
+``benchmarks/results/BENCH_engine.json`` (versioned payload envelope;
+see ``docs/performance.md`` for the schema), and *asserts* a floor at
+n = 400 with 8 snapshots:
+
+- binary over JSON full round-trip (encode + decode + materialize):
+  at least ``REPRO_ENGINE_SPEEDUP_MIN`` (default 2.0 — chosen to
+  absorb shared-runner noise below the ~3x the columnar codec
+  delivers on quiet hardware).
+
+Like the kernel guard, the assertion uses best-of-N wall timing so it
+also runs under ``--benchmark-disable`` in CI.
+"""
+
+import os
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from conftest import RESULTS_DIR
+from repro.experiments.parallel import (
+    CellTask,
+    read_checkpoint_payload,
+    run_cell,
+    task_payload,
+    write_checkpoint_payload,
+)
+from repro.system.initializers import hexagon_system
+from repro.util import codec
+from repro.util.serialization import (
+    configuration_from_json,
+    configuration_to_json,
+    payload_from_json,
+    payload_to_json,
+    save_payload,
+)
+
+#: System sizes of the codec comparison; the guard reads n = 400.
+CODEC_SIZES = (100, 400)
+
+#: Snapshot-stack depth of the benchmark payloads (a figure-2 style
+#: sweep checkpoints several intermediate configurations per cell).
+SNAPSHOT_DEPTH = 8
+
+#: Default floor on the binary/JSON round-trip speedup at n=400
+#: (override with the ``REPRO_ENGINE_SPEEDUP_MIN`` environment
+#: variable).
+DEFAULT_ENGINE_SPEEDUP_MIN = 2.0
+
+#: Schema version of the BENCH_engine.json payload body.
+BENCH_VERSION = 1
+
+#: Round-trips per timed round / timing rounds of the guard.
+GUARD_REPS = 30
+GUARD_ROUNDS = 5
+
+
+def _git_commit() -> str:
+    """Short commit hash of the working tree, or ``"unknown"``."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        )
+        return out.stdout.strip() or "unknown"
+    except Exception:
+        return "unknown"
+
+
+def _cell_payload(system, encode):
+    """A result payload shaped like the engine's checkpoint schema."""
+    return {
+        "version": 1,
+        "key": "e" * 24,
+        "final": encode(system),
+        "snapshots": [encode(system) for _ in range(SNAPSHOT_DEPTH)],
+        "iterations": 10_000,
+        "accepted_moves": 1234,
+        "accepted_swaps": 56,
+        "wall_time": 0.5,
+    }
+
+
+def _binary_round_trip(system):
+    blob = codec.encode_checkpoint(
+        _cell_payload(system, codec.encode_configuration)
+    )
+    payload = codec.decode_checkpoint(blob)
+    codec.decode_configuration(payload["final"])
+    for snapshot in payload["snapshots"]:
+        codec.decode_configuration(snapshot)
+    return len(blob)
+
+
+def _json_round_trip(system):
+    text = payload_to_json(
+        _cell_payload(
+            system, lambda s: configuration_to_json(s, sort_nodes=False)
+        )
+    )
+    payload = payload_from_json(text)
+    configuration_from_json(payload["final"])
+    for snapshot in payload["snapshots"]:
+        configuration_from_json(snapshot)
+    return len(text.encode())
+
+
+def _seconds_per_round_trip(system, round_trip, reps=GUARD_REPS,
+                            rounds=GUARD_ROUNDS):
+    """Best-of-``rounds`` seconds per full encode+decode+materialize.
+
+    Both codecs materialize every configuration — the engine's lazy
+    snapshot decode only makes the binary side *faster* than this
+    measurement, so the guard is conservative.
+    """
+    round_trip(system)  # warm caches outside the measured region
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for _ in range(reps):
+            round_trip(system)
+        best = min(best, time.perf_counter() - start)
+    return best / reps
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark rows
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("n", CODEC_SIZES)
+def test_binary_checkpoint_round_trip(benchmark, n):
+    system = hexagon_system(n, seed=1)
+    benchmark(_binary_round_trip, system)
+
+
+@pytest.mark.parametrize("n", CODEC_SIZES)
+def test_json_checkpoint_round_trip(benchmark, n):
+    system = hexagon_system(n, seed=1)
+    benchmark(_json_round_trip, system)
+
+
+@pytest.mark.parametrize("codec_name", ("binary", "json"))
+def test_checkpoint_disk_cycle(benchmark, tmp_path, codec_name):
+    """Write-then-read through the engine's atomic checkpoint helpers."""
+    system = hexagon_system(400, seed=1)
+    encode = (
+        codec.encode_configuration
+        if codec_name == "binary"
+        else lambda s: configuration_to_json(s, sort_nodes=False)
+    )
+    payload = _cell_payload(system, encode)
+    path = tmp_path / f"cell-bench.{'bin' if codec_name == 'binary' else 'json'}"
+
+    def cycle():
+        write_checkpoint_payload(payload, path, codec_name)
+        return read_checkpoint_payload(path)
+
+    result = benchmark(cycle)
+    assert result["iterations"] == payload["iterations"]
+
+
+def test_worker_dispatch_overhead(benchmark):
+    """One short cell through ``task_payload`` + ``run_cell`` under the
+    binary transport — the per-dispatch overhead the warm-worker cache
+    and columnar payloads amortize."""
+    system = hexagon_system(100, seed=1)
+    task = CellTask(
+        lam=4.0,
+        gamma=4.0,
+        replica=0,
+        seed=7,
+        steps=200,
+        system_json=configuration_to_json(system, sort_nodes=False),
+    )
+    benchmark(lambda: run_cell(task_payload(task, codec="binary")))
+
+
+# ----------------------------------------------------------------------
+# Guard + machine-readable baseline
+# ----------------------------------------------------------------------
+
+
+def test_engine_codec_speedup_guard_and_baseline():
+    """Measure both codecs, export BENCH_engine.json, assert the floor."""
+    threshold = float(
+        os.environ.get(
+            "REPRO_ENGINE_SPEEDUP_MIN", DEFAULT_ENGINE_SPEEDUP_MIN
+        )
+    )
+    cells = []
+    speedups = {}
+    for n in CODEC_SIZES:
+        system = hexagon_system(n, seed=1)
+        binary_seconds = _seconds_per_round_trip(system, _binary_round_trip)
+        json_seconds = _seconds_per_round_trip(system, _json_round_trip)
+        binary_bytes = _binary_round_trip(system)
+        json_bytes = _json_round_trip(system)
+        cells.extend(
+            [
+                {
+                    "n": n,
+                    "codec": "binary",
+                    "snapshots": SNAPSHOT_DEPTH,
+                    "seconds_per_round_trip": binary_seconds,
+                    "checkpoint_bytes": binary_bytes,
+                },
+                {
+                    "n": n,
+                    "codec": "json",
+                    "snapshots": SNAPSHOT_DEPTH,
+                    "seconds_per_round_trip": json_seconds,
+                    "checkpoint_bytes": json_bytes,
+                },
+            ]
+        )
+        speedups[str(n)] = json_seconds / binary_seconds
+
+    payload = {
+        "benchmark": "engine_codec",
+        "version": BENCH_VERSION,
+        "snapshots": SNAPSHOT_DEPTH,
+        "reps": GUARD_REPS,
+        "rounds": GUARD_ROUNDS,
+        "timing": "best-of-rounds wall clock",
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "platform": sys.platform,
+        "git_commit": _git_commit(),
+        "cells": cells,
+        "speedups": speedups,
+        "speedup_min": threshold,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    save_payload(payload, RESULTS_DIR / "BENCH_engine.json")
+
+    table = [
+        f"n={cell['n']:>4} codec={cell['codec']:<6} "
+        f"{cell['seconds_per_round_trip'] * 1e3:>8.3f} ms/round-trip "
+        f"{cell['checkpoint_bytes']:>8,} bytes"
+        for cell in cells
+    ]
+    summary = "\n".join(
+        table
+        + [
+            f"binary/json speedup n={n}: {speedups[str(n)]:.2f}x"
+            for n in CODEC_SIZES
+        ]
+    )
+    print(f"\n=== engine_codec ===\n{summary}")
+
+    measured = speedups["400"]
+    assert measured >= threshold, (
+        f"binary codec speedup {measured:.2f}x at n=400 "
+        f"({SNAPSHOT_DEPTH} snapshots) is below the {threshold:.2f}x "
+        f"floor (REPRO_ENGINE_SPEEDUP_MIN overrides); see "
+        f"BENCH_engine.json for the full measurement"
+    )

@@ -60,6 +60,7 @@ from typing import Callable, List, Optional, Tuple
 
 from repro.analysis.compression_metric import alpha_of
 from repro.core.separation_chain import CHAIN_BACKENDS, SeparationChain
+from repro.experiments.parallel import CODECS, DEFAULT_CODEC
 from repro.experiments.phases import classify_phase
 from repro.experiments.render import render_ascii, render_svg
 from repro.obs import (
@@ -138,11 +139,20 @@ def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--checkpoint", metavar="DIR", default=None,
-        help="write one JSON checkpoint per completed cell into DIR",
+        help="write one checkpoint per completed cell into DIR "
+             "(format set by --checkpoint-codec)",
     )
     parser.add_argument(
         "--resume", action="store_true",
         help="skip cells whose checkpoints already exist in --checkpoint DIR",
+    )
+    parser.add_argument(
+        "--checkpoint-codec", choices=CODECS, default=DEFAULT_CODEC,
+        dest="checkpoint_codec",
+        help="worker transport and checkpoint format: 'binary' = packed "
+             "columnar blobs (cell-<key>.bin, default), 'json' = legacy "
+             "text files; resume reads either format and trajectories "
+             "are bit-identical across codecs (see docs/performance.md)",
     )
     parser.add_argument(
         "--replicas-per-task", type=nonnegative_int, default=0,
@@ -295,6 +305,7 @@ def _parallel_kwargs(args: argparse.Namespace) -> dict:
         "resume": args.resume,
         "kernel": getattr(args, "kernel", "auto"),
         "replicas_per_task": getattr(args, "replicas_per_task", 0),
+        "codec": getattr(args, "checkpoint_codec", DEFAULT_CODEC),
         "retry": RetryPolicy(
             max_retries=getattr(args, "max_retries", 0),
             task_timeout=getattr(args, "task_timeout", None),

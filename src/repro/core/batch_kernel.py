@@ -486,6 +486,34 @@ class BatchKernel:
             colors[(x, y)] = int(self.arena[g]) - 1
         return ParticleSystem(colors, num_colors=self.k)
 
+    def export_columns(self, replica: int):
+        """One replica's state as packed columns, counters included.
+
+        Returns ``(x, y, colors, num_colors, edge_total,
+        hetero_total)`` with coordinate and color arrays in the same
+        particle order :meth:`export_system` would use for its node
+        dict — ready for :func:`repro.util.codec.encode_columns`
+        without materializing a Python dict (the vectorized fast path
+        the binary sweep transport rides on).  Counters come from the
+        kernel's incremental ``edge``/``het`` arrays, which the fuzz
+        tests cross-check against from-scratch recounts.
+        """
+        self._check_replica(replica)
+        W, A, ox, oy = self.W, self.A, self.ox, self.oy
+        gp = self.gpos.reshape(self.R, self.n)[replica]
+        local = gp - replica * A
+        x = local % W + ox
+        y = local // W + oy
+        colors = self.arena[gp].astype(np.int64) - 1
+        return (
+            x,
+            y,
+            colors,
+            self.k,
+            int(self.edge[replica]),
+            int(self.het[replica]),
+        )
+
     def _check_replica(self, replica: int) -> None:
         if not 0 <= replica < self.R:
             raise IndexError(

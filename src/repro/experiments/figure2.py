@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.compression_metric import alpha_of
 from repro.experiments.parallel import (
+    DEFAULT_CODEC,
     CellTask,
     ProgressCallback,
     dispatch_cells,
@@ -136,6 +137,7 @@ def run_figure2(
     retry: Optional[RetryPolicy] = None,
     failure: Optional[FailurePolicy] = None,
     fault_spec: Optional[dict] = None,
+    codec: str = DEFAULT_CODEC,
 ) -> Figure2Result:
     """Regenerate the Figure 2 trajectory.
 
@@ -212,6 +214,7 @@ def run_figure2(
             retry=retry,
             failure=failure,
             fault_spec=fault_spec,
+            codec=codec,
         )
     if obs is not None:
         obs.log("figure2.done", replicas=replicas, steps=steps)

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.parallel import (
+    DEFAULT_CODEC,
     CellTask,
     ProgressCallback,
     dispatch_cells,
@@ -117,6 +118,7 @@ def run_figure3(
     retry: Optional[RetryPolicy] = None,
     failure: Optional[FailurePolicy] = None,
     fault_spec: Optional[dict] = None,
+    codec: str = DEFAULT_CODEC,
 ) -> Figure3Result:
     """Regenerate the Figure 3 phase grid.
 
@@ -189,6 +191,7 @@ def run_figure3(
             retry=retry,
             failure=failure,
             fault_spec=fault_spec,
+            codec=codec,
         )
     if obs is not None:
         obs.log("figure3.done", cells=len(cells), replicas=replicas)

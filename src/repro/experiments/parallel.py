@@ -15,13 +15,25 @@ this module factors the execution out of the individual harnesses:
   worker's trajectory bit-identical to an in-process run).
 * :func:`run_cell` — the worker entrypoint.  Importable at module top
   level so ``ProcessPoolExecutor`` can ship it to workers; it speaks
-  plain JSON-able payload dicts (see :mod:`repro.util.serialization`)
-  rather than live objects.
+  payload dicts whose configurations travel either as binary columnar
+  blobs (:mod:`repro.util.codec`, the default) or as plain JSON
+  strings (see :mod:`repro.util.serialization`) rather than live
+  objects.
 * :func:`execute_cells` — fan tasks out over a ``serial`` or ``process``
-  backend, optionally writing one JSON checkpoint file per completed
-  cell and, with ``resume=True``, skipping cells whose checkpoints are
-  already on disk — a killed sweep re-run with ``--resume`` completes
-  only the missing cells.
+  backend, optionally writing one checkpoint file per completed cell
+  (``cell-<key>.bin`` columnar or ``cell-<key>.json`` legacy text, the
+  ``codec`` knob; resume reads either) and, with ``resume=True``,
+  skipping cells whose checkpoints are already on disk — a killed
+  sweep re-run with ``--resume`` completes only the missing cells.
+
+The engine itself is tuned for paper-scale sweeps: worker processes
+pre-decode shared base systems once (pool initializer + per-worker
+cache), task identity digests are memoized, and a ``steps × n`` cost
+model (:mod:`repro.experiments.costmodel`, refined online) dispatches
+cells longest-expected-first from a bounded in-flight window, packing
+the cheap tail into chunks (``run_cell_chunk``).  None of this touches
+trajectories — scheduling order, chunking, and codec are all outside
+task identity.
 
 Because each task carries its own deterministically derived seed (see
 :func:`repro.util.rng.derive_seed`), the two backends produce identical
@@ -55,11 +67,14 @@ import os
 import sys
 import time
 import warnings
+from collections import OrderedDict
 from dataclasses import dataclass, field
+from functools import lru_cache
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.separation_chain import CHAIN_BACKENDS, SeparationChain
+from repro.experiments.costmodel import CostModel
 from repro.experiments.resilience import (
     FailedCell,
     FailurePolicy,
@@ -87,10 +102,12 @@ from repro.obs import (
     run_profiled,
 )
 from repro.system.configuration import ParticleSystem
+from repro.util import codec as binary_codec
 from repro.util.serialization import (
     configuration_from_json,
     configuration_to_json,
     load_payload,
+    save_bytes,
     save_payload,
     sweep_stale_temp_files,
 )
@@ -98,11 +115,59 @@ from repro.util.serialization import (
 #: Execution backends understood by :func:`execute_cells`.
 BACKENDS = ("serial", "process")
 
+#: Transport/checkpoint codecs understood by the engine.  ``"binary"``
+#: (the default) ships configurations as packed columnar blobs (see
+#: :mod:`repro.util.codec`) and writes ``cell-<key>.bin`` checkpoints;
+#: ``"json"`` is the legacy text path.  Both read sides fall back to
+#: the other format, so a sweep can switch codecs mid-life and still
+#: resume its old checkpoints.
+CODECS = ("binary", "json")
+DEFAULT_CODEC = "binary"
+
+#: Checkpoint filename suffix per codec.
+_CODEC_SUFFIX = {"binary": ".bin", "json": ".json"}
+
+#: Scheduling policies: ``"cost"`` orders work longest-expected-first
+#: via :class:`repro.experiments.costmodel.CostModel` (refined online)
+#: and chunks cheap cells; ``"fifo"`` preserves task order.
+SCHEDULES = ("cost", "fifo")
+
+#: Pool oversubscription factor used when sizing adaptive chunks: aim
+#: for at least this many work units per worker so the online cost
+#: model keeps enough scheduling freedom to absorb bad estimates.
+_CHUNK_OVERSUBSCRIPTION = 4
+
+#: Hard cap on adaptive chunk size (``chunk=0``); explicit ``chunk=k``
+#: overrides it.
+_CHUNK_CAP = 16
+
 #: Schema version of the per-cell checkpoint payloads.
 CHECKPOINT_VERSION = 1
 
 #: Callback signature: ``progress(index, total, result)`` after each cell.
 ProgressCallback = Callable[[int, int, "CellResult"], None]
+
+
+@lru_cache(maxsize=128)
+def _system_digest(system_json: str) -> str:
+    """sha256 of a serialized configuration, cached per unique string.
+
+    Harnesses share one ``system_json`` across every cell of a sweep,
+    so this collapses thousands of digest computations into one.
+    """
+    return hashlib.sha256(system_json.encode()).hexdigest()
+
+
+@lru_cache(maxsize=32)
+def _encoded_system(system_json: str) -> bytes:
+    """Binary transport blob for a task's initial configuration.
+
+    Cached per unique JSON string: the parent encodes each distinct
+    initial configuration once per sweep, not once per task.
+    """
+    return binary_codec.encode_configuration(
+        configuration_from_json(system_json)
+    )
 
 
 @dataclass(frozen=True)
@@ -146,8 +211,17 @@ class CellTask:
         deliberately excluded: the grid and dict kernels are
         trajectory-identical, so cells checkpointed before the grid
         kernel existed stay valid under it (and vice versa).
+
+        The digest is memoized per instance (the dataclass is frozen,
+        so it can never go stale) and the inner configuration digest is
+        shared across tasks via :func:`_system_digest` — ``key()`` used
+        to re-hash the full configuration JSON on every call, and the
+        engine calls it for checkpoint paths, grouping, scheduling, and
+        logging alike.
         """
-        system_digest = hashlib.sha256(self.system_json.encode()).hexdigest()
+        cached = getattr(self, "_key_cache", None)
+        if cached is not None:
+            return cached
         blob = "|".join(
             [
                 repr(self.lam),
@@ -157,10 +231,12 @@ class CellTask:
                 str(self.steps),
                 str(int(self.swaps)),
                 ",".join(str(c) for c in self.checkpoints),
-                system_digest,
+                _system_digest(self.system_json),
             ]
         ).encode()
-        return hashlib.sha256(blob).hexdigest()[:24]
+        key = hashlib.sha256(blob).hexdigest()[:24]
+        object.__setattr__(self, "_key_cache", key)
+        return key
 
     def validate(self) -> None:
         """Raise ``ValueError`` on malformed tasks before any fan-out."""
@@ -228,14 +304,22 @@ _OBS_PAYLOAD_KEYS = (
 
 
 def task_payload(
-    task: CellTask, instrument: Optional[Dict[str, bool]] = None
+    task: CellTask,
+    instrument: Optional[Dict[str, bool]] = None,
+    codec: str = "json",
 ) -> Dict[str, Any]:
-    """The JSON-able payload shipped to worker processes for ``task``.
+    """The payload shipped to worker processes for ``task``.
 
     ``instrument`` is the optional observability request (see
     :meth:`repro.obs.Instrumentation.worker_flags`); it rides outside
     the task identity, so instrumentation never changes checkpoint
     keys or trajectories.
+
+    ``codec`` picks the configuration transport: ``"json"`` (the
+    legacy payload, byte-for-byte unchanged) or ``"binary"`` — the
+    initial system ships as a packed columnar blob plus its digest
+    (the warm-worker cache key), and the worker is asked to return
+    blobs in kind.  The codec rides outside the task identity too.
     """
     payload = {
         "key": task.key(),
@@ -250,9 +334,85 @@ def task_payload(
         "label": task.label,
         "kernel": task.kernel,
     }
+    if codec == "binary":
+        payload["codec"] = "binary"
+        payload["system"] = _encoded_system(task.system_json)
+        payload["system_digest"] = _system_digest(task.system_json)
     if instrument:
         payload["instrument"] = dict(instrument)
     return payload
+
+
+# ---------------------------------------------------------------------------
+# Warm workers: per-process base-system cache
+# ---------------------------------------------------------------------------
+
+#: Per-worker decoded base systems, keyed by configuration digest.
+#: Sweeps run every cell from a handful of initial configurations, so
+#: each worker decodes a given base once and hands out cheap copies.
+_BASE_SYSTEM_CACHE: "OrderedDict[str, ParticleSystem]" = OrderedDict()
+_BASE_SYSTEM_CACHE_LIMIT = 8
+
+
+def _decode_system_any(data: Any) -> ParticleSystem:
+    """Decode a configuration from either transport representation."""
+    if isinstance(data, (bytes, bytearray)):
+        return binary_codec.decode_configuration(bytes(data))
+    return configuration_from_json(data)
+
+
+def _base_system(payload: Dict[str, Any]) -> Tuple[ParticleSystem, bool]:
+    """The payload's initial system (a private copy) and cache-hit flag.
+
+    Copies preserve dict insertion order and the incremental counters,
+    so a cached decode is trajectory-identical to a fresh one.
+    """
+    data = payload["system"]
+    digest = payload.get("system_digest")
+    if digest is None:
+        raw = data if isinstance(data, (bytes, bytearray)) else data.encode()
+        digest = hashlib.sha256(raw).hexdigest()
+    cached = _BASE_SYSTEM_CACHE.get(digest)
+    if cached is not None:
+        _BASE_SYSTEM_CACHE.move_to_end(digest)
+        return cached.copy(), True
+    system = _decode_system_any(data)
+    _BASE_SYSTEM_CACHE[digest] = system
+    while len(_BASE_SYSTEM_CACHE) > _BASE_SYSTEM_CACHE_LIMIT:
+        _BASE_SYSTEM_CACHE.popitem(last=False)
+    return system.copy(), False
+
+
+def warm_worker(entries: Sequence[Tuple[str, Any]]) -> None:
+    """Process-pool initializer: pre-decode base systems once per worker.
+
+    ``entries`` pairs configuration digests with their encoded forms
+    (blob or JSON).  Failures are swallowed — a bad entry surfaces as
+    a normal per-task decode error later instead of killing the worker
+    at startup (which would read as an opaque ``BrokenProcessPool``).
+    """
+    for digest, data in entries:
+        try:
+            _BASE_SYSTEM_CACHE[digest] = _decode_system_any(data)
+        except Exception:
+            continue
+    while len(_BASE_SYSTEM_CACHE) > _BASE_SYSTEM_CACHE_LIMIT:
+        _BASE_SYSTEM_CACHE.popitem(last=False)
+
+
+def _warm_entries(
+    payloads: Iterable[Dict[str, Any]],
+) -> List[Tuple[str, Any]]:
+    """Distinct (digest, encoded system) pairs for :func:`warm_worker`."""
+    entries: "OrderedDict[str, Any]" = OrderedDict()
+    for payload in payloads:
+        for member in payload.get("cells") or (payload,):
+            digest = member.get("system_digest")
+            if digest is not None and digest not in entries:
+                entries[digest] = member["system"]
+            if len(entries) >= _BASE_SYSTEM_CACHE_LIMIT:
+                return list(entries.items())
+    return list(entries.items())
 
 
 def run_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -285,6 +445,65 @@ def run_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
     return corrupt_result_payload(fault, _run_cell_body(payload, instrument))
 
 
+def run_cell_chunk(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Worker entrypoint: run several cheap cells in one dispatch.
+
+    The cost-model scheduler packs cells whose expected runtime is
+    small relative to the sweep into chunks, amortizing process-pool
+    round trips and IPC over several cells.  Each member payload runs
+    through :func:`run_cell` unchanged (own seed, own fault plan, own
+    instrumentation buffers), and the results come back as one list in
+    member order — the same worker-side shape as a batch group, and
+    like a batch group the retry/timeout/quarantine policies apply to
+    the chunk as a unit.  Chunking therefore never affects
+    trajectories, only scheduling granularity.
+    """
+    return [run_cell(cell) for cell in payload["cells"]]
+
+
+def _plan_chunks(
+    task_list: Sequence[CellTask],
+    pending: Sequence[int],
+    model: CostModel,
+    workers: int,
+    chunk: int,
+) -> List[List[int]]:
+    """Group pending task indices into scheduling units, longest first.
+
+    Cells whose a-priori cost clears the chunking threshold stay
+    singletons; the cheap tail is packed greedily into chunks bounded
+    by both a unit budget (the sweep's total divided across
+    ``workers × oversubscription`` slots) and a size cap.  ``chunk=1``
+    disables packing, ``chunk>=2`` overrides the cap, ``chunk=0`` is
+    adaptive.  The grouping is a pure function of task costs — no
+    clocks, no randomness — so reruns plan identically.
+    """
+    units = {index: model.units(task_list[index]) for index in pending}
+    order = sorted(pending, key=lambda index: (-units[index], index))
+    if chunk == 1 or len(pending) <= 1:
+        return [[index] for index in order]
+    cap = chunk if chunk >= 2 else _CHUNK_CAP
+    target = sum(units.values()) / max(
+        1.0, float(workers * _CHUNK_OVERSUBSCRIPTION)
+    )
+    threshold = target * 0.5
+    groups: List[List[int]] = []
+    current: List[int] = []
+    current_units = 0.0
+    for index in order:
+        if units[index] >= threshold:
+            groups.append([index])
+            continue
+        current.append(index)
+        current_units += units[index]
+        if len(current) >= cap or current_units >= target:
+            groups.append(current)
+            current, current_units = [], 0.0
+    if current:
+        groups.append(current)
+    return groups
+
+
 def _run_cell_body(
     payload: Dict[str, Any], instrument: Dict[str, Any]
 ) -> Dict[str, Any]:
@@ -312,7 +531,15 @@ def _run_cell_body(
     if logger is not None:
         logger.debug("cell.start", steps=payload["steps"])
 
-    system = configuration_from_json(payload["system"])
+    codec = payload.get("codec", "json")
+    system, cache_hit = _base_system(payload)
+    if metrics is not None:
+        name = (
+            "engine.system_cache_hits"
+            if cache_hit
+            else "engine.system_cache_misses"
+        )
+        metrics.counter(name).inc()
     chain = SeparationChain(
         system,
         lam=payload["lam"],
@@ -342,12 +569,19 @@ def _run_cell_body(
         chain.instrument(
             metrics=metrics, trace=trace, logger=logger, diagnostics=diag
         )
-    snapshots: List[str] = []
+    if codec == "binary":
+        def encode(current_system: ParticleSystem) -> Any:
+            return binary_codec.encode_configuration(current_system)
+    else:
+        def encode(current_system: ParticleSystem) -> Any:
+            return configuration_to_json(current_system, sort_nodes=False)
+
+    snapshots: List[Any] = []
     current = 0
     for checkpoint in payload["checkpoints"]:
         chain.run(checkpoint - current)
         current = checkpoint
-        snapshots.append(configuration_to_json(system, sort_nodes=False))
+        snapshots.append(encode(system))
     chain.run(payload["steps"] - current)
     wall_time = time.perf_counter() - wall_start
 
@@ -355,7 +589,7 @@ def _run_cell_body(
         "version": CHECKPOINT_VERSION,
         "key": payload["key"],
         "snapshots": snapshots,
-        "final": configuration_to_json(system, sort_nodes=False),
+        "final": encode(system),
         "iterations": chain.iterations,
         "accepted_moves": chain.accepted_moves,
         "accepted_swaps": chain.accepted_swaps,
@@ -376,15 +610,42 @@ def _run_cell_body(
     return result
 
 
+class LazySnapshots(Sequence):
+    """Snapshot list that decodes configurations on first access.
+
+    Resume paths usually touch only a result's summary fields (or its
+    final system); eagerly rebuilding every intermediate snapshot of a
+    snapshot-heavy sweep wastes most of the load time.  This sequence
+    keeps the still-encoded blobs and materializes each
+    :class:`ParticleSystem` the first time it is indexed, caching it
+    thereafter — iteration and ``len`` behave exactly like the eager
+    list did.  Binary items were CRC-validated at load time, so a lazy
+    decode can only fail if memory is corrupted after the fact.
+    """
+
+    def __init__(self, items: Sequence[Any]):
+        self._items: List[Any] = list(items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        item = self._items[index]
+        if not isinstance(item, ParticleSystem):
+            item = _decode_system_any(item)
+            self._items[index] = item
+        return item
+
+
 def _decode_result(
     task: CellTask, payload: Dict[str, Any], from_checkpoint: bool = False
 ) -> CellResult:
     return CellResult(
         task=task,
-        system=configuration_from_json(payload["final"]),
-        snapshots=[
-            configuration_from_json(text) for text in payload["snapshots"]
-        ],
+        system=_decode_system_any(payload["final"]),
+        snapshots=LazySnapshots(payload["snapshots"]),
         iterations=int(payload["iterations"]),
         accepted_moves=int(payload["accepted_moves"]),
         accepted_swaps=int(payload["accepted_swaps"]),
@@ -442,39 +703,98 @@ def _validated_result(task: CellTask, payload: Any) -> CellResult:
             f"snapshots, expected {len(task.checkpoints)}"
         )
     try:
-        return _decode_result(task, payload)
+        # Snapshots are validated *structurally* here: binary blobs by
+        # magic + CRC (cheap, no ParticleSystem built — they decode
+        # lazily on access), JSON strings by full decode as before.
+        # The final configuration always decodes eagerly, so the
+        # corrupt-result fault path is caught before checkpointing
+        # regardless of codec.
+        checked: List[Any] = []
+        for snapshot in payload["snapshots"]:
+            if isinstance(snapshot, (bytes, bytearray)):
+                binary_codec.validate_blob(bytes(snapshot))
+                checked.append(snapshot)
+            else:
+                checked.append(configuration_from_json(snapshot))
+        result = _decode_result(task, payload)
+        result.snapshots = LazySnapshots(checked)
+        return result
     except (ValueError, KeyError, TypeError) as error:
         raise ResultValidationError(
             f"cell {task.key()} result payload is corrupt: {error}"
         ) from error
 
 
-def checkpoint_path(directory: Path, task: CellTask) -> Path:
-    """Filesystem location of ``task``'s checkpoint in ``directory``."""
-    return directory / f"cell-{task.key()}.json"
+def checkpoint_path(
+    directory: Path, task: CellTask, codec: str = DEFAULT_CODEC
+) -> Path:
+    """Filesystem location of ``task``'s checkpoint in ``directory``.
+
+    The suffix tracks the codec: ``cell-<key>.bin`` for the binary
+    columnar format, ``cell-<key>.json`` for legacy JSON.  Readers
+    (:func:`read_checkpoint_payload`, resume) accept either.
+    """
+    return directory / f"cell-{task.key()}{_CODEC_SUFFIX[codec]}"
+
+
+def read_checkpoint_payload(path: os.PathLike) -> Dict[str, Any]:
+    """Read one checkpoint file, whichever codec wrote it.
+
+    Binary checkpoints come back with their configurations still
+    encoded as blobs (decode with
+    :func:`repro.util.codec.decode_configuration` or via
+    :func:`_decode_result`); JSON checkpoints are returned as before.
+    Raises ``ValueError``/``OSError`` on corrupt or unreadable files.
+    """
+    path = Path(path)
+    if path.suffix == _CODEC_SUFFIX["binary"]:
+        return binary_codec.decode_checkpoint(path.read_bytes())
+    return load_payload(path)
+
+
+def write_checkpoint_payload(
+    payload: Dict[str, Any], path: Path, codec: str
+) -> None:
+    """Atomically write one checkpoint file in the requested codec."""
+    if codec == "binary":
+        save_bytes(binary_codec.encode_checkpoint(payload), path)
+    else:
+        save_payload(payload, path)
 
 
 def _load_checkpoint(
     directory: Path,
     task: CellTask,
     metrics: Optional[MetricsRegistry] = None,
+    codec: str = DEFAULT_CODEC,
 ) -> Optional[CellResult]:
     """Load a completed cell from disk, or ``None`` if absent/unusable.
 
     Unreadable or mismatched files are treated as missing (with a
     warning) so that a checkpoint corrupted by a hard kill forces a
-    recompute instead of poisoning the resumed sweep.  With ``metrics``
+    recompute instead of poisoning the resumed sweep — binary
+    corruption (bad magic, truncation, CRC mismatch) routes through
+    the same recompute path as corrupt JSON.  With ``metrics``
     attached, the outcome is counted under ``engine.checkpoint_hits``
     (usable), ``engine.checkpoint_misses`` (absent), or
     ``engine.checkpoint_recomputes`` (present but unusable).
+
+    The requested ``codec``'s file is preferred, but the other format
+    is read transparently as a fallback, so legacy JSON checkpoints
+    resume under the binary default (and vice versa).  Snapshots in
+    binary checkpoints decode lazily (see :class:`LazySnapshots`);
+    JSON checkpoints keep their historical eager decode-and-validate.
     """
-    path = checkpoint_path(directory, task)
-    if not path.exists():
+    candidates = [checkpoint_path(directory, task, codec)]
+    fallback = "json" if codec == "binary" else "binary"
+    candidates.append(checkpoint_path(directory, task, fallback))
+    path = next((c for c in candidates if c.exists()), None)
+    if path is None:
         if metrics is not None:
             metrics.counter("engine.checkpoint_misses").inc()
         return None
     try:
-        payload = load_payload(path)
+        payload = read_checkpoint_payload(path)
         if payload.get("version") != CHECKPOINT_VERSION:
             raise ValueError(
                 f"checkpoint version {payload.get('version')!r} unsupported"
@@ -482,6 +802,8 @@ def _load_checkpoint(
         if payload.get("key") != task.key():
             raise ValueError("checkpoint key does not match task identity")
         result = _decode_result(task, payload, from_checkpoint=True)
+        if path.suffix == _CODEC_SUFFIX["json"]:
+            list(result.snapshots)  # historical eager validation
         if metrics is not None:
             metrics.counter("engine.checkpoint_hits").inc()
         return result
@@ -557,8 +879,14 @@ def group_batch_tasks(
 def batch_group_payload(
     tasks: Sequence[CellTask],
     instrument: Optional[Dict[str, bool]] = None,
+    codec: str = "json",
 ) -> Dict[str, Any]:
-    """JSON-able payload for one batch group (R replicas of one cell)."""
+    """Worker payload for one batch group (R replicas of one cell).
+
+    ``codec="binary"`` ships the shared initial configuration as a
+    columnar blob (decoded once per worker via the warm cache) and
+    asks the worker to return blob configurations.
+    """
     head = tasks[0]
     payload: Dict[str, Any] = {
         "lam": head.lam,
@@ -577,6 +905,10 @@ def batch_group_payload(
             for task in tasks
         ],
     }
+    if codec == "binary":
+        payload["codec"] = "binary"
+        payload["system"] = _encoded_system(head.system_json)
+        payload["system_digest"] = _system_digest(head.system_json)
     if instrument:
         payload["instrument"] = dict(instrument)
     return payload
@@ -639,7 +971,15 @@ def run_batch_group(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
             "batch.start", steps=payload["steps"], replicas=replicas
         )
 
-    system = configuration_from_json(payload["system"])
+    codec = payload.get("codec", "json")
+    system, cache_hit = _base_system(payload)
+    if metrics is not None:
+        name = (
+            "engine.system_cache_hits"
+            if cache_hit
+            else "engine.system_cache_misses"
+        )
+        metrics.counter(name).inc()
     kernel = BatchKernel(
         system,
         payload["lam"],
@@ -665,17 +1005,25 @@ def run_batch_group(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
             label=members[0]["label"] or members[0]["key"],
         )
         kernel.observer = diag
-    snapshots: List[List[str]] = [[] for _ in range(replicas)]
+    if codec == "binary":
+        def export(r: int) -> Any:
+            # Zero-copy-ish: the kernel's replica state goes straight
+            # from arena arrays to columnar blob, never materializing
+            # a node dict.
+            return binary_codec.encode_columns(*kernel.export_columns(r))
+    else:
+        def export(r: int) -> Any:
+            return configuration_to_json(
+                kernel.export_system(r), sort_nodes=False
+            )
+
+    snapshots: List[List[Any]] = [[] for _ in range(replicas)]
     current = 0
     for checkpoint in payload["checkpoints"]:
         kernel.run(checkpoint - current)
         current = checkpoint
         for r in range(replicas):
-            snapshots[r].append(
-                configuration_to_json(
-                    kernel.export_system(r), sort_nodes=False
-                )
-            )
+            snapshots[r].append(export(r))
     kernel.run(payload["steps"] - current)
     wall_time = time.perf_counter() - wall_start
 
@@ -686,9 +1034,7 @@ def run_batch_group(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
                 "version": CHECKPOINT_VERSION,
                 "key": member["key"],
                 "snapshots": snapshots[r],
-                "final": configuration_to_json(
-                    kernel.export_system(r), sort_nodes=False
-                ),
+                "final": export(r),
                 "iterations": int(kernel.iters[r]),
                 "accepted_moves": int(kernel.acc_moves[r]),
                 "accepted_swaps": int(kernel.acc_swaps[r]),
@@ -753,6 +1099,9 @@ def execute_cells(
     retry: Optional[RetryPolicy] = None,
     failure: Optional[FailurePolicy] = None,
     fault_spec: Optional[Any] = None,
+    codec: str = DEFAULT_CODEC,
+    schedule: str = "cost",
+    chunk: int = 0,
 ) -> List[CellResult]:
     """Run every task and return results in task order.
 
@@ -767,10 +1116,10 @@ def execute_cells(
         Pool size for the process backend (default: one per CPU core).
         Ignored by the serial backend.
     checkpoint_dir:
-        When given, each completed cell is written there as one JSON
-        file (atomically, so killing the sweep never leaves truncated
-        checkpoints).  Stale ``*.tmp`` leftovers from hard-killed runs
-        are swept on engine start.
+        When given, each completed cell is written there as one file
+        in the selected ``codec`` (atomically, so killing the sweep
+        never leaves truncated checkpoints).  Stale ``*.tmp``
+        leftovers from hard-killed runs are swept on engine start.
     resume:
         Skip tasks whose checkpoint files already exist in
         ``checkpoint_dir`` (required when ``resume=True``), loading
@@ -804,11 +1153,37 @@ def execute_cells(
         Optional fault-injection spec attached to worker payloads (see
         :mod:`repro.experiments.resilience`); for chaos testing only.
         Rides outside task identity, like ``obs``.
+    codec:
+        Configuration transport and checkpoint format: ``"binary"``
+        (default — packed columnar blobs, ``cell-<key>.bin`` files,
+        see :mod:`repro.util.codec`) or ``"json"`` (the legacy text
+        path).  Resume reads either format regardless of the setting,
+        and trajectories are bit-identical across codecs.
+    schedule:
+        ``"cost"`` (default) dispatches work longest-expected-first
+        using an online-refined ``steps × n`` cost model (metrics
+        under ``engine.cost_model.*``); ``"fifo"`` keeps task order.
+        Scheduling never affects results, only wall time.
+    chunk:
+        Cheap-cell chunking under the cost scheduler on the process
+        backend: ``0`` packs adaptively, ``1`` disables, ``k >= 2``
+        caps chunks at ``k`` cells.  Retry/timeout/quarantine apply to
+        a chunk as a unit, like a batch group.
     """
     if backend not in BACKENDS:
         raise ValueError(
             f"unknown backend {backend!r}; expected one of {BACKENDS}"
         )
+    if codec not in CODECS:
+        raise ValueError(
+            f"unknown codec {codec!r}; expected one of {CODECS}"
+        )
+    if schedule not in SCHEDULES:
+        raise ValueError(
+            f"unknown schedule {schedule!r}; expected one of {SCHEDULES}"
+        )
+    if chunk < 0:
+        raise ValueError(f"chunk must be >= 0, got {chunk}")
     if resume and checkpoint_dir is None:
         raise ValueError("resume=True requires a checkpoint_dir")
     if workers is not None and workers < 1:
@@ -850,7 +1225,10 @@ def execute_cells(
     for index, task in enumerate(task_list):
         restored = (
             _load_checkpoint(
-                directory, task, metrics=obs.metrics if obs else None
+                directory,
+                task,
+                metrics=obs.metrics if obs else None,
+                codec=codec,
             )
             if resume
             else None
@@ -866,64 +1244,140 @@ def execute_cells(
             pending.append(index)
 
     instrument = obs.worker_flags() if obs is not None else None
+    effective_workers = workers if workers is not None else default_workers()
+
+    model: Optional[CostModel] = None
+    if schedule == "cost":
+        model = CostModel(metrics=obs.metrics if obs else None)
+        groups = _plan_chunks(
+            task_list,
+            pending,
+            model,
+            effective_workers,
+            # Chunking only pays on the process backend (it amortizes
+            # IPC); serial dispatch has nothing to amortize.
+            chunk if backend == "process" else 1,
+        )
+    else:
+        groups = [[index] for index in pending]
 
     units = []
-    for index in pending:
-        payload = task_payload(task_list[index], instrument)
-        if fault_spec is not None:
-            payload["fault"] = fault_spec
-        units.append(
-            WorkUnit(
-                uid=index,
-                fn=run_cell,
-                payload=payload,
-                tasks=[task_list[index]],
+    for uid, group in enumerate(groups):
+        payloads = []
+        for index in group:
+            payload = task_payload(task_list[index], instrument, codec=codec)
+            if fault_spec is not None:
+                payload["fault"] = fault_spec
+            payloads.append(payload)
+        if len(group) == 1:
+            units.append(
+                WorkUnit(
+                    uid=uid,
+                    fn=run_cell,
+                    payload=payloads[0],
+                    tasks=[task_list[group[0]]],
+                )
             )
+        else:
+            units.append(
+                WorkUnit(
+                    uid=uid,
+                    fn=run_cell_chunk,
+                    payload={"cells": payloads},
+                    tasks=[task_list[index] for index in group],
+                )
+            )
+
+    if obs is not None and model is not None and units:
+        chunked = sum(1 for group in groups if len(group) > 1)
+        if obs.metrics is not None:
+            obs.metrics.gauge("engine.cost_model.units").set(len(units))
+            obs.metrics.gauge("engine.cost_model.chunked_units").set(chunked)
+        obs.log(
+            "engine.schedule",
+            cells=len(pending),
+            units=len(units),
+            chunked_units=chunked,
+            schedule=schedule,
         )
 
-    def decode(unit: WorkUnit, raw: Any) -> Tuple[Dict[str, Any], CellResult]:
-        return raw, _validated_result(unit.tasks[0], raw)
+    order_key = None
+    if model is not None:
+        def order_key(unit: WorkUnit) -> float:
+            return sum(model.predict_seconds(task) for task in unit.tasks)
+
+    def decode(unit: WorkUnit, raw: Any) -> List[Tuple[Dict, CellResult]]:
+        group = groups[unit.uid]
+        if len(group) == 1:
+            return [(raw, _validated_result(unit.tasks[0], raw))]
+        if not isinstance(raw, list):
+            raise ResultValidationError(
+                f"chunk {unit.key} worker returned "
+                f"{type(raw).__name__}, expected a payload list"
+            )
+        if len(raw) != len(group):
+            raise ResultValidationError(
+                f"chunk {unit.key} returned {len(raw)} payloads "
+                f"for {len(group)} cells"
+            )
+        return [
+            (payload, _validated_result(task_list[index], payload))
+            for index, payload in zip(group, raw)
+        ]
 
     def commit(
-        unit: WorkUnit, decoded: Tuple[Dict[str, Any], CellResult]
+        unit: WorkUnit, decoded: List[Tuple[Dict, CellResult]]
     ) -> None:
         nonlocal completed
-        payload, result = decoded
-        task = unit.tasks[0]
-        if directory is not None:
-            disk_payload = {
-                key: value
-                for key, value in payload.items()
-                if key not in _OBS_PAYLOAD_KEYS
-            }
-            save_payload(disk_payload, checkpoint_path(directory, task))
-        if obs is not None:
-            _absorb_cell(obs, task, payload, result)
-        results[unit.uid] = result
-        completed += 1
-        if progress is not None:
-            progress(completed, total, result)
+        for index, (payload, result) in zip(groups[unit.uid], decoded):
+            task = task_list[index]
+            if directory is not None:
+                disk_payload = {
+                    key: value
+                    for key, value in payload.items()
+                    if key not in _OBS_PAYLOAD_KEYS
+                }
+                write_checkpoint_payload(
+                    disk_payload,
+                    checkpoint_path(directory, task, codec),
+                    codec,
+                )
+            if model is not None:
+                model.observe(task, result.wall_time)
+            if obs is not None:
+                _absorb_cell(obs, task, payload, result)
+            results[index] = result
+            completed += 1
+            if progress is not None:
+                progress(completed, total, result)
 
     def quarantine(unit: WorkUnit, records: List[TaskFailure]) -> None:
         nonlocal completed
-        (record,) = records
-        placeholder = FailedCell(
-            task=unit.tasks[0],
-            error=record.error,
-            kind=record.kind,
-            attempts=record.attempts,
-        )
-        results[unit.uid] = placeholder
-        completed += 1
-        if progress is not None:
-            progress(completed, total, placeholder)
+        for index, record in zip(groups[unit.uid], records):
+            placeholder = FailedCell(
+                task=task_list[index],
+                error=record.error,
+                kind=record.kind,
+                attempts=record.attempts,
+            )
+            results[index] = placeholder
+            completed += 1
+            if progress is not None:
+                progress(completed, total, placeholder)
 
     executor = ResilientExecutor(
         backend=backend,
-        workers=workers if workers is not None else default_workers(),
+        workers=effective_workers,
         retry=retry,
         failure=failure,
         obs=obs,
+        order_key=order_key,
+        initializer=warm_worker if codec == "binary" else None,
+        initargs=(
+            (_warm_entries(unit.payload for unit in units),)
+            if codec == "binary"
+            else ()
+        ),
     )
     try:
         executor.run(units, decode, commit, quarantine)
@@ -1084,6 +1538,8 @@ class BatchRunner:
     retry: Optional[RetryPolicy] = None
     failure: Optional[FailurePolicy] = None
     fault_spec: Optional[Any] = None
+    codec: str = DEFAULT_CODEC
+    schedule: str = "cost"
 
     def run(self, tasks: Iterable[CellTask]) -> List[CellResult]:
         """Execute every task and return results in task order.
@@ -1100,6 +1556,15 @@ class BatchRunner:
             raise ValueError(
                 f"unknown backend {self.backend!r}; "
                 f"expected one of {BACKENDS}"
+            )
+        if self.codec not in CODECS:
+            raise ValueError(
+                f"unknown codec {self.codec!r}; expected one of {CODECS}"
+            )
+        if self.schedule not in SCHEDULES:
+            raise ValueError(
+                f"unknown schedule {self.schedule!r}; "
+                f"expected one of {SCHEDULES}"
             )
         if self.resume and self.checkpoint_dir is None:
             raise ValueError("resume=True requires a checkpoint_dir")
@@ -1145,7 +1610,10 @@ class BatchRunner:
         for index, task in enumerate(task_list):
             restored = (
                 _load_checkpoint(
-                    directory, task, metrics=obs.metrics if obs else None
+                    directory,
+                    task,
+                    metrics=obs.metrics if obs else None,
+                    codec=self.codec,
                 )
                 if self.resume
                 else None
@@ -1165,10 +1633,14 @@ class BatchRunner:
             task_list, pending, self.replicas_per_task
         )
 
+        model: Optional[CostModel] = None
+        if self.schedule == "cost":
+            model = CostModel(metrics=obs.metrics if obs else None)
+
         units = []
         for uid, group in enumerate(groups):
             payload = batch_group_payload(
-                [task_list[i] for i in group], instrument
+                [task_list[i] for i in group], instrument, codec=self.codec
             )
             if self.fault_spec is not None:
                 payload["fault"] = self.fault_spec
@@ -1180,6 +1652,13 @@ class BatchRunner:
                     tasks=[task_list[i] for i in group],
                 )
             )
+
+        order_key = None
+        if model is not None:
+            def order_key(unit: WorkUnit) -> float:
+                return sum(
+                    model.predict_seconds(task) for task in unit.tasks
+                )
 
         def decode(unit: WorkUnit, raw: Any) -> List[Tuple[Dict, CellResult]]:
             group = groups[unit.uid]
@@ -1213,9 +1692,13 @@ class BatchRunner:
                         for key, value in payload.items()
                         if key not in _OBS_PAYLOAD_KEYS
                     }
-                    save_payload(
-                        disk_payload, checkpoint_path(directory, task)
+                    write_checkpoint_payload(
+                        disk_payload,
+                        checkpoint_path(directory, task, self.codec),
+                        self.codec,
                     )
+                if model is not None:
+                    model.observe(task, result.wall_time)
                 if obs is not None:
                     _absorb_cell(obs, task, payload, result)
                 results[index] = result
@@ -1245,6 +1728,13 @@ class BatchRunner:
             retry=retry,
             failure=failure,
             obs=obs,
+            order_key=order_key,
+            initializer=warm_worker if self.codec == "binary" else None,
+            initargs=(
+                (_warm_entries(unit.payload for unit in units),)
+                if self.codec == "binary"
+                else ()
+            ),
         )
         try:
             executor.run(units, decode, commit, quarantine)
@@ -1291,6 +1781,9 @@ def dispatch_cells(
     retry: Optional[RetryPolicy] = None,
     failure: Optional[FailurePolicy] = None,
     fault_spec: Optional[Any] = None,
+    codec: str = DEFAULT_CODEC,
+    schedule: str = "cost",
+    chunk: int = 0,
 ) -> List[CellResult]:
     """Route tasks to the scalar engine or the batch runner by kernel.
 
@@ -1299,7 +1792,10 @@ def dispatch_cells(
     else through :func:`execute_cells` (one replica per task).  Mixed
     batches are rejected — a harness emits one kernel per run.
     ``retry``/``failure``/``fault_spec`` configure the resilience layer
-    on either path (see :mod:`repro.experiments.resilience`).
+    on either path (see :mod:`repro.experiments.resilience`);
+    ``codec``/``schedule``/``chunk`` configure the transport codec and
+    cost-model scheduling (see :func:`execute_cells` — none of them
+    affect results, only speed).
     """
     task_list = list(tasks)
     batch_flags = {task.kernel == "batch" for task in task_list}
@@ -1315,6 +1811,8 @@ def dispatch_cells(
             retry=retry,
             failure=failure,
             fault_spec=fault_spec,
+            codec=codec,
+            schedule=schedule,
         ).run(task_list)
     if True in batch_flags:
         raise ValueError(
@@ -1332,6 +1830,9 @@ def dispatch_cells(
         retry=retry,
         failure=failure,
         fault_spec=fault_spec,
+        codec=codec,
+        schedule=schedule,
+        chunk=chunk,
     )
 
 

@@ -50,7 +50,6 @@ import json
 import os
 import threading
 import time
-from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -461,10 +460,20 @@ def inject_preemptive_fault(rule: Optional[Dict[str, Any]]) -> None:
 def corrupt_result_payload(
     rule: Optional[Dict[str, Any]], result: Dict[str, Any]
 ) -> Dict[str, Any]:
-    """Apply a claimed ``corrupt`` rule to a scalar result payload."""
+    """Apply a claimed ``corrupt`` rule to a scalar result payload.
+
+    Corruption is codec-aware: a binary (columnar blob) final
+    configuration is truncated mid-frame, a JSON one is replaced with
+    a version-mismatched document — either way the engine's result
+    validation must reject the payload before it can be checkpointed.
+    """
     if rule is not None and rule["mode"] == "corrupt":
         result = dict(result)
-        result["final"] = '{"format_version": -1}'
+        final = result.get("final")
+        if isinstance(final, (bytes, bytearray)):
+            result["final"] = bytes(final)[: max(8, len(final) // 2)]
+        else:
+            result["final"] = '{"format_version": -1}'
     return result
 
 
@@ -547,9 +556,34 @@ class ResilientExecutor:
         obs: Any = None,
         sleep: Callable[[float], None] = time.sleep,
         clock: Callable[[], float] = time.monotonic,
+        order_key: Optional[Callable[[WorkUnit], float]] = None,
+        initializer: Optional[Callable[..., None]] = None,
+        initargs: Tuple = (),
+        queue_depth: int = 2,
     ):
+        """``order_key``, ``initializer``/``initargs`` and
+        ``queue_depth`` extend the original executor:
+
+        * ``order_key`` — units are dispatched highest-key-first
+          instead of FIFO.  The key is re-evaluated at every dispatch
+          decision, so callers whose key closes over live state (the
+          engine's online cost model) get adaptive ordering for free.
+          Retries compete with fresh units under the same key.
+        * ``initializer``/``initargs`` — forwarded to the process
+          pool (and re-applied on every rebuild after a
+          ``BrokenProcessPool``); the engine uses them to pre-warm
+          worker-side configuration caches.
+        * ``queue_depth`` — the process path keeps at most
+          ``workers × queue_depth`` futures in flight rather than
+          submitting the whole queue up front.  This keeps scheduling
+          decisions late (so the cost model can reorder what has not
+          been submitted yet) and makes per-task timeout deadlines
+          start at *dispatch*, not at enqueue time.
+        """
         retry.validate()
         failure.validate()
+        if queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
         self.backend = backend
         self.workers = workers
         self.retry = retry
@@ -557,6 +591,10 @@ class ResilientExecutor:
         self.obs = obs
         self._sleep = sleep
         self._clock = clock
+        self.order_key = order_key
+        self.initializer = initializer
+        self.initargs = tuple(initargs)
+        self.queue_depth = queue_depth
         self.failures: List[TaskFailure] = []
 
     # -- shared accounting ---------------------------------------------
@@ -670,12 +708,31 @@ class ResilientExecutor:
         else:
             self._run_process(units, decode, commit, quarantine)
 
+    # -- scheduling ----------------------------------------------------
+
+    def _pop_next(self, queue: List) -> Tuple[WorkUnit, int]:
+        """Remove and return the next ``(unit, attempt)`` to dispatch.
+
+        FIFO without an ``order_key``; otherwise the pending entry
+        with the highest key (ties broken by queue position, so equal
+        keys preserve task order).  Linear scan — sweeps are thousands
+        of units at most, and re-evaluating the key at pop time is
+        what lets an online cost model steer the order.
+        """
+        if self.order_key is None:
+            return queue.pop(0)
+        best = max(
+            range(len(queue)), key=lambda i: (self.order_key(queue[i][0]), -i)
+        )
+        return queue.pop(best)
+
     # -- serial path ---------------------------------------------------
 
     def _run_serial(self, units, decode, commit, quarantine) -> None:
         timeout = self.retry.task_timeout
-        for unit in units:
-            attempt = 0
+        queue = [(unit, 0) for unit in units]
+        while queue:
+            unit, attempt = self._pop_next(queue)
             while True:
                 attempt += 1
                 started = self._clock()
@@ -715,11 +772,15 @@ class ResilientExecutor:
 
     def _run_process(self, units, decode, commit, quarantine) -> None:
         timeout = self.retry.task_timeout
-        queue = deque((unit, 1) for unit in units)
+        queue: List[Tuple[WorkUnit, int]] = [(unit, 1) for unit in units]
         waiting: List[Tuple[float, WorkUnit, int]] = []  # (resume, unit, att)
         inflight: Dict[Any, Tuple[WorkUnit, int, Optional[float]]] = {}
         pool: Optional[ProcessPoolExecutor] = None
         restarts = 0
+        # Lazy bounded submission: keep a small in-flight window so
+        # not-yet-submitted units can still be reordered by order_key
+        # and timeout deadlines only start once a task actually ships.
+        max_inflight = max(1, (self.workers or 1) * self.queue_depth)
 
         def handle_failure(unit, error, attempt) -> None:
             delay = self._dispose(unit, error, attempt, quarantine)
@@ -744,13 +805,17 @@ class ResilientExecutor:
                         queue.append((unit, attempt))
                 pool_broken = False
                 if queue and pool is None:
-                    pool = ProcessPoolExecutor(max_workers=self.workers)
-                while queue:
-                    unit, attempt = queue.popleft()
+                    pool = ProcessPoolExecutor(
+                        max_workers=self.workers,
+                        initializer=self.initializer,
+                        initargs=self.initargs,
+                    )
+                while queue and len(inflight) < max_inflight:
+                    unit, attempt = self._pop_next(queue)
                     try:
                         future = pool.submit(unit.fn, unit.payload)
                     except BrokenProcessPool:
-                        queue.appendleft((unit, attempt))
+                        queue.insert(0, (unit, attempt))
                         pool_broken = True
                         break
                     deadline = (

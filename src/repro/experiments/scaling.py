@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence  # noqa: F401
 from repro.analysis.compression_metric import alpha_of
 from repro.analysis.estimators import time_to_threshold
 from repro.experiments.parallel import (
+    DEFAULT_CODEC,
     CellTask,
     ProgressCallback,
     dispatch_cells,
@@ -83,6 +84,7 @@ def scaling_study(
     retry: Optional[RetryPolicy] = None,
     failure: Optional[FailurePolicy] = None,
     fault_spec: Optional[dict] = None,
+    codec: str = DEFAULT_CODEC,
 ) -> List[ScalingPoint]:
     """Measure endpoint quality and time-to-separation across sizes.
 
@@ -158,6 +160,7 @@ def scaling_study(
             retry=retry,
             failure=failure,
             fault_spec=fault_spec,
+            codec=codec,
         )
     if obs is not None:
         obs.log("scaling.done", sizes=list(sizes), replicas=replicas)

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.experiments.parallel import (
+    DEFAULT_CODEC,
     CellTask,
     ProgressCallback,
     dispatch_cells,
@@ -76,6 +77,7 @@ def run_sweep(
     retry: Optional[RetryPolicy] = None,
     failure: Optional[FailurePolicy] = None,
     fault_spec: Optional[dict] = None,
+    codec: str = DEFAULT_CODEC,
 ) -> List[SweepPoint]:
     """Run the chain over a parameter grid, measuring the endpoints.
 
@@ -161,6 +163,7 @@ def run_sweep(
             retry=retry,
             failure=failure,
             fault_spec=fault_spec,
+            codec=codec,
         )
     if obs is not None:
         obs.log("sweep.done", cells=len(cells), replicas=replicas)

@@ -20,7 +20,8 @@ artifact:
 
 Discovery is deliberately lenient: every ``*.jsonl`` file is read as an
 event log, every ``failures.json`` as a quarantine manifest, every
-``cell-*.json`` as a checkpoint, and every other ``*.json`` is probed
+``cell-*.json`` or ``cell-*.bin`` (binary columnar, header-only read)
+as a checkpoint, and every other ``*.json`` is probed
 as a metrics snapshot (files with a different payload envelope — trace
 files, fault ledgers — are skipped, not errors).  Zero-sample and
 all-quarantined quantities render as ``n/a``, never ``nan``.
@@ -228,6 +229,10 @@ def collect_run(
             except (OSError, ValueError):  # bad encoding / malformed JSON
                 report.skipped_files.append(rel)
             continue
+        if path.suffix == ".bin" and path.name.startswith("cell-"):
+            # Binary columnar checkpoint (repro.util.codec).
+            report.checkpoints.append(_checkpoint_info(path, rel, report))
+            continue
         if path.suffix != ".json":
             continue
         if path.name == "failures.json":
@@ -261,9 +266,16 @@ def _checkpoint_info(
     """Lenient summary of one per-cell checkpoint file."""
     info: Dict[str, Any] = {"file": rel}
     try:
-        from repro.util.serialization import load_payload
+        if path.suffix == ".bin":
+            # Header-only read: scalars come out of the CRC-guarded
+            # envelope without decoding any configuration.
+            from repro.util.codec import peek_checkpoint_meta
 
-        payload = load_payload(path)
+            payload = peek_checkpoint_meta(path.read_bytes())
+        else:
+            from repro.util.serialization import load_payload
+
+            payload = load_payload(path)
         info["key"] = payload.get("key")
         info["iterations"] = payload.get("iterations")
         info["wall_time"] = payload.get("wall_time")

@@ -1,0 +1,422 @@
+"""Binary columnar codec for configurations and cell checkpoints.
+
+JSON serialization (:mod:`repro.util.serialization`) is the archival
+format: human-readable, diffable, stable.  It is also what the sweep
+engine used to ship on *every* worker dispatch, checkpoint write, and
+resume — and at paper scale (thousands of cells, snapshot stacks per
+cell) the engine spent more time printing and parsing decimal integers
+than the kernels spent flipping particles.
+
+This module is the hot-path alternative: a particle configuration is
+packed as two NumPy columns — an ``(n, 2)`` integer coordinate array
+and an ``(n,)`` color array — zlib-compressed and wrapped in a small
+versioned envelope.  Decoding rebuilds the ``ParticleSystem`` without
+re-counting edges: the incremental counters travel in the envelope
+header (guarded by a CRC over the payload), so a decode is a dict
+construction, not an O(n·deg) graph walk.
+
+Two container layers share the same framing:
+
+* **Configuration blobs** (:func:`encode_configuration` /
+  :func:`decode_configuration`) — one system, column order preserved.
+  Node *insertion order* is the chain's particle indexing, so the
+  columns are emitted in dict order and a round trip is
+  trajectory-faithful, exactly like ``sort_nodes=False`` JSON.
+* **Checkpoint blobs** (:func:`encode_checkpoint` /
+  :func:`decode_checkpoint`) — one engine result payload: scalar
+  fields in the header, the final configuration and every snapshot as
+  nested blobs.  Snapshots can be CRC-validated *without* decoding
+  (:func:`validate_blob`), which is what makes the engine's lazy
+  snapshot decode safe.
+
+Every decoding error — bad magic, truncated frame, CRC mismatch,
+malformed header, zlib failure — surfaces as ``ValueError`` so callers
+(checkpoint resume, result validation) handle binary corruption through
+the same paths as corrupt JSON.
+
+Setting ``REPRO_DEBUG_CODEC=1`` makes every configuration decode
+recount the edge totals from scratch and compare them against the
+envelope's counters — the belt-and-braces mode for soak runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from typing import Any, Dict, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.system.configuration import ParticleSystem
+
+#: Frame magics: configuration blobs and checkpoint containers.
+CONFIG_MAGIC = b"RBC1"
+CHECKPOINT_MAGIC = b"RBK1"
+
+#: Version recorded inside every envelope header.
+CODEC_VERSION = 1
+
+#: zlib level — integer columns compress well even at the fastest
+#: setting, and encode throughput is the whole point of this module.
+COMPRESS_LEVEL = 1
+
+_HEADER_LEN = struct.Struct("<I")
+
+#: Debug knob: recount counters on every decode and cross-check.
+DEBUG_ENV = "REPRO_DEBUG_CODEC"
+
+
+def is_binary_blob(data: Any) -> bool:
+    """True when ``data`` looks like one of this module's frames."""
+    return isinstance(data, (bytes, bytearray, memoryview)) and bytes(
+        data[:4]
+    ) in (CONFIG_MAGIC, CHECKPOINT_MAGIC)
+
+
+# ----------------------------------------------------------------------
+# Framing: magic + header JSON + zlib-compressed column bytes
+# ----------------------------------------------------------------------
+
+
+def _pack(magic: bytes, header: Dict[str, Any], body: bytes) -> bytes:
+    header = dict(header)
+    header["v"] = CODEC_VERSION
+    header["crc"] = zlib.crc32(body) & 0xFFFFFFFF
+    header["blen"] = len(body)
+    header_bytes = json.dumps(header, separators=(",", ":")).encode()
+    return b"".join(
+        (magic, _HEADER_LEN.pack(len(header_bytes)), header_bytes, body)
+    )
+
+
+def _split(blob: bytes, magic: bytes) -> Tuple[Dict[str, Any], bytes]:
+    """Parse a frame into (header, body), validating everything cheap.
+
+    The CRC over the body *is* checked here — it covers the compressed
+    bytes, so it runs at memory bandwidth without decompressing.
+    """
+    blob = bytes(blob)
+    if len(blob) < 8 or blob[:4] != magic:
+        raise ValueError(
+            f"bad codec frame: expected magic {magic!r}, "
+            f"got {blob[:4]!r} ({len(blob)} bytes)"
+        )
+    (header_len,) = _HEADER_LEN.unpack_from(blob, 4)
+    header_end = 8 + header_len
+    if header_end > len(blob):
+        raise ValueError("truncated codec frame: header overruns blob")
+    try:
+        header = json.loads(blob[8:header_end].decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ValueError(f"corrupt codec header: {error}") from error
+    if not isinstance(header, dict):
+        raise ValueError("corrupt codec header: not a mapping")
+    if header.get("v") != CODEC_VERSION:
+        raise ValueError(
+            f"unsupported codec version {header.get('v')!r}"
+        )
+    body = blob[header_end:]
+    if len(body) != header.get("blen"):
+        raise ValueError(
+            f"truncated codec frame: body {len(body)} bytes, "
+            f"header promised {header.get('blen')!r}"
+        )
+    if (zlib.crc32(body) & 0xFFFFFFFF) != header.get("crc"):
+        raise ValueError("codec frame CRC mismatch (corrupt body)")
+    return header, body
+
+
+def _pack_columns(
+    meta: Dict[str, Any], columns: Sequence[Tuple[str, np.ndarray]]
+) -> bytes:
+    descriptors = []
+    parts = []
+    for name, array in columns:
+        array = np.ascontiguousarray(array)
+        descriptors.append(
+            {
+                "name": name,
+                "dtype": array.dtype.str,
+                "shape": list(array.shape),
+            }
+        )
+        parts.append(array.tobytes())
+    raw = b"".join(parts)
+    header = {
+        "meta": dict(meta),
+        "cols": descriptors,
+        "rlen": len(raw),
+    }
+    return _pack(CONFIG_MAGIC, header, zlib.compress(raw, COMPRESS_LEVEL))
+
+
+def _unpack_columns(
+    blob: bytes,
+) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+    header, body = _split(blob, CONFIG_MAGIC)
+    try:
+        raw = zlib.decompress(body)
+    except zlib.error as error:
+        raise ValueError(f"codec body failed to decompress: {error}") from error
+    if len(raw) != header.get("rlen"):
+        raise ValueError(
+            f"codec body decompressed to {len(raw)} bytes, "
+            f"header promised {header.get('rlen')!r}"
+        )
+    columns: Dict[str, np.ndarray] = {}
+    offset = 0
+    try:
+        for descriptor in header["cols"]:
+            dtype = np.dtype(descriptor["dtype"])
+            shape = tuple(descriptor["shape"])
+            count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+            end = offset + count * dtype.itemsize
+            if end > len(raw):
+                raise ValueError("codec column overruns body")
+            columns[descriptor["name"]] = np.frombuffer(
+                raw, dtype=dtype, count=count, offset=offset
+            ).reshape(shape)
+            offset = end
+    except (KeyError, TypeError) as error:
+        raise ValueError(f"corrupt codec column table: {error}") from error
+    if offset != len(raw):
+        raise ValueError("codec body has trailing bytes after last column")
+    meta = header.get("meta")
+    if not isinstance(meta, dict):
+        raise ValueError("codec header missing its meta mapping")
+    return meta, columns
+
+
+def validate_blob(blob: bytes) -> None:
+    """Structurally validate a configuration blob without decoding it.
+
+    Checks the magic, header JSON, declared body length, and the CRC
+    over the (still-compressed) body — enough to detect every
+    truncation/bit-rot mode the chaos tests inject, at a fraction of
+    the cost of building the ``ParticleSystem``.  Raises ``ValueError``
+    on any problem.
+    """
+    header, _ = _split(blob, CONFIG_MAGIC)
+    meta = header.get("meta")
+    if not isinstance(meta, dict) or meta.get("kind") != "configuration":
+        raise ValueError("codec blob is not a configuration frame")
+
+
+# ----------------------------------------------------------------------
+# Configurations
+# ----------------------------------------------------------------------
+
+
+def _color_dtype(num_colors: int) -> np.dtype:
+    return np.dtype(np.uint8 if num_colors <= 255 else np.int32)
+
+
+def encode_columns(
+    x: np.ndarray,
+    y: np.ndarray,
+    colors: np.ndarray,
+    num_colors: int,
+    edge_total: int,
+    hetero_total: int,
+) -> bytes:
+    """Encode a configuration directly from coordinate/color columns.
+
+    The zero-copy path for array-native producers (the batch kernel
+    exports its replicas as columns without materializing a dict).
+    Row order must be the intended particle insertion order.
+    """
+    n = len(colors)
+    xy = np.empty((n, 2), dtype=np.int32)
+    xy[:, 0] = x
+    xy[:, 1] = y
+    meta = {
+        "kind": "configuration",
+        "n": n,
+        "num_colors": int(num_colors),
+        "edge_total": int(edge_total),
+        "hetero_total": int(hetero_total),
+    }
+    return _pack_columns(
+        meta,
+        (
+            ("xy", xy),
+            ("colors", np.asarray(colors, dtype=_color_dtype(num_colors))),
+        ),
+    )
+
+
+def encode_configuration(system: ParticleSystem) -> bytes:
+    """Encode a system as a columnar blob, preserving insertion order."""
+    nodes = list(system.colors)
+    xy = np.array(nodes, dtype=np.int32).reshape(len(nodes), 2)
+    colors = np.fromiter(
+        system.colors.values(),
+        dtype=_color_dtype(system.num_colors),
+        count=len(nodes),
+    )
+    meta = {
+        "kind": "configuration",
+        "n": len(nodes),
+        "num_colors": system.num_colors,
+        "edge_total": system.edge_total,
+        "hetero_total": system.hetero_total,
+    }
+    return _pack_columns(meta, (("xy", xy), ("colors", colors)))
+
+
+def decode_configuration(blob: bytes) -> ParticleSystem:
+    """Decode a configuration blob back into a ``ParticleSystem``.
+
+    The system is assembled directly — node dict in recorded column
+    order, edge counters restored from the (CRC-guarded) header — so
+    decoding skips the O(n·deg) neighbor recount the JSON path pays in
+    the ``ParticleSystem`` constructor.  Trajectories are therefore
+    bit-identical to a JSON round trip at a fraction of the cost.
+    """
+    meta, columns = _unpack_columns(blob)
+    if meta.get("kind") != "configuration":
+        raise ValueError(
+            f"expected a configuration blob, got kind={meta.get('kind')!r}"
+        )
+    try:
+        n = int(meta["n"])
+        num_colors = int(meta["num_colors"])
+        edge_total = int(meta["edge_total"])
+        hetero_total = int(meta["hetero_total"])
+        xy = columns["xy"]
+        color_column = columns["colors"]
+    except (KeyError, TypeError, ValueError) as error:
+        raise ValueError(f"corrupt configuration meta: {error}") from error
+    if xy.shape != (n, 2) or color_column.shape != (n,):
+        raise ValueError(
+            f"configuration columns have shapes {xy.shape}/"
+            f"{color_column.shape}, expected ({n}, 2)/({n},)"
+        )
+    colors = dict(
+        zip((tuple(pair) for pair in xy.tolist()), color_column.tolist())
+    )
+    if len(colors) != n:
+        raise ValueError("configuration blob contains duplicate nodes")
+    system = ParticleSystem.__new__(ParticleSystem)
+    system.colors = colors
+    system.num_colors = num_colors
+    system.edge_total = edge_total
+    system.hetero_total = hetero_total
+    if os.environ.get(DEBUG_ENV):
+        reference = ParticleSystem(dict(colors), num_colors=num_colors)
+        if (reference.edge_total, reference.hetero_total) != (
+            edge_total,
+            hetero_total,
+        ):
+            raise ValueError(
+                f"configuration counters disagree with recount: "
+                f"stored ({edge_total}, {hetero_total}), recounted "
+                f"({reference.edge_total}, {reference.hetero_total})"
+            )
+    return system
+
+
+# ----------------------------------------------------------------------
+# Checkpoint container: scalars + final + snapshot stack in one file
+# ----------------------------------------------------------------------
+
+#: Result payload keys embedded in the checkpoint header (everything
+#: except the configuration blobs themselves).
+_SCALAR_KEYS_EXCLUDED = ("final", "snapshots")
+
+
+def encode_checkpoint(payload: Dict[str, Any]) -> bytes:
+    """Serialize an engine result payload as one binary checkpoint.
+
+    Scalar fields ride in the header; ``final`` and each entry of
+    ``snapshots`` are stored as length-prefixed items.  Items may be
+    configuration blobs (bytes) or legacy JSON strings — the engine
+    writes blobs, but mixed payloads survive a round trip unchanged.
+    """
+    items: List[Union[bytes, str]] = [payload["final"]]
+    items.extend(payload["snapshots"])
+    kinds = []
+    parts = []
+    for item in items:
+        if isinstance(item, (bytes, bytearray)):
+            kinds.append("b")
+            parts.append(bytes(item))
+        elif isinstance(item, str):
+            kinds.append("j")
+            parts.append(item.encode())
+        else:
+            raise ValueError(
+                f"checkpoint item must be bytes or str, "
+                f"got {type(item).__name__}"
+            )
+    meta = {
+        key: value
+        for key, value in payload.items()
+        if key not in _SCALAR_KEYS_EXCLUDED
+    }
+    header = {
+        "meta": meta,
+        "items": [
+            {"kind": kind, "len": len(part)}
+            for kind, part in zip(kinds, parts)
+        ],
+    }
+    return _pack(CHECKPOINT_MAGIC, header, b"".join(parts))
+
+
+def peek_checkpoint_meta(blob: bytes) -> Dict[str, Any]:
+    """Header scalars of a binary checkpoint (CRC-validated, no decode)."""
+    header, _ = _split(blob, CHECKPOINT_MAGIC)
+    meta = header.get("meta")
+    if not isinstance(meta, dict):
+        raise ValueError("checkpoint header missing its meta mapping")
+    return dict(meta)
+
+
+def decode_checkpoint(blob: bytes) -> Dict[str, Any]:
+    """Rebuild a result payload from a binary checkpoint.
+
+    The returned payload carries the final configuration and snapshots
+    as *still-encoded* items (bytes blobs or JSON strings) — decoding
+    them is the caller's choice, which is what keeps resume-time
+    snapshot decode lazy.  Every blob item is structurally validated
+    (magic + CRC) here so a corrupt checkpoint fails the load, not a
+    later lazy access.
+    """
+    header, body = _split(blob, CHECKPOINT_MAGIC)
+    meta = header.get("meta")
+    table = header.get("items")
+    if not isinstance(meta, dict) or not isinstance(table, list):
+        raise ValueError("corrupt checkpoint header")
+    if not table:
+        raise ValueError("checkpoint container holds no items")
+    items: List[Union[bytes, str]] = []
+    offset = 0
+    for entry in table:
+        try:
+            kind = entry["kind"]
+            length = int(entry["len"])
+        except (KeyError, TypeError, ValueError) as error:
+            raise ValueError(
+                f"corrupt checkpoint item table: {error}"
+            ) from error
+        end = offset + length
+        if end > len(body):
+            raise ValueError("checkpoint item overruns container body")
+        part = body[offset:end]
+        offset = end
+        if kind == "b":
+            validate_blob(part)
+            items.append(part)
+        elif kind == "j":
+            items.append(part.decode())
+        else:
+            raise ValueError(f"unknown checkpoint item kind {kind!r}")
+    if offset != len(body):
+        raise ValueError("checkpoint container has trailing bytes")
+    payload = dict(meta)
+    payload["final"] = items[0]
+    payload["snapshots"] = items[1:]
+    return payload

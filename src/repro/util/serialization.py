@@ -131,6 +131,32 @@ def save_payload(payload: Mapping[str, Any], path: Union[str, Path]) -> None:
         raise
 
 
+def save_bytes(data: bytes, path: Union[str, Path]) -> None:
+    """Atomically write raw bytes to ``path``.
+
+    The binary twin of :func:`save_payload` — same unique-temp-file +
+    fsync + ``os.replace`` dance, used for the columnar checkpoints of
+    :mod:`repro.util.codec` so a hard kill mid-write can never leave a
+    truncated binary checkpoint for ``--resume`` to trip over.
+    """
+    target = Path(path)
+    descriptor, temp_name = tempfile.mkstemp(
+        dir=target.parent, prefix=target.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(descriptor, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_name, target)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+
+
 def sweep_stale_temp_files(directory: Union[str, Path]) -> int:
     """Remove leftover ``*.tmp`` files from hard-killed payload writes.
 

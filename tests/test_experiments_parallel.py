@@ -156,7 +156,7 @@ class TestCheckpointResume:
     def test_checkpoints_written_and_resumed(self, tmp_path):
         tasks = [make_task(seed=s, steps=200) for s in (1, 2, 3)]
         first = execute_cells(tasks, checkpoint_dir=tmp_path)
-        assert len(list(tmp_path.glob("cell-*.json"))) == 3
+        assert len(list(tmp_path.glob("cell-*.bin"))) == 3
 
         restored_flags = []
         second = execute_cells(
@@ -187,7 +187,7 @@ class TestCheckpointResume:
             ),
         )
         assert flags == {1: True, 2: False, 3: True}
-        assert len(list(tmp_path.glob("cell-*.json"))) == 3
+        assert len(list(tmp_path.glob("cell-*.bin"))) == 3
         assert all(isinstance(r, CellResult) for r in results)
 
     def test_corrupt_checkpoint_recomputes_with_warning(self, tmp_path):
@@ -206,8 +206,8 @@ class TestCheckpointResume:
         other = make_task(steps=150, seed=99)
         execute_cells([other], checkpoint_dir=tmp_path)
         # Forge a filename collision with mismatched content.
-        checkpoint_path(tmp_path, task).write_text(
-            checkpoint_path(tmp_path, other).read_text()
+        checkpoint_path(tmp_path, task).write_bytes(
+            checkpoint_path(tmp_path, other).read_bytes()
         )
         with pytest.warns(RuntimeWarning, match="unusable checkpoint"):
             (result,) = execute_cells(

@@ -19,6 +19,7 @@ from repro.experiments.parallel import (
     CellTask,
     checkpoint_path,
     execute_cells,
+    read_checkpoint_payload,
     run_cell,
     task_payload,
 )
@@ -38,7 +39,9 @@ from repro.experiments.resilience import (
 from repro.experiments.sweep import grid, run_sweep
 from repro.obs import Instrumentation, MetricsRegistry, ProgressReporter
 from repro.system.initializers import random_blob_system
+from repro.util.codec import decode_configuration
 from repro.util.serialization import (
+    configuration_from_json,
     configuration_to_json,
     load_payload,
     save_payload,
@@ -70,11 +73,26 @@ def final_jsons(results):
 
 
 def payload_digests(directory, tasks):
-    """Checkpoint-content digests, excluding the worker wall-time."""
+    """Checkpoint-content digests, excluding the worker wall-time.
+
+    Configurations are canonicalized through a decode/encode round trip
+    so the digest is codec-independent: binary and JSON checkpoints of
+    the same trajectory hash identically.
+    """
+
+    def canon(item):
+        if isinstance(item, (bytes, bytearray)):
+            system = decode_configuration(bytes(item))
+        else:
+            system = configuration_from_json(item)
+        return configuration_to_json(system)
+
     digests = {}
     for task in tasks:
-        payload = load_payload(checkpoint_path(directory, task))
+        payload = read_checkpoint_payload(checkpoint_path(directory, task))
         payload.pop("wall_time", None)
+        payload["final"] = canon(payload["final"])
+        payload["snapshots"] = [canon(s) for s in payload.get("snapshots", [])]
         digests[task.key()] = hashlib.sha256(
             json.dumps(payload, sort_keys=True).encode()
         ).hexdigest()
@@ -279,7 +297,7 @@ class TestSerialResilience:
         assert final_jsons(clean) == final_jsons(injected)
         # the corrupt payload never reached the checkpoint directory
         for task in tasks:
-            payload = load_payload(checkpoint_path(ckpt, task))
+            payload = read_checkpoint_payload(checkpoint_path(ckpt, task))
             assert payload["iterations"] == task.steps
 
     def test_retry_metrics_and_failure_metrics(self, tmp_path):

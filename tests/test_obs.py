@@ -610,10 +610,12 @@ class TestEngineInstrumentation:
         assert "cumulative" in results[0].profile
 
     def test_checkpoint_files_stay_free_of_obs_payload(self, tmp_path):
+        from repro.experiments.parallel import read_checkpoint_payload
+
         tasks = self._tasks(count=1)
         execute_cells(tasks, checkpoint_dir=tmp_path, obs=self._obs())
-        (payload_file,) = tmp_path.glob("*.json")
-        payload = json.loads(payload_file.read_text())
+        (payload_file,) = tmp_path.glob("cell-*.bin")
+        payload = read_checkpoint_payload(payload_file)
         for key in ("events", "trace_events", "metrics", "profile"):
             assert key not in payload
 
