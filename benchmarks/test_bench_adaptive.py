@@ -1,0 +1,209 @@
+"""E12 adaptive mode — wall-clock savings of convergence-based stopping.
+
+Runs the same small (λ, γ) sweep twice through the parallel engine: once
+at the fixed budget and once under ``--adaptive`` (stop when the
+streaming diagnostics reach the ESS target, warm-starting down the
+ladder).  The guard exports a machine-readable baseline,
+``benchmarks/results/BENCH_adaptive.json`` (versioned payload envelope;
+see ``docs/performance.md`` for the schema), and asserts:
+
+- every cell stops with reason ``converged`` (the ESS target is
+  reached inside the budget — the acceptance bar of the adaptive mode);
+- the adaptive sweep's wall clock beats the fixed sweep by at least
+  ``REPRO_ADAPTIVE_SPEEDUP_MIN`` (default 2.0 — the separated-regime
+  cells of this grid converge within a small fraction of the budget,
+  so quiet hardware measures well above the floor).
+
+The statistical half of the adaptive contract (stopped ensembles sample
+the same observables as fixed-budget ensembles) lives in
+``tests/test_adaptive.py``; this file only meters time.
+"""
+
+import os
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from conftest import RESULTS_DIR
+from repro.core.separation_chain import SeparationChain
+from repro.experiments.parallel import CellTask, execute_cells
+from repro.obs.convergence import (
+    STOP_CONVERGED,
+    ChainDiagnostics,
+    DiagnosticsConfig,
+    StopCondition,
+)
+from repro.system.initializers import random_blob_system
+from repro.util.serialization import configuration_to_json, save_payload
+
+#: The sweep: both proven regimes plus the λγ > 1 / γ < 1 cross terms.
+LAMBDAS = (2.5, 4.0)
+GAMMAS = (0.5, 4.0)
+N = 48
+BUDGET = 150_000
+
+#: Stop rule of the measured sweep.  The burn-in floor dominates the
+#: adaptive runtime, so the measured speedup is roughly
+#: ``BUDGET / min_iterations`` with the diagnostics overhead folded in.
+STOP = StopCondition(ess_target=10.0, geweke_max=50.0, min_iterations=10_000)
+
+#: Default floor on the fixed/adaptive wall-clock ratio (override with
+#: the ``REPRO_ADAPTIVE_SPEEDUP_MIN`` environment variable).
+DEFAULT_ADAPTIVE_SPEEDUP_MIN = 2.0
+
+#: Schema version of the BENCH_adaptive.json payload body.
+BENCH_VERSION = 1
+
+
+def _git_commit() -> str:
+    """Short commit hash of the working tree, or ``"unknown"``."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        )
+        return out.stdout.strip() or "unknown"
+    except Exception:
+        return "unknown"
+
+
+def _tasks():
+    return [
+        CellTask(
+            lam=lam,
+            gamma=gamma,
+            replica=0,
+            seed=9200 + index,
+            steps=BUDGET,
+            system_json=configuration_to_json(
+                random_blob_system(N, seed=2018), sort_nodes=False
+            ),
+            label=f"lam={lam} gamma={gamma}",
+        )
+        for index, (lam, gamma) in enumerate(
+            (lam, gamma) for lam in LAMBDAS for gamma in GAMMAS
+        )
+    ]
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark row: one adaptive cell end to end
+# ----------------------------------------------------------------------
+
+
+def test_adaptive_cell(benchmark):
+    """One chain run to its stop condition (small budget: bench row)."""
+
+    def run():
+        system = random_blob_system(N, seed=2018)
+        chain = SeparationChain(system, lam=4.0, gamma=4.0, seed=11)
+        chain.instrument(
+            diagnostics=ChainDiagnostics(DiagnosticsConfig(stride=500))
+        )
+        return chain.run_until(
+            40_000, StopCondition(ess_target=10.0, geweke_max=50.0)
+        )
+
+    reason = benchmark(run)
+    assert reason in (STOP_CONVERGED, "budget")
+
+
+# ----------------------------------------------------------------------
+# Guard + machine-readable baseline
+# ----------------------------------------------------------------------
+
+
+def test_adaptive_speedup_guard_and_baseline():
+    """Fixed vs adaptive sweep wall clock; export BENCH_adaptive.json."""
+    threshold = float(
+        os.environ.get(
+            "REPRO_ADAPTIVE_SPEEDUP_MIN", DEFAULT_ADAPTIVE_SPEEDUP_MIN
+        )
+    )
+
+    start = time.perf_counter()
+    fixed = execute_cells(_tasks())
+    fixed_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    adaptive = execute_cells(_tasks(), adaptive=STOP)
+    adaptive_seconds = time.perf_counter() - start
+
+    assert all(r.iterations == BUDGET for r in fixed)
+    for result in adaptive:
+        assert result.stop_reason == STOP_CONVERGED, (
+            f"{result.task.label}: expected every cell to reach the ESS "
+            f"target inside the budget, got {result.stop_reason!r} at "
+            f"{result.iterations} iterations"
+        )
+
+    executed = sum(r.iterations for r in adaptive)
+    budgeted = sum(r.budget_steps for r in adaptive)
+    speedup = fixed_seconds / adaptive_seconds
+
+    cells = [
+        {
+            "lam": r.task.lam,
+            "gamma": r.task.gamma,
+            "iterations": r.iterations,
+            "budget": r.budget_steps,
+            "stop_reason": r.stop_reason,
+            "ess_at_stop": r.ess_at_stop,
+        }
+        for r in adaptive
+    ]
+    payload = {
+        "benchmark": "adaptive_sweep",
+        "version": BENCH_VERSION,
+        "n": N,
+        "budget": BUDGET,
+        "stop": STOP.to_payload(),
+        "timing": "single-pass sweep wall clock, serial backend",
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "platform": sys.platform,
+        "git_commit": _git_commit(),
+        "fixed_seconds": fixed_seconds,
+        "adaptive_seconds": adaptive_seconds,
+        "executed_steps": executed,
+        "budgeted_steps": budgeted,
+        "step_savings": 1.0 - executed / budgeted,
+        "speedup": speedup,
+        "speedup_min": threshold,
+        "cells": cells,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    save_payload(payload, RESULTS_DIR / "BENCH_adaptive.json")
+
+    table = [
+        f"lam={cell['lam']:<4} gamma={cell['gamma']:<4} "
+        f"{cell['iterations']:>8,}/{cell['budget']:,} steps "
+        f"stop={cell['stop_reason']:<10} ess={cell['ess_at_stop']:.1f}"
+        for cell in cells
+    ]
+    summary = "\n".join(
+        table
+        + [
+            f"fixed    {fixed_seconds:8.2f} s  ({budgeted:,} steps)",
+            f"adaptive {adaptive_seconds:8.2f} s  ({executed:,} steps, "
+            f"{100 * (1 - executed / budgeted):.0f}% saved)",
+            f"speedup  {speedup:8.2f}x",
+        ]
+    )
+    print(f"\n=== adaptive_sweep ===\n{summary}")
+
+    assert speedup >= threshold, (
+        f"adaptive sweep speedup {speedup:.2f}x is below the "
+        f"{threshold:.2f}x floor (REPRO_ADAPTIVE_SPEEDUP_MIN overrides); "
+        f"see BENCH_adaptive.json for the full measurement"
+    )
+
+
+if __name__ == "__main__":
+    pytest.main([__file__, "-q", "-s", "--benchmark-disable"])

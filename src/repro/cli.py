@@ -50,6 +50,14 @@ run logs (JSONL), a metrics snapshot, and a Chrome/perfetto trace; see
 convergence diagnostics (ESS, autocorrelation time, Geweke, split R̂)
 every K steps without perturbing trajectories; the verdicts land in
 the metrics snapshot and the run report (``docs/convergence.md``).
+
+Adaptive execution: ``--adaptive`` stops each cell once its streaming
+diagnostics reach ``--ess-target`` (with ``--min-iterations`` as the
+burn-in floor and ``--max-iterations`` as a hard cap), and
+``--warm-start ladder`` seeds each (λ, γ) cell from its finished
+smaller-parameter neighbor's equilibrated configuration.  Fixed-budget
+execution remains the default and is bit-identical to earlier
+releases; see ``docs/adaptive.md``.
 """
 
 from __future__ import annotations
@@ -60,7 +68,7 @@ from typing import Callable, List, Optional, Tuple
 
 from repro.analysis.compression_metric import alpha_of
 from repro.core.separation_chain import CHAIN_BACKENDS, SeparationChain
-from repro.experiments.parallel import CODECS, DEFAULT_CODEC
+from repro.experiments.parallel import CODECS, DEFAULT_CODEC, WARM_STARTS
 from repro.experiments.phases import classify_phase
 from repro.experiments.render import render_ascii, render_svg
 from repro.obs import (
@@ -188,6 +196,57 @@ def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
              "before giving up",
     )
     _add_kernel_argument(parser)
+    _add_adaptive_arguments(parser)
+
+
+def _add_adaptive_arguments(parser: argparse.ArgumentParser) -> None:
+    """Adaptive-termination and warm-start flags (docs/adaptive.md)."""
+    parser.add_argument(
+        "--adaptive", action="store_true",
+        help="stop each cell once its streaming diagnostics reach the "
+             "--ess-target (R-hat/Geweke gated) instead of burning the "
+             "full fixed budget; records stop reason/ESS per cell "
+             "(see docs/adaptive.md)",
+    )
+    parser.add_argument(
+        "--ess-target", type=float, default=200.0, dest="ess_target",
+        metavar="ESS",
+        help="worst-stream effective sample size a cell must reach "
+             "before an adaptive stop (default 200)",
+    )
+    parser.add_argument(
+        "--rhat-max", type=float, default=1.1, dest="rhat_max",
+        metavar="R",
+        help="largest split/cross-replica R-hat an adaptive stop "
+             "tolerates (default 1.1)",
+    )
+    parser.add_argument(
+        "--geweke-max", type=float, default=2.0, dest="geweke_max",
+        metavar="Z",
+        help="largest |Geweke z| an adaptive stop tolerates — raise to "
+             "stop on ESS alone when observables drift slowly "
+             "(default 2)",
+    )
+    parser.add_argument(
+        "--min-iterations", type=nonnegative_int, default=0,
+        dest="min_iterations", metavar="K",
+        help="burn-in floor: never stop a cell adaptively before K "
+             "iterations (0 = no floor)",
+    )
+    parser.add_argument(
+        "--max-iterations", type=nonnegative_int, default=0,
+        dest="max_iterations", metavar="K",
+        help="hard adaptive cap: stop at K iterations even if the "
+             "target is unmet (0 = the cell's own step budget)",
+    )
+    parser.add_argument(
+        "--warm-start", choices=WARM_STARTS, default="off",
+        dest="warm_start",
+        help="'ladder' runs the (lam, gamma) grid as dependency waves, "
+             "seeding each cell from its finished smaller-parameter "
+             "neighbor's equilibrated configuration (statistically, "
+             "not bit-wise, equivalent to cold starts)",
+    )
 
 
 def _add_kernel_argument(parser: argparse.ArgumentParser) -> None:
@@ -314,7 +373,18 @@ def _parallel_kwargs(args: argparse.Namespace) -> dict:
             mode=getattr(args, "on_failure", "raise"),
             max_pool_restarts=getattr(args, "max_pool_restarts", 3),
         ),
+        "warm_start": getattr(args, "warm_start", "off"),
     }
+    if getattr(args, "adaptive", False):
+        from repro.obs import StopCondition
+
+        kwargs["adaptive"] = StopCondition(
+            ess_target=getattr(args, "ess_target", 200.0),
+            rhat_max=getattr(args, "rhat_max", 1.1),
+            geweke_max=getattr(args, "geweke_max", 2.0),
+            min_iterations=getattr(args, "min_iterations", 0),
+            max_iterations=getattr(args, "max_iterations", 0),
+        )
     obs = getattr(args, "_obs", None)
     if obs is not None:
         kwargs["obs"] = obs

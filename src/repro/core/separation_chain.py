@@ -655,6 +655,135 @@ class SeparationChain:
             diag.observe_chain(self)
         return self
 
+    def run_until(self, max_steps: int, stop) -> str:
+        """Run until ``stop`` is satisfied or ``max_steps`` exhaust.
+
+        ``stop`` is a :class:`repro.obs.convergence.StopCondition`;
+        attached convergence diagnostics (``instrument(diagnostics=…)``)
+        supply the verdicts it evaluates.  Returns the stop reason:
+        ``"converged"`` when the diagnostics reached the target,
+        ``"max_iterations"`` when the condition's hard cap fired first,
+        or ``"budget"`` when ``max_steps`` ran out.
+
+        The scalar kernels keep the exact segmentation discipline of
+        :meth:`_run_diagnosed` — kernel choice made once, refill
+        ``horizon`` equal to the outer remaining count, dict write-back
+        deferred between stop checks — so an adaptive trajectory is a
+        bit-exact *prefix* of the fixed-budget trajectory on the same
+        RNG stream.  Stop conditions are evaluated on the diagnostics'
+        verdict cadence (``config.verdict_every`` samples), never more
+        often, because a full verdict walks every estimator.
+
+        The batch backend is chunked at verdict-cadence boundaries
+        instead; chunking shifts the proposal streams' refill points,
+        so batch adaptive runs are statistically (not bit-wise)
+        equivalent to fixed-budget batch runs — the same caveat that
+        already separates the batch kernel from the scalar kernels.
+        """
+        from repro.obs.convergence import STOP_BUDGET, STOP_MAX_ITERATIONS
+
+        diag = self._obs_diag
+        if diag is None:
+            raise RuntimeError(
+                "run_until requires convergence diagnostics; attach one "
+                "via instrument(diagnostics=...)"
+            )
+        if max_steps < 0:
+            raise ValueError(
+                f"max_steps must be non-negative, got {max_steps}"
+            )
+        # ``min_iterations``/``max_iterations`` count absolute chain
+        # iterations (a resumed chain keeps its count), so translate the
+        # hard cap into this call's frame before segmenting.
+        budget_end = self.iterations + max_steps
+        cap_end = budget_end
+        if stop.max_iterations and stop.max_iterations < budget_end:
+            cap_end = max(self.iterations, stop.max_iterations)
+        cap = cap_end - self.iterations
+        capped_reason = (
+            STOP_MAX_ITERATIONS if cap_end < budget_end else STOP_BUDGET
+        )
+        verdict_every = diag.config.verdict_every
+
+        if self.backend == "batch":
+            check_every = diag.config.stride * verdict_every
+            remaining = cap
+            while remaining > 0:
+                seg = min(remaining, check_every)
+                self.run(seg)  # round-level observer samples inside
+                remaining -= seg
+                if remaining and self.iterations < stop.min_iterations:
+                    continue
+                reason = stop.satisfied(diag.summary(), self.iterations)
+                if reason is not None:
+                    return reason
+            return capped_reason
+
+        if not self._batch_rng:
+            remaining = cap
+            step = self.step
+            while remaining > 0:
+                seg = min(
+                    remaining, diag.steps_until_tick(self.iterations)
+                )
+                for _ in range(seg):
+                    step()
+                remaining -= seg
+                diag.observe_chain(self)
+                if self._stop_check_due(diag, verdict_every, remaining):
+                    reason = stop.satisfied(diag.summary(), self.iterations)
+                    if reason is not None:
+                        return reason
+            return capped_reason
+
+        use_grid = self._grid_enabled and (
+            self._grid_force or cap >= _GRID_MIN_STEPS
+        )
+        remaining = cap
+        since_sync = 0
+        while remaining > 0:
+            to_tick = diag.steps_until_tick(self.iterations)
+            seg = min(remaining, to_tick)
+            final = seg == remaining
+            # Predict whether this segment ends on a stop check: checks
+            # happen on the verdict cadence, and a diagnostics sample
+            # only lands when the segment reaches the stride boundary.
+            will_check = final or (
+                seg == to_tick
+                and (diag.samples + 1) % verdict_every == 0
+                and self.iterations + seg >= stop.min_iterations
+            )
+            if use_grid:
+                # Deferred sync between checks (as in _run_diagnosed);
+                # any segment that might return must write the dict
+                # back, with `sync_base` keeping last-move indices on
+                # the span since the previous sync.
+                self._run_steps_grid(
+                    seg,
+                    horizon=remaining,
+                    sync=will_check,
+                    sync_base=since_sync,
+                )
+                since_sync = 0 if will_check else since_sync + seg
+            else:
+                self._run_steps_dict(seg, horizon=remaining)
+            remaining -= seg
+            diag.observe_chain(self)
+            if will_check and not final:
+                reason = stop.satisfied(diag.summary(), self.iterations)
+                if reason is not None:
+                    return reason
+        if cap > 0:
+            reason = stop.satisfied(diag.summary(), self.iterations)
+            if reason is not None:
+                return reason
+        return capped_reason
+
+    @staticmethod
+    def _stop_check_due(diag, verdict_every: int, remaining: int) -> bool:
+        """Whether a stop condition should be evaluated after a sample."""
+        return remaining == 0 or diag.samples % verdict_every == 0
+
     def _run_steps_dict(
         self, steps: int, horizon: Optional[int] = None
     ) -> "SeparationChain":

@@ -32,7 +32,7 @@ from __future__ import annotations
 import hashlib
 import json
 from functools import lru_cache
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 #: Fallback seconds-per-unit before any observation (≈1 µs per
 #: particle-step, the scalar kernels' ballpark on commodity hardware).
@@ -73,9 +73,17 @@ class CostModel:
         self._global_rate: Optional[float] = None
         self._family_rate: Dict[str, float] = {}
 
-    def units(self, task: Any) -> float:
-        """A-priori work estimate of one task: steps × particle count."""
-        return float(max(1, task.steps)) * _system_units(task.system_json)
+    def units(self, task: Any, iterations: Optional[int] = None) -> float:
+        """Work estimate of one task: steps × particle count.
+
+        ``iterations`` substitutes the *actual* executed step count for
+        the budgeted ``task.steps`` — adaptive runs stop early, and
+        training the rates on budgeted units would bias them low by the
+        savings factor (see :meth:`observe`).  Predictions always use
+        the budget (the upper bound the scheduler must plan for).
+        """
+        steps = task.steps if iterations is None else iterations
+        return float(max(1, steps)) * _system_units(task.system_json)
 
     def rate(self, task: Any) -> float:
         """Current best seconds-per-unit estimate for ``task``."""
@@ -90,9 +98,19 @@ class CostModel:
         """Expected runtime of ``task`` under the current rates."""
         return self.units(task) * self.rate(task)
 
-    def observe(self, task: Any, seconds: float) -> None:
-        """Fold one completed cell's measured wall time into the rates."""
-        units = self.units(task)
+    def observe(
+        self, task: Any, seconds: float, iterations: Optional[int] = None
+    ) -> None:
+        """Fold one completed cell's measured wall time into the rates.
+
+        Pass ``iterations`` (the steps actually executed) for cells
+        that may have stopped early under adaptive termination:
+        ``seconds`` was spent on the executed units, so dividing by the
+        budgeted units would understate the per-unit cost and the EWMA
+        would drift optimistic — exactly the mis-calibration that makes
+        chunk planning pack long cells as if they were cheap.
+        """
+        units = self.units(task, iterations=iterations)
         if seconds <= 0.0 or units <= 0.0:
             return
         predicted = self.predict_seconds(task)
@@ -122,3 +140,35 @@ class CostModel:
                 self.metrics.gauge("engine.cost_model.last_rel_err").set(
                     abs(seconds - predicted) / predicted
                 )
+
+
+def plan_ladder(tasks: Sequence[Any]) -> List[List[int]]:
+    """Order sweep cells into warm-start waves over the (λ, γ) grid.
+
+    Returns a partition of ``range(len(tasks))`` into dependency waves:
+    wave ``k`` holds every task whose λ-rank plus γ-rank equals ``k``
+    (anti-diagonals of the rank grid), so by the time a wave runs, both
+    of each cell's smaller-parameter neighbors — its potential
+    warm-start parents — finished in earlier waves.  The ladder is
+    rooted at the smallest (λ, γ): per the paper's phase structure
+    that is the integrated, fastest-mixing corner, and equilibrated
+    configurations flow from fast cells toward the slow separated
+    regime the way annealing schedules flow temperature.
+
+    The plan is a pure function of the tasks' parameter values — no
+    cost estimates, clocks, or randomness — so replans are identical
+    and resume-safe.  Within a wave, task order is preserved; across
+    the whole plan every index appears exactly once, whatever shape
+    the grid has (full, ragged, or a single cell).
+    """
+    lam_rank = {
+        lam: i for i, lam in enumerate(sorted({t.lam for t in tasks}))
+    }
+    gamma_rank = {
+        g: i for i, g in enumerate(sorted({t.gamma for t in tasks}))
+    }
+    waves: Dict[int, List[int]] = {}
+    for index, task in enumerate(tasks):
+        depth = lam_rank[task.lam] + gamma_rank[task.gamma]
+        waves.setdefault(depth, []).append(index)
+    return [waves[depth] for depth in sorted(waves)]

@@ -41,7 +41,7 @@ from repro.experiments.resilience import (
     RetryPolicy,
     surviving,
 )
-from repro.obs import Instrumentation, aggregate_summaries
+from repro.obs import Instrumentation, StopCondition, aggregate_summaries
 from repro.experiments.render import render_ascii
 from repro.system.configuration import ParticleSystem
 from repro.system.initializers import random_blob_system
@@ -138,6 +138,8 @@ def run_figure2(
     failure: Optional[FailurePolicy] = None,
     fault_spec: Optional[dict] = None,
     codec: str = DEFAULT_CODEC,
+    adaptive: Optional[StopCondition] = None,
+    warm_start: str = "off",
 ) -> Figure2Result:
     """Regenerate the Figure 2 trajectory.
 
@@ -215,6 +217,8 @@ def run_figure2(
             failure=failure,
             fault_spec=fault_spec,
             codec=codec,
+            adaptive=adaptive,
+            warm_start=warm_start,
         )
     if obs is not None:
         obs.log("figure2.done", replicas=replicas, steps=steps)

@@ -33,7 +33,7 @@ from repro.experiments.parallel import (
 )
 from repro.experiments.phases import PhaseThresholds, classify_phase, phase_metrics
 from repro.experiments.resilience import FailurePolicy, RetryPolicy, surviving
-from repro.obs import Instrumentation, aggregate_summaries
+from repro.obs import Instrumentation, StopCondition, aggregate_summaries
 from repro.system.configuration import ParticleSystem
 from repro.system.initializers import random_blob_system
 from repro.util.rng import RngLike, seed_entropy
@@ -119,6 +119,8 @@ def run_figure3(
     failure: Optional[FailurePolicy] = None,
     fault_spec: Optional[dict] = None,
     codec: str = DEFAULT_CODEC,
+    adaptive: Optional[StopCondition] = None,
+    warm_start: str = "off",
 ) -> Figure3Result:
     """Regenerate the Figure 3 phase grid.
 
@@ -192,6 +194,8 @@ def run_figure3(
             failure=failure,
             fault_spec=fault_spec,
             codec=codec,
+            adaptive=adaptive,
+            warm_start=warm_start,
         )
     if obs is not None:
         obs.log("figure3.done", cells=len(cells), replicas=replicas)

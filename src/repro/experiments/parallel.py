@@ -68,13 +68,13 @@ import sys
 import time
 import warnings
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as dataclass_replace
 from functools import lru_cache
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.separation_chain import CHAIN_BACKENDS, SeparationChain
-from repro.experiments.costmodel import CostModel
+from repro.experiments.costmodel import CostModel, plan_ladder
 from repro.experiments.resilience import (
     FailedCell,
     FailurePolicy,
@@ -97,10 +97,12 @@ from repro.obs import (
     JsonLogger,
     MetricsRegistry,
     ReplicaSetDiagnostics,
+    StopCondition,
     TraceRecorder,
     merge_records,
     run_profiled,
 )
+from repro.obs.convergence import STOP_BUDGET, STOP_MAX_ITERATIONS
 from repro.system.configuration import ParticleSystem
 from repro.util import codec as binary_codec
 from repro.util.serialization import (
@@ -140,6 +142,14 @@ _CHUNK_OVERSUBSCRIPTION = 4
 #: Hard cap on adaptive chunk size (``chunk=0``); explicit ``chunk=k``
 #: overrides it.
 _CHUNK_CAP = 16
+
+#: Warm-start strategies understood by :func:`dispatch_cells`:
+#: ``"off"`` runs every cell cold from its own initial configuration;
+#: ``"ladder"`` schedules the (λ, γ) grid as a dependency DAG of
+#: anti-diagonal waves and seeds each cell from the equilibrated final
+#: configuration of its nearest already-finished neighbor (see
+#: :func:`repro.experiments.costmodel.plan_ladder`).
+WARM_STARTS = ("off", "ladder")
 
 #: Schema version of the per-cell checkpoint payloads.
 CHECKPOINT_VERSION = 1
@@ -188,6 +198,14 @@ class CellTask:
     regime (statistically, not bit-wise, equivalent); its checkpoints
     are still valid chain samples, so cross-kernel resume remains
     sound for ensemble statistics.
+
+    ``warm_parent`` records warm-start provenance: the :meth:`key` of
+    the finished neighbor cell whose equilibrated final configuration
+    became this task's ``system_json``.  Like ``label`` it is metadata
+    and rides outside :meth:`key` — the *configuration itself* is what
+    matters for identity, and it is already covered by the system
+    digest, so a stale or changed parent produces a different digest
+    and therefore a different checkpoint key automatically.
     """
 
     lam: float
@@ -200,6 +218,7 @@ class CellTask:
     checkpoints: Tuple[int, ...] = ()
     label: str = ""
     kernel: str = "auto"
+    warm_parent: str = ""
 
     def key(self) -> str:
         """Stable identity digest used to name checkpoint files.
@@ -275,6 +294,15 @@ class CellResult:
     ``diag_every`` stride was requested — ``None`` otherwise, and for
     results restored from checkpoints (diagnostics ride outside the
     checkpoint schema).
+
+    Adaptive runs additionally record stop metadata (persisted in the
+    checkpoint header, defaulting to ``None`` for fixed-budget runs
+    and legacy checkpoints): ``stop_reason`` (a
+    :mod:`repro.obs.convergence` ``STOP_*`` constant), ``ess_at_stop``
+    (worst-stream ESS when the cell stopped), ``budget_steps`` (the
+    fixed budget the run was capped by — ``iterations < budget_steps``
+    measures the savings), and warm-start provenance
+    (``warm_parent``/``warm_digest``).
     """
 
     task: CellTask
@@ -287,6 +315,11 @@ class CellResult:
     wall_time: float = 0.0
     profile: Optional[str] = None
     diag: Optional[Dict[str, Any]] = None
+    stop_reason: Optional[str] = None
+    ess_at_stop: Optional[float] = None
+    budget_steps: Optional[int] = None
+    warm_parent: Optional[str] = None
+    warm_digest: Optional[str] = None
 
 
 #: Side-channel payload keys (observability and fault injection):
@@ -307,6 +340,7 @@ def task_payload(
     task: CellTask,
     instrument: Optional[Dict[str, bool]] = None,
     codec: str = "json",
+    adaptive: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """The payload shipped to worker processes for ``task``.
 
@@ -320,6 +354,15 @@ def task_payload(
     initial system ships as a packed columnar blob plus its digest
     (the warm-worker cache key), and the worker is asked to return
     blobs in kind.  The codec rides outside the task identity too.
+
+    ``adaptive`` is the optional adaptive-termination request (see
+    :func:`adaptive_flags`): a :class:`~repro.obs.StopCondition`
+    payload plus the diagnostics stride.  Like ``instrument`` it rides
+    outside the task identity — an adaptive run that completes its
+    full budget writes a checkpoint a fixed-budget run can resume, and
+    vice versa.  Warm-start provenance (``warm_parent`` plus the
+    digest of the inherited configuration) is forwarded so the worker
+    can echo it into the result payload for the checkpoint header.
     """
     payload = {
         "key": task.key(),
@@ -338,9 +381,33 @@ def task_payload(
         payload["codec"] = "binary"
         payload["system"] = _encoded_system(task.system_json)
         payload["system_digest"] = _system_digest(task.system_json)
+    if task.warm_parent:
+        payload["warm_parent"] = task.warm_parent
+        payload["warm_digest"] = _system_digest(task.system_json)
+    if adaptive:
+        payload["adaptive"] = dict(adaptive)
     if instrument:
         payload["instrument"] = dict(instrument)
     return payload
+
+
+def adaptive_flags(
+    adaptive: Optional[StopCondition], obs: Optional[Instrumentation]
+) -> Optional[Dict[str, Any]]:
+    """The JSON-able adaptive request shipped to workers, or ``None``.
+
+    Bundles the stop condition's payload with the diagnostics sampling
+    stride the worker should run at: an explicit ``obs.diag_every``
+    wins (diagnostics are then shared between reporting and
+    termination); otherwise the default
+    :class:`~repro.obs.DiagnosticsConfig` stride applies.
+    """
+    if adaptive is None:
+        return None
+    flags = adaptive.to_payload()
+    stride = obs.diag_every if obs is not None else 0
+    flags["stride"] = int(stride) if stride > 0 else DiagnosticsConfig().stride
+    return flags
 
 
 # ---------------------------------------------------------------------------
@@ -550,8 +617,13 @@ def _run_cell_body(
         # trajectory is identical, only the throughput differs.
         backend=payload.get("kernel", "auto"),
     )
+    adaptive = payload.get("adaptive") or None
     diag = None
     diag_every = int(instrument.get("diag_every") or 0)
+    if adaptive and diag_every <= 0:
+        # Adaptive termination needs streaming diagnostics even when no
+        # explicit observability stride was requested.
+        diag_every = int(adaptive.get("stride") or 0) or DiagnosticsConfig().stride
     if diag_every > 0:
         diag = ChainDiagnostics(
             DiagnosticsConfig(stride=diag_every),
@@ -582,7 +654,15 @@ def _run_cell_body(
         chain.run(checkpoint - current)
         current = checkpoint
         snapshots.append(encode(system))
-    chain.run(payload["steps"] - current)
+    stop_reason = None
+    if adaptive:
+        # Adaptive termination engages only on the final segment, after
+        # every requested snapshot exists — the snapshot-count contract
+        # of the checkpoint schema is preserved unconditionally.
+        stop = StopCondition.from_payload(adaptive)
+        stop_reason = chain.run_until(payload["steps"] - current, stop)
+    else:
+        chain.run(payload["steps"] - current)
     wall_time = time.perf_counter() - wall_start
 
     result = {
@@ -595,6 +675,14 @@ def _run_cell_body(
         "accepted_swaps": chain.accepted_swaps,
         "wall_time": wall_time,
     }
+    summary = diag.summary() if diag is not None else None
+    if stop_reason is not None:
+        result["stop_reason"] = stop_reason
+        result["budget_steps"] = payload["steps"]
+        result["ess_at_stop"] = (summary or {}).get("ess")
+    if payload.get("warm_parent"):
+        result["warm_parent"] = payload["warm_parent"]
+        result["warm_digest"] = payload.get("warm_digest")
     if trace is not None:
         trace.complete("cell", cell_span_start, **context)
         result["trace_events"] = trace.events
@@ -606,7 +694,7 @@ def _run_cell_body(
     if metrics is not None:
         result["metrics"] = metrics.snapshot()
     if diag is not None:
-        result["diag"] = diag.summary()
+        result["diag"] = summary
     return result
 
 
@@ -653,6 +741,15 @@ def _decode_result(
         wall_time=float(payload.get("wall_time", 0.0)),
         profile=payload.get("profile"),
         diag=payload.get("diag"),
+        stop_reason=payload.get("stop_reason"),
+        ess_at_stop=payload.get("ess_at_stop"),
+        budget_steps=(
+            int(payload["budget_steps"])
+            if payload.get("budget_steps") is not None
+            else None
+        ),
+        warm_parent=payload.get("warm_parent"),
+        warm_digest=payload.get("warm_digest"),
     )
 
 
@@ -692,9 +789,18 @@ def _validated_result(task: CellTask, payload: Any) -> CellResult:
             f"result key {payload['key']!r} does not match "
             f"task {task.key()!r}"
         )
-    if int(payload["iterations"]) != task.steps:
+    iterations = int(payload["iterations"])
+    if payload.get("stop_reason") is not None:
+        # Adaptive runs legitimately stop short of the budget, but can
+        # never legally exceed it.
+        if iterations > task.steps:
+            raise ResultValidationError(
+                f"cell {task.key()} ran {iterations} iterations, "
+                f"exceeding its budget of {task.steps}"
+            )
+    elif iterations != task.steps:
         raise ResultValidationError(
-            f"cell {task.key()} ran {payload['iterations']} iterations, "
+            f"cell {task.key()} ran {iterations} iterations, "
             f"expected {task.steps}"
         )
     if len(payload["snapshots"]) != len(task.checkpoints):
@@ -880,12 +986,18 @@ def batch_group_payload(
     tasks: Sequence[CellTask],
     instrument: Optional[Dict[str, bool]] = None,
     codec: str = "json",
+    adaptive: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Worker payload for one batch group (R replicas of one cell).
 
     ``codec="binary"`` ships the shared initial configuration as a
     columnar blob (decoded once per worker via the warm cache) and
-    asks the worker to return blob configurations.
+    asks the worker to return blob configurations.  ``adaptive``
+    requests ESS-targeted termination (see :func:`adaptive_flags`); the
+    group's replicas vote through one
+    :class:`~repro.obs.ReplicaSetDiagnostics` and stop together, so
+    every member records the same stop reason.  Warm-start provenance
+    travels per member.
     """
     head = tasks[0]
     payload: Dict[str, Any] = {
@@ -901,6 +1013,7 @@ def batch_group_payload(
                 "replica": task.replica,
                 "seed": task.seed,
                 "label": task.label,
+                "warm_parent": task.warm_parent,
             }
             for task in tasks
         ],
@@ -909,6 +1022,10 @@ def batch_group_payload(
         payload["codec"] = "binary"
         payload["system"] = _encoded_system(head.system_json)
         payload["system_digest"] = _system_digest(head.system_json)
+    if any(task.warm_parent for task in tasks):
+        payload["warm_digest"] = _system_digest(head.system_json)
+    if adaptive:
+        payload["adaptive"] = dict(adaptive)
     if instrument:
         payload["instrument"] = dict(instrument)
     return payload
@@ -988,8 +1105,11 @@ def run_batch_group(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
         seed=[member["seed"] for member in members],
         swaps=payload["swaps"],
     )
+    adaptive = payload.get("adaptive") or None
     diag = None
     diag_every = int(instrument.get("diag_every") or 0)
+    if adaptive and diag_every <= 0:
+        diag_every = int(adaptive.get("stride") or 0) or DiagnosticsConfig().stride
     if diag_every > 0:
         # Round-level observer: the kernel samples all R replicas in
         # lock step once per vectorized round, feeding per-replica
@@ -1024,7 +1144,36 @@ def run_batch_group(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
         current = checkpoint
         for r in range(replicas):
             snapshots[r].append(export(r))
-    kernel.run(payload["steps"] - current)
+    stop_reason = None
+    if adaptive:
+        # Adaptive termination on the final segment: chunk the kernel
+        # at verdict-cadence boundaries and let the replicas vote via
+        # the group diagnostics' worst-replica fold + cross-replica
+        # R-hat.  The whole group stops together, so all members stay
+        # lock-step (and share one stop reason).  Chunked runs shift
+        # the kernel's proposal refill points, so adaptive batch runs
+        # are statistically (not bit-wise) equivalent to fixed-budget
+        # ones — the scalar kernels keep bit-exact prefixes.
+        stop = StopCondition.from_payload(adaptive)
+        cap_end = stop.cap(payload["steps"])
+        stop_reason = (
+            STOP_MAX_ITERATIONS
+            if cap_end < payload["steps"]
+            else STOP_BUDGET
+        )
+        check_every = diag.config.stride * diag.config.verdict_every
+        while current < cap_end:
+            seg = min(cap_end - current, check_every)
+            kernel.run(seg)
+            current += seg
+            if current < stop.min_iterations and current < cap_end:
+                continue
+            reason = stop.satisfied(diag.summary(), current)
+            if reason is not None:
+                stop_reason = reason
+                break
+    else:
+        kernel.run(payload["steps"] - current)
     wall_time = time.perf_counter() - wall_start
 
     results: List[Dict[str, Any]] = []
@@ -1041,8 +1190,16 @@ def run_batch_group(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
                 "wall_time": wall_time / replicas,
             }
         )
-        if diag is not None:
-            results[r]["diag"] = diag.member_summary(r)
+        member_diag = diag.member_summary(r) if diag is not None else None
+        if member_diag is not None:
+            results[r]["diag"] = member_diag
+        if stop_reason is not None:
+            results[r]["stop_reason"] = stop_reason
+            results[r]["budget_steps"] = payload["steps"]
+            results[r]["ess_at_stop"] = (member_diag or {}).get("ess")
+        if member.get("warm_parent"):
+            results[r]["warm_parent"] = member["warm_parent"]
+            results[r]["warm_digest"] = payload.get("warm_digest")
 
     aggregate_steps = int(kernel.iters.sum())
     if metrics is not None:
@@ -1102,6 +1259,7 @@ def execute_cells(
     codec: str = DEFAULT_CODEC,
     schedule: str = "cost",
     chunk: int = 0,
+    adaptive: Optional[StopCondition] = None,
 ) -> List[CellResult]:
     """Run every task and return results in task order.
 
@@ -1169,6 +1327,15 @@ def execute_cells(
         backend: ``0`` packs adaptively, ``1`` disables, ``k >= 2``
         caps chunks at ``k`` cells.  Retry/timeout/quarantine apply to
         a chunk as a unit, like a batch group.
+    adaptive:
+        Optional :class:`~repro.obs.StopCondition`.  Workers then stop
+        each cell early once its streaming diagnostics satisfy the
+        condition (``task.steps`` remains the hard budget) and record
+        stop metadata — reason, ESS at stop, budget — in results and
+        checkpoint headers.  ``None`` (the default) keeps fixed-budget
+        execution bit-identical to historical runs.  The cost model
+        observes *actual* executed iterations, so its online rates stay
+        calibrated when cells stop early.
     """
     if backend not in BACKENDS:
         raise ValueError(
@@ -1244,6 +1411,7 @@ def execute_cells(
             pending.append(index)
 
     instrument = obs.worker_flags() if obs is not None else None
+    adaptive_request = adaptive_flags(adaptive, obs)
     effective_workers = workers if workers is not None else default_workers()
 
     model: Optional[CostModel] = None
@@ -1265,7 +1433,12 @@ def execute_cells(
     for uid, group in enumerate(groups):
         payloads = []
         for index in group:
-            payload = task_payload(task_list[index], instrument, codec=codec)
+            payload = task_payload(
+                task_list[index],
+                instrument,
+                codec=codec,
+                adaptive=adaptive_request,
+            )
             if fault_spec is not None:
                 payload["fault"] = fault_spec
             payloads.append(payload)
@@ -1343,7 +1516,11 @@ def execute_cells(
                     codec,
                 )
             if model is not None:
-                model.observe(task, result.wall_time)
+                # Adaptive cells stop short of their budget; train the
+                # EWMA on the units actually executed, not budgeted.
+                model.observe(
+                    task, result.wall_time, iterations=result.iterations
+                )
             if obs is not None:
                 _absorb_cell(obs, task, payload, result)
             results[index] = result
@@ -1452,6 +1629,10 @@ def _absorb_cell(
                 "wall_time": wall,
                 "steps_per_sec": throughput,
                 "from_checkpoint": result.from_checkpoint,
+                "stop_reason": result.stop_reason,
+                "budget_steps": result.budget_steps,
+                "ess_at_stop": result.ess_at_stop,
+                "warm_parent": result.warm_parent,
             }
         )
         diag = result.diag
@@ -1485,6 +1666,7 @@ def _absorb_cell(
             ess=result.diag.get("ess"),
             rhat=result.diag.get("rhat"),
             reasons=result.diag.get("reasons"),
+            stop_reason=result.stop_reason,
         )
     if obs.trace is not None and payload.get("trace_events"):
         obs.trace.extend(payload["trace_events"])
@@ -1540,6 +1722,7 @@ class BatchRunner:
     fault_spec: Optional[Any] = None
     codec: str = DEFAULT_CODEC
     schedule: str = "cost"
+    adaptive: Optional[StopCondition] = None
 
     def run(self, tasks: Iterable[CellTask]) -> List[CellResult]:
         """Execute every task and return results in task order.
@@ -1629,6 +1812,7 @@ class BatchRunner:
                 pending.append(index)
 
         instrument = obs.worker_flags() if obs is not None else None
+        adaptive_request = adaptive_flags(self.adaptive, obs)
         groups = group_batch_tasks(
             task_list, pending, self.replicas_per_task
         )
@@ -1640,7 +1824,10 @@ class BatchRunner:
         units = []
         for uid, group in enumerate(groups):
             payload = batch_group_payload(
-                [task_list[i] for i in group], instrument, codec=self.codec
+                [task_list[i] for i in group],
+                instrument,
+                codec=self.codec,
+                adaptive=adaptive_request,
             )
             if self.fault_spec is not None:
                 payload["fault"] = self.fault_spec
@@ -1698,7 +1885,9 @@ class BatchRunner:
                         self.codec,
                     )
                 if model is not None:
-                    model.observe(task, result.wall_time)
+                    model.observe(
+                        task, result.wall_time, iterations=result.iterations
+                    )
                 if obs is not None:
                     _absorb_cell(obs, task, payload, result)
                 results[index] = result
@@ -1784,6 +1973,8 @@ def dispatch_cells(
     codec: str = DEFAULT_CODEC,
     schedule: str = "cost",
     chunk: int = 0,
+    adaptive: Optional[StopCondition] = None,
+    warm_start: str = "off",
 ) -> List[CellResult]:
     """Route tasks to the scalar engine or the batch runner by kernel.
 
@@ -1796,8 +1987,44 @@ def dispatch_cells(
     ``codec``/``schedule``/``chunk`` configure the transport codec and
     cost-model scheduling (see :func:`execute_cells` — none of them
     affect results, only speed).
+
+    ``adaptive`` requests ESS-targeted early termination (see
+    :func:`execute_cells`).  ``warm_start="ladder"`` additionally
+    replaces the flat longest-first schedule with a dependency DAG:
+    the (λ, γ) grid is planned as anti-diagonal waves
+    (:func:`repro.experiments.costmodel.plan_ladder`) and each cell's
+    initial configuration is swapped for the equilibrated final
+    configuration of its nearest already-finished neighbor, per
+    replica, cutting burn-in.  Warm-started cells are *statistically*
+    — not bit-wise — equivalent to cold ones (different initial
+    condition, same stationary distribution), so the ladder is opt-in
+    and composes with ``adaptive``, where skipping burn-in is what
+    converts warm starts into wall-clock savings.
     """
+    if warm_start not in WARM_STARTS:
+        raise ValueError(
+            f"unknown warm_start {warm_start!r}; "
+            f"expected one of {WARM_STARTS}"
+        )
     task_list = list(tasks)
+    kwargs = dict(
+        backend=backend,
+        workers=workers,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+        progress=progress,
+        obs=obs,
+        replicas_per_task=replicas_per_task,
+        retry=retry,
+        failure=failure,
+        fault_spec=fault_spec,
+        codec=codec,
+        schedule=schedule,
+        chunk=chunk,
+        adaptive=adaptive,
+    )
+    if warm_start == "ladder" and len(task_list) > 1:
+        return _dispatch_ladder(task_list, **kwargs)
     batch_flags = {task.kernel == "batch" for task in task_list}
     if batch_flags == {True}:
         return BatchRunner(
@@ -1813,6 +2040,7 @@ def dispatch_cells(
             fault_spec=fault_spec,
             codec=codec,
             schedule=schedule,
+            adaptive=adaptive,
         ).run(task_list)
     if True in batch_flags:
         raise ValueError(
@@ -1833,7 +2061,103 @@ def dispatch_cells(
         codec=codec,
         schedule=schedule,
         chunk=chunk,
+        adaptive=adaptive,
     )
+
+
+def _dispatch_ladder(
+    task_list: List[CellTask],
+    progress: Optional[ProgressCallback] = None,
+    obs: Optional[Instrumentation] = None,
+    **kwargs: Any,
+) -> List[CellResult]:
+    """Wave-by-wave dependency-DAG dispatch with neighbor warm starts.
+
+    Waves come from :func:`repro.experiments.costmodel.plan_ladder`
+    (anti-diagonals of the (λ, γ) rank grid, rooted at the smallest
+    parameters — the fastest-mixing corner by Theorems 1–2's phase
+    structure).  Within a wave every cell's parents are finished, so
+    each task's ``system_json`` is replaced with its parent's
+    equilibrated final configuration (same replica; the γ-neighbor is
+    preferred, then the λ-neighbor; cells with no finished parent run
+    cold).  The provenance rides in ``warm_parent`` and — because the
+    configuration digest participates in the task key — a stale parent
+    automatically invalidates any checkpoint written for the child.
+
+    Quarantined parents simply leave their children cold; failure
+    handling inside each wave is unchanged.
+    """
+    waves = plan_ladder(task_list)
+    total = len(task_list)
+    results: List[Optional[CellResult]] = [None] * total
+    lams = sorted({task.lam for task in task_list})
+    gammas = sorted({task.gamma for task in task_list})
+    lam_prev = {lam: lams[i - 1] for i, lam in enumerate(lams) if i > 0}
+    gamma_prev = {g: gammas[i - 1] for i, g in enumerate(gammas) if i > 0}
+    finished: Dict[Tuple[float, float, int], Tuple[str, str]] = {}
+
+    if obs is not None:
+        obs.log(
+            "engine.ladder",
+            cells=total,
+            waves=len(waves),
+            lams=len(lams),
+            gammas=len(gammas),
+        )
+        if obs.metrics is not None:
+            obs.metrics.gauge("engine.ladder_waves").set(len(waves))
+
+    done_before = 0
+    for wave in waves:
+        warmed: List[CellTask] = []
+        for index in wave:
+            task = task_list[index]
+            for parent_cell in (
+                (task.lam, gamma_prev.get(task.gamma)),
+                (lam_prev.get(task.lam), task.gamma),
+            ):
+                if parent_cell[0] is None or parent_cell[1] is None:
+                    continue
+                entry = finished.get((*parent_cell, task.replica))
+                if entry is not None:
+                    parent_key, parent_json = entry
+                    task = dataclass_replace(
+                        task,
+                        system_json=parent_json,
+                        warm_parent=parent_key,
+                    )
+                    break
+            warmed.append(task)
+
+        wave_progress: Optional[ProgressCallback] = None
+        if progress is not None:
+            def wave_progress(
+                done: int,
+                _wave_total: int,
+                result: CellResult,
+                _base: int = done_before,
+            ) -> None:
+                progress(_base + done, total, result)
+
+        wave_results = dispatch_cells(
+            warmed,
+            progress=wave_progress,
+            obs=obs,
+            warm_start="off",
+            **kwargs,
+        )
+        for index, task, result in zip(wave, warmed, wave_results):
+            results[index] = result
+            if isinstance(result, FailedCell):
+                continue
+            finished[(task.lam, task.gamma, task.replica)] = (
+                task.key(),
+                configuration_to_json(result.system, sort_nodes=False),
+            )
+        done_before += len(wave)
+
+    assert all(result is not None for result in results)
+    return results  # type: ignore[return-value]
 
 
 def resolve_backend(backend: Optional[str], workers: Optional[int]) -> str:

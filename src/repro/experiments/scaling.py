@@ -36,7 +36,7 @@ from repro.experiments.resilience import (
     RetryPolicy,
     surviving,
 )
-from repro.obs import Instrumentation, aggregate_summaries
+from repro.obs import Instrumentation, StopCondition, aggregate_summaries
 from repro.system.initializers import random_blob_system
 from repro.util.rng import RngLike, seed_entropy
 from repro.util.serialization import configuration_to_json
@@ -85,6 +85,8 @@ def scaling_study(
     failure: Optional[FailurePolicy] = None,
     fault_spec: Optional[dict] = None,
     codec: str = DEFAULT_CODEC,
+    adaptive: Optional[StopCondition] = None,
+    warm_start: str = "off",
 ) -> List[ScalingPoint]:
     """Measure endpoint quality and time-to-separation across sizes.
 
@@ -161,6 +163,8 @@ def scaling_study(
             failure=failure,
             fault_spec=fault_spec,
             codec=codec,
+            adaptive=adaptive,
+            warm_start=warm_start,
         )
     if obs is not None:
         obs.log("scaling.done", sizes=list(sizes), replicas=replicas)

@@ -25,7 +25,7 @@ from repro.experiments.parallel import (
     group_by_cell,
 )
 from repro.experiments.resilience import FailurePolicy, RetryPolicy, surviving
-from repro.obs import Instrumentation, aggregate_summaries
+from repro.obs import Instrumentation, StopCondition, aggregate_summaries
 from repro.system.configuration import ParticleSystem
 from repro.system.initializers import random_blob_system
 from repro.util.rng import RngLike, derive_seed, seed_entropy
@@ -78,6 +78,8 @@ def run_sweep(
     failure: Optional[FailurePolicy] = None,
     fault_spec: Optional[dict] = None,
     codec: str = DEFAULT_CODEC,
+    adaptive: Optional[StopCondition] = None,
+    warm_start: str = "off",
 ) -> List[SweepPoint]:
     """Run the chain over a parameter grid, measuring the endpoints.
 
@@ -111,6 +113,17 @@ def run_sweep(
     from the aggregates: each point's ``_replicas`` counts survivors,
     and a cell whose replicas *all* failed yields NaN metrics with
     ``system=None``.
+
+    ``adaptive`` (a :class:`repro.obs.StopCondition`) turns on
+    ESS-targeted early termination: each cell stops once its streaming
+    diagnostics satisfy the condition, with ``iterations`` as the hard
+    budget, and records stop metadata in its results and checkpoints.
+    ``warm_start="ladder"`` additionally runs the grid as anti-diagonal
+    waves, seeding each cell from its finished smaller-parameter
+    neighbor's equilibrated configuration (see
+    :func:`repro.experiments.parallel.dispatch_cells`).  Both default
+    off; the fixed-budget default stays bit-identical to historical
+    sweeps.
     """
     if replicas < 1:
         raise ValueError(f"replicas must be positive, got {replicas}")
@@ -164,6 +177,8 @@ def run_sweep(
             failure=failure,
             fault_spec=fault_spec,
             codec=codec,
+            adaptive=adaptive,
+            warm_start=warm_start,
         )
     if obs is not None:
         obs.log("sweep.done", cells=len(cells), replicas=replicas)

@@ -38,6 +38,7 @@ from repro.obs.convergence import (
     ChainDiagnostics,
     DiagnosticsConfig,
     ReplicaSetDiagnostics,
+    StopCondition,
     aggregate_summaries,
 )
 from repro.obs.log import JsonLogger, merge_records, read_jsonl
@@ -63,6 +64,7 @@ __all__ = [
     "ProgressReporter",
     "ReplicaSetDiagnostics",
     "Series",
+    "StopCondition",
     "TraceRecorder",
     "aggregate_summaries",
     "merge_records",

@@ -52,11 +52,16 @@ from typing import Any, Deque, Dict, Iterable, List, Optional, Sequence
 
 __all__ = [
     "DEFAULT_DIAG_EVERY",
+    "STOP_BUDGET",
+    "STOP_CONVERGED",
+    "STOP_FIXED",
+    "STOP_MAX_ITERATIONS",
     "BatchMeans",
     "ChainDiagnostics",
     "DiagnosticsConfig",
     "ReplicaSetDiagnostics",
     "RunningMoments",
+    "StopCondition",
     "StreamDiagnostics",
     "WindowedAutocorrelation",
     "aggregate_summaries",
@@ -135,6 +140,111 @@ class DiagnosticsConfig:
             raise ValueError(
                 f"stall_window must be >= 2, got {self.stall_window}"
             )
+
+
+#: Stop reasons recorded by adaptive execution (checkpoint/report schema).
+STOP_CONVERGED = "converged"        #: diagnostics reached the target
+STOP_MAX_ITERATIONS = "max_iterations"  #: hard adaptive cap hit first
+STOP_BUDGET = "budget"              #: the cell's step budget ran out
+STOP_FIXED = "fixed"                #: fixed-budget mode (no adaptive stop)
+
+
+@dataclass(frozen=True)
+class StopCondition:
+    """Adaptive-termination target evaluated against diagnostic verdicts.
+
+    A cell running under ``--adaptive`` keeps stepping until a verdict
+    (:meth:`ChainDiagnostics.summary` or
+    :meth:`ReplicaSetDiagnostics.summary` — the batch kernel's replicas
+    therefore *vote* through the group verdict's worst-replica folding
+    and cross-replica R̂) satisfies every enabled criterion:
+
+    * worst-stream ESS ≥ ``ess_target``;
+    * |Geweke z| ≤ ``geweke_max`` (burn-in drained);
+    * R̂ ≤ ``rhat_max`` when replicas make it available;
+    * the stall detector is quiet (a frozen chain never "converges");
+    * at least ``min_iterations`` steps have run (burn-in floor — the
+      early-trajectory verdicts of a cold-started chain are noise).
+
+    ``max_iterations`` is a hard cap *below* the cell's fixed budget
+    (0 disables it); the budget itself always remains the outer bound,
+    so an adaptive trajectory is a prefix of the fixed-budget
+    trajectory on the same RNG stream (scalar kernels).  See
+    ``docs/adaptive.md`` for the statistical caveats.
+    """
+
+    ess_target: float = 200.0
+    rhat_max: float = 1.1
+    geweke_max: float = 2.0
+    min_iterations: int = 0
+    max_iterations: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.ess_target > 0.0:
+            raise ValueError(
+                f"ess_target must be positive, got {self.ess_target}"
+            )
+        if self.rhat_max < 1.0:
+            raise ValueError(f"rhat_max must be >= 1, got {self.rhat_max}")
+        if not self.geweke_max > 0.0:
+            raise ValueError(
+                f"geweke_max must be positive, got {self.geweke_max}"
+            )
+        if self.min_iterations < 0 or self.max_iterations < 0:
+            raise ValueError("iteration floors/caps must be non-negative")
+        if (
+            self.max_iterations
+            and self.min_iterations > self.max_iterations
+        ):
+            raise ValueError(
+                f"min_iterations {self.min_iterations} exceeds "
+                f"max_iterations {self.max_iterations}"
+            )
+
+    def satisfied(
+        self, summary: Dict[str, Any], iteration: int
+    ) -> Optional[str]:
+        """``STOP_CONVERGED`` when ``summary`` meets the target, else None."""
+        if iteration < self.min_iterations:
+            return None
+        if summary.get("stalled"):
+            return None
+        ess = summary.get("ess")
+        if ess is None or ess < self.ess_target:
+            return None
+        geweke = summary.get("geweke")
+        if geweke is not None and abs(geweke) > self.geweke_max:
+            return None
+        rhat = summary.get("rhat")
+        if rhat is not None and rhat > self.rhat_max:
+            return None
+        return STOP_CONVERGED
+
+    def cap(self, budget: int) -> int:
+        """The effective step ceiling under a fixed ``budget``."""
+        if self.max_iterations and self.max_iterations < budget:
+            return self.max_iterations
+        return budget
+
+    def to_payload(self) -> Dict[str, float]:
+        """Flat dict for worker transport (see ``task_payload``)."""
+        return {
+            "ess_target": self.ess_target,
+            "rhat_max": self.rhat_max,
+            "geweke_max": self.geweke_max,
+            "min_iterations": self.min_iterations,
+            "max_iterations": self.max_iterations,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "StopCondition":
+        return cls(
+            ess_target=float(payload.get("ess_target", 200.0)),
+            rhat_max=float(payload.get("rhat_max", 1.1)),
+            geweke_max=float(payload.get("geweke_max", 2.0)),
+            min_iterations=int(payload.get("min_iterations", 0)),
+            max_iterations=int(payload.get("max_iterations", 0)),
+        )
 
 
 class RunningMoments:

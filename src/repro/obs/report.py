@@ -187,6 +187,12 @@ class RunReport:
             if isinstance(entry, dict)
         ]
 
+    def adaptive_rows(self) -> List[Dict[str, Any]]:
+        """Cells that ran under adaptive termination (stop metadata set)."""
+        return [
+            row for row in self.throughput_rows() if row.get("stop_reason")
+        ]
+
     def event_counts(self) -> List[Tuple[str, int]]:
         counts: Dict[str, int] = {}
         for record in self.events:
@@ -279,6 +285,10 @@ def _checkpoint_info(
         info["key"] = payload.get("key")
         info["iterations"] = payload.get("iterations")
         info["wall_time"] = payload.get("wall_time")
+        # Adaptive stop metadata (absent from legacy checkpoints).
+        from repro.util.codec import stop_metadata
+
+        info.update(stop_metadata(payload))
     except (OSError, ValueError, KeyError):
         info["key"] = None
         report.skipped_files.append(rel)
@@ -315,6 +325,54 @@ _CONVERGENCE_COLUMNS = (
 )
 
 
+#: Stop-reason rendering: adaptive cells report *why* they stopped;
+#: capped-out cells (budget or hard cap exhausted before the target)
+#: are rendered loudly — they, like quarantined cells, must never read
+#: as ordinary converged results.
+_STOP_LABELS = {
+    "converged": "converged",
+    "max_iterations": "CAPPED (max-iters)",
+    "budget": "CAPPED (budget)",
+    "fixed": "fixed",
+}
+
+
+def _stop_label(row: Dict[str, Any]) -> str:
+    reason = row.get("stop_reason")
+    if not reason:
+        return "fixed"
+    return _STOP_LABELS.get(str(reason), str(reason))
+
+
+def _budget_savings(report: RunReport) -> Optional[Tuple[float, float]]:
+    """(executed, budgeted) step totals over adaptive cells, or None."""
+    executed = budgeted = 0.0
+    for row in report.adaptive_rows():
+        iters = row.get("iterations")
+        budget = row.get("budget_steps")
+        if not isinstance(iters, (int, float)) or not isinstance(
+            budget, (int, float)
+        ):
+            continue
+        executed += float(iters)
+        budgeted += float(budget)
+    if budgeted <= 0.0:
+        return None
+    return executed, budgeted
+
+
+def _savings_line(report: RunReport) -> Optional[str]:
+    savings = _budget_savings(report)
+    if savings is None:
+        return None
+    executed, budgeted = savings
+    saved = 100.0 * (1.0 - executed / budgeted)
+    return (
+        f"adaptive: executed {fmt(executed)} of {fmt(budgeted)} "
+        f"budgeted steps ({saved:.0f}% saved)"
+    )
+
+
 def _summary_rows(report: RunReport) -> List[Tuple[str, str]]:
     counters = report.counters()
     gauges = report.gauges()
@@ -322,6 +380,9 @@ def _summary_rows(report: RunReport) -> List[Tuple[str, str]]:
     for name, label in _SUMMARY_COUNTERS:
         if name in counters:
             rows.append((label, fmt(counters[name])))
+    savings = _savings_line(report)
+    if savings is not None:
+        rows.append(("budget savings", savings))
     if "engine.wall_seconds" in gauges:
         rows.append(("engine wall time (s)", fmt(gauges["engine.wall_seconds"])))
     throughput = _clean(
@@ -402,12 +463,21 @@ def render_markdown(report: RunReport) -> str:
         if spark:
             lines.append(f"steps/sec per cell: `{spark}`")
             lines.append("")
-        lines.append("| cell | iterations | wall (s) | steps/s |")
-        lines.append("|---|---|---|---|")
+        savings = _savings_line(report)
+        if savings is not None:
+            lines.append(savings)
+            lines.append("")
+        lines.append(
+            "| cell | iterations | budget | wall (s) | steps/s "
+            "| stop | ESS at stop |"
+        )
+        lines.append("|---|---|---|---|---|---|---|")
         for row, rate, wall in zip(throughput, rates, walls):
             lines.append(
                 f"| {fmt(row.get('cell'))} | {fmt(row.get('iterations'))} "
-                f"| {fmt(wall)} | {fmt(rate)} |"
+                f"| {fmt(row.get('budget_steps'))} "
+                f"| {fmt(wall)} | {fmt(rate)} "
+                f"| {_stop_label(row)} | {fmt(row.get('ess_at_stop'))} |"
             )
         lines.append("")
     else:
@@ -553,16 +623,29 @@ def render_html(report: RunReport) -> str:
         svg = sparkline_svg(rates, width=480, height=48)
         if svg:
             out.append(f"<p>steps/sec per completed cell: {svg}</p>")
+        savings = _savings_line(report)
+        if savings is not None:
+            out.append(f"<p>{_html.escape(savings)}</p>")
         out.append(
-            "<table><tr><th>cell</th><th>iterations</th>"
-            "<th>wall (s)</th><th>steps/s</th><th>resumed</th></tr>"
+            "<table><tr><th>cell</th><th>iterations</th><th>budget</th>"
+            "<th>wall (s)</th><th>steps/s</th><th>stop</th>"
+            "<th>ESS at stop</th><th>resumed</th></tr>"
         )
         for row in throughput:
+            stop = _stop_label(row)
+            stop_html = (
+                f'<span class="flag">{_html.escape(stop)}</span>'
+                if stop.startswith("CAPPED")
+                else _html.escape(stop)
+            )
             out.append(
                 f"<tr><td>{_esc(row.get('cell'))}</td>"
                 f"<td>{_esc(row.get('iterations'))}</td>"
+                f"<td>{_esc(row.get('budget_steps'))}</td>"
                 f"<td>{_esc(row.get('wall_time'))}</td>"
                 f"<td>{_esc(row.get('steps_per_sec'))}</td>"
+                f"<td>{stop_html}</td>"
+                f"<td>{_esc(row.get('ess_at_stop'))}</td>"
                 f"<td>{_esc(bool(row.get('from_checkpoint')))}</td></tr>"
             )
         out.append("</table>")

@@ -326,6 +326,41 @@ def decode_configuration(blob: bytes) -> ParticleSystem:
 #: except the configuration blobs themselves).
 _SCALAR_KEYS_EXCLUDED = ("final", "snapshots")
 
+#: Adaptive-execution stop metadata (schema extension, PR "adaptive"):
+#: the scalar keys an adaptive run records in the checkpoint header,
+#: with the defaults a legacy checkpoint (written before the extension)
+#: decodes to.  ``stop_reason`` is one of the
+#: :mod:`repro.obs.convergence` ``STOP_*`` constants; ``ess_at_stop``
+#: is the worst-stream ESS when the cell stopped; ``budget_steps`` is
+#: the fixed budget the adaptive run was capped by; ``warm_parent`` /
+#: ``warm_digest`` are the warm-start provenance (parent task key and
+#: the digest of the inherited initial configuration — the same digest
+#: that participates in the task identity, so a stale parent already
+#: invalidates the checkpoint key).  The keys ride in the ordinary
+#: header meta, so the container format itself is unchanged and old
+#: readers ignore them.
+STOP_METADATA_DEFAULTS: Dict[str, Any] = {
+    "stop_reason": None,
+    "ess_at_stop": None,
+    "budget_steps": None,
+    "warm_parent": None,
+    "warm_digest": None,
+}
+
+
+def stop_metadata(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """The stop-metadata view of a checkpoint payload, with defaults.
+
+    Works on payloads from :func:`decode_checkpoint`,
+    :func:`peek_checkpoint_meta`, or the legacy JSON loader; payloads
+    written before the adaptive extension yield the defaults (a fixed
+    budget run with nothing recorded).
+    """
+    return {
+        key: payload.get(key, default)
+        for key, default in STOP_METADATA_DEFAULTS.items()
+    }
+
 
 def encode_checkpoint(payload: Dict[str, Any]) -> bytes:
     """Serialize an engine result payload as one binary checkpoint.

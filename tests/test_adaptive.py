@@ -1,0 +1,562 @@
+"""Adaptive execution: stop conditions, warm starts, checkpoint interop.
+
+The adaptive mode (``docs/adaptive.md``) has three contracts this file
+pins down:
+
+* **Prefix bit-identity** — on the scalar kernels an adaptive run is a
+  bit-exact prefix of the fixed-budget trajectory on the same RNG
+  stream, so fixed-budget results are untouched by the feature and an
+  adaptive run capped at ``k`` steps equals ``chain.run(k)``.
+* **Checkpoint interop** — stop metadata rides checkpoint headers
+  outside task identity: adaptive and fixed runs of the same task share
+  one checkpoint, resume in either direction reuses it, and legacy
+  (pre-adaptive) checkpoints decode with default (``None``) metadata.
+* **Statistical equivalence** — an adaptively stopped ensemble samples
+  the same stationary observables as a fixed-budget ensemble at both a
+  separated and an integrated (λ, γ) point (moments + KS bands, same
+  tolerances as ``tests/test_batch_statistical.py``).
+
+Warm-start provenance is covered at the task level (the parent's final
+configuration is baked into ``system_json``, so a stale parent changes
+the child's key and invalidates its checkpoint) and at the ladder level
+(anti-diagonal waves, recorded parents).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.compression_metric import alpha_of
+from repro.core.separation_chain import SeparationChain
+from repro.experiments.costmodel import CostModel, plan_ladder
+from repro.experiments.parallel import (
+    CellTask,
+    checkpoint_path,
+    dispatch_cells,
+    execute_cells,
+    run_cell,
+    task_payload,
+)
+from repro.obs.convergence import (
+    STOP_BUDGET,
+    STOP_CONVERGED,
+    STOP_MAX_ITERATIONS,
+    ChainDiagnostics,
+    DiagnosticsConfig,
+    StopCondition,
+)
+from repro.system.initializers import random_blob_system
+from repro.system.observables import largest_cluster_fraction
+from repro.util.codec import STOP_METADATA_DEFAULTS, stop_metadata
+from repro.util.serialization import configuration_to_json
+
+
+def make_task(n=16, seed=3, steps=400, checkpoints=(), **overrides):
+    system = random_blob_system(n, seed=seed)
+    fields = dict(
+        lam=4.0,
+        gamma=4.0,
+        replica=0,
+        seed=seed,
+        steps=steps,
+        system_json=configuration_to_json(system, sort_nodes=False),
+        checkpoints=tuple(checkpoints),
+    )
+    fields.update(overrides)
+    return CellTask(**fields)
+
+
+def _fingerprint(chain):
+    return (
+        list(chain.system.colors.items()),
+        chain.system.edge_total,
+        chain.system.hetero_total,
+        chain.accepted_moves,
+        chain.accepted_swaps,
+        chain.iterations,
+    )
+
+
+def _make_chain(backend, seed=5, n=48):
+    return SeparationChain(
+        random_blob_system(n, seed=2018),
+        lam=4.0,
+        gamma=4.0,
+        seed=seed,
+        backend=backend,
+    )
+
+
+#: A target no finite chain reaches: forces the budget/cap branch.
+UNREACHABLE = StopCondition(ess_target=1e18)
+
+
+class TestStopCondition:
+    def test_payload_round_trip(self):
+        stop = StopCondition(
+            ess_target=50.0,
+            rhat_max=1.2,
+            geweke_max=3.0,
+            min_iterations=1000,
+            max_iterations=9000,
+        )
+        assert StopCondition.from_payload(stop.to_payload()) == stop
+        # Sparse payloads (e.g. hand-written configs) fill defaults.
+        assert StopCondition.from_payload({}) == StopCondition()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StopCondition(ess_target=0.0)
+        with pytest.raises(ValueError):
+            StopCondition(rhat_max=0.9)
+        with pytest.raises(ValueError):
+            StopCondition(geweke_max=0.0)
+        with pytest.raises(ValueError):
+            StopCondition(min_iterations=-1)
+        with pytest.raises(ValueError):
+            StopCondition(min_iterations=500, max_iterations=100)
+        StopCondition(min_iterations=500, max_iterations=0)  # 0 = no cap
+
+    def test_satisfied_gates(self):
+        stop = StopCondition(ess_target=100.0, min_iterations=1000)
+        good = {"ess": 150.0, "geweke": 0.5, "rhat": 1.01, "stalled": False}
+        assert stop.satisfied(good, 2000) == STOP_CONVERGED
+        # Every gate blocks independently.
+        assert stop.satisfied(good, 999) is None  # burn-in floor
+        assert stop.satisfied({**good, "stalled": True}, 2000) is None
+        assert stop.satisfied({**good, "ess": 50.0}, 2000) is None
+        assert stop.satisfied({**good, "ess": None}, 2000) is None
+        assert stop.satisfied({**good, "geweke": 5.0}, 2000) is None
+        assert stop.satisfied({**good, "rhat": 1.5}, 2000) is None
+        # Missing geweke/rhat (scalar chains, short histories) do not
+        # block: the ESS target is the primary criterion.
+        assert stop.satisfied({"ess": 150.0}, 2000) == STOP_CONVERGED
+
+    def test_cap(self):
+        assert StopCondition().cap(10_000) == 10_000
+        assert StopCondition(max_iterations=4000).cap(10_000) == 4000
+        assert StopCondition(max_iterations=40_000).cap(10_000) == 10_000
+
+
+class TestRunUntil:
+    def test_requires_diagnostics(self):
+        chain = _make_chain("dict")
+        with pytest.raises(RuntimeError, match="diagnostics"):
+            chain.run_until(1000, StopCondition())
+
+    @pytest.mark.parametrize("backend", ["dict", "grid"])
+    def test_exhausted_budget_is_bit_identical_to_fixed(self, backend):
+        """With an unreachable target, adaptive == fixed, bit for bit."""
+        plain = _make_chain(backend)
+        adaptive = _make_chain(backend)
+        adaptive.instrument(
+            diagnostics=ChainDiagnostics(DiagnosticsConfig(stride=500))
+        )
+        plain.run(20_000)
+        reason = adaptive.run_until(20_000, UNREACHABLE)
+        assert reason == STOP_BUDGET
+        assert _fingerprint(plain) == _fingerprint(adaptive)
+        assert plain.rng.getstate() == adaptive.rng.getstate()
+
+    @pytest.mark.parametrize("backend", ["dict", "grid"])
+    def test_max_iterations_cap_is_a_prefix(self, backend):
+        """Capped adaptive run == fixed run of exactly cap steps."""
+        plain = _make_chain(backend)
+        adaptive = _make_chain(backend)
+        adaptive.instrument(
+            diagnostics=ChainDiagnostics(DiagnosticsConfig(stride=500))
+        )
+        stop = dataclasses.replace(UNREACHABLE, max_iterations=12_000)
+        plain.run(12_000)
+        reason = adaptive.run_until(20_000, stop)
+        assert reason == STOP_MAX_ITERATIONS
+        assert adaptive.iterations == 12_000
+        assert _fingerprint(plain) == _fingerprint(adaptive)
+        assert plain.rng.getstate() == adaptive.rng.getstate()
+
+    def test_converged_stop_respects_burn_in_floor(self):
+        chain = _make_chain("grid")
+        chain.instrument(
+            diagnostics=ChainDiagnostics(
+                DiagnosticsConfig(stride=250, verdict_every=2)
+            )
+        )
+        stop = StopCondition(
+            ess_target=5.0, geweke_max=50.0, min_iterations=4000
+        )
+        reason = chain.run_until(200_000, stop)
+        assert reason == STOP_CONVERGED
+        assert 4000 <= chain.iterations < 200_000
+
+    def test_converged_prefix_matches_fixed_trajectory(self):
+        """The adaptive stop point lies ON the fixed trajectory.
+
+        Two checks: the stopped state equals ``run(k)`` of a fresh chain
+        (same consumed draws — the RNG *prefetch* differs because the
+        adaptive run plans for the full budget, so only system state is
+        compared), and continuing the stopped chain to the full budget
+        rejoins the fixed full-budget run bit-for-bit, RNG included.
+        """
+        adaptive = _make_chain("grid")
+        adaptive.instrument(
+            diagnostics=ChainDiagnostics(DiagnosticsConfig(stride=250))
+        )
+        stop = StopCondition(ess_target=5.0, geweke_max=50.0)
+        budget = 200_000
+        reason = adaptive.run_until(budget, stop)
+        assert reason == STOP_CONVERGED
+        stopped_at = adaptive.iterations
+        prefix = _make_chain("grid")
+        prefix.run(stopped_at)
+        assert _fingerprint(prefix) == _fingerprint(adaptive)
+        full = _make_chain("grid")
+        full.run(budget)
+        adaptive.run(budget - stopped_at)
+        assert _fingerprint(full) == _fingerprint(adaptive)
+        assert full.rng.getstate() == adaptive.rng.getstate()
+
+    def test_absolute_cap_on_resumed_chain(self):
+        """min/max_iterations count absolute chain iterations."""
+        chain = _make_chain("dict")
+        chain.instrument(
+            diagnostics=ChainDiagnostics(DiagnosticsConfig(stride=500))
+        )
+        chain.run(5_000)
+        stop = dataclasses.replace(UNREACHABLE, max_iterations=8_000)
+        assert chain.run_until(20_000, stop) == STOP_MAX_ITERATIONS
+        assert chain.iterations == 8_000
+        # A chain already past the cap executes nothing further.
+        assert chain.run_until(20_000, stop) == STOP_MAX_ITERATIONS
+        assert chain.iterations == 8_000
+
+    def test_batch_backend_stops(self):
+        chain = _make_chain("batch")
+        chain.instrument(
+            diagnostics=ChainDiagnostics(
+                DiagnosticsConfig(stride=250, verdict_every=2)
+            )
+        )
+        stop = StopCondition(ess_target=5.0, geweke_max=50.0)
+        reason = chain.run_until(200_000, stop)
+        assert reason == STOP_CONVERGED
+        assert chain.iterations < 200_000
+
+
+class TestAdaptiveEngine:
+    def test_fixed_mode_has_no_stop_metadata(self):
+        (result,) = execute_cells([make_task(steps=1200)])
+        assert result.stop_reason is None
+        assert result.budget_steps is None
+        assert result.ess_at_stop is None
+        assert result.warm_parent is None
+        assert result.iterations == 1200
+
+    def test_adaptive_results_carry_stop_metadata(self):
+        task = make_task(n=32, steps=300_000)
+        stop = StopCondition(
+            ess_target=5.0, geweke_max=50.0, min_iterations=2000
+        )
+        (result,) = execute_cells([task], adaptive=stop)
+        assert result.stop_reason == STOP_CONVERGED
+        assert result.budget_steps == task.steps
+        assert 2000 <= result.iterations < task.steps
+        assert result.ess_at_stop is not None
+        assert result.ess_at_stop >= 5.0
+
+    def test_adaptive_cap_reported(self):
+        task = make_task(steps=50_000)
+        stop = dataclasses.replace(UNREACHABLE, max_iterations=6000)
+        (result,) = execute_cells([task], adaptive=stop)
+        assert result.stop_reason == STOP_MAX_ITERATIONS
+        assert result.iterations == 6000
+
+    @pytest.mark.parametrize("direction", ["adaptive_first", "fixed_first"])
+    def test_checkpoint_interop_both_directions(self, tmp_path, direction):
+        """Fixed and adaptive runs of one task share one checkpoint."""
+        task = make_task(n=32, steps=300_000)
+        stop = StopCondition(
+            ess_target=5.0, geweke_max=50.0, min_iterations=2000
+        )
+        first = dict(adaptive=stop) if direction == "adaptive_first" else {}
+        second = {} if direction == "adaptive_first" else dict(adaptive=stop)
+        (written,) = execute_cells([task], checkpoint_dir=tmp_path, **first)
+        assert checkpoint_path(tmp_path, task).exists()
+        (resumed,) = execute_cells(
+            [task], checkpoint_dir=tmp_path, resume=True, **second
+        )
+        # The second run reused the first run's checkpoint verbatim —
+        # including (or lacking) its stop metadata.
+        assert resumed.from_checkpoint
+        assert resumed.iterations == written.iterations
+        assert resumed.stop_reason == written.stop_reason
+        assert resumed.ess_at_stop == written.ess_at_stop
+        assert resumed.budget_steps == written.budget_steps
+        assert resumed.system.colors == written.system.colors
+
+    def test_legacy_payload_decodes_default_stop_metadata(self):
+        """Pre-adaptive checkpoints carry no stop keys; defaults apply."""
+        payload = run_cell(task_payload(make_task(steps=800)))
+        for key in STOP_METADATA_DEFAULTS:
+            assert key not in payload
+        assert stop_metadata(payload) == dict(STOP_METADATA_DEFAULTS)
+
+    def test_validated_result_accepts_short_adaptive_runs(self):
+        task = make_task(steps=50_000)
+        stop = StopCondition(ess_target=5.0, geweke_max=50.0)
+        payload = run_cell(task_payload(task, adaptive=stop.to_payload()))
+        assert payload["iterations"] < task.steps
+        # execute_cells would route this through _validated_result; the
+        # public path must accept the shortened run.
+        (result,) = execute_cells([task], adaptive=stop)
+        assert result.iterations < task.steps
+
+
+class TestWarmStart:
+    def test_plan_ladder_is_anti_diagonal(self):
+        lambdas = (1.0, 2.0, 4.0)
+        gammas = (0.5, 2.0, 6.0)
+        tasks = [
+            make_task(lam=lam, gamma=gamma, replica=r)
+            for lam in lambdas
+            for gamma in gammas
+            for r in range(2)
+        ]
+        waves = plan_ladder(tasks)
+        lam_rank = {v: i for i, v in enumerate(lambdas)}
+        gamma_rank = {v: i for i, v in enumerate(gammas)}
+        seen = []
+        for depth, wave in enumerate(waves):
+            for index in wave:
+                task = tasks[index]
+                assert lam_rank[task.lam] + gamma_rank[task.gamma] == depth
+            seen.extend(wave)
+        assert sorted(seen) == list(range(len(tasks)))
+
+    def test_warm_parent_excluded_from_key(self):
+        base = make_task()
+        warmed = dataclasses.replace(base, warm_parent="cafebabe")
+        assert base.key() == warmed.key()
+
+    def test_stale_parent_config_changes_key(self):
+        """Warm-start identity lives in the warmed system_json digest."""
+        parent_a = configuration_to_json(
+            random_blob_system(16, seed=11), sort_nodes=False
+        )
+        parent_b = configuration_to_json(
+            random_blob_system(16, seed=12), sort_nodes=False
+        )
+        child_a = make_task(system_json=parent_a, warm_parent="p")
+        child_b = make_task(system_json=parent_b, warm_parent="p")
+        assert child_a.key() != child_b.key()
+
+    def test_task_payload_carries_provenance(self):
+        task = dataclasses.replace(make_task(), warm_parent="deadbeef")
+        payload = task_payload(task)
+        assert payload["warm_parent"] == "deadbeef"
+        assert payload["warm_digest"]
+        assert "warm_parent" not in task_payload(make_task())
+
+    def test_ladder_dispatch_records_parents(self):
+        lambdas = (4.0, 6.0)
+        gammas = (4.0, 6.0)
+        tasks = [
+            make_task(lam=lam, gamma=gamma, steps=1500)
+            for lam in lambdas
+            for gamma in gammas
+        ]
+        results = dispatch_cells(tasks, warm_start="ladder")
+        by_cell = {(r.task.lam, r.task.gamma): r for r in results}
+        # Results come back in task order.
+        assert [(r.task.lam, r.task.gamma) for r in results] == [
+            (lam, gamma) for lam in lambdas for gamma in gammas
+        ]
+        # The ladder root starts cold; every other cell records the
+        # neighbor whose equilibrated configuration seeded it.
+        assert by_cell[(4.0, 4.0)].warm_parent is None
+        for cell in [(4.0, 6.0), (6.0, 4.0), (6.0, 6.0)]:
+            assert by_cell[cell].warm_parent
+            assert by_cell[cell].warm_digest
+
+    def test_ladder_matches_warm_seeded_cold_runs(self):
+        """A warmed cell == a cold cell started from the parent's end."""
+        tasks = [
+            make_task(lam=4.0, gamma=gamma, steps=1500)
+            for gamma in (4.0, 6.0)
+        ]
+        parent, child = dispatch_cells(tasks, warm_start="ladder")
+        rerun_task = dataclasses.replace(
+            tasks[1],
+            system_json=configuration_to_json(
+                parent.system, sort_nodes=False
+            ),
+        )
+        (rerun,) = execute_cells([rerun_task])
+        assert rerun.system.colors == child.system.colors
+        assert rerun.iterations == child.iterations
+
+    def test_warm_start_validation(self):
+        with pytest.raises(ValueError, match="warm_start"):
+            dispatch_cells([make_task(steps=100)], warm_start="sideways")
+
+
+class TestCostModelActualUnits:
+    def test_units_substitute_executed_steps(self):
+        model = CostModel()
+        task = make_task(steps=10_000)
+        assert model.units(task, iterations=2500) == pytest.approx(
+            model.units(dataclasses.replace(task, steps=2500))
+        )
+
+    def test_observe_trains_on_executed_units(self):
+        """Same wall time, fewer executed steps => higher learned rate."""
+        budgeted = CostModel()
+        actual = CostModel()
+        task = make_task(steps=10_000)
+        budgeted.observe(task, 2.0)
+        actual.observe(task, 2.0, iterations=2500)
+        assert actual.rate(task) == pytest.approx(4.0 * budgeted.rate(task))
+        # Predictions still plan for the full budget (upper bound).
+        assert actual.predict_seconds(task) == pytest.approx(
+            actual.rate(task) * actual.units(task)
+        )
+
+
+# ---------------------------------------------------------------------------
+# Statistical equivalence: adaptively stopped ensembles sample the same
+# observables as fixed-budget ensembles (same bands as the batch-kernel
+# statistical suite).
+
+N = 48
+REPLICAS = 16
+BUDGET = 30_000
+FIXED_STEPS = 30_000
+SEED_BASE = 7100
+
+OBS_NAMES = ("perimeter", "het_edges", "alpha", "largest_cluster_fraction")
+
+
+def _observe(system):
+    return (
+        float(system.perimeter()),
+        float(system.hetero_total),
+        float(alpha_of(system)),
+        float(largest_cluster_fraction(system)),
+    )
+
+
+def _ks_distance(a, b):
+    a = np.sort(a)
+    b = np.sort(b)
+    grid = np.concatenate([a, b])
+    cdf_a = np.searchsorted(a, grid, side="right") / a.size
+    cdf_b = np.searchsorted(b, grid, side="right") / b.size
+    return float(np.max(np.abs(cdf_a - cdf_b)))
+
+
+@pytest.mark.parametrize(
+    "lam,gamma,regime",
+    [(4.0, 4.0, "separated"), (4.0, 0.5, "integrated")],
+    ids=["separated", "integrated"],
+)
+class TestAdaptiveStatistical:
+    _cache = {}
+
+    #: Stop rule for the equivalence ensembles: a modest ESS target with
+    #: a burn-in floor deep enough that stopped chains are already
+    #: sampling the stationary observables the fixed ensemble reports.
+    STOP = StopCondition(
+        ess_target=10.0, geweke_max=50.0, min_iterations=15_000
+    )
+
+    @classmethod
+    def _ensembles(cls, lam, gamma):
+        key = (lam, gamma)
+        if key not in cls._cache:
+            fixed_rows = []
+            adaptive_rows = []
+            stopped_at = []
+            for replica in range(REPLICAS):
+                system = random_blob_system(N, seed=2018)
+                chain = SeparationChain(
+                    system,
+                    lam=lam,
+                    gamma=gamma,
+                    seed=SEED_BASE + replica,
+                    backend="grid",
+                )
+                chain.run(FIXED_STEPS)
+                fixed_rows.append(_observe(system))
+                system = random_blob_system(N, seed=2018)
+                chain = SeparationChain(
+                    system,
+                    lam=lam,
+                    gamma=gamma,
+                    seed=SEED_BASE + 1000 + replica,
+                    backend="grid",
+                )
+                chain.instrument(
+                    diagnostics=ChainDiagnostics(
+                        DiagnosticsConfig(stride=500)
+                    )
+                )
+                chain.run_until(BUDGET, cls.STOP)
+                adaptive_rows.append(_observe(system))
+                stopped_at.append(chain.iterations)
+            cls._cache[key] = (
+                np.asarray(fixed_rows),
+                np.asarray(adaptive_rows),
+                stopped_at,
+            )
+        return cls._cache[key]
+
+    def test_some_chains_stop_early(self, lam, gamma, regime):
+        _, _, stopped_at = self._ensembles(lam, gamma)
+        assert all(
+            self.STOP.min_iterations <= t <= BUDGET for t in stopped_at
+        )
+        assert any(t < BUDGET for t in stopped_at), (
+            "no chain converged before the budget; the stop rule is "
+            "never exercised by this ensemble"
+        )
+
+    def test_moments_match(self, lam, gamma, regime):
+        fixed, adaptive, _ = self._ensembles(lam, gamma)
+        for col, name in enumerate(OBS_NAMES):
+            f = fixed[:, col]
+            a = adaptive[:, col]
+            md = abs(float(f.mean() - a.mean()))
+            pooled_se = math.sqrt(
+                f.var(ddof=1) / f.size + a.var(ddof=1) / a.size
+            )
+            band = 3.0 * pooled_se + 0.05 * max(abs(float(f.mean())), 1.0)
+            assert md <= band, (
+                f"{regime}: adaptive vs fixed mean of {name} differs by "
+                f"{md:.3f} (band {band:.3f})"
+            )
+
+    def test_distributions_match(self, lam, gamma, regime):
+        fixed, adaptive, _ = self._ensembles(lam, gamma)
+        crit = 1.95 * math.sqrt(
+            (fixed.shape[0] + adaptive.shape[0])
+            / (fixed.shape[0] * adaptive.shape[0])
+        )
+        for col, name in enumerate(OBS_NAMES):
+            distance = _ks_distance(fixed[:, col], adaptive[:, col])
+            assert distance <= crit, (
+                f"{regime}: KS distance {distance:.3f} of {name} exceeds "
+                f"{crit:.3f}"
+            )
+
+    def test_regime_signature(self, lam, gamma, regime):
+        """Sanity: the two points genuinely span both phases."""
+        fixed, adaptive, _ = self._ensembles(lam, gamma)
+        lcf = float(adaptive[:, 3].mean())
+        if regime == "separated":
+            assert lcf > 0.35
+        else:
+            assert lcf < 0.35
+        assert float(fixed[:, 3].mean()) == pytest.approx(lcf, abs=0.25)
