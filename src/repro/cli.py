@@ -38,7 +38,13 @@ Fault tolerance: ``--max-retries K``, ``--task-timeout SECONDS``,
 configure the engine's resilience layer (retries with deterministic
 backoff, a per-cell timeout watchdog, bounded process-pool rebuilds,
 and quarantine-with-``failures.json`` partial results — see
-``docs/resilience.md``).
+``docs/resilience.md``).  ``--state-every K`` additionally snapshots
+each in-flight cell's full chain state every K iterations, so a
+killed or preempted sweep resumes *mid-cell* and replays to the
+bit-identical result; a SIGTERM/SIGINT drains in-flight cells to
+their last durable snapshot within ``--drain-timeout`` seconds and
+exits with code 75 (``EX_TEMPFAIL`` — re-run with ``--resume`` to
+continue).
 
 Output discipline: result tables go to **stdout** (so piped output
 stays machine-readable); diagnostics, progress lines, and profiling
@@ -98,6 +104,11 @@ INITIALIZERS = {
 
 #: Heartbeat interval (seconds) for long-running experiment commands.
 HEARTBEAT_SECONDS = 30.0
+
+#: Exit code of a drained (SIGTERM/SIGINT) sweep: 75 = BSD EX_TEMPFAIL,
+#: the conventional "transient failure, retry later" code — schedulers
+#: treat it as re-queueable rather than failed.
+DRAIN_EXIT_CODE = 75
 
 
 def positive_int(value: str) -> int:
@@ -194,6 +205,21 @@ def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
         dest="max_pool_restarts", metavar="K",
         help="rebuild a broken process pool at most K times "
              "before giving up",
+    )
+    parser.add_argument(
+        "--state-every", type=nonnegative_int, default=0,
+        dest="state_every", metavar="K",
+        help="snapshot each in-flight cell's full chain state every K "
+             "iterations into --checkpoint DIR so a killed/preempted "
+             "sweep resumes mid-cell with a bit-identical result "
+             "(0 disables; requires --checkpoint)",
+    )
+    parser.add_argument(
+        "--drain-timeout", type=float, default=30.0,
+        dest="drain_timeout", metavar="SECONDS",
+        help="on SIGTERM/SIGINT, wait up to SECONDS for in-flight "
+             "cells to reach a durable snapshot before exiting with "
+             f"code {DRAIN_EXIT_CODE} (resume with --resume)",
     )
     _add_kernel_argument(parser)
     _add_adaptive_arguments(parser)
@@ -374,6 +400,8 @@ def _parallel_kwargs(args: argparse.Namespace) -> dict:
             max_pool_restarts=getattr(args, "max_pool_restarts", 3),
         ),
         "warm_start": getattr(args, "warm_start", "off"),
+        "state_every": getattr(args, "state_every", 0),
+        "drain_timeout": getattr(args, "drain_timeout", 30.0),
     }
     if getattr(args, "adaptive", False):
         from repro.obs import StopCondition
@@ -812,13 +840,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     Observability (``--log-json``/``--metrics-out``/``--trace-out``) is
     finalized in a ``finally`` block, so even a failing command leaves
     its structured log, metrics snapshot, and trace file behind.
+
+    A drained run (SIGTERM/SIGINT with in-flight cells parked on their
+    durable snapshots) exits with :data:`DRAIN_EXIT_CODE` so schedulers
+    can distinguish "preempted, re-run with ``--resume``" from success
+    and from hard failure.
     """
+    from repro.experiments.resilience import DrainInterrupt
+
     args = build_parser().parse_args(argv)
     obs, finalize = _build_observability(args)
     args._obs = obs
     args._progress = None
     try:
         return _HANDLERS[args.command](args)
+    except DrainInterrupt as drain:
+        print(
+            f"repro: drained {len(drain.pending)} in-flight cell(s) to "
+            f"their last durable snapshot; re-run with --resume to "
+            f"continue",
+            file=sys.stderr,
+        )
+        return DRAIN_EXIT_CODE
     finally:
         reporter = getattr(args, "_progress", None)
         if reporter is not None:

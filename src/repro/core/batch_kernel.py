@@ -50,7 +50,7 @@ in the fuzz suite.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Union
+from typing import Dict, List, Mapping, Sequence, Union
 
 import numpy as np
 
@@ -218,6 +218,13 @@ class BatchKernel:
         # incremental counter arrays; it must not touch the proposal
         # streams, so attaching one leaves trajectories bit-identical.
         self.observer = None
+        # Optional round-level state hook for crash-consistent mid-run
+        # snapshots: called once per vectorized round, after the
+        # observer, when every array is at a consistent proposal-window
+        # boundary.  Read-only like the observer (it serializes state
+        # via export_state), so attaching one never perturbs
+        # trajectories.
+        self.state_hook = None
 
     # -- arena construction -------------------------------------------------
 
@@ -283,13 +290,32 @@ class BatchKernel:
 
     # -- hot loop -----------------------------------------------------------
 
-    def run(self, steps: int) -> None:
-        """Advance every replica by exactly ``steps`` Metropolis steps."""
-        if steps < 0:
-            raise ValueError(f"steps must be >= 0, got {steps}")
-        if steps == 0:
-            return
-        remaining = np.full(self.R, steps, dtype=np.int64)
+    def run(self, steps: Union[int, np.ndarray]) -> None:
+        """Advance every replica by exactly ``steps`` Metropolis steps.
+
+        ``steps`` may also be a per-replica int64 array: a kernel
+        restored from a mid-round snapshot has replicas at *different*
+        step counts (rounds consume per-replica amounts), so resuming
+        bit-identically means giving each replica exactly the steps the
+        uninterrupted run still owed it.
+        """
+        if np.ndim(steps):
+            remaining = np.array(steps, dtype=np.int64)
+            if remaining.shape != (self.R,):
+                raise ValueError(
+                    f"per-replica steps must have shape {(self.R,)}, "
+                    f"got {remaining.shape}"
+                )
+            if (remaining < 0).any():
+                raise ValueError("per-replica steps must be >= 0")
+            if not remaining.any():
+                return
+        else:
+            if steps < 0:
+                raise ValueError(f"steps must be >= 0, got {steps}")
+            if steps == 0:
+                return
+            remaining = np.full(self.R, steps, dtype=np.int64)
         W = self.window
         R = self.R
         WIN = self.WIN
@@ -406,6 +432,8 @@ class BatchKernel:
             # untouched.
             if self.observer is not None:
                 self.observer.maybe_observe(self)
+            if self.state_hook is not None:
+                self.state_hook(self)
 
     def _regrow(self) -> None:
         """Rebuild every replica's arena with a doubled safety margin."""
@@ -513,6 +541,150 @@ class BatchKernel:
             int(self.edge[replica]),
             int(self.het[replica]),
         )
+
+    # -- crash-consistent state snapshots -----------------------------------
+
+    def export_state(self) -> Dict[str, object]:
+        """Full kernel state for a crash-consistent mid-run snapshot.
+
+        Returns a mapping shaped for :func:`repro.util.codec.encode_state`:
+        scalar geometry/identity metadata plus a ``columns`` dict holding
+        the arenas, particle positions, proposal streams, and incremental
+        counters.  The per-replica PCG64 bit-generator states ride along
+        so :meth:`restore_state` resumes the *exact* draw sequence — the
+        unconsumed tails of the ``IDXG``/``D``/``Q`` streams plus
+        ``cursor`` are captured verbatim, because re-drawing them would
+        shift every refill point downstream.  ``MD`` is derived
+        (``MDELT[D]``) and the ratio tables are pure functions of
+        ``(lam, gamma)``, so both are recomputed on restore.  A restored
+        kernel is bit-identical to one that was never stopped.
+        """
+        return {
+            "kind": "batch-kernel",
+            "lam": self.lam,
+            "gamma": self.gamma,
+            "swaps": self.swaps,
+            "replicas": self.R,
+            "n": self.n,
+            "num_colors": self.k,
+            "window": self.window,
+            "width": self.W,
+            "height": self.H,
+            "ox": self.ox,
+            "oy": self.oy,
+            "margin": self._margin,
+            "rng_states": [g.bit_generator.state for g in self.gens],
+            "columns": {
+                "arena": self.arena,
+                "gpos": self.gpos,
+                "idxg": self.IDXG,
+                "d": self.D,
+                "q": self.Q,
+                "cursor": self.cursor,
+                "edge": self.edge,
+                "het": self.het,
+                "iters": self.iters,
+                "acc_moves": self.acc_moves,
+                "acc_swaps": self.acc_swaps,
+            },
+        }
+
+    def restore_state(self, payload: Mapping) -> None:
+        """Adopt a snapshot produced by :meth:`export_state`.
+
+        The kernel must have been constructed for the same cell (same
+        ``lam``/``gamma``/``swaps``/``replicas``/``n``/``window``); the
+        constructor-built geometry and streams are discarded wholesale
+        and replaced by the snapshot's.  Raises ``ValueError`` on any
+        identity mismatch or malformed column — nothing is mutated
+        until every field has validated, so a failed restore leaves the
+        kernel usable for a cold start.
+        """
+        if payload.get("kind") != "batch-kernel":
+            raise ValueError(
+                f"state payload kind {payload.get('kind')!r} "
+                "is not a batch-kernel snapshot"
+            )
+        expected = {
+            "lam": self.lam,
+            "gamma": self.gamma,
+            "swaps": self.swaps,
+            "replicas": self.R,
+            "n": self.n,
+            "num_colors": self.k,
+            "window": self.window,
+        }
+        for field, current in expected.items():
+            if payload.get(field) != current:
+                raise ValueError(
+                    f"state payload {field}={payload.get(field)!r} does not "
+                    f"match kernel {field}={current!r}"
+                )
+        rng_states = payload.get("rng_states")
+        if not isinstance(rng_states, (list, tuple)) or len(rng_states) != self.R:
+            raise ValueError("state payload rng_states does not cover every replica")
+        columns = payload.get("columns")
+        if not isinstance(columns, dict):
+            raise ValueError("state payload is missing its columns mapping")
+        R, T, n = self.R, self.T, self.n
+        W = int(payload["width"])
+        H = int(payload["height"])
+        A = W * H
+        try:
+            # np.array copies: decoded columns are read-only frombuffer
+            # views over the decompressed frame body.
+            arena = np.array(columns["arena"], dtype=np.int8)
+            gpos = np.array(columns["gpos"], dtype=np.int64)
+            idxg = np.array(columns["idxg"], dtype=np.int64)
+            d = np.array(columns["d"], dtype=np.int64)
+            q = np.array(columns["q"], dtype=np.float64)
+            cursor = np.array(columns["cursor"], dtype=np.int64)
+            counters = {
+                name: np.array(columns[name], dtype=np.int64)
+                for name in ("edge", "het", "iters", "acc_moves", "acc_swaps")
+            }
+        except KeyError as error:
+            raise ValueError(f"state payload is missing column {error}") from error
+        shapes = {
+            "arena": (arena, (R * A,)),
+            "gpos": (gpos, (R * n,)),
+            "idxg": (idxg, (R, T)),
+            "d": (d, (R, T)),
+            "q": (q, (R, T)),
+            "cursor": (cursor, (R,)),
+        }
+        for name, (array, want) in shapes.items():
+            if array.shape != want:
+                raise ValueError(
+                    f"state column {name!r} has shape {array.shape}, "
+                    f"expected {want}"
+                )
+        for name, array in counters.items():
+            if array.shape != (R,):
+                raise ValueError(
+                    f"state column {name!r} has shape {array.shape}, "
+                    f"expected {(R,)}"
+                )
+        if (d < 0).any() or (d >= 6).any():
+            raise ValueError("state column 'd' holds out-of-range directions")
+        self._margin = int(payload["margin"])
+        self.W, self.H, self.A = W, H, A
+        self.ox, self.oy = int(payload["ox"]), int(payload["oy"])
+        self.arena = arena
+        self.gpos = gpos
+        self.IDXG = idxg
+        self.D = d
+        self.Q = q
+        self.cursor = cursor
+        self.edge = counters["edge"]
+        self.het = counters["het"]
+        self.iters = counters["iters"]
+        self.acc_moves = counters["acc_moves"]
+        self.acc_swaps = counters["acc_swaps"]
+        self._geometry(W, H)
+        self.MD = np.take(self.MDELT, self.D)
+        for gen, state in zip(self.gens, rng_states):
+            gen.bit_generator.state = state
 
     def _check_replica(self, replica: int) -> None:
         if not 0 <= replica < self.R:

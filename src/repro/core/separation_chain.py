@@ -323,6 +323,15 @@ class SeparationChain:
         self._obs_logger: Optional["JsonLogger"] = None
         self._obs_diag = None
         self._obs_active = False
+        # Mid-run durability hook (see set_state_hook): called at
+        # segment boundaries once at least _state_every iterations have
+        # passed since the last emission.  Never touches the RNG
+        # stream; the only side effect inside the chain is an early
+        # dict write-back at emission points (order-identical between
+        # runs sharing the same cadence).
+        self._state_hook = None
+        self._state_every = 0
+        self._state_last = 0
 
     # ------------------------------------------------------------------
 
@@ -514,7 +523,10 @@ class SeparationChain:
         path and the RNG stream are untouched.
         """
         if not self._obs_active:
-            return self._run_steps(steps)
+            self._run_steps(steps)
+            if self._state_hook is not None:
+                self._maybe_state_hook()
+            return self
         trace = self._obs_trace
         trace_start = trace.now() if trace is not None else 0.0
         moves_before = self.accepted_moves
@@ -526,6 +538,8 @@ class SeparationChain:
             self._run_steps(steps)
         elapsed = time.perf_counter() - wall_start
         self._record_run(steps, elapsed, moves_before, swaps_before, trace_start)
+        if self._state_hook is not None:
+            self._maybe_state_hook()
         return self
 
     def _record_run(
@@ -592,11 +606,49 @@ class SeparationChain:
             return self
         if steps == 0:
             return self
+        if self._state_hook is not None and self._state_every > 0:
+            return self._run_steps_hooked(steps)
         if self._grid_enabled and (
             self._grid_force or steps >= _GRID_MIN_STEPS
         ):
             return self._run_steps_grid(steps)
         return self._run_steps_dict(steps)
+
+    def _run_steps_hooked(self, steps: int) -> "SeparationChain":
+        """Run ``steps`` iterations, firing the state hook on cadence.
+
+        A monolithic ``run()`` would only reach the hook at its outer
+        boundary — useless for a million-step cell that needs mid-run
+        durability (and blind to drain requests).  This segments the
+        run at ``_state_every`` boundaries with the same discipline as
+        :meth:`_run_diagnosed`: the kernel choice is made once from the
+        total step count, each segment passes the outer remaining count
+        as its refill ``horizon``, and the grid kernel's dict
+        write-back happens at emission points with absolute last-move
+        indices — so the trajectory, the RNG stream, and the final
+        dict insertion order are all bit-identical to an unsegmented
+        call.
+        """
+        use_grid = self._grid_enabled and (
+            self._grid_force or steps >= _GRID_MIN_STEPS
+        )
+        remaining = steps
+        while remaining > 0:
+            due = self._state_every - (self.iterations - self._state_last)
+            seg = min(remaining, max(due, 1))
+            if use_grid:
+                self._run_steps_grid(
+                    seg,
+                    horizon=remaining,
+                    sync=seg == remaining,
+                    sync_base=steps - remaining,
+                )
+            else:
+                self._run_steps_dict(seg, horizon=remaining)
+            remaining -= seg
+            if remaining > 0:
+                self._maybe_state_hook()
+        return self
 
     def _run_diagnosed(self, steps: int) -> "SeparationChain":
         """Run ``steps`` iterations with convergence sampling attached.
@@ -653,6 +705,8 @@ class SeparationChain:
                 self._run_steps_dict(seg, horizon=remaining)
             remaining -= seg
             diag.observe_chain(self)
+            if self._state_hook is not None:
+                self._maybe_state_hook()
         return self
 
     def run_until(self, max_steps: int, stop) -> str:
@@ -734,6 +788,8 @@ class SeparationChain:
                     reason = stop.satisfied(diag.summary(), self.iterations)
                     if reason is not None:
                         return reason
+                if self._state_hook is not None:
+                    self._maybe_state_hook()
             return capped_reason
 
         use_grid = self._grid_enabled and (
@@ -773,6 +829,11 @@ class SeparationChain:
                 reason = stop.satisfied(diag.summary(), self.iterations)
                 if reason is not None:
                     return reason
+            if self._state_hook is not None and self._maybe_state_hook():
+                # The emission synced the dict early; restart the
+                # deferred-sync span so later write-backs sort their
+                # last-move indices against this new baseline.
+                since_sync = 0
         if cap > 0:
             reason = stop.satisfied(diag.summary(), self.iterations)
             if reason is not None:
@@ -1392,6 +1453,140 @@ class SeparationChain:
         self._positions = list(self.system.colors)
         self._grid_valid = False
         self._batch_valid = False
+
+    # ------------------------------------------------------------------
+    # Mid-run durability: state snapshots (crash-consistent resume)
+    # ------------------------------------------------------------------
+
+    def set_state_hook(self, hook, every: int = 0) -> None:
+        """Attach a mid-run state-snapshot callback.
+
+        ``hook(chain)`` fires at segment boundaries (diagnostics-stride
+        ticks, stop-check points, and ``run()`` call boundaries) once at
+        least ``every`` iterations have passed since the last emission.
+        At every emission point the canonical colors dict has been
+        written back, so ``hook`` may call :meth:`export_state` and
+        serialize ``chain.system`` directly.
+
+        The hook never consumes randomness: trajectories, counters, and
+        the final RNG state are bit-identical between two runs with the
+        *same* cadence (one interrupted and restored, one not).  A run
+        with a different ``every`` — or none — may produce a different
+        final dict *insertion order* (the emission syncs the grid
+        kernel's write-back early), though never different occupancy,
+        counters, or RNG state.
+
+        Snapshots are supported on the scalar kernels with a stdlib
+        ``random.Random`` stream only; the batch backend snapshots at
+        the kernel level instead (see ``BatchKernel.export_state``).
+        Passing ``hook=None`` detaches.
+        """
+        if hook is not None and every < 1:
+            raise ValueError(
+                f"state-hook interval must be positive, got {every}"
+            )
+        self._state_hook = hook
+        self._state_every = int(every) if hook is not None else 0
+        self._state_last = self.iterations
+
+    def _maybe_state_hook(self) -> bool:
+        """Fire the state hook if due; True when an emission happened."""
+        if self.iterations - self._state_last < self._state_every:
+            return False
+        if not self._batch_rng or self.backend == "batch":
+            return False
+        if self._grid_valid:
+            self._grid_sync()
+        self._state_last = self.iterations
+        self._state_hook(self)
+        return True
+
+    def export_state(self) -> Dict[str, object]:
+        """JSON-able mid-run chain state (everything but the system).
+
+        Captures the counters, the full ``random.Random`` generator
+        state, the unconsumed tail of the draw-ahead buffer, and the
+        particle *slot order* (``self._positions``).  The slot order
+        matters: particle selection indexes the slot list, and moves
+        update slots in place while the colors dict is reordered by
+        last-accepted-move, so mid-run the two permutations differ —
+        rebuilding slots from dict order would silently change which
+        particle each RNG draw selects.  The configuration itself is
+        *not* included — the caller serializes ``chain.system`` (synced
+        here) alongside, via whichever codec it uses for checkpoints.  Restoring the pair into a fresh chain
+        via :meth:`restore_state` and replaying the remaining schedule
+        reproduces the uninterrupted run bit for bit.
+        """
+        if not self._batch_rng:
+            raise RuntimeError(
+                "state export requires a plain random.Random stream"
+            )
+        if self.backend == "batch":
+            raise RuntimeError(
+                "the batch backend snapshots at the kernel level; "
+                "use BatchKernel.export_state"
+            )
+        if self._grid_valid:
+            self._grid_sync()
+        version, internal, gauss = self.rng.getstate()
+        return {
+            "kind": "chain",
+            "lam": self.lam,
+            "gamma": self.gamma,
+            "swaps": self.swaps,
+            "iterations": self.iterations,
+            "accepted_moves": self.accepted_moves,
+            "accepted_swaps": self.accepted_swaps,
+            "rng_state": [version, list(internal), gauss],
+            "buffer": list(self._buffer[self._buffer_pos:]),
+            "positions": [list(node) for node in self._positions],
+        }
+
+    def restore_state(self, payload: Dict[str, object]) -> None:
+        """Restore counters/RNG/buffer from :meth:`export_state` output.
+
+        The caller must have loaded the matching configuration into
+        ``self.system`` *first*; the slot order is taken from the
+        payload and validated against the dict's key set.  Raises
+        ``ValueError`` when the payload does not match this chain's
+        parameters or system.
+        """
+        if payload.get("kind") != "chain":
+            raise ValueError(
+                f"expected a chain state payload, got {payload.get('kind')!r}"
+            )
+        if (
+            float(payload["lam"]) != self.lam
+            or float(payload["gamma"]) != self.gamma
+            or bool(payload["swaps"]) != self.swaps
+        ):
+            raise ValueError(
+                "chain state parameters do not match this chain"
+            )
+        version, internal, gauss = payload["rng_state"]
+        self.rng.setstate(
+            (
+                int(version),
+                tuple(int(v) for v in internal),
+                None if gauss is None else float(gauss),
+            )
+        )
+        self.iterations = int(payload["iterations"])
+        self.accepted_moves = int(payload["accepted_moves"])
+        self.accepted_swaps = int(payload["accepted_swaps"])
+        self._buffer = [float(v) for v in payload["buffer"]]
+        self._buffer_pos = 0
+        positions = [tuple(node) for node in payload["positions"]]
+        if set(positions) != set(self.system.colors) or len(positions) != len(
+            self.system.colors
+        ):
+            raise ValueError(
+                "chain state slot order does not match the loaded system"
+            )
+        self._positions = positions
+        self._grid_valid = False
+        self._batch_valid = False
+        self._state_last = self.iterations
 
     def acceptance_rate(self) -> float:
         """Fraction of iterations that changed the configuration.

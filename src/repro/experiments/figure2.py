@@ -140,6 +140,8 @@ def run_figure2(
     codec: str = DEFAULT_CODEC,
     adaptive: Optional[StopCondition] = None,
     warm_start: str = "off",
+    state_every: int = 0,
+    drain_timeout: float = 30.0,
 ) -> Figure2Result:
     """Regenerate the Figure 2 trajectory.
 
@@ -219,6 +221,8 @@ def run_figure2(
             codec=codec,
             adaptive=adaptive,
             warm_start=warm_start,
+            state_every=state_every,
+            drain_timeout=drain_timeout,
         )
     if obs is not None:
         obs.log("figure2.done", replicas=replicas, steps=steps)

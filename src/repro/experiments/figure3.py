@@ -121,6 +121,8 @@ def run_figure3(
     codec: str = DEFAULT_CODEC,
     adaptive: Optional[StopCondition] = None,
     warm_start: str = "off",
+    state_every: int = 0,
+    drain_timeout: float = 30.0,
 ) -> Figure3Result:
     """Regenerate the Figure 3 phase grid.
 
@@ -196,6 +198,8 @@ def run_figure3(
             codec=codec,
             adaptive=adaptive,
             warm_start=warm_start,
+            state_every=state_every,
+            drain_timeout=drain_timeout,
         )
     if obs is not None:
         obs.log("figure3.done", cells=len(cells), replicas=replicas)

@@ -58,6 +58,17 @@ placeholders plus a ``failures.json`` manifest in the checkpoint dir.
 Because retried cells re-run identical payloads with identical derived
 seeds, a sweep that survives worker crashes is bit-identical to an
 undisturbed one.
+
+Preemption safety extends that guarantee *inside* a cell: with
+``state_every > 0`` workers periodically persist a crash-consistent
+``cell-<key>.state.bin`` snapshot (configuration, chain/kernel
+counters, RNG state, streaming-diagnostics state — see
+:func:`repro.util.codec.encode_state`), a retried or resumed cell
+warm-restores from it and replays only the missing tail (bit-identical
+to an uninterrupted run at the same snapshot cadence), SIGTERM/SIGINT
+drain in-flight cells to their last durable snapshot and leave a
+resumable ``drain.json`` manifest, and per-unit heartbeat files let
+the supervisor tell live-but-slow workers from silently dead ones.
 """
 
 from __future__ import annotations
@@ -65,6 +76,7 @@ from __future__ import annotations
 import hashlib
 import os
 import sys
+import threading
 import time
 import warnings
 from collections import OrderedDict
@@ -73,9 +85,13 @@ from functools import lru_cache
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.separation_chain import CHAIN_BACKENDS, SeparationChain
 from repro.experiments.costmodel import CostModel, plan_ladder
 from repro.experiments.resilience import (
+    DrainInterrupt,
+    DrainRequested,
     FailedCell,
     FailurePolicy,
     ResilientExecutor,
@@ -83,11 +99,20 @@ from repro.experiments.resilience import (
     RetryPolicy,
     TaskFailure,
     WorkUnit,
+    clear_drain_manifest,
     clear_failures_manifest,
     corrupt_batch_payloads,
     corrupt_result_payload,
+    drain_event,
+    drain_requested,
+    fault_after_snapshots,
+    fire_fault,
     inject_preemptive_fault,
+    install_drain_handlers,
     plan_fault,
+    reset_drain,
+    restore_drain_handlers,
+    write_drain_manifest,
     write_failures_manifest,
 )
 from repro.obs import (
@@ -303,6 +328,11 @@ class CellResult:
     fixed budget the run was capped by — ``iterations < budget_steps``
     measures the savings), and warm-start provenance
     (``warm_parent``/``warm_digest``).
+
+    ``restored_from`` records mid-run durability provenance: the
+    iteration count at which the worker warm-restored this cell from a
+    ``cell-<key>.state.bin`` snapshot (after a crash, preemption, or
+    drain), or ``None`` for cells computed in one uninterrupted pass.
     """
 
     task: CellTask
@@ -320,6 +350,7 @@ class CellResult:
     budget_steps: Optional[int] = None
     warm_parent: Optional[str] = None
     warm_digest: Optional[str] = None
+    restored_from: Optional[int] = None
 
 
 #: Side-channel payload keys (observability and fault injection):
@@ -482,6 +513,59 @@ def _warm_entries(
     return list(entries.items())
 
 
+#: Seconds between heartbeat-file touches in workers.
+_HEARTBEAT_INTERVAL = 2.0
+
+
+class _HeartbeatWriter:
+    """Daemon thread that touches a per-unit liveness file periodically.
+
+    The parent's executor watches the file's mtime: a worker that is
+    alive but slow keeps beating, while one killed by SIGKILL/OOM — or
+    hung before its first beat — goes silent and trips the
+    ``heartbeat_grace`` watchdog (see
+    :class:`repro.experiments.resilience.ResilientExecutor`).  Touches
+    are tiny unsynced writes on a side thread, so they never perturb
+    the measured cell wall time.
+    """
+
+    def __init__(self, path: str, interval: float = _HEARTBEAT_INTERVAL):
+        self._path = path
+        self._interval = interval
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._beat, daemon=True)
+
+    def start(self) -> "_HeartbeatWriter":
+        self._touch()
+        self._thread.start()
+        return self
+
+    def _touch(self) -> None:
+        try:
+            with open(self._path, "w") as handle:
+                handle.write(str(os.getpid()))
+        except OSError:
+            pass
+
+    def _beat(self) -> None:
+        while not self._stop.wait(self._interval):
+            self._touch()
+
+    def stop(self) -> None:
+        self._stop.set()
+        try:
+            os.unlink(self._path)
+        except OSError:
+            pass
+
+
+def _start_heartbeat(path: Optional[str]) -> Optional[_HeartbeatWriter]:
+    """Start a heartbeat writer for ``path`` (``None`` disables)."""
+    if not path:
+        return None
+    return _HeartbeatWriter(path).start()
+
+
 def run_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Worker entrypoint: execute one cell payload, return a result payload.
 
@@ -504,12 +588,24 @@ def run_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
     """
     fault = plan_fault(payload, payload["key"], payload.get("label", ""))
     inject_preemptive_fault(fault)
-    instrument = payload.get("instrument") or {}
-    if instrument.get("profile"):
-        result, profile_text = run_profiled(_run_cell_body, payload, instrument)
-        result["profile"] = profile_text
-        return corrupt_result_payload(fault, result)
-    return corrupt_result_payload(fault, _run_cell_body(payload, instrument))
+    # The heartbeat starts *after* preemptive fault injection so a
+    # preemptive hang leaves the file never written — exactly the
+    # silent-death signature the supervisor watches for.
+    heartbeat = _start_heartbeat(payload.get("heartbeat"))
+    try:
+        instrument = payload.get("instrument") or {}
+        if instrument.get("profile"):
+            result, profile_text = run_profiled(
+                _run_cell_body, payload, instrument, fault
+            )
+            result["profile"] = profile_text
+            return corrupt_result_payload(fault, result)
+        return corrupt_result_payload(
+            fault, _run_cell_body(payload, instrument, fault)
+        )
+    finally:
+        if heartbeat is not None:
+            heartbeat.stop()
 
 
 def run_cell_chunk(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
@@ -525,7 +621,12 @@ def run_cell_chunk(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
     the chunk as a unit.  Chunking therefore never affects
     trajectories, only scheduling granularity.
     """
-    return [run_cell(cell) for cell in payload["cells"]]
+    heartbeat = _start_heartbeat(payload.get("heartbeat"))
+    try:
+        return [run_cell(cell) for cell in payload["cells"]]
+    finally:
+        if heartbeat is not None:
+            heartbeat.stop()
 
 
 def _plan_chunks(
@@ -571,8 +672,56 @@ def _plan_chunks(
     return groups
 
 
+def _restore_cell_state(
+    payload: Dict[str, Any],
+    state: Dict[str, Any],
+    chain: SeparationChain,
+    diag: Optional[ChainDiagnostics],
+    diag_every: int,
+    state_every: int,
+) -> List[Any]:
+    """Validate + apply a decoded scalar state snapshot; return snapshots.
+
+    Raises ``ValueError`` on any mismatch (wrong cell, wrong cadence,
+    different diagnostics setup, inconsistent snapshot inventory) so
+    the caller can rebuild cold — never resume from the wrong state.
+    """
+    if state.get("kind") != "cell-state":
+        raise ValueError(
+            f"expected a cell-state frame, got {state.get('kind')!r}"
+        )
+    if state.get("key") != payload["key"]:
+        raise ValueError("state snapshot key does not match this task")
+    if int(state.get("state_every") or 0) != state_every:
+        raise ValueError("state snapshot cadence does not match this run")
+    if bool(state.get("has_diag")) != (diag is not None) or (
+        diag is not None and int(state.get("stride") or 0) != diag_every
+    ):
+        raise ValueError(
+            "state snapshot diagnostics setup does not match this run"
+        )
+    chain.restore_state(state["chain"])
+    if diag is not None:
+        diag.restore_state(state["diag"])
+    done = [c for c in payload["checkpoints"] if c <= chain.iterations]
+    saved = list(state["items"][1:])
+    if len(saved) == len(done):
+        return saved
+    if len(saved) == len(done) - 1 and done[-1] == chain.iterations:
+        # The snapshot landed exactly on a checkpoint boundary, before
+        # the worker appended that checkpoint's blob; the restored
+        # configuration *is* that checkpoint state, so regenerate it.
+        return saved + [None]  # caller fills with its own encoder
+    raise ValueError(
+        f"state snapshot carries {len(saved)} checkpoint blobs "
+        f"but {len(done)} checkpoints precede iteration {chain.iterations}"
+    )
+
+
 def _run_cell_body(
-    payload: Dict[str, Any], instrument: Dict[str, Any]
+    payload: Dict[str, Any],
+    instrument: Dict[str, Any],
+    fault: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     context = {
         "cell": payload["key"],
@@ -599,48 +748,62 @@ def _run_cell_body(
         logger.debug("cell.start", steps=payload["steps"])
 
     codec = payload.get("codec", "json")
-    system, cache_hit = _base_system(payload)
-    if metrics is not None:
-        name = (
-            "engine.system_cache_hits"
-            if cache_hit
-            else "engine.system_cache_misses"
-        )
-        metrics.counter(name).inc()
-    chain = SeparationChain(
-        system,
-        lam=payload["lam"],
-        gamma=payload["gamma"],
-        swaps=payload["swaps"],
-        seed=payload["seed"],
-        # Older payloads (pre-kernel) default to "auto"; either way the
-        # trajectory is identical, only the throughput differs.
-        backend=payload.get("kernel", "auto"),
-    )
     adaptive = payload.get("adaptive") or None
-    diag = None
     diag_every = int(instrument.get("diag_every") or 0)
     if adaptive and diag_every <= 0:
         # Adaptive termination needs streaming diagnostics even when no
         # explicit observability stride was requested.
         diag_every = int(adaptive.get("stride") or 0) or DiagnosticsConfig().stride
-    if diag_every > 0:
-        diag = ChainDiagnostics(
-            DiagnosticsConfig(stride=diag_every),
-            metrics=metrics,
-            logger=logger,
-            trace=trace,
-            label=payload["label"] or payload["key"],
+
+    cache_counted = False
+
+    def build(
+        initial: Optional[ParticleSystem] = None,
+    ) -> Tuple[ParticleSystem, SeparationChain, Optional[ChainDiagnostics]]:
+        nonlocal cache_counted
+        if initial is None:
+            system, cache_hit = _base_system(payload)
+            if metrics is not None and not cache_counted:
+                cache_counted = True
+                name = (
+                    "engine.system_cache_hits"
+                    if cache_hit
+                    else "engine.system_cache_misses"
+                )
+                metrics.counter(name).inc()
+        else:
+            system = initial
+        chain = SeparationChain(
+            system,
+            lam=payload["lam"],
+            gamma=payload["gamma"],
+            swaps=payload["swaps"],
+            seed=payload["seed"],
+            # Older payloads (pre-kernel) default to "auto"; either way
+            # the trajectory is identical, only the throughput differs.
+            backend=payload.get("kernel", "auto"),
         )
-    if (
-        logger is not None
-        or metrics is not None
-        or trace is not None
-        or diag is not None
-    ):
-        chain.instrument(
-            metrics=metrics, trace=trace, logger=logger, diagnostics=diag
-        )
+        diag = None
+        if diag_every > 0:
+            diag = ChainDiagnostics(
+                DiagnosticsConfig(stride=diag_every),
+                metrics=metrics,
+                logger=logger,
+                trace=trace,
+                label=payload["label"] or payload["key"],
+            )
+        if (
+            logger is not None
+            or metrics is not None
+            or trace is not None
+            or diag is not None
+        ):
+            chain.instrument(
+                metrics=metrics, trace=trace, logger=logger, diagnostics=diag
+            )
+        return system, chain, diag
+
+    system, chain, diag = build()
     if codec == "binary":
         def encode(current_system: ParticleSystem) -> Any:
             return binary_codec.encode_configuration(current_system)
@@ -648,17 +811,94 @@ def _run_cell_body(
         def encode(current_system: ParticleSystem) -> Any:
             return configuration_to_json(current_system, sort_nodes=False)
 
+    state_path = payload.get("state_path")
+    state_every = int(payload.get("state_every") or 0)
     snapshots: List[Any] = []
-    current = 0
-    for checkpoint in payload["checkpoints"]:
+    restored_from: Optional[int] = None
+    if state_path and os.path.exists(state_path):
+        # Warm restore: resume mid-cell from the last durable snapshot.
+        # Any defect — corruption, a snapshot from a different task or
+        # cadence — falls back to a cold start, the same posture the
+        # checkpoint loader takes toward unusable checkpoints.
+        try:
+            state = binary_codec.decode_state(Path(state_path).read_bytes())
+            restored_system = _decode_system_any(state["items"][0])
+            system, chain, diag = build(restored_system)
+            saved = _restore_cell_state(
+                payload, state, chain, diag, diag_every, state_every
+            )
+            snapshots = [
+                blob if blob is not None else encode(system)
+                for blob in saved
+            ]
+            restored_from = chain.iterations
+            if logger is not None:
+                logger.info(
+                    "cell.warm_restore", iteration=restored_from
+                )
+        except (ValueError, KeyError, TypeError, IndexError, OSError) as error:
+            warnings.warn(
+                f"ignoring unusable state snapshot "
+                f"{Path(state_path).name}: {error}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            snapshots = []
+            restored_from = None
+            system, chain, diag = build()
+
+    if state_path and state_every > 0:
+        emitted = 0
+        deferred = fault_after_snapshots(fault)
+
+        def state_hook(ch: SeparationChain) -> None:
+            nonlocal emitted
+            frame: Dict[str, Any] = {
+                "kind": "cell-state",
+                "key": payload["key"],
+                "state_every": state_every,
+                "codec": codec,
+                "iterations": ch.iterations,
+                "chain": ch.export_state(),
+                "has_diag": diag is not None,
+                "stride": diag_every,
+                "items": [binary_codec.encode_configuration(ch.system)]
+                + list(snapshots),
+            }
+            if diag is not None:
+                frame["diag"] = diag.state_payload()
+            save_bytes(binary_codec.encode_state(frame), state_path)
+            emitted += 1
+            if metrics is not None:
+                metrics.counter("engine.state_snapshots").inc()
+            if deferred and emitted == deferred:
+                fire_fault(fault)
+            if drain_requested():
+                raise DrainRequested(
+                    f"cell {payload['key']} drained at "
+                    f"iteration {ch.iterations}"
+                )
+
+        chain.set_state_hook(state_hook, state_every)
+
+    current = chain.iterations
+    for index, checkpoint in enumerate(payload["checkpoints"]):
+        if index < len(snapshots):
+            # Already materialized from the restored state snapshot.
+            current = max(current, checkpoint)
+            continue
         chain.run(checkpoint - current)
         current = checkpoint
         snapshots.append(encode(system))
+    current = max(current, chain.iterations)
     stop_reason = None
     if adaptive:
         # Adaptive termination engages only on the final segment, after
         # every requested snapshot exists — the snapshot-count contract
-        # of the checkpoint schema is preserved unconditionally.
+        # of the checkpoint schema is preserved unconditionally.  The
+        # stop-check schedule is anchored to absolute iteration counts,
+        # so a warm-restored chain resumes the exact cadence of the
+        # uninterrupted run.
         stop = StopCondition.from_payload(adaptive)
         stop_reason = chain.run_until(payload["steps"] - current, stop)
     else:
@@ -675,6 +915,8 @@ def _run_cell_body(
         "accepted_swaps": chain.accepted_swaps,
         "wall_time": wall_time,
     }
+    if restored_from is not None:
+        result["restored_from"] = restored_from
     summary = diag.summary() if diag is not None else None
     if stop_reason is not None:
         result["stop_reason"] = stop_reason
@@ -750,6 +992,11 @@ def _decode_result(
         ),
         warm_parent=payload.get("warm_parent"),
         warm_digest=payload.get("warm_digest"),
+        restored_from=(
+            int(payload["restored_from"])
+            if payload.get("restored_from") is not None
+            else None
+        ),
     )
 
 
@@ -1052,14 +1299,27 @@ def run_batch_group(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
     its label); the ``truncate`` mode drops the last member's payload
     to exercise the engine's payload-count validation.
     """
-    from repro.core.batch_kernel import BatchKernel
-
     fault = plan_fault(
         payload,
         payload["members"][0]["key"],
         payload["members"][0].get("label", ""),
     )
     inject_preemptive_fault(fault)
+    heartbeat = _start_heartbeat(payload.get("heartbeat"))
+    try:
+        return corrupt_batch_payloads(
+            fault, _run_batch_group_body(payload, fault)
+        )
+    finally:
+        if heartbeat is not None:
+            heartbeat.stop()
+
+
+def _run_batch_group_body(
+    payload: Dict[str, Any], fault: Optional[Dict[str, Any]] = None
+) -> List[Dict[str, Any]]:
+    from repro.core.batch_kernel import BatchKernel
+
     instrument = payload.get("instrument") or {}
     members = payload["members"]
     replicas = len(members)
@@ -1089,42 +1349,51 @@ def run_batch_group(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
         )
 
     codec = payload.get("codec", "json")
-    system, cache_hit = _base_system(payload)
-    if metrics is not None:
-        name = (
-            "engine.system_cache_hits"
-            if cache_hit
-            else "engine.system_cache_misses"
-        )
-        metrics.counter(name).inc()
-    kernel = BatchKernel(
-        system,
-        payload["lam"],
-        payload["gamma"],
-        replicas=replicas,
-        seed=[member["seed"] for member in members],
-        swaps=payload["swaps"],
-    )
     adaptive = payload.get("adaptive") or None
-    diag = None
     diag_every = int(instrument.get("diag_every") or 0)
     if adaptive and diag_every <= 0:
         diag_every = int(adaptive.get("stride") or 0) or DiagnosticsConfig().stride
-    if diag_every > 0:
-        # Round-level observer: the kernel samples all R replicas in
-        # lock step once per vectorized round, feeding per-replica
-        # streams plus the cross-replica split R-hat.  Attaching it
-        # never touches the proposal streams (trajectories stay
-        # bit-identical; regression tested).
-        diag = ReplicaSetDiagnostics(
-            replicas,
-            DiagnosticsConfig(stride=diag_every),
-            metrics=metrics,
-            logger=logger,
-            trace=trace,
-            label=members[0]["label"] or members[0]["key"],
+
+    cache_counted = False
+
+    def build() -> Tuple[Any, Optional[ReplicaSetDiagnostics]]:
+        nonlocal cache_counted
+        system, cache_hit = _base_system(payload)
+        if metrics is not None and not cache_counted:
+            cache_counted = True
+            name = (
+                "engine.system_cache_hits"
+                if cache_hit
+                else "engine.system_cache_misses"
+            )
+            metrics.counter(name).inc()
+        kernel = BatchKernel(
+            system,
+            payload["lam"],
+            payload["gamma"],
+            replicas=replicas,
+            seed=[member["seed"] for member in members],
+            swaps=payload["swaps"],
         )
-        kernel.observer = diag
+        diag = None
+        if diag_every > 0:
+            # Round-level observer: the kernel samples all R replicas in
+            # lock step once per vectorized round, feeding per-replica
+            # streams plus the cross-replica split R-hat.  Attaching it
+            # never touches the proposal streams (trajectories stay
+            # bit-identical; regression tested).
+            diag = ReplicaSetDiagnostics(
+                replicas,
+                DiagnosticsConfig(stride=diag_every),
+                metrics=metrics,
+                logger=logger,
+                trace=trace,
+                label=members[0]["label"] or members[0]["key"],
+            )
+            kernel.observer = diag
+        return kernel, diag
+
+    kernel, diag = build()
     if codec == "binary":
         def export(r: int) -> Any:
             # Zero-copy-ish: the kernel's replica state goes straight
@@ -1137,11 +1406,111 @@ def run_batch_group(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
                 kernel.export_system(r), sort_nodes=False
             )
 
+    state_path = payload.get("state_path")
+    state_every = int(payload.get("state_every") or 0)
     snapshots: List[List[Any]] = [[] for _ in range(replicas)]
-    current = 0
-    for checkpoint in payload["checkpoints"]:
-        kernel.run(checkpoint - current)
-        current = checkpoint
+    done = 0
+    restored_from: Optional[int] = None
+    if state_path and os.path.exists(state_path):
+        # Warm restore: the snapshot was taken at a proposal-window
+        # (round) boundary, so restoring the arenas, streams, cursors,
+        # and per-replica RNG states and replaying the owed per-replica
+        # steps reproduces the uninterrupted run bit for bit.
+        try:
+            state = binary_codec.decode_state(Path(state_path).read_bytes())
+            if state.get("key") != members[0]["key"]:
+                raise ValueError("state snapshot key does not match group")
+            if int(state.get("state_every") or 0) != state_every:
+                raise ValueError(
+                    "state snapshot cadence does not match this run"
+                )
+            if int(state.get("members") or 0) != replicas:
+                raise ValueError(
+                    "state snapshot member count does not match"
+                )
+            if bool(state.get("has_diag")) != (diag is not None) or (
+                diag is not None
+                and int(state.get("stride") or 0) != diag_every
+            ):
+                raise ValueError(
+                    "state snapshot diagnostics setup does not match this run"
+                )
+            kernel.restore_state(state)
+            if diag is not None:
+                diag.restore_state(state["diag"])
+            done = int(state.get("snapshots_done") or 0)
+            items = state.get("items") or []
+            if (
+                done < 0
+                or done > len(payload["checkpoints"])
+                or len(items) != done * replicas
+            ):
+                raise ValueError(
+                    "state snapshot checkpoint inventory is inconsistent"
+                )
+            for r in range(replicas):
+                snapshots[r] = list(items[r * done : (r + 1) * done])
+            restored_from = int(kernel.iters.min())
+            if logger is not None:
+                logger.info("batch.warm_restore", iteration=restored_from)
+        except (ValueError, KeyError, TypeError, IndexError, OSError) as error:
+            warnings.warn(
+                f"ignoring unusable state snapshot "
+                f"{Path(state_path).name}: {error}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            snapshots = [[] for _ in range(replicas)]
+            done = 0
+            restored_from = None
+            kernel, diag = build()
+
+    if state_path and state_every > 0:
+        last = int(kernel.iters[0])
+        emitted = 0
+        deferred = fault_after_snapshots(fault)
+
+        def state_hook(k: Any) -> None:
+            # Round-level like the observer: fires with every array at
+            # a consistent proposal-window boundary, reads state only.
+            nonlocal last, emitted
+            if int(k.iters[0]) - last < state_every:
+                return
+            last = int(k.iters[0])
+            frame: Dict[str, Any] = dict(k.export_state())
+            frame["key"] = members[0]["key"]
+            frame["state_every"] = state_every
+            frame["members"] = replicas
+            frame["has_diag"] = diag is not None
+            frame["stride"] = diag_every
+            frame["snapshots_done"] = len(snapshots[0])
+            frame["items"] = [blob for row in snapshots for blob in row]
+            if diag is not None:
+                frame["diag"] = diag.state_payload()
+            save_bytes(binary_codec.encode_state(frame), state_path)
+            emitted += 1
+            if metrics is not None:
+                metrics.counter("engine.state_snapshots").inc()
+            if deferred and emitted == deferred:
+                fire_fault(fault)
+            if drain_requested():
+                raise DrainRequested(
+                    f"batch group {members[0]['key']} drained at "
+                    f"iteration {last}"
+                )
+
+        kernel.state_hook = state_hook
+
+    for index, checkpoint in enumerate(payload["checkpoints"]):
+        if index < done:
+            # Already materialized from the restored state snapshot.
+            continue
+        remaining = checkpoint - kernel.iters
+        if (remaining > 0).any():
+            # Per-replica targets: a restored group's replicas sit at
+            # different counters mid-round; each gets exactly the steps
+            # the uninterrupted run still owed it.
+            kernel.run(np.maximum(remaining, 0))
         for r in range(replicas):
             snapshots[r].append(export(r))
     stop_reason = None
@@ -1153,7 +1522,10 @@ def run_batch_group(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
         # lock-step (and share one stop reason).  Chunked runs shift
         # the kernel's proposal refill points, so adaptive batch runs
         # are statistically (not bit-wise) equivalent to fixed-budget
-        # ones — the scalar kernels keep bit-exact prefixes.
+        # ones — the scalar kernels keep bit-exact prefixes.  Verdict
+        # boundaries are anchored to the *original* schedule
+        # (``base + k·check_every``), so a warm-restored group checks
+        # at exactly the points the uninterrupted run would have.
         stop = StopCondition.from_payload(adaptive)
         cap_end = stop.cap(payload["steps"])
         stop_reason = (
@@ -1162,18 +1534,48 @@ def run_batch_group(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
             else STOP_BUDGET
         )
         check_every = diag.config.stride * diag.config.verdict_every
-        while current < cap_end:
-            seg = min(cap_end - current, check_every)
-            kernel.run(seg)
-            current += seg
-            if current < stop.min_iterations and current < cap_end:
-                continue
-            reason = stop.satisfied(diag.summary(), current)
-            if reason is not None:
-                stop_reason = reason
-                break
+        base = payload["checkpoints"][-1] if payload["checkpoints"] else 0
+        position = int(kernel.iters.max())
+
+        def verdict(pos: int) -> Optional[str]:
+            if pos < stop.min_iterations and pos < cap_end:
+                return None
+            return stop.satisfied(diag.summary(), pos)
+
+        # A snapshot taken in the final round of a verdict segment
+        # restores with every replica exactly on the boundary but the
+        # verdict still unevaluated — rule on it before dispatching the
+        # next segment (the diagnostics state round-tripped, so the
+        # verdict matches the uninterrupted run's).
+        pending_verdict = (
+            restored_from is not None
+            and position > base
+            and bool((kernel.iters == position).all())
+            and (
+                position == cap_end
+                or (position - base) % check_every == 0
+            )
+        )
+        reason = verdict(position) if pending_verdict else None
+        if reason is not None:
+            stop_reason = reason
+        else:
+            while position < cap_end:
+                boundary = min(
+                    cap_end,
+                    base
+                    + ((position - base) // check_every + 1) * check_every,
+                )
+                kernel.run(np.maximum(boundary - kernel.iters, 0))
+                position = boundary
+                reason = verdict(position)
+                if reason is not None:
+                    stop_reason = reason
+                    break
     else:
-        kernel.run(payload["steps"] - current)
+        remaining = payload["steps"] - kernel.iters
+        if (remaining > 0).any():
+            kernel.run(np.maximum(remaining, 0))
     wall_time = time.perf_counter() - wall_start
 
     results: List[Dict[str, Any]] = []
@@ -1190,6 +1592,8 @@ def run_batch_group(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
                 "wall_time": wall_time / replicas,
             }
         )
+        if restored_from is not None:
+            results[r]["restored_from"] = restored_from
         member_diag = diag.member_summary(r) if diag is not None else None
         if member_diag is not None:
             results[r]["diag"] = member_diag
@@ -1245,6 +1649,84 @@ def _finalize_failures(
         clear_failures_manifest(directory)
 
 
+def _state_file(directory: Path, key: str) -> Path:
+    """Filesystem location of a unit's mid-run state snapshot."""
+    return directory / f"cell-{key}.state.bin"
+
+
+def _heartbeat_file(directory: Path, key: str) -> Path:
+    """Filesystem location of a unit's worker heartbeat file."""
+    return directory / f"cell-{key}.hb"
+
+
+def _note_warm_restore(
+    obs: Optional[Instrumentation], task: CellTask, result: CellResult
+) -> None:
+    """Count and log a live cell that warm-restored mid-run."""
+    if obs is None or result.restored_from is None:
+        return
+    if obs.metrics is not None:
+        obs.metrics.counter("engine.warm_restores").inc()
+    obs.log(
+        "cell.warm_restore",
+        cell=task.key(),
+        label=task.label,
+        restored_from=result.restored_from,
+        iterations=result.iterations,
+    )
+
+
+def _cleanup_unit_state(directory: Optional[Path], key: str) -> None:
+    """Drop a committed unit's state snapshot and heartbeat files.
+
+    The final checkpoint supersedes the mid-run snapshot; removing it
+    keeps ``--resume`` from warm-restoring into an already-complete
+    cell (and keeps the directory from accumulating debris).
+    """
+    if directory is None:
+        return
+    for path in (_state_file(directory, key), _heartbeat_file(directory, key)):
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+
+def _handle_drain(
+    error: DrainInterrupt,
+    directory: Optional[Path],
+    completed: int,
+    failures: List[TaskFailure],
+    obs: Optional[Instrumentation],
+    drain_timeout: float,
+) -> None:
+    """Record a graceful-shutdown interrupt before it propagates.
+
+    Writes the resumable ``drain.json`` manifest (pending unit keys +
+    completed count), persists any quarantined failures, and emits the
+    ``engine.drains`` counter / ``engine.drain`` event + trace span.
+    """
+    if directory is not None:
+        write_drain_manifest(directory, error.pending, completed)
+        if failures:
+            write_failures_manifest(directory, failures)
+    if obs is not None:
+        if obs.metrics is not None:
+            obs.metrics.counter("engine.drains").inc()
+        if obs.trace is not None:
+            obs.trace.complete(
+                "engine.drain",
+                obs.trace.now(),
+                pending=len(error.pending),
+            )
+        obs.log(
+            "engine.drain",
+            pending=len(error.pending),
+            completed=completed,
+            drain_timeout=drain_timeout,
+        )
+
+
 def execute_cells(
     tasks: Iterable[CellTask],
     backend: str = "serial",
@@ -1260,6 +1742,8 @@ def execute_cells(
     schedule: str = "cost",
     chunk: int = 0,
     adaptive: Optional[StopCondition] = None,
+    state_every: int = 0,
+    drain_timeout: float = 30.0,
 ) -> List[CellResult]:
     """Run every task and return results in task order.
 
@@ -1336,6 +1820,26 @@ def execute_cells(
         execution bit-identical to historical runs.  The cost model
         observes *actual* executed iterations, so its online rates stay
         calibrated when cells stop early.
+    state_every:
+        Mid-run durability cadence in chain iterations: ``> 0`` makes
+        workers persist a crash-consistent ``cell-<key>.state.bin``
+        snapshot (configuration, counters, RNG state, diagnostics
+        state) at least every ``state_every`` iterations, atomically,
+        beside the checkpoints.  A retried or ``--resume``\\ d cell
+        warm-restores from its snapshot and replays only the missing
+        tail — bit-identical to an uninterrupted run at the same
+        cadence, with recompute bounded by the snapshot interval.
+        ``0`` (the default) disables snapshots.  Requires
+        ``checkpoint_dir``.
+    drain_timeout:
+        Graceful-shutdown budget in seconds.  On SIGTERM/SIGINT the
+        engine stops dispatching, lets in-flight cells reach their next
+        durable snapshot (workers raise
+        :class:`~repro.experiments.resilience.DrainRequested` there),
+        writes a resumable ``drain.json`` manifest, and raises
+        :class:`~repro.experiments.resilience.DrainInterrupt`; cells
+        still running past the budget are torn down (their last
+        snapshot survives).  A second SIGINT aborts immediately.
     """
     if backend not in BACKENDS:
         raise ValueError(
@@ -1353,6 +1857,14 @@ def execute_cells(
         raise ValueError(f"chunk must be >= 0, got {chunk}")
     if resume and checkpoint_dir is None:
         raise ValueError("resume=True requires a checkpoint_dir")
+    if state_every < 0:
+        raise ValueError(f"state_every must be >= 0, got {state_every}")
+    if state_every > 0 and checkpoint_dir is None:
+        raise ValueError("state_every > 0 requires a checkpoint_dir")
+    if drain_timeout <= 0:
+        raise ValueError(
+            f"drain_timeout must be positive, got {drain_timeout}"
+        )
     if workers is not None and workers < 1:
         raise ValueError(f"workers must be positive, got {workers}")
     if obs is not None and not obs.enabled():
@@ -1441,23 +1953,40 @@ def execute_cells(
             )
             if fault_spec is not None:
                 payload["fault"] = fault_spec
+            if directory is not None and state_every > 0:
+                payload["state_path"] = str(
+                    _state_file(directory, task_list[index].key())
+                )
+                payload["state_every"] = state_every
             payloads.append(payload)
+        heartbeat = (
+            str(_heartbeat_file(directory, task_list[group[0]].key()))
+            if directory is not None and backend == "process"
+            else None
+        )
         if len(group) == 1:
+            if heartbeat is not None:
+                payloads[0]["heartbeat"] = heartbeat
             units.append(
                 WorkUnit(
                     uid=uid,
                     fn=run_cell,
                     payload=payloads[0],
                     tasks=[task_list[group[0]]],
+                    heartbeat=heartbeat,
                 )
             )
         else:
+            chunk_payload: Dict[str, Any] = {"cells": payloads}
+            if heartbeat is not None:
+                chunk_payload["heartbeat"] = heartbeat
             units.append(
                 WorkUnit(
                     uid=uid,
                     fn=run_cell_chunk,
-                    payload={"cells": payloads},
+                    payload=chunk_payload,
                     tasks=[task_list[index] for index in group],
+                    heartbeat=heartbeat,
                 )
             )
 
@@ -1521,6 +2050,8 @@ def execute_cells(
                 model.observe(
                     task, result.wall_time, iterations=result.iterations
                 )
+            _cleanup_unit_state(directory, task.key())
+            _note_warm_restore(obs, task, result)
             if obs is not None:
                 _absorb_cell(obs, task, payload, result)
             results[index] = result
@@ -1555,16 +2086,29 @@ def execute_cells(
             if codec == "binary"
             else ()
         ),
+        drain=drain_event(),
+        drain_timeout=drain_timeout,
     )
+    reset_drain()
+    handlers = install_drain_handlers()
     try:
         executor.run(units, decode, commit, quarantine)
+    except DrainInterrupt as error:
+        _handle_drain(
+            error, directory, completed, executor.failures, obs, drain_timeout
+        )
+        raise
     except BaseException:
         # Aborted runs persist whatever was already quarantined but
         # never *clear* a manifest they did not complete.
         if directory is not None and executor.failures:
             write_failures_manifest(directory, executor.failures)
         raise
+    finally:
+        restore_drain_handlers(handlers)
     _finalize_failures(directory, executor.failures)
+    if directory is not None:
+        clear_drain_manifest(directory)
 
     if obs is not None:
         elapsed = time.perf_counter() - engine_started
@@ -1633,6 +2177,7 @@ def _absorb_cell(
                 "budget_steps": result.budget_steps,
                 "ess_at_stop": result.ess_at_stop,
                 "warm_parent": result.warm_parent,
+                "restored_from": result.restored_from,
             }
         )
         diag = result.diag
@@ -1723,6 +2268,8 @@ class BatchRunner:
     codec: str = DEFAULT_CODEC
     schedule: str = "cost"
     adaptive: Optional[StopCondition] = None
+    state_every: int = 0
+    drain_timeout: float = 30.0
 
     def run(self, tasks: Iterable[CellTask]) -> List[CellResult]:
         """Execute every task and return results in task order.
@@ -1751,6 +2298,16 @@ class BatchRunner:
             )
         if self.resume and self.checkpoint_dir is None:
             raise ValueError("resume=True requires a checkpoint_dir")
+        if self.state_every < 0:
+            raise ValueError(
+                f"state_every must be >= 0, got {self.state_every}"
+            )
+        if self.state_every > 0 and self.checkpoint_dir is None:
+            raise ValueError("state_every > 0 requires a checkpoint_dir")
+        if self.drain_timeout <= 0:
+            raise ValueError(
+                f"drain_timeout must be positive, got {self.drain_timeout}"
+            )
         if self.workers is not None and self.workers < 1:
             raise ValueError(f"workers must be positive, got {self.workers}")
         obs = self.obs
@@ -1831,12 +2388,26 @@ class BatchRunner:
             )
             if self.fault_spec is not None:
                 payload["fault"] = self.fault_spec
+            group_key = task_list[group[0]].key()
+            if directory is not None and self.state_every > 0:
+                # One snapshot per group: the kernel's replicas advance
+                # lock-step, so their state serializes as one frame.
+                payload["state_path"] = str(_state_file(directory, group_key))
+                payload["state_every"] = self.state_every
+            heartbeat = (
+                str(_heartbeat_file(directory, group_key))
+                if directory is not None and self.backend == "process"
+                else None
+            )
+            if heartbeat is not None:
+                payload["heartbeat"] = heartbeat
             units.append(
                 WorkUnit(
                     uid=uid,
                     fn=run_batch_group,
                     payload=payload,
                     tasks=[task_list[i] for i in group],
+                    heartbeat=heartbeat,
                 )
             )
 
@@ -1888,12 +2459,16 @@ class BatchRunner:
                     model.observe(
                         task, result.wall_time, iterations=result.iterations
                     )
+                _note_warm_restore(obs, task, result)
                 if obs is not None:
                     _absorb_cell(obs, task, payload, result)
                 results[index] = result
                 completed += 1
                 if self.progress is not None:
                     self.progress(completed, total, result)
+            # The group shares one state snapshot, keyed by its first
+            # member; every member checkpoint is now committed.
+            _cleanup_unit_state(directory, unit.tasks[0].key())
 
         def quarantine(unit: WorkUnit, records: List[TaskFailure]) -> None:
             nonlocal completed
@@ -1924,14 +2499,32 @@ class BatchRunner:
                 if self.codec == "binary"
                 else ()
             ),
+            drain=drain_event(),
+            drain_timeout=self.drain_timeout,
         )
+        reset_drain()
+        handlers = install_drain_handlers()
         try:
             executor.run(units, decode, commit, quarantine)
+        except DrainInterrupt as error:
+            _handle_drain(
+                error,
+                directory,
+                completed,
+                executor.failures,
+                obs,
+                self.drain_timeout,
+            )
+            raise
         except BaseException:
             if directory is not None and executor.failures:
                 write_failures_manifest(directory, executor.failures)
             raise
+        finally:
+            restore_drain_handlers(handlers)
         _finalize_failures(directory, executor.failures)
+        if directory is not None:
+            clear_drain_manifest(directory)
 
         if obs is not None:
             elapsed = time.perf_counter() - engine_started
@@ -1975,6 +2568,8 @@ def dispatch_cells(
     chunk: int = 0,
     adaptive: Optional[StopCondition] = None,
     warm_start: str = "off",
+    state_every: int = 0,
+    drain_timeout: float = 30.0,
 ) -> List[CellResult]:
     """Route tasks to the scalar engine or the batch runner by kernel.
 
@@ -2022,6 +2617,8 @@ def dispatch_cells(
         schedule=schedule,
         chunk=chunk,
         adaptive=adaptive,
+        state_every=state_every,
+        drain_timeout=drain_timeout,
     )
     if warm_start == "ladder" and len(task_list) > 1:
         return _dispatch_ladder(task_list, **kwargs)
@@ -2041,6 +2638,8 @@ def dispatch_cells(
             codec=codec,
             schedule=schedule,
             adaptive=adaptive,
+            state_every=state_every,
+            drain_timeout=drain_timeout,
         ).run(task_list)
     if True in batch_flags:
         raise ValueError(
@@ -2062,6 +2661,8 @@ def dispatch_cells(
         schedule=schedule,
         chunk=chunk,
         adaptive=adaptive,
+        state_every=state_every,
+        drain_timeout=drain_timeout,
     )
 
 

@@ -36,6 +36,13 @@ the scalar engine and the batch runner:
   the first k attempts" stays deterministic across processes and pool
   rebuilds.  This is what makes the layer testable: the chaos suite
   asserts that surviving cells are bit-identical to a clean run.
+* Graceful shutdown & liveness — a process-wide drain flag set by
+  SIGTERM/SIGINT (:func:`install_drain_handlers`) stops dispatch,
+  gives in-flight cells ``drain_timeout`` seconds to finish or stop at
+  a durable state snapshot, and raises :class:`DrainInterrupt` with
+  the still-pending keys (persisted as a resumable ``drain.json``
+  manifest); per-unit heartbeat files let the supervisor distinguish
+  live-but-slow cells from silently dead ones.
 
 Because a retried task re-runs the *identical* payload with the
 identical derived seed, retries never perturb trajectories: a sweep
@@ -48,6 +55,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import signal
 import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -77,6 +85,12 @@ FAILURES_MANIFEST = "failures.json"
 #: Schema version of the failures manifest payload.
 FAILURES_MANIFEST_VERSION = 1
 
+#: Name of the resumable drain manifest written on graceful shutdown.
+DRAIN_MANIFEST = "drain.json"
+
+#: Schema version of the drain manifest payload.
+DRAIN_MANIFEST_VERSION = 1
+
 
 # ---------------------------------------------------------------------------
 # Errors
@@ -101,6 +115,28 @@ class CellFailedError(RuntimeError):
 
 class PoolRestartsExhausted(RuntimeError):
     """The process pool broke more times than the policy allows."""
+
+
+class DrainRequested(RuntimeError):
+    """Raised inside a worker when a drain was requested mid-cell.
+
+    The cell stopped at its last *durable* state snapshot, so nothing
+    is lost: a resumed sweep warm-restores from that snapshot.  The
+    executor treats this as "still pending", never as a task failure.
+    """
+
+
+class DrainInterrupt(RuntimeError):
+    """The sweep stopped early on a graceful-shutdown request.
+
+    ``pending`` carries the keys of every unit that did not commit a
+    final checkpoint; the engine records them in the ``drain.json``
+    manifest so ``--resume`` knows the interruption was deliberate.
+    """
+
+    def __init__(self, message: str, pending: Sequence[str] = ()):
+        super().__init__(message)
+        self.pending: List[str] = list(pending)
 
 
 # ---------------------------------------------------------------------------
@@ -334,11 +370,138 @@ def clear_failures_manifest(directory: os.PathLike) -> None:
 
 
 # ---------------------------------------------------------------------------
+# Graceful shutdown (drain)
+# ---------------------------------------------------------------------------
+
+#: Process-wide drain flag.  Set by the SIGTERM/SIGINT handlers in the
+#: parent; pool children forked *after* the handlers were installed
+#: inherit the handler and set their own copy, which is exactly what a
+#: worker's snapshot hook polls to stop at a durable boundary.
+_DRAIN_EVENT = threading.Event()
+
+
+def drain_event() -> threading.Event:
+    """The process-wide drain event (for wiring into executors)."""
+    return _DRAIN_EVENT
+
+
+def drain_requested() -> bool:
+    """Whether a graceful shutdown has been requested in this process."""
+    return _DRAIN_EVENT.is_set()
+
+
+def request_drain() -> None:
+    """Programmatically request a drain (what the signal handler does)."""
+    _DRAIN_EVENT.set()
+
+
+def reset_drain() -> None:
+    """Clear the drain flag (call before starting a new sweep)."""
+    _DRAIN_EVENT.clear()
+
+
+def _drain_signal_handler(signum, frame) -> None:
+    if _DRAIN_EVENT.is_set() and signum == signal.SIGINT:
+        # A second Ctrl-C means "stop waiting": fall back to the
+        # ordinary KeyboardInterrupt abort path.
+        raise KeyboardInterrupt
+    _DRAIN_EVENT.set()
+
+
+def install_drain_handlers() -> List[Tuple[int, Any]]:
+    """Install SIGTERM/SIGINT drain handlers (main thread only).
+
+    Returns the ``(signum, previous_handler)`` pairs actually
+    installed, for :func:`restore_drain_handlers`.  Off the main
+    thread (or on platforms without the signals) this is a no-op —
+    graceful shutdown degrades to the ordinary abort path rather than
+    failing the sweep.
+    """
+    installed: List[Tuple[int, Any]] = []
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            installed.append(
+                (signum, signal.signal(signum, _drain_signal_handler))
+            )
+        except (ValueError, OSError, RuntimeError):
+            continue
+    return installed
+
+
+def restore_drain_handlers(installed: Sequence[Tuple[int, Any]]) -> None:
+    """Undo :func:`install_drain_handlers`."""
+    for signum, previous in installed:
+        try:
+            signal.signal(signum, previous)
+        except (ValueError, OSError, RuntimeError, TypeError):
+            continue
+
+
+def drain_manifest_path(directory: os.PathLike) -> Path:
+    """Location of the drain manifest inside a checkpoint dir."""
+    return Path(directory) / DRAIN_MANIFEST
+
+
+def write_drain_manifest(
+    directory: os.PathLike,
+    pending: Sequence[str],
+    completed: int,
+    reason: str = "signal",
+) -> Path:
+    """Atomically write the resumable drain manifest."""
+    from repro.util.serialization import save_payload
+
+    path = drain_manifest_path(directory)
+    save_payload(
+        {
+            "version": DRAIN_MANIFEST_VERSION,
+            "reason": reason,
+            "completed": int(completed),
+            "pending": list(pending),
+        },
+        path,
+    )
+    return path
+
+
+def load_drain_manifest(directory: os.PathLike) -> Optional[Dict[str, Any]]:
+    """Read the drain manifest (``None`` if absent)."""
+    from repro.util.serialization import load_payload
+
+    path = drain_manifest_path(directory)
+    if not path.exists():
+        return None
+    payload = load_payload(path)
+    if payload.get("version") != DRAIN_MANIFEST_VERSION:
+        raise ValueError(
+            f"drain manifest version {payload.get('version')!r} unsupported"
+        )
+    return payload
+
+
+def clear_drain_manifest(directory: os.PathLike) -> None:
+    """Remove the drain manifest (a completed resume clears it)."""
+    path = drain_manifest_path(directory)
+    try:
+        path.unlink()
+    except FileNotFoundError:
+        pass
+
+
+# ---------------------------------------------------------------------------
 # Fault injection
 # ---------------------------------------------------------------------------
 
 #: Fault modes the worker-side hook understands.
-FAULT_MODES = ("crash", "exit", "hang", "corrupt", "truncate")
+FAULT_MODES = (
+    "crash",
+    "exit",
+    "hang",
+    "corrupt",
+    "truncate",
+    "sigkill",
+    "preempt",
+)
 
 #: In-process fallback ledger (used when a rule has no ``dir``); the
 #: lock keeps it safe under the serial backend's potential reentrancy.
@@ -430,13 +593,37 @@ def plan_fault(
     return None
 
 
-def inject_preemptive_fault(rule: Optional[Dict[str, Any]]) -> None:
-    """Apply a claimed ``crash``/``exit``/``hang`` rule before real work.
+def fault_after_snapshots(rule: Optional[Dict[str, Any]]) -> int:
+    """How many durable state snapshots must land before the rule fires.
 
-    ``exit`` hard-kills the worker process (``os._exit``) to provoke a
-    ``BrokenProcessPool`` in the parent — except in the main process
-    (serial backend), where it degrades to a ``crash`` so fault-specced
-    serial runs don't kill the caller.  ``hang`` sleeps
+    ``0`` (the default) means the fault is preemptive — injected before
+    any real work.  A positive value defers injection to the worker's
+    snapshot hook, which calls :func:`fire_fault` after the n-th
+    durable snapshot — the deterministic way to exercise warm restarts
+    ("die *with* resumable state on disk").
+    """
+    if rule is None:
+        return 0
+    try:
+        return max(0, int(rule.get("after_snapshots", 0)))
+    except (TypeError, ValueError):
+        return 0
+
+
+def fire_fault(rule: Optional[Dict[str, Any]]) -> None:
+    """Fire a claimed process-level fault rule at its trigger point.
+
+    ``exit`` hard-kills the worker (``os._exit``) and ``sigkill``
+    delivers an uncatchable SIGKILL — both provoke a
+    ``BrokenProcessPool`` in the parent; in the main process (serial
+    backend) they degrade to a ``crash`` so fault-specced serial runs
+    don't kill the caller.  ``preempt`` delivers SIGTERM to the worker:
+    with the default disposition the process dies on the spot, but a
+    pool forked *after* :func:`install_drain_handlers` inherits the
+    drain handler, so the signal instead sets the child-local drain
+    flag and the cell stops at its next durable snapshot
+    (:class:`DrainRequested`) — exactly a preemption notice.  In the
+    main process ``preempt`` simply requests a drain.  ``hang`` sleeps
     ``hang_seconds`` and then lets the cell proceed; the engine's
     timeout watchdog is expected to have disposed of it by then.
     """
@@ -453,8 +640,39 @@ def inject_preemptive_fault(rule: Optional[Dict[str, Any]]) -> None:
         if multiprocessing.parent_process() is not None:
             os._exit(int(rule.get("exit_code", 17)))
         raise InjectedFault("injected exit (demoted to crash in-process)")
+    if mode == "sigkill":
+        import multiprocessing
+
+        if multiprocessing.parent_process() is not None:
+            os.kill(os.getpid(), signal.SIGKILL)
+        raise InjectedFault("injected sigkill (demoted to crash in-process)")
+    if mode == "preempt":
+        import multiprocessing
+
+        if multiprocessing.parent_process() is not None:
+            os.kill(os.getpid(), signal.SIGTERM)
+            return
+        request_drain()
+        return
     if mode == "hang":
         time.sleep(float(rule.get("hang_seconds", 30.0)))
+
+
+def inject_preemptive_fault(rule: Optional[Dict[str, Any]]) -> None:
+    """Apply a claimed rule before real work starts (unless deferred).
+
+    Result-stage modes (``corrupt``/``truncate``) and rules with a
+    positive ``after_snapshots`` deferral pass through untouched — the
+    former fire when the result payload is built, the latter from the
+    worker's snapshot hook via :func:`fire_fault`.
+    """
+    if rule is None:
+        return
+    if rule["mode"] in ("corrupt", "truncate"):
+        return
+    if fault_after_snapshots(rule) > 0:
+        return
+    fire_fault(rule)
 
 
 def corrupt_result_payload(
@@ -510,6 +728,10 @@ class WorkUnit:
     fn: Callable[[Dict[str, Any]], Any]
     payload: Dict[str, Any]
     tasks: Sequence[Any]
+    #: Optional heartbeat file the worker touches while the unit runs;
+    #: the supervisor polls its mtime to tell live-but-slow cells from
+    #: silently dead ones.
+    heartbeat: Optional[str] = None
 
     @property
     def key(self) -> str:
@@ -560,6 +782,9 @@ class ResilientExecutor:
         initializer: Optional[Callable[..., None]] = None,
         initargs: Tuple = (),
         queue_depth: int = 2,
+        drain: Optional[threading.Event] = None,
+        drain_timeout: float = 30.0,
+        heartbeat_grace: Optional[float] = 15.0,
     ):
         """``order_key``, ``initializer``/``initargs`` and
         ``queue_depth`` extend the original executor:
@@ -579,11 +804,30 @@ class ResilientExecutor:
           decisions late (so the cost model can reorder what has not
           been submitted yet) and makes per-task timeout deadlines
           start at *dispatch*, not at enqueue time.
+        * ``drain`` — a graceful-shutdown event (usually the
+          process-wide one behind :func:`drain_requested`).  Once set,
+          no new unit is dispatched; in-flight work gets up to
+          ``drain_timeout`` seconds to finish or reach a durable
+          snapshot, then the run stops with :class:`DrainInterrupt`
+          listing every unit still pending.
+        * ``heartbeat_grace`` — staleness threshold (seconds) for a
+          unit's heartbeat file on the process path; a running unit
+          whose heartbeat is older than this is reported once via the
+          ``worker.heartbeat_miss`` counter/event (``None`` disables
+          the poll).
         """
         retry.validate()
         failure.validate()
         if queue_depth < 1:
             raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        if drain_timeout <= 0:
+            raise ValueError(
+                f"drain_timeout must be positive, got {drain_timeout}"
+            )
+        if heartbeat_grace is not None and heartbeat_grace <= 0:
+            raise ValueError(
+                f"heartbeat_grace must be positive, got {heartbeat_grace}"
+            )
         self.backend = backend
         self.workers = workers
         self.retry = retry
@@ -595,6 +839,9 @@ class ResilientExecutor:
         self.initializer = initializer
         self.initargs = tuple(initargs)
         self.queue_depth = queue_depth
+        self.drain = drain
+        self.drain_timeout = drain_timeout
+        self.heartbeat_grace = heartbeat_grace
         self.failures: List[TaskFailure] = []
 
     # -- shared accounting ---------------------------------------------
@@ -694,6 +941,64 @@ class ResilientExecutor:
             f"cell {unit.label} failed after {attempt} attempt(s): {error}"
         ) from error
 
+    # -- graceful shutdown ---------------------------------------------
+
+    def _drain_set(self) -> bool:
+        return self.drain is not None and self.drain.is_set()
+
+    def _raise_drain(self, pending: Sequence[WorkUnit]) -> None:
+        keys: List[str] = []
+        seen = set()
+        for unit in pending:
+            if unit.key not in seen:
+                seen.add(unit.key)
+                keys.append(unit.key)
+        raise DrainInterrupt(
+            f"drain requested; {len(keys)} unit(s) still pending",
+            pending=keys,
+        )
+
+    # -- worker liveness -----------------------------------------------
+
+    def _check_heartbeats(self, inflight, hb_meta) -> None:
+        """Flag in-flight units whose heartbeat file has gone stale.
+
+        A live-but-slow worker keeps touching its heartbeat, so a slow
+        cell never trips this; a silently dead or wedged one (SIGKILL
+        landed but the pool has not noticed, or a hang before the cell
+        body) stops touching it and is reported once per flight.
+        Detection only — disposal stays with the timeout watchdog and
+        the ``BrokenProcessPool`` machinery.
+        """
+        grace = self.heartbeat_grace
+        if grace is None or self.obs is None:
+            return
+        now = time.time()
+        for future, (unit, _, _) in inflight.items():
+            path = getattr(unit, "heartbeat", None)
+            if not path:
+                continue
+            meta = hb_meta.get(future)
+            if meta is None or meta[1]:
+                continue
+            try:
+                beat = os.path.getmtime(path)
+            except OSError:
+                beat = meta[0]  # never written: measure from dispatch
+            stale = now - max(beat, meta[0])
+            if stale <= grace:
+                continue
+            meta[1] = True
+            if self.obs.metrics is not None:
+                self.obs.metrics.counter("worker.heartbeat_miss").inc()
+            self.obs.log(
+                "worker.heartbeat_miss",
+                level="warning",
+                cell=unit.key,
+                label=unit.label,
+                stale_seconds=round(stale, 3),
+            )
+
     # -- entry point ---------------------------------------------------
 
     def run(
@@ -732,6 +1037,8 @@ class ResilientExecutor:
         timeout = self.retry.task_timeout
         queue = [(unit, 0) for unit in units]
         while queue:
+            if self._drain_set():
+                self._raise_drain([unit for unit, _ in queue])
             unit, attempt = self._pop_next(queue)
             while True:
                 attempt += 1
@@ -745,6 +1052,10 @@ class ResilientExecutor:
                             f"(> task_timeout {timeout:.2f}s)"
                         )
                     decoded = decode(unit, raw)
+                except DrainRequested:
+                    # The cell stopped at its last durable snapshot; it
+                    # is still pending, not failed.
+                    self._raise_drain([unit] + [u for u, _ in queue])
                 except Exception as error:
                     delay = self._dispose(unit, error, attempt, quarantine)
                     if delay is None:  # quarantined
@@ -775,8 +1086,12 @@ class ResilientExecutor:
         queue: List[Tuple[WorkUnit, int]] = [(unit, 1) for unit in units]
         waiting: List[Tuple[float, WorkUnit, int]] = []  # (resume, unit, att)
         inflight: Dict[Any, Tuple[WorkUnit, int, Optional[float]]] = {}
+        # Per-future heartbeat bookkeeping: [dispatch wall time, reported].
+        hb_meta: Dict[Any, List] = {}
         pool: Optional[ProcessPoolExecutor] = None
         restarts = 0
+        draining = False
+        drain_deadline: Optional[float] = None
         # Lazy bounded submission: keep a small in-flight window so
         # not-yet-submitted units can still be reordered by order_key
         # and timeout deadlines only start once a task actually ships.
@@ -798,19 +1113,38 @@ class ResilientExecutor:
         try:
             while queue or waiting or inflight:
                 now = self._clock()
+                if not draining and self._drain_set():
+                    draining = True
+                    drain_deadline = now + self.drain_timeout
+                if draining and (
+                    not inflight
+                    or (drain_deadline is not None and now >= drain_deadline)
+                ):
+                    # Deadline hit (or nothing left in flight): whatever
+                    # has not committed stays pending; its durable
+                    # snapshots make the recompute cheap on resume.
+                    pending = (
+                        [entry[0] for entry in inflight.values()]
+                        + [u for u, _ in queue]
+                        + [w[1] for w in waiting]
+                    )
+                    if pool is not None:
+                        self._teardown_pool(pool, kill=True)
+                        pool = None
+                    self._raise_drain(pending)
                 if waiting:
                     ready = [w for w in waiting if w[0] <= now]
                     waiting = [w for w in waiting if w[0] > now]
                     for _, unit, attempt in ready:
                         queue.append((unit, attempt))
                 pool_broken = False
-                if queue and pool is None:
+                if queue and pool is None and not draining:
                     pool = ProcessPoolExecutor(
                         max_workers=self.workers,
                         initializer=self.initializer,
                         initargs=self.initargs,
                     )
-                while queue and len(inflight) < max_inflight:
+                while queue and not draining and len(inflight) < max_inflight:
                     unit, attempt = self._pop_next(queue)
                     try:
                         future = pool.submit(unit.fn, unit.payload)
@@ -824,6 +1158,7 @@ class ResilientExecutor:
                         else None
                     )
                     inflight[future] = (unit, attempt, deadline)
+                    hb_meta[future] = [time.time(), False]
 
                 if inflight and not pool_broken:
                     deadlines = [
@@ -832,6 +1167,17 @@ class ResilientExecutor:
                         if entry[2] is not None
                     ]
                     wake_times = list(deadlines) + [w[0] for w in waiting]
+                    if draining and drain_deadline is not None:
+                        wake_times.append(drain_deadline)
+                    if self.heartbeat_grace is not None and any(
+                        getattr(entry[0], "heartbeat", None)
+                        for entry in inflight.values()
+                    ):
+                        # Poll at half the grace period so a stale
+                        # heartbeat is noticed within ~1.5 graces.
+                        wake_times.append(
+                            self._clock() + self.heartbeat_grace / 2
+                        )
                     wait_timeout = (
                         max(0.0, min(wake_times) - self._clock())
                         if wake_times
@@ -844,6 +1190,7 @@ class ResilientExecutor:
                     )
                     for future in done:
                         unit, attempt, _ = inflight.pop(future)
+                        hb_meta.pop(future, None)
                         try:
                             raw = future.result()
                         except BrokenProcessPool:
@@ -853,10 +1200,22 @@ class ResilientExecutor:
                             pool_broken = True
                             queue.append((unit, attempt))
                             continue
+                        except DrainRequested:
+                            # A preempted worker stopped the cell at its
+                            # last durable snapshot: still pending, and
+                            # the whole sweep now drains.
+                            queue.append((unit, attempt))
+                            if not draining:
+                                draining = True
+                                drain_deadline = (
+                                    self._clock() + self.drain_timeout
+                                )
+                            continue
                         except Exception as error:
                             handle_failure(unit, error, attempt)
                             continue
                         handle_raw(unit, attempt, raw)
+                    self._check_heartbeats(inflight, hb_meta)
 
                     # Deadline watchdog for whatever is still running.
                     now = self._clock()
@@ -867,6 +1226,7 @@ class ResilientExecutor:
                     ]
                     for future in expired:
                         unit, attempt, _ = inflight.pop(future)
+                        hb_meta.pop(future, None)
                         if not future.cancel():
                             # Already executing: the worker is wedged on
                             # this cell and must be killed to reclaim
@@ -890,6 +1250,13 @@ class ResilientExecutor:
                                 raw = future.result()
                             except BrokenProcessPool:
                                 queue.append((unit, attempt))
+                            except DrainRequested:
+                                queue.append((unit, attempt))
+                                if not draining:
+                                    draining = True
+                                    drain_deadline = (
+                                        self._clock() + self.drain_timeout
+                                    )
                             except Exception as error:
                                 handle_failure(unit, error, attempt)
                             else:
@@ -898,6 +1265,7 @@ class ResilientExecutor:
                             future.cancel()
                             queue.append((unit, attempt))
                     inflight.clear()
+                    hb_meta.clear()
                     if pool is not None:
                         self._teardown_pool(pool, kill=True)
                         pool = None

@@ -80,6 +80,8 @@ def run_sweep(
     codec: str = DEFAULT_CODEC,
     adaptive: Optional[StopCondition] = None,
     warm_start: str = "off",
+    state_every: int = 0,
+    drain_timeout: float = 30.0,
 ) -> List[SweepPoint]:
     """Run the chain over a parameter grid, measuring the endpoints.
 
@@ -124,6 +126,13 @@ def run_sweep(
     :func:`repro.experiments.parallel.dispatch_cells`).  Both default
     off; the fixed-budget default stays bit-identical to historical
     sweeps.
+
+    ``state_every``/``drain_timeout`` configure mid-cell durability:
+    workers snapshot their full chain state every ``state_every``
+    iterations (0 disables) so a preempted sweep resumes *inside*
+    cells, and a SIGTERM/SIGINT drains in-flight cells to their last
+    snapshot within ``drain_timeout`` seconds (see
+    ``docs/resilience.md``).
     """
     if replicas < 1:
         raise ValueError(f"replicas must be positive, got {replicas}")
@@ -179,6 +188,8 @@ def run_sweep(
             codec=codec,
             adaptive=adaptive,
             warm_start=warm_start,
+            state_every=state_every,
+            drain_timeout=drain_timeout,
         )
     if obs is not None:
         obs.log("sweep.done", cells=len(cells), replicas=replicas)

@@ -270,6 +270,15 @@ class RunningMoments:
             return _NAN
         return self._m2 / self.count
 
+    def state_payload(self) -> Dict[str, Any]:
+        """JSON-able state for mid-run snapshots (exact round trip)."""
+        return {"count": self.count, "mean": self.mean, "m2": self._m2}
+
+    def restore_state(self, payload: Dict[str, Any]) -> None:
+        self.count = int(payload["count"])
+        self.mean = float(payload["mean"])
+        self._m2 = float(payload["m2"])
+
 
 class WindowedAutocorrelation:
     """Lag-1..maxlag autocorrelations from O(maxlag) streaming state.
@@ -335,6 +344,29 @@ class WindowedAutocorrelation:
             total += 2.0 * rho
         return total
 
+    def state_payload(self) -> Dict[str, Any]:
+        """JSON-able state for mid-run snapshots (exact round trip)."""
+        return {
+            "maxlag": self.maxlag,
+            "ring": list(self._ring),
+            "lagsums": list(self._lagsums),
+            "count": self._count,
+        }
+
+    def restore_state(self, payload: Dict[str, Any]) -> None:
+        if int(payload["maxlag"]) != self.maxlag:
+            raise ValueError(
+                f"autocorrelation state has maxlag {payload['maxlag']!r}, "
+                f"estimator expects {self.maxlag}"
+            )
+        ring = [float(v) for v in payload["ring"]]
+        lagsums = [float(v) for v in payload["lagsums"]]
+        if len(ring) != self.maxlag or len(lagsums) != self.maxlag:
+            raise ValueError("autocorrelation state has wrong window sizes")
+        self._ring = ring
+        self._lagsums = lagsums
+        self._count = int(payload["count"])
+
 
 class BatchMeans:
     """Collapsing batch means: bounded memory for unbounded streams.
@@ -378,6 +410,27 @@ class BatchMeans:
     def used(self) -> int:
         """Samples inside completed batches (the tail waits in the acc)."""
         return len(self.means) * self.batch_size
+
+    def state_payload(self) -> Dict[str, Any]:
+        """JSON-able state for mid-run snapshots (exact round trip)."""
+        return {
+            "capacity": self.capacity,
+            "batch_size": self.batch_size,
+            "means": list(self.means),
+            "acc": self._acc,
+            "acc_count": self._acc_count,
+        }
+
+    def restore_state(self, payload: Dict[str, Any]) -> None:
+        if int(payload["capacity"]) != self.capacity:
+            raise ValueError(
+                f"batch-means state has capacity {payload['capacity']!r}, "
+                f"estimator expects {self.capacity}"
+            )
+        self.batch_size = int(payload["batch_size"])
+        self.means = [float(v) for v in payload["means"]]
+        self._acc = float(payload["acc"])
+        self._acc_count = int(payload["acc_count"])
 
 
 def _sample_variance(values: Sequence[float]) -> float:
@@ -565,6 +618,32 @@ class StreamDiagnostics:
             "flat": self.flat(),
         }
 
+    def state_payload(self) -> Dict[str, Any]:
+        """JSON-able state for mid-run snapshots (exact round trip).
+
+        The cached batch statistics are *not* serialized: the cache key
+        resets on restore, so the first post-restore verdict recomputes
+        them from the (restored) batch means.
+        """
+        return {
+            "moments": self.moments.state_payload(),
+            "autocorr": self.autocorr.state_payload(),
+            "batches": self.batches.state_payload(),
+            "recent": list(self.recent),
+        }
+
+    def restore_state(self, payload: Dict[str, Any]) -> None:
+        self.moments.restore_state(payload["moments"])
+        self.autocorr.restore_state(payload["autocorr"])
+        self.batches.restore_state(payload["batches"])
+        self.recent = deque(
+            (float(v) for v in payload["recent"]),
+            maxlen=self.config.stall_window,
+        )
+        self._batch_key = (-1, -1)
+        self._var_batches = _NAN
+        self._geweke = _NAN
+
 
 def _finite(value: Optional[float]) -> Optional[float]:
     """NaN/inf → None so summaries serialize as strict JSON."""
@@ -746,6 +825,38 @@ class _DiagnosticsBase:
         self._tick_index = index
         return True
 
+    # -- mid-run state snapshots ---------------------------------------
+
+    def _base_state_payload(self) -> Dict[str, Any]:
+        return {
+            "stride": self.config.stride,
+            "samples": self.samples,
+            "iteration": self.iteration,
+            "tick_index": self._tick_index,
+            "acc_rates": list(self._acc_rates),
+            "last_acceptance": self._last_acceptance,
+            "was_converged": self._was_converged,
+            "was_stalled": self._was_stalled,
+        }
+
+    def _restore_base_state(self, payload: Dict[str, Any]) -> None:
+        if int(payload["stride"]) != self.config.stride:
+            raise ValueError(
+                f"diagnostics state was sampled at stride "
+                f"{payload['stride']!r}, this run uses {self.config.stride}"
+            )
+        self.samples = int(payload["samples"])
+        self.iteration = int(payload["iteration"])
+        self._tick_index = int(payload["tick_index"])
+        self._acc_rates = deque(
+            (float(v) for v in payload["acc_rates"]),
+            maxlen=self.config.stall_window,
+        )
+        last = payload.get("last_acceptance")
+        self._last_acceptance = None if last is None else float(last)
+        self._was_converged = bool(payload["was_converged"])
+        self._was_stalled = bool(payload["was_stalled"])
+
 
 class ChainDiagnostics(_DiagnosticsBase):
     """Streaming diagnostics for one :class:`SeparationChain`.
@@ -834,6 +945,29 @@ class ChainDiagnostics(_DiagnosticsBase):
     def summary(self) -> Dict[str, Any]:
         """The JSON-able verdict (rides worker result payloads)."""
         return self._verdict(self.streams, rhat=None)
+
+    def state_payload(self) -> Dict[str, Any]:
+        """JSON-able estimator state for mid-run snapshots.
+
+        Restoring this into a fresh instance with an *identical*
+        ``DiagnosticsConfig`` makes every subsequent sample, verdict,
+        and summary bit-identical to the uninterrupted instance.
+        """
+        payload = self._base_state_payload()
+        payload["streams"] = {
+            name: stream.state_payload()
+            for name, stream in self.streams.items()
+        }
+        payload["last_iteration"] = self._last_iteration
+        payload["last_accepted"] = self._last_accepted
+        return payload
+
+    def restore_state(self, payload: Dict[str, Any]) -> None:
+        self._restore_base_state(payload)
+        for name, stream in self.streams.items():
+            stream.restore_state(payload["streams"][name])
+        self._last_iteration = int(payload["last_iteration"])
+        self._last_accepted = int(payload["last_accepted"])
 
 
 class ReplicaSetDiagnostics(_DiagnosticsBase):
@@ -962,6 +1096,36 @@ class ReplicaSetDiagnostics(_DiagnosticsBase):
     def summary(self) -> Dict[str, Any]:
         """Group verdict: worst replica + cross-replica R̂."""
         return self._verdict(self._worst_streams(), rhat=self.rhat())
+
+    def state_payload(self) -> Dict[str, Any]:
+        """JSON-able estimator state for mid-run snapshots (all replicas)."""
+        payload = self._base_state_payload()
+        payload["replicas"] = self.replicas
+        payload["streams_per_replica"] = [
+            {
+                name: stream.state_payload()
+                for name, stream in streams.items()
+            }
+            for streams in self.streams_per_replica
+        ]
+        payload["last_iteration"] = self._last_iteration
+        payload["last_accepted"] = list(self._last_accepted)
+        return payload
+
+    def restore_state(self, payload: Dict[str, Any]) -> None:
+        if int(payload["replicas"]) != self.replicas:
+            raise ValueError(
+                f"diagnostics state covers {payload['replicas']!r} "
+                f"replicas, this group has {self.replicas}"
+            )
+        self._restore_base_state(payload)
+        for streams, stream_payloads in zip(
+            self.streams_per_replica, payload["streams_per_replica"]
+        ):
+            for name, stream in streams.items():
+                stream.restore_state(stream_payloads[name])
+        self._last_iteration = int(payload["last_iteration"])
+        self._last_accepted = [int(v) for v in payload["last_accepted"]]
 
     def member_summary(self, replica: int) -> Dict[str, Any]:
         """Per-replica verdict carrying the shared cross-replica R̂."""

@@ -121,6 +121,11 @@ class ProgressReporter:
                     detail += f" ({iterations / wall:,.0f} steps/s)"
             if restored:
                 detail += "  [checkpoint]"
+            restored_from = getattr(result, "restored_from", None)
+            if restored_from is not None:
+                # Warm-restored mid-cell from a crash-consistent state
+                # snapshot; the step is where the replay picked up.
+                detail += f"  [warm@{restored_from}]"
             if getattr(result, "failed", False):
                 detail += "  [FAILED]"
             label = getattr(getattr(result, "task", None), "label", "") or ""

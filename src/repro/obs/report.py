@@ -308,6 +308,10 @@ _SUMMARY_COUNTERS = (
     ("engine.checkpoint_hits", "checkpoint hits"),
     ("engine.checkpoint_misses", "checkpoint misses"),
     ("engine.checkpoint_recomputes", "checkpoint recomputes"),
+    ("engine.state_snapshots", "mid-run state snapshots"),
+    ("engine.warm_restores", "warm restores"),
+    ("engine.drains", "drains"),
+    ("worker.heartbeat_miss", "heartbeat misses"),
 )
 
 _CONVERGENCE_COLUMNS = (
@@ -342,6 +346,20 @@ def _stop_label(row: Dict[str, Any]) -> str:
     if not reason:
         return "fixed"
     return _STOP_LABELS.get(str(reason), str(reason))
+
+
+def _restored_label(row: Dict[str, Any]) -> str:
+    """Mid-run durability provenance: where a warm restore picked up.
+
+    ``warm@<step>`` marks a cell that was resumed from a crash-
+    consistent mid-run state snapshot (after a worker death, a drain,
+    or a preemption) and replayed from that iteration; ``-`` marks a
+    cell computed in one uninterrupted pass.
+    """
+    restored = row.get("restored_from")
+    if restored is None:
+        return "-"
+    return f"warm@{fmt(restored)}"
 
 
 def _budget_savings(report: RunReport) -> Optional[Tuple[float, float]]:
@@ -469,15 +487,16 @@ def render_markdown(report: RunReport) -> str:
             lines.append("")
         lines.append(
             "| cell | iterations | budget | wall (s) | steps/s "
-            "| stop | ESS at stop |"
+            "| stop | ESS at stop | restored |"
         )
-        lines.append("|---|---|---|---|---|---|---|")
+        lines.append("|---|---|---|---|---|---|---|---|")
         for row, rate, wall in zip(throughput, rates, walls):
             lines.append(
                 f"| {fmt(row.get('cell'))} | {fmt(row.get('iterations'))} "
                 f"| {fmt(row.get('budget_steps'))} "
                 f"| {fmt(wall)} | {fmt(rate)} "
-                f"| {_stop_label(row)} | {fmt(row.get('ess_at_stop'))} |"
+                f"| {_stop_label(row)} | {fmt(row.get('ess_at_stop'))} "
+                f"| {_restored_label(row)} |"
             )
         lines.append("")
     else:
@@ -629,7 +648,8 @@ def render_html(report: RunReport) -> str:
         out.append(
             "<table><tr><th>cell</th><th>iterations</th><th>budget</th>"
             "<th>wall (s)</th><th>steps/s</th><th>stop</th>"
-            "<th>ESS at stop</th><th>resumed</th></tr>"
+            "<th>ESS at stop</th><th>resumed</th>"
+            "<th>restored</th></tr>"
         )
         for row in throughput:
             stop = _stop_label(row)
@@ -646,7 +666,8 @@ def render_html(report: RunReport) -> str:
                 f"<td>{_esc(row.get('steps_per_sec'))}</td>"
                 f"<td>{stop_html}</td>"
                 f"<td>{_esc(row.get('ess_at_stop'))}</td>"
-                f"<td>{_esc(bool(row.get('from_checkpoint')))}</td></tr>"
+                f"<td>{_esc(bool(row.get('from_checkpoint')))}</td>"
+                f"<td>{_html.escape(_restored_label(row))}</td></tr>"
             )
         out.append("</table>")
     else:

@@ -51,9 +51,11 @@ import numpy as np
 
 from repro.system.configuration import ParticleSystem
 
-#: Frame magics: configuration blobs and checkpoint containers.
+#: Frame magics: configuration blobs, checkpoint containers, and
+#: mid-run chain-state snapshots.
 CONFIG_MAGIC = b"RBC1"
 CHECKPOINT_MAGIC = b"RBK1"
+STATE_MAGIC = b"RBS1"
 
 #: Version recorded inside every envelope header.
 CODEC_VERSION = 1
@@ -72,7 +74,7 @@ def is_binary_blob(data: Any) -> bool:
     """True when ``data`` looks like one of this module's frames."""
     return isinstance(data, (bytes, bytearray, memoryview)) and bytes(
         data[:4]
-    ) in (CONFIG_MAGIC, CHECKPOINT_MAGIC)
+    ) in (CONFIG_MAGIC, CHECKPOINT_MAGIC, STATE_MAGIC)
 
 
 # ----------------------------------------------------------------------
@@ -454,4 +456,129 @@ def decode_checkpoint(blob: bytes) -> Dict[str, Any]:
     payload = dict(meta)
     payload["final"] = items[0]
     payload["snapshots"] = items[1:]
+    return payload
+
+
+# ----------------------------------------------------------------------
+# State frames: crash-consistent mid-run chain snapshots (``RBS1``)
+# ----------------------------------------------------------------------
+
+#: State payload keys that are *not* header scalars.
+_STATE_KEYS_EXCLUDED = ("items", "columns")
+
+
+def encode_state(payload: Dict[str, Any]) -> bytes:
+    """Serialize a mid-run chain-state snapshot as one ``RBS1`` frame.
+
+    A state payload is a durability record, not an archive: it carries
+    everything a worker needs to resume a cell *mid-run* and replay to
+    a bit-identical final result.  Structure:
+
+    * scalar/JSON fields (RNG state, counters, buffer tails, estimator
+      payloads, progress bookkeeping) ride in the CRC-guarded header;
+    * ``items`` — an optional list of nested configuration blobs
+      (bytes) or legacy JSON configuration strings, length-prefixed in
+      the body exactly like checkpoint items (the restored chain's
+      configuration, plus any checkpoint snapshots already produced);
+    * ``columns`` — an optional mapping of named NumPy arrays (the
+      batch kernel's arenas, proposal streams, and cursors), packed as
+      one nested columnar blob.
+
+    Corruption anywhere — magic, header, item table, nested blob CRCs —
+    surfaces as ``ValueError``, so a loader can always fall back to a
+    cold start through the same path as a corrupt checkpoint.
+    """
+    items: List[Union[bytes, str]] = list(payload.get("items") or ())
+    kinds = []
+    parts = []
+    for item in items:
+        if isinstance(item, (bytes, bytearray)):
+            kinds.append("b")
+            parts.append(bytes(item))
+        elif isinstance(item, str):
+            kinds.append("j")
+            parts.append(item.encode())
+        else:
+            raise ValueError(
+                f"state item must be bytes or str, got {type(item).__name__}"
+            )
+    columns = payload.get("columns") or {}
+    if columns:
+        kinds.append("c")
+        parts.append(
+            _pack_columns(
+                {"kind": "state-columns"},
+                tuple(
+                    (name, np.asarray(array))
+                    for name, array in columns.items()
+                ),
+            )
+        )
+    meta = {
+        key: value
+        for key, value in payload.items()
+        if key not in _STATE_KEYS_EXCLUDED
+    }
+    header = {
+        "meta": meta,
+        "items": [
+            {"kind": kind, "len": len(part)}
+            for kind, part in zip(kinds, parts)
+        ],
+    }
+    return _pack(STATE_MAGIC, header, b"".join(parts))
+
+
+def peek_state_meta(blob: bytes) -> Dict[str, Any]:
+    """Header scalars of a state frame (CRC-validated, no item decode)."""
+    header, _ = _split(blob, STATE_MAGIC)
+    meta = header.get("meta")
+    if not isinstance(meta, dict):
+        raise ValueError("state header missing its meta mapping")
+    return dict(meta)
+
+
+def decode_state(blob: bytes) -> Dict[str, Any]:
+    """Rebuild a state payload from an ``RBS1`` frame.
+
+    Returns the header scalars plus ``items`` (still-encoded
+    configuration blobs / JSON strings, each structurally validated)
+    and ``columns`` (named NumPy arrays, empty dict when the frame
+    carries none).  Raises ``ValueError`` on any corruption.
+    """
+    header, body = _split(blob, STATE_MAGIC)
+    meta = header.get("meta")
+    table = header.get("items")
+    if not isinstance(meta, dict) or not isinstance(table, list):
+        raise ValueError("corrupt state header")
+    items: List[Union[bytes, str]] = []
+    columns: Dict[str, np.ndarray] = {}
+    offset = 0
+    for entry in table:
+        try:
+            kind = entry["kind"]
+            length = int(entry["len"])
+        except (KeyError, TypeError, ValueError) as error:
+            raise ValueError(f"corrupt state item table: {error}") from error
+        end = offset + length
+        if end > len(body):
+            raise ValueError("state item overruns frame body")
+        part = body[offset:end]
+        offset = end
+        if kind == "b":
+            validate_blob(part)
+            items.append(part)
+        elif kind == "j":
+            items.append(part.decode())
+        elif kind == "c":
+            column_meta, columns = _unpack_columns(part)
+            if column_meta.get("kind") != "state-columns":
+                raise ValueError("state frame column blob has wrong kind")
+        else:
+            raise ValueError(f"unknown state item kind {kind!r}")
+    if offset != len(body):
+        raise ValueError("state frame has trailing bytes")
+    payload = dict(meta)
+    payload["items"] = items
+    payload["columns"] = columns
     return payload

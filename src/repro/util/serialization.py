@@ -101,16 +101,39 @@ def payload_from_json(text: str) -> Dict[str, Any]:
     return payload
 
 
+def _fsync_directory(directory: Path) -> None:
+    """fsync a directory so a just-renamed entry survives power loss.
+
+    ``os.replace`` makes the rename atomic with respect to crashes of
+    the *process*, but the new directory entry itself lives in the
+    page cache until the directory inode is flushed — a power cut can
+    still lose the whole file.  Some platforms/filesystems refuse to
+    fsync a directory fd; that is a durability downgrade, not an
+    error, so failures are swallowed.
+    """
+    try:
+        descriptor = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(descriptor)
+    except OSError:
+        pass
+    finally:
+        os.close(descriptor)
+
+
 def save_payload(payload: Mapping[str, Any], path: Union[str, Path]) -> None:
     """Atomically write a payload envelope to ``path``.
 
     Writes to a *uniquely named* sibling temp file (``mkstemp`` in the
     target directory — a fixed ``<name>.tmp`` let two sweeps sharing a
     checkpoint dir, or a retried task racing its first attempt, clobber
-    each other's half-written bytes), fsyncs, then ``os.replace``\\ s it
-    into place, so a checkpoint killed mid-write never leaves a
-    truncated JSON file for ``--resume`` to trip over.  Leftover temp
-    files from hard kills are removed by
+    each other's half-written bytes), fsyncs, ``os.replace``\\ s it
+    into place, then fsyncs the parent directory so the rename itself
+    is durable across power loss — a checkpoint killed mid-write never
+    leaves a truncated JSON file for ``--resume`` to trip over.
+    Leftover temp files from hard kills are removed by
     :func:`sweep_stale_temp_files` on engine start.
     """
     target = Path(path)
@@ -123,6 +146,7 @@ def save_payload(payload: Mapping[str, Any], path: Union[str, Path]) -> None:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(temp_name, target)
+        _fsync_directory(target.parent)
     except BaseException:
         try:
             os.unlink(temp_name)
@@ -149,6 +173,7 @@ def save_bytes(data: bytes, path: Union[str, Path]) -> None:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(temp_name, target)
+        _fsync_directory(target.parent)
     except BaseException:
         try:
             os.unlink(temp_name)
@@ -158,7 +183,22 @@ def save_bytes(data: bytes, path: Union[str, Path]) -> None:
 
 
 def sweep_stale_temp_files(directory: Union[str, Path]) -> int:
-    """Remove leftover ``*.tmp`` files from hard-killed payload writes.
+    """Remove leftover temp/orphaned files from hard-killed writes.
+
+    Reaps three kinds of debris:
+
+    * ``*.tmp`` — half-written payload temp files from a writer killed
+      between ``mkstemp`` and ``os.replace``;
+    * ``cell-*.hb`` — worker heartbeat files; these are pure liveness
+      signals for the *current* engine run, so any found at start are
+      leftovers from a dead run;
+    * orphaned ``cell-<key>.state.bin`` mid-run state snapshots whose
+      cell already has a committed checkpoint (``cell-<key>.bin`` or
+      ``cell-<key>.json``) — the checkpoint supersedes the snapshot,
+      which only survives when the parent was killed between the
+      checkpoint commit and the snapshot cleanup.  State files for
+      cells *without* a checkpoint are live resume material and are
+      left alone.
 
     Returns the number of files removed.  Safe to call concurrently
     with live writers only at engine *start* (before any checkpoints
@@ -166,9 +206,27 @@ def sweep_stale_temp_files(directory: Union[str, Path]) -> int:
     tolerated (a vanished file is simply skipped).
     """
     removed = 0
-    for stale in Path(directory).glob("*.tmp"):
+    root = Path(directory)
+    for stale in root.glob("*.tmp"):
         try:
             stale.unlink()
+            removed += 1
+        except OSError:
+            continue
+    for beat in root.glob("cell-*.hb"):
+        try:
+            beat.unlink()
+            removed += 1
+        except OSError:
+            continue
+    for state in root.glob("cell-*.state.bin"):
+        stem = state.name[: -len(".state.bin")]
+        if not any(
+            (root / f"{stem}{suffix}").exists() for suffix in (".bin", ".json")
+        ):
+            continue
+        try:
+            state.unlink()
             removed += 1
         except OSError:
             continue
